@@ -1,0 +1,9 @@
+//! Functional encrypted-inference demos running on the real TFHE
+//! substrate — small-scale versions of the Table VI applications that
+//! actually compute on ciphertexts (and are verified against plaintext).
+
+mod mlp;
+mod tree;
+
+pub use mlp::{EncryptedMlp, MlpModel};
+pub use tree::{DecisionTree, EncryptedTreeEvaluator};

@@ -1,0 +1,36 @@
+//! Application workloads of the Morphling evaluation (§VI-A, Table VI).
+//!
+//! Two layers:
+//!
+//! - **Workload models** ([`models`], [`xgboost`]): the exact network /
+//!   ensemble structures the paper benchmarks (DeepCNN-20/50/100, VGG-9,
+//!   the 100-estimator depth-6 XG-Boost), reduced to per-level
+//!   programmable-bootstrap counts and mapped onto the accelerator through
+//!   the SW/HW schedulers. [`runtime`] pairs them with a calibrated
+//!   64-core CPU baseline to regenerate Table VI.
+//! - **Functional demos** ([`functional`]): small but *real* encrypted
+//!   inference running on the TFHE substrate — an encrypted decision tree
+//!   and an encrypted quantized MLP — proving the same API end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use morphling_apps::{models, runtime};
+//! use morphling_core::ArchConfig;
+//!
+//! let net = models::deep_cnn(20);
+//! let est = runtime::estimate(&net.workload(), &runtime::AppRuntime::paper_default());
+//! // Table VI: DeepCNN-20 runs in 0.34 s on Morphling, 33.32 s on the CPU.
+//! assert!(est.morphling_seconds < 1.0);
+//! assert!(est.speedup() > 50.0);
+//! # let _ = ArchConfig::morphling_default();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod layers;
+pub mod models;
+pub mod runtime;
+pub mod xgboost;

@@ -1,0 +1,174 @@
+//! Execution-time estimation for Table VI: applications mapped onto the
+//! Morphling simulator versus a calibrated multi-core CPU baseline.
+
+use morphling_core::sched::Workload;
+use morphling_core::sim::Simulator;
+use morphling_core::ArchConfig;
+use morphling_tfhe::{ParamSet, TfheParams};
+
+/// CPU baseline model: a 64-core Xeon Gold 6226R running Concrete (the
+/// paper's Table VI testbed). Per-core bootstrap throughput comes from the
+/// paper's own Table V CPU rows; multi-core scaling uses a parallel
+/// efficiency factor (memory-bandwidth limits keep it well below 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Single-core bootstraps per second at the chosen parameter set.
+    pub single_core_bs_s: f64,
+    /// Number of cores.
+    pub cores: u32,
+    /// Parallel efficiency in (0, 1].
+    pub parallel_efficiency: f64,
+    /// Aggregate leveled-MAC throughput (MAC/s).
+    pub mac_per_s: f64,
+}
+
+impl CpuModel {
+    /// The Table VI testbed at 128-bit parameters (set III: 12 BS/s per
+    /// core from Table V; 64 cores at 50% scaling).
+    pub fn xeon_6226r_set_iii() -> Self {
+        Self { single_core_bs_s: 12.0, cores: 64, parallel_efficiency: 0.5, mac_per_s: 5e10 }
+    }
+
+    /// Effective aggregate bootstrap throughput.
+    pub fn bs_per_s(&self) -> f64 {
+        self.single_core_bs_s * self.cores as f64 * self.parallel_efficiency
+    }
+
+    /// Seconds to run a workload (bootstrap-throughput bound; leveled MACs
+    /// added at the aggregate MAC rate).
+    pub fn workload_seconds(&self, workload: &Workload) -> f64 {
+        let bs = workload.total_bootstraps() as f64 / self.bs_per_s();
+        let macs: u64 = workload.levels.iter().map(|&(_, m)| m).sum();
+        bs + macs as f64 / self.mac_per_s
+    }
+}
+
+/// The full application runtime: accelerator simulator + parameter set +
+/// CPU baseline.
+#[derive(Clone, Debug)]
+pub struct AppRuntime {
+    sim: Simulator,
+    params: TfheParams,
+    cpu: CpuModel,
+}
+
+impl AppRuntime {
+    /// The paper's configuration: default Morphling, 128-bit set III,
+    /// 64-core CPU baseline.
+    pub fn paper_default() -> Self {
+        Self {
+            sim: Simulator::new(ArchConfig::morphling_default()),
+            params: ParamSet::III.params(),
+            cpu: CpuModel::xeon_6226r_set_iii(),
+        }
+    }
+
+    /// Custom construction.
+    pub fn new(config: ArchConfig, params: TfheParams, cpu: CpuModel) -> Self {
+        Self { sim: Simulator::new(config), params, cpu }
+    }
+
+    /// The TFHE parameter set applications run at.
+    pub fn params(&self) -> &TfheParams {
+        &self.params
+    }
+
+    /// The simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Morphling execution time for a workload: per dependency level, the
+    /// level's bootstraps run in waves of in-flight ciphertexts; leveled
+    /// MACs run on the VPU (overlapped with the next level's bootstraps in
+    /// hardware, charged serially here — they are orders of magnitude
+    /// smaller).
+    pub fn morphling_seconds(&self, workload: &Workload) -> f64 {
+        let cfg = self.sim.config();
+        let vpu_mac_s = cfg.vpu_macs_per_cycle() as f64 * cfg.clock_hz();
+        workload
+            .levels
+            .iter()
+            .map(|&(bootstraps, macs)| {
+                self.sim.batch_time_seconds(&self.params, bootstraps, bootstraps)
+                    + macs as f64 / vpu_mac_s
+            })
+            .sum()
+    }
+}
+
+/// A Table VI row: both platforms' execution times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Morphling execution time in seconds.
+    pub morphling_seconds: f64,
+    /// CPU execution time in seconds.
+    pub cpu_seconds: f64,
+}
+
+impl Estimate {
+    /// CPU-over-Morphling speedup.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_seconds / self.morphling_seconds
+    }
+}
+
+/// Estimate both columns of Table VI for one workload.
+pub fn estimate(workload: &Workload, runtime: &AppRuntime) -> Estimate {
+    Estimate {
+        morphling_seconds: runtime.morphling_seconds(workload),
+        cpu_seconds: runtime.cpu.workload_seconds(workload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::deep_cnn;
+    use crate::xgboost::XgBoostModel;
+
+    #[test]
+    fn deep_cnn_times_land_on_table_vi() {
+        let rt = AppRuntime::paper_default();
+        // Paper: 0.34 / 0.84 / 1.72 s on Morphling; 33.3 / 74.9 / 180.1 s
+        // on the CPU.
+        for (x, paper_m, paper_c) in [(20, 0.34, 33.32), (50, 0.84, 74.94), (100, 1.72, 180.09)] {
+            let est = estimate(&deep_cnn(x).workload(), &rt);
+            let m_ratio = est.morphling_seconds / paper_m;
+            let c_ratio = est.cpu_seconds / paper_c;
+            assert!((0.7..1.4).contains(&m_ratio), "DeepCNN-{x}: morphling {} vs {paper_m}", est.morphling_seconds);
+            assert!((0.7..1.4).contains(&c_ratio), "DeepCNN-{x}: cpu {} vs {paper_c}", est.cpu_seconds);
+        }
+    }
+
+    #[test]
+    fn speedups_are_in_the_papers_range() {
+        // Paper: 88–144× across the five applications.
+        let rt = AppRuntime::paper_default();
+        let apps: Vec<morphling_core::sched::Workload> = vec![
+            XgBoostModel::paper_benchmark().workload(),
+            deep_cnn(20).workload(),
+            deep_cnn(100).workload(),
+            crate::models::vgg9().workload(),
+        ];
+        for w in &apps {
+            let s = estimate(w, &rt).speedup();
+            assert!((60.0..200.0).contains(&s), "speedup {s}");
+        }
+    }
+
+    #[test]
+    fn deep_cnn_runs_sub_second_up_to_50_layers() {
+        // The paper's headline: "various deep learning models with
+        // sub-second latency".
+        let rt = AppRuntime::paper_default();
+        assert!(estimate(&deep_cnn(20).workload(), &rt).morphling_seconds < 1.0);
+        assert!(estimate(&deep_cnn(50).workload(), &rt).morphling_seconds < 1.0);
+    }
+
+    #[test]
+    fn cpu_model_throughput() {
+        let cpu = CpuModel::xeon_6226r_set_iii();
+        assert!((cpu.bs_per_s() - 384.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! Ablation (§IV-B): ACC-output-stationary vs input-stationary vs
+//! BSK-stationary dataflow — the design-choice analysis of DESIGN.md §6.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{sim::Simulator, ArchConfig, Dataflow};
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::dataflow_ablation_report());
+    let mut g = c.benchmark_group("dataflow");
+    for df in [Dataflow::OutputStationary, Dataflow::InputStationary, Dataflow::BskStationary] {
+        g.bench_function(format!("{df:?}"), |b| {
+            let sim = Simulator::new(ArchConfig::morphling_default().with_dataflow(df));
+            b.iter(|| sim.bootstrap_batch(std::hint::black_box(&ParamSet::A.params()), 16))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

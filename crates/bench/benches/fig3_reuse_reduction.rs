@@ -1,0 +1,19 @@
+//! Fig 3: reduction in domain-transform operations from transform-domain
+//! reuse, per parameter set and reuse type.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::opcount::Fig3Row;
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::fig3_report());
+    c.bench_function("fig3/transform_count_model", |b| {
+        b.iter(|| {
+            [ParamSet::A, ParamSet::B, ParamSet::C]
+                .map(|s| Fig3Row::for_params(std::hint::black_box(&s.params())))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

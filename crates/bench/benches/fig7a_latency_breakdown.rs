@@ -1,0 +1,19 @@
+//! Fig 7a: latency breakdown of bootstrapping across components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{sim::Simulator, ArchConfig};
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::fig7a_report());
+    let sim = Simulator::new(ArchConfig::morphling_default());
+    c.bench_function("fig7a/breakdown", |b| {
+        b.iter(|| {
+            let r = sim.bootstrap_batch(std::hint::black_box(&ParamSet::III.params()), 16);
+            r.latency_breakdown()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

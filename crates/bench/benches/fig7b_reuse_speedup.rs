@@ -1,0 +1,23 @@
+//! Fig 7b: throughput/speedup across transform-domain reuse architectures
+//! (same compute resources) plus the merge-split FFT contribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::fig7b_report());
+    let mut g = c.benchmark_group("fig7b");
+    for reuse in ReuseMode::ALL {
+        g.bench_function(format!("simulate_{reuse}"), |b| {
+            let sim = Simulator::new(
+                ArchConfig::morphling_default().with_reuse(reuse).with_merge_split(false),
+            );
+            b.iter(|| sim.bootstrap_batch(std::hint::black_box(&ParamSet::C.params()), 16))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

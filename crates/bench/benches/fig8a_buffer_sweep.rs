@@ -1,0 +1,21 @@
+//! Fig 8a: impact of the Private-A1 buffer size on latency and throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{sim::Simulator, ArchConfig};
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::fig8a_report());
+    c.bench_function("fig8a/sweep", |b| {
+        b.iter(|| {
+            [512usize, 1024, 2048, 4096, 8192, 16384].map(|kb| {
+                Simulator::new(ArchConfig::morphling_default().with_private_a1_kb(kb))
+                    .bootstrap_batch(std::hint::black_box(&ParamSet::A.params()), 16)
+                    .throughput_bs_per_s()
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

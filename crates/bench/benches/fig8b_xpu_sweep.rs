@@ -1,0 +1,23 @@
+//! Fig 8b: impact of the number of XPUs on throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{sim::Simulator, ArchConfig};
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::fig8b_report());
+    c.bench_function("fig8b/sweep", |b| {
+        b.iter(|| {
+            (1..=8usize)
+                .map(|x| {
+                    Simulator::new(ArchConfig::morphling_default().with_xpus(x))
+                        .bootstrap_batch(std::hint::black_box(&ParamSet::A.params()), 4 * x)
+                        .throughput_bs_per_s()
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Table IV: area and power breakdown of the Morphling configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{hwmodel, ArchConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::table4_report());
+    c.bench_function("table4/cost_model", |b| {
+        b.iter(|| hwmodel::evaluate(std::hint::black_box(&ArchConfig::morphling_default())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table V: bootstrapping latency and throughput — Morphling rows from the
+//! cycle simulator, a live-measured CPU row from our functional TFHE, and
+//! the paper's published baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_core::{sim::Simulator, ArchConfig};
+use morphling_tfhe::{ClientKey, ParamSet, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", morphling_bench::table5_report(true));
+
+    let sim = Simulator::new(ArchConfig::morphling_default());
+    let mut g = c.benchmark_group("table5");
+    for set in [ParamSet::I, ParamSet::II, ParamSet::III, ParamSet::IV] {
+        let params = set.params();
+        g.bench_function(format!("simulate_set_{}", params.name), |b| {
+            b.iter(|| sim.bootstrap_batch(std::hint::black_box(&params), 16))
+        });
+    }
+    g.sample_size(10);
+    // The real thing: our CPU bootstrap at set I (the paper's Concrete row
+    // analogue).
+    let mut rng = StdRng::seed_from_u64(2);
+    let ck = ClientKey::generate(ParamSet::I.params(), &mut rng);
+    let sk = ServerKey::new(&ck, &mut rng);
+    let ct = ck.encrypt(1, &mut rng);
+    g.bench_function("cpu_bootstrap_set_I", |b| {
+        b.iter(|| sk.bootstrap(std::hint::black_box(&ct)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerate the paper's evaluation artifacts as text reports.
+//!
+//! ```text
+//! cargo run -p morphling-bench --release --bin report            # everything
+//! cargo run -p morphling-bench --release --bin report -- table5  # one artifact
+//! cargo run -p morphling-bench --release --bin report -- table5 --measure-cpu
+//! ```
+
+use morphling_bench as reports;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let measure_cpu = args.iter().any(|a| a == "--measure-cpu");
+    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = targets.is_empty();
+    let want = |name: &str| all || targets.contains(&name);
+
+    if want("fig1") {
+        println!("{}", reports::fig1_report());
+    }
+    if want("fig3") {
+        println!("{}", reports::fig3_report());
+    }
+    if want("table4") {
+        println!("{}", reports::table4_report());
+    }
+    if want("table5") {
+        println!("{}", reports::table5_report(measure_cpu));
+    }
+    if want("fig7a") {
+        println!("{}", reports::fig7a_report());
+    }
+    if want("fig7b") {
+        println!("{}", reports::fig7b_report());
+    }
+    if want("fig8a") {
+        println!("{}", reports::fig8a_report());
+    }
+    if want("fig8b") {
+        println!("{}", reports::fig8b_report());
+    }
+    if want("table6") {
+        println!("{}", reports::table6_report());
+    }
+    if want("dataflow") {
+        println!("{}", reports::dataflow_ablation_report());
+    }
+    if want("summary") {
+        println!("{}", reports::summary_report());
+    }
+}

@@ -1,0 +1,197 @@
+//! Area/power cost model at TSMC 28 nm (Table IV).
+//!
+//! **Substitution note** (DESIGN.md §1): the paper synthesizes RTL; we use
+//! an analytical component model whose per-unit constants are calibrated to
+//! the paper's published breakdown and which scales with [`ArchConfig`] —
+//! so the default configuration reproduces Table IV and the ablation
+//! configurations (more XPUs, bigger buffers) extrapolate consistently.
+
+use std::fmt;
+
+use crate::config::ArchConfig;
+
+/// An area (mm²) / power (W) pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaPower {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl AreaPower {
+    const fn new(area_mm2: f64, power_w: f64) -> Self {
+        Self { area_mm2, power_w }
+    }
+
+    fn scale(self, k: f64) -> Self {
+        Self { area_mm2: self.area_mm2 * k, power_w: self.power_w * k }
+    }
+
+    fn add(self, other: Self) -> Self {
+        Self { area_mm2: self.area_mm2 + other.area_mm2, power_w: self.power_w + other.power_w }
+    }
+}
+
+impl fmt::Display for AreaPower {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} mm² / {:.2} W", self.area_mm2, self.power_w)
+    }
+}
+
+// Per-unit constants calibrated to Table IV (28 nm, 1.2 GHz).
+const DECOMP_UNIT: AreaPower = AreaPower::new(0.01 / 4.0, 0.008 / 4.0);
+const FFT_UNIT: AreaPower = AreaPower::new(0.61, 0.455);
+const COEF_BUFFER: AreaPower = AreaPower::new(0.03, 0.015);
+const TWIDDLE_BUFFER: AreaPower = AreaPower::new(0.75, 0.37);
+const VPE: AreaPower = AreaPower::new(4.71 / 16.0, 3.13 / 16.0);
+const VPU_LANE_GROUP: AreaPower = AreaPower::new(0.22 / 4.0, 0.13 / 4.0);
+const NOC_PER_XPU: AreaPower = AreaPower::new(0.21 / 4.0, 0.17 / 4.0);
+const SRAM_PER_MB_A1: AreaPower = AreaPower::new(8.31 / 4.0, 4.27 / 4.0);
+const SRAM_PER_MB_A2: AreaPower = AreaPower::new(8.10 / 4.0, 3.99 / 4.0);
+const SRAM_PER_MB_B: AreaPower = AreaPower::new(4.05 / 2.0, 2.42 / 2.0);
+const SRAM_PER_MB_SHARED: AreaPower = AreaPower::new(2.02, 0.99);
+const HBM2E_PHY: AreaPower = AreaPower::new(14.90, 15.90);
+
+/// One row of the cost breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostRow {
+    /// Component label (matches Table IV's wording).
+    pub component: String,
+    /// Cost of this row.
+    pub cost: AreaPower,
+}
+
+/// The full Table IV-style breakdown for one configuration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Per-component rows *within one XPU* (Table IV's upper block).
+    pub xpu_detail: Vec<CostRow>,
+    /// Chip-level rows (the `n× XPU` aggregate, VPU, NoC, buffers, PHY).
+    pub rows: Vec<CostRow>,
+}
+
+impl CostBreakdown {
+    /// Total chip area and power (chip-level rows only; the XPU detail is
+    /// already aggregated in the `n× XPU` row).
+    pub fn total(&self) -> AreaPower {
+        self.rows.iter().fold(AreaPower::default(), |acc, r| acc.add(r.cost))
+    }
+
+    /// Find a row by (sub)label, searching the XPU detail first.
+    pub fn row(&self, label: &str) -> Option<&CostRow> {
+        self.xpu_detail
+            .iter()
+            .chain(self.rows.iter())
+            .find(|r| r.component.contains(label))
+    }
+}
+
+/// Evaluate the cost model for a configuration, producing the Table IV
+/// rows. Per-XPU rows (decomposition, FFTs, buffers, VPE array) are
+/// reported once for a single XPU plus an aggregate row, as the paper does.
+pub fn evaluate(config: &ArchConfig) -> CostBreakdown {
+    let mut xpu_detail = Vec::new();
+    let mut rows = Vec::new();
+    let push = |rows: &mut Vec<CostRow>, label: String, cost: AreaPower| {
+        rows.push(CostRow { component: label, cost });
+    };
+
+    let decomp = DECOMP_UNIT.scale(config.decomp_units_per_xpu as f64);
+    let fft = FFT_UNIT.scale(config.ffts_per_xpu as f64);
+    let coef = COEF_BUFFER.scale(config.ffts_per_xpu as f64);
+    let vpe = VPE.scale(config.vpes_per_xpu() as f64);
+    let ifft = FFT_UNIT.scale(config.iffts_per_xpu as f64);
+    let xpu = decomp.add(fft).add(coef).add(TWIDDLE_BUFFER).add(vpe).add(ifft);
+
+    push(&mut xpu_detail, format!("{}x Decomposition Unit", config.decomp_units_per_xpu), decomp);
+    push(&mut xpu_detail, format!("{}x FFT", config.ffts_per_xpu), fft);
+    push(&mut xpu_detail, format!("{}x Coef-Buffer", config.ffts_per_xpu), coef);
+    push(&mut xpu_detail, "Twiddle-Buffer".to_string(), TWIDDLE_BUFFER);
+    push(&mut xpu_detail, format!("{}x{} VPE Array", config.vpe_rows, config.vpe_cols), vpe);
+    push(&mut xpu_detail, format!("{}x IFFT", config.iffts_per_xpu), ifft);
+    push(&mut rows, format!("{}x XPU", config.xpus), xpu.scale(config.xpus as f64));
+    push(&mut rows, "VPU".to_string(), VPU_LANE_GROUP.scale(config.vpu_groups as f64));
+    push(&mut rows, "NoC".to_string(), NOC_PER_XPU.scale(config.xpus as f64));
+    let mb = |kb: usize| kb as f64 / 1024.0;
+    push(
+        &mut rows,
+        format!("Private-A1 Buffer ({} KB)", config.private_a1_kb),
+        SRAM_PER_MB_A1.scale(mb(config.private_a1_kb)),
+    );
+    push(
+        &mut rows,
+        format!("Private-A2 Buffer ({} KB)", config.private_a2_kb),
+        SRAM_PER_MB_A2.scale(mb(config.private_a2_kb)),
+    );
+    push(
+        &mut rows,
+        format!("Private-B Buffer ({} KB)", config.private_b_kb),
+        SRAM_PER_MB_B.scale(mb(config.private_b_kb)),
+    );
+    push(
+        &mut rows,
+        format!("Shared Buffer ({} KB)", config.shared_kb),
+        SRAM_PER_MB_SHARED.scale(mb(config.shared_kb)),
+    );
+    push(&mut rows, "HBM2e PHY".to_string(), HBM2E_PHY);
+    CostBreakdown { xpu_detail, rows }
+}
+
+/// The XPU-only subtotal (the paper's intermediate "XPU" row).
+pub fn xpu_subtotal(config: &ArchConfig) -> AreaPower {
+    let b = evaluate(config);
+    let agg = b.row("x XPU").expect("aggregate row exists").cost;
+    agg.scale(1.0 / config.xpus as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_total_matches_table_iv() {
+        // Table IV: 74.79 mm², 53.00 W.
+        let total = evaluate(&ArchConfig::morphling_default()).total();
+        assert!((total.area_mm2 - 74.79).abs() < 1.0, "area {}", total.area_mm2);
+        assert!((total.power_w - 53.00).abs() < 1.0, "power {}", total.power_w);
+    }
+
+    #[test]
+    fn xpu_subtotal_matches_table_iv() {
+        // Table IV: XPU = 9.23 mm², 6.23 W.
+        let xpu = xpu_subtotal(&ArchConfig::morphling_default());
+        assert!((xpu.area_mm2 - 9.23).abs() < 0.15, "area {}", xpu.area_mm2);
+        assert!((xpu.power_w - 6.23).abs() < 0.15, "power {}", xpu.power_w);
+    }
+
+    #[test]
+    fn component_rows_match_table_iv() {
+        let b = evaluate(&ArchConfig::morphling_default());
+        let check = |label: &str, area: f64, power: f64| {
+            let r = b.row(label).unwrap_or_else(|| panic!("missing row {label}"));
+            assert!((r.cost.area_mm2 - area).abs() < 0.05, "{label} area {}", r.cost.area_mm2);
+            assert!((r.cost.power_w - power).abs() < 0.05, "{label} power {}", r.cost.power_w);
+        };
+        check("FFT", 1.22, 0.91);
+        check("VPE Array", 4.71, 3.13);
+        check("IFFT", 2.45, 1.82);
+        check("Private-A1", 8.31, 4.27);
+        check("HBM2e", 14.90, 15.90);
+    }
+
+    #[test]
+    fn cost_scales_with_configuration() {
+        let base = evaluate(&ArchConfig::morphling_default()).total();
+        let more = evaluate(&ArchConfig::morphling_default().with_xpus(8)).total();
+        assert!(more.area_mm2 > base.area_mm2 + 30.0);
+        let bigger_a1 = evaluate(&ArchConfig::morphling_default().with_private_a1_kb(8192)).total();
+        assert!((bigger_a1.area_mm2 - base.area_mm2 - 8.31).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ap = AreaPower::new(1.5, 2.25);
+        assert_eq!(ap.to_string(), "1.50 mm² / 2.25 W");
+    }
+}

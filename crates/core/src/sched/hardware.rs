@@ -1,0 +1,236 @@
+//! The hardware scheduler (Fig 6, right side): a scoreboard that
+//! dispatches the instruction stream onto the simulated units as their
+//! dependencies resolve, overlapping independent groups (XPU compute vs
+//! VPU post-processing vs DMA transfers).
+
+use morphling_tfhe::TfheParams;
+
+use crate::config::ArchConfig;
+use crate::isa::{DmaOp, InstrId, Op, Program, UnitClass, VpuOp, XpuOp};
+use crate::sim::vpu::VpuCost;
+use crate::sim::Simulator;
+
+/// One scheduled instruction occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scheduled {
+    /// Instruction id.
+    pub id: InstrId,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle.
+    pub end: u64,
+    /// Unit that executed it.
+    pub unit: UnitClass,
+}
+
+/// The execution timeline produced by the hardware scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    entries: Vec<Scheduled>,
+}
+
+impl Timeline {
+    /// All scheduled instructions in issue order.
+    pub fn entries(&self) -> &[Scheduled] {
+        &self.entries
+    }
+
+    /// Total cycles from first issue to last completion.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.end).max().unwrap_or(0)
+    }
+
+    /// Busy cycles of one unit class (sum of instruction durations).
+    pub fn busy_cycles(&self, unit: UnitClass) -> u64 {
+        self.entries.iter().filter(|e| e.unit == unit).map(|e| e.end - e.start).sum()
+    }
+
+    /// Utilization of a unit class over the makespan.
+    pub fn utilization(&self, unit: UnitClass) -> f64 {
+        let span = self.makespan_cycles();
+        if span == 0 {
+            0.0
+        } else {
+            self.busy_cycles(unit) as f64 / span as f64
+        }
+    }
+}
+
+/// The hardware scheduler / scoreboard.
+#[derive(Clone, Debug)]
+pub struct HwScheduler {
+    config: ArchConfig,
+}
+
+impl HwScheduler {
+    /// Create a scheduler for one architecture.
+    pub fn new(config: ArchConfig) -> Self {
+        Self { config }
+    }
+
+    /// Duration (cycles) of one instruction on its unit, for a
+    /// group of `group_size` ciphertexts under `params`.
+    fn duration(&self, op: &Op, params: &TfheParams, group_size: u64) -> u64 {
+        let cfg = &self.config;
+        let vpu = VpuCost::compute(params);
+        match op {
+            Op::Xpu(XpuOp::BlindRotate { iterations }) => {
+                // The full simulator supplies the stalled iteration period.
+                let report = Simulator::new(cfg.clone()).bootstrap_batch(params, group_size as usize);
+                (u64::from(*iterations) as f64 * report.iter_cycles as f64 * report.stall) as u64
+            }
+            Op::Vpu(VpuOp::ModSwitch) => {
+                (group_size * vpu.mod_switch_macs).div_ceil(cfg.vpu_macs_per_cycle()).max(1)
+            }
+            Op::Vpu(VpuOp::SampleExtract) => (group_size * vpu.sample_extract_words)
+                .div_ceil((cfg.lanes * cfg.vpu_groups) as u64)
+                .max(1),
+            Op::Vpu(VpuOp::KeySwitch) => {
+                (group_size * vpu.key_switch_macs).div_ceil(cfg.vpu_macs_per_cycle()).max(1)
+            }
+            Op::Vpu(VpuOp::PAlu { macs }) => macs.div_ceil(cfg.vpu_macs_per_cycle()).max(1),
+            Op::Dma(DmaOp::LoadBskWindow { .. }) => {
+                // Prefetch head start: fill the double-buffered A2 window.
+                self.dma_cycles(2 * params.bsk_iter_bytes_fourier(), cfg.hbm.xpu_priority_gb_s())
+            }
+            Op::Dma(DmaOp::LoadKsk) => {
+                // One KSK tile per group; the full key is reused across the
+                // max_stream_batch × groups of a 64-ciphertext super-group.
+                let reuse = (cfg.max_stream_batch as u64).max(1);
+                self.dma_cycles(
+                    params.ksk_total_bytes() / reuse,
+                    cfg.hbm.total_gb_s - cfg.hbm.xpu_priority_gb_s(),
+                )
+            }
+            Op::Dma(DmaOp::LoadLwe) | Op::Dma(DmaOp::StoreLwe) => self.dma_cycles(
+                group_size * (params.lwe_dim as u64 + 1) * 4,
+                cfg.hbm.total_gb_s,
+            ),
+        }
+    }
+
+    fn dma_cycles(&self, bytes: u64, gb_s: f64) -> u64 {
+        ((bytes as f64 / (gb_s * 1e9)) * self.config.clock_hz()).ceil().max(1.0) as u64
+    }
+
+    /// Dispatch a program: an event-driven list scheduler (the scoreboard
+    /// of §V-E) with one XPU slot (a group occupies the whole XPU
+    /// complex), one full-rate VPU slot, and two DMA engines. Instructions
+    /// issue as soon as their dependencies resolve and their unit frees,
+    /// regardless of program order — this is what lets the KS of group `g`
+    /// overlap the BR of group `g+1` (Fig 6).
+    pub fn run(&self, program: &Program, params: &TfheParams) -> Timeline {
+        let group_size = self.config.bootstrap_cores() as u64;
+        let n = program.len();
+        let mut finish: Vec<Option<u64>> = vec![None; n];
+        let mut xpu_free = 0u64;
+        let mut vpu_free = 0u64;
+        let mut dma_free = [0u64; 2];
+        let mut timeline = Timeline::default();
+        let mut scheduled = 0usize;
+        while scheduled < n {
+            // Among ready instructions, pick the earliest possible start
+            // (ties: program order).
+            let mut best: Option<(u64, usize)> = None;
+            for instr in program.instructions() {
+                if finish[instr.id as usize].is_some() {
+                    continue;
+                }
+                let deps_done: Option<u64> = instr
+                    .deps
+                    .iter()
+                    .map(|&d| finish[d as usize])
+                    .try_fold(0u64, |acc, f| f.map(|v| acc.max(v)));
+                let Some(dep_ready) = deps_done else { continue };
+                let unit_free = match instr.op.unit() {
+                    UnitClass::Xpu => xpu_free,
+                    UnitClass::Vpu => vpu_free,
+                    UnitClass::Dma => *dma_free.iter().min().expect("two engines"),
+                };
+                let start = dep_ready.max(unit_free);
+                if best.map_or(true, |(s, _)| start < s) {
+                    best = Some((start, instr.id as usize));
+                }
+            }
+            let (start, idx) = best.expect("acyclic program always has a ready instruction");
+            let instr = &program.instructions()[idx];
+            let dur = self.duration(&instr.op, params, group_size);
+            let end = start + dur;
+            let unit = instr.op.unit();
+            match unit {
+                UnitClass::Xpu => xpu_free = end,
+                UnitClass::Vpu => vpu_free = end,
+                UnitClass::Dma => {
+                    let slot = dma_free
+                        .iter_mut()
+                        .min_by_key(|t| **t)
+                        .expect("two engines");
+                    *slot = end;
+                }
+            }
+            finish[idx] = Some(end);
+            timeline.entries.push(Scheduled { id: instr.id, start, end, unit });
+            scheduled += 1;
+        }
+        timeline.entries.sort_by_key(|e| (e.start, e.id));
+        timeline
+    }
+
+    /// Convenience: makespan in seconds.
+    pub fn run_seconds(&self, program: &Program, params: &TfheParams) -> f64 {
+        self.run(program, params).makespan_cycles() as f64 / self.config.clock_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::software::{SwScheduler, Workload};
+    use morphling_tfhe::ParamSet;
+
+    fn setup() -> (SwScheduler, HwScheduler, TfheParams) {
+        let cfg = ArchConfig::morphling_default();
+        (SwScheduler::new(cfg.clone()), HwScheduler::new(cfg), ParamSet::I.params())
+    }
+
+    #[test]
+    fn single_group_matches_simulator_latency() {
+        let (sw, hw, params) = setup();
+        let prog = sw.compile(&Workload::independent(16), &params);
+        let t = hw.run_seconds(&prog, &params) * 1e3;
+        // One group ≈ one bootstrap latency plus the (unoverlapped, since
+        // there is no next group) key switch and DMA edges.
+        assert!((0.10..0.17).contains(&t), "latency {t} ms");
+    }
+
+    #[test]
+    fn independent_groups_pipeline_on_the_xpu() {
+        let (sw, hw, params) = setup();
+        let one = hw.run(&sw.compile(&Workload::independent(16), &params), &params);
+        let four = hw.run(&sw.compile(&Workload::independent(64), &params), &params);
+        // Four groups take ≈ 4× the XPU time, but VPU/DMA overlap, so the
+        // makespan is < 4.5× a single group and XPU utilization is high.
+        assert!(four.makespan_cycles() < one.makespan_cycles() * 9 / 2);
+        assert!(four.utilization(UnitClass::Xpu) > 0.85, "{}", four.utilization(UnitClass::Xpu));
+    }
+
+    #[test]
+    fn dependent_levels_serialize() {
+        let (sw, hw, params) = setup();
+        // Four dependent levels vs the same work fully independent: the
+        // dependent chain cannot overlap KS with the next level's BR.
+        let w = Workload::independent(16).then(16, 0).then(16, 0).then(16, 0);
+        let seq = hw.run_seconds(&sw.compile(&w, &params), &params);
+        let par = hw.run_seconds(&sw.compile(&Workload::independent(64), &params), &params);
+        assert!(seq > par * 1.1, "seq {seq} par {par}");
+    }
+
+    #[test]
+    fn vpu_work_overlaps_xpu_work() {
+        let (sw, hw, params) = setup();
+        let tl = hw.run(&sw.compile(&Workload::independent(64), &params), &params);
+        // KS of group g overlaps BR of group g+1: VPU busy cycles fit well
+        // inside the makespan.
+        assert!(tl.busy_cycles(UnitClass::Vpu) < tl.makespan_cycles());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over the simulator: invariants that must hold for
+//! *any* architecture configuration and parameter set, not just the
+//! paper's defaults.
+
+use morphling_core::sim::{IterProfile, Simulator};
+use morphling_core::{ArchConfig, ReuseMode};
+use morphling_tfhe::{ParamSet, ALL_PAPER_SETS};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ArchConfig> {
+    (
+        1usize..=8,       // xpus
+        1usize..=3,       // fft units per xpu
+        1usize..=6,       // ifft units per xpu
+        any::<bool>(),    // merge split
+        prop::sample::select(vec![512usize, 1024, 2048, 4096, 8192]), // a1 KB
+        0usize..3,        // reuse mode index
+    )
+        .prop_map(|(xpus, ffts, iffts, ms, a1, reuse)| {
+            let mut c = ArchConfig::morphling_default()
+                .with_xpus(xpus)
+                .with_merge_split(ms)
+                .with_private_a1_kb(a1)
+                .with_reuse(ReuseMode::ALL[reuse]);
+            c.ffts_per_xpu = ffts;
+            c.iffts_per_xpu = iffts;
+            c
+        })
+}
+
+fn arb_set() -> impl Strategy<Value = ParamSet> {
+    prop::sample::select(ALL_PAPER_SETS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stall_is_at_least_one_and_latency_positive(cfg in arb_config(), set in arb_set()) {
+        let r = Simulator::new(cfg).bootstrap_batch(&set.params(), 16);
+        prop_assert!(r.stall >= 1.0);
+        prop_assert!(r.latency_ms() > 0.0);
+        prop_assert!(r.throughput_bs_per_s() > 0.0);
+    }
+
+    #[test]
+    fn iteration_period_is_the_max_occupancy(cfg in arb_config(), set in arb_set()) {
+        let p = IterProfile::compute(&cfg, &set.params());
+        let m = p.iter_cycles();
+        prop_assert!(m >= p.fft && m >= p.ifft && m >= p.vpe && m >= p.rotator && m >= p.decompose);
+        prop_assert!(m == p.fft || m == p.ifft || m == p.vpe || m == p.rotator || m == p.decompose);
+    }
+
+    #[test]
+    fn more_reuse_never_slows_down(cfg in arb_config(), set in arb_set()) {
+        let params = set.params();
+        let t = |reuse: ReuseMode| {
+            Simulator::new(cfg.clone().with_reuse(reuse))
+                .bootstrap_batch(&params, 16)
+                .throughput_bs_per_s()
+        };
+        let no = t(ReuseMode::NoReuse);
+        let input = t(ReuseMode::InputReuse);
+        let io = t(ReuseMode::InputOutputReuse);
+        prop_assert!(input >= no * 0.999, "input {input} < none {no}");
+        prop_assert!(io >= input * 0.999, "io {io} < input {input}");
+    }
+
+    #[test]
+    fn merge_split_never_slows_down(cfg in arb_config(), set in arb_set()) {
+        let params = set.params();
+        let on = Simulator::new(cfg.clone().with_merge_split(true))
+            .bootstrap_batch(&params, 16)
+            .throughput_bs_per_s();
+        let off = Simulator::new(cfg.with_merge_split(false))
+            .bootstrap_batch(&params, 16)
+            .throughput_bs_per_s();
+        prop_assert!(on >= off * 0.999, "ms on {on} < off {off}");
+    }
+
+    #[test]
+    fn bigger_a1_never_slows_down(cfg in arb_config(), set in arb_set()) {
+        let params = set.params();
+        let small = Simulator::new(cfg.clone()).bootstrap_batch(&params, 16).throughput_bs_per_s();
+        let big = Simulator::new(cfg.with_private_a1_kb(32768))
+            .bootstrap_batch(&params, 16)
+            .throughput_bs_per_s();
+        prop_assert!(big >= small * 0.999, "big-A1 {big} < small-A1 {small}");
+    }
+
+    #[test]
+    fn throughput_scales_within_one_multicast_group(set in arb_set()) {
+        // Up to the multicast width, adding XPUs must not reduce total
+        // throughput (per-XPU bandwidth pressure only grows beyond it).
+        let params = set.params();
+        let mut prev = 0.0;
+        for x in 1..=4usize {
+            let t = Simulator::new(ArchConfig::morphling_default().with_xpus(x))
+                .bootstrap_batch(&params, 4 * x)
+                .throughput_bs_per_s();
+            prop_assert!(t >= prev * 0.999, "x={x}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn latency_breakdown_sums_to_one(cfg in arb_config(), set in arb_set()) {
+        let r = Simulator::new(cfg).bootstrap_batch(&set.params(), 16);
+        let (ms, br, se, ks) = r.latency_breakdown();
+        prop_assert!((ms + br + se + ks - 1.0).abs() < 1e-9);
+        prop_assert!(ms >= 0.0 && br > 0.0 && se >= 0.0 && ks >= 0.0);
+    }
+
+    #[test]
+    fn batch_time_is_monotone_in_count(set in arb_set(), c1 in 1u64..500, c2 in 1u64..500) {
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        let sim = Simulator::new(ArchConfig::morphling_default());
+        let params = set.params();
+        let t_lo = sim.batch_time_seconds(&params, lo, 16);
+        let t_hi = sim.batch_time_seconds(&params, hi, 16);
+        prop_assert!(t_hi >= t_lo, "t({hi})={t_hi} < t({lo})={t_lo}");
+    }
+}

@@ -1,0 +1,214 @@
+//! A minimal complex-number type (f64 re/im).
+//!
+//! The transform-domain datapath of Morphling carries 64-bit complex
+//! elements (32-bit real + 32-bit imaginary in hardware; we compute in f64
+//! and model the narrower hardware precision separately). A local type
+//! avoids pulling in an external dependency for a handful of operations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use morphling_math::Complex64;
+///
+/// let i = Complex64::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Create from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^(i·theta)` — a point on the unit circle.
+    #[inline]
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by the imaginary unit (a quarter-turn), cheaper than a full
+    /// complex multiply — the FFT butterflies use this.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Self { re: -self.im, im: self.re }
+    }
+
+    /// Scale both components by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+.6}{:+.6}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}{:+.6}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.5, 3.25);
+        let c = Complex64::new(2.0, 2.0);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(3.0, 4.0);
+        let b = Complex64::new(-1.0, 2.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj().conj(), a);
+        assert!((a * a.conj() - Complex64::from(a.norm_sqr())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_i_is_quarter_turn() {
+        let a = Complex64::new(2.0, 5.0);
+        assert_eq!(a.mul_i(), a * Complex64::I);
+    }
+
+    #[test]
+    fn polar_unit_lies_on_circle() {
+        for k in 0..8 {
+            let z = Complex64::from_polar_unit(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

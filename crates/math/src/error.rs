@@ -1,0 +1,53 @@
+//! Error types for the math substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible math-layer operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// Two operands had incompatible polynomial sizes.
+    SizeMismatch {
+        /// Size of the left operand.
+        left: usize,
+        /// Size of the right operand.
+        right: usize,
+    },
+    /// A size parameter was not a power of two.
+    NotPowerOfTwo(usize),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::SizeMismatch { left, right } => {
+                write!(f, "polynomial size mismatch: {left} vs {right}")
+            }
+            MathError::NotPowerOfTwo(n) => {
+                write!(f, "size {n} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = MathError::SizeMismatch { left: 4, right: 8 };
+        assert_eq!(e.to_string(), "polynomial size mismatch: 4 vs 8");
+        let e = MathError::NotPowerOfTwo(3);
+        assert_eq!(e.to_string(), "size 3 is not a power of two");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

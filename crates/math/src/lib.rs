@@ -1,0 +1,49 @@
+//! Torus and negacyclic polynomial arithmetic for the Morphling reproduction.
+//!
+//! This crate is the lowest layer of the stack. It provides:
+//!
+//! - [`Torus32`] / [`Torus64`]: elements of the discretized torus
+//!   `T_q = {0, 1/q, ..., (q-1)/q}` represented as fixed-point machine words
+//!   (`q = 2^32` or `2^64`), exactly as the paper's 32-bit datapath does.
+//! - [`Polynomial`]: dense polynomials over an arbitrary coefficient type,
+//!   interpreted in the negacyclic ring `Z_q[X]/(X^N + 1)` with `N` a power
+//!   of two.
+//! - Exact negacyclic multiplication ([`negacyclic`]) used as the
+//!   correctness oracle for the FFT-based path in `morphling-transform`.
+//! - Signed gadget decomposition ([`decompose`]) with base `β = 2^b` and
+//!   level `l`, the operation the paper's Decomposition Unit implements.
+//! - Noise and key sampling ([`sampling`]).
+//! - A minimal complex-number type ([`Complex64`]) shared with the
+//!   transform crate.
+//!
+//! # Example
+//!
+//! ```
+//! use morphling_math::{Polynomial, Torus32};
+//!
+//! // X * (1 + X^(N-1)) = X - 1 in the negacyclic ring.
+//! let n = 8;
+//! let mut p = Polynomial::<Torus32>::zero(n);
+//! p[0] = Torus32::from_raw(1);
+//! p[n - 1] = Torus32::from_raw(1);
+//! let rotated = p.monomial_mul(1);
+//! assert_eq!(rotated[1], Torus32::from_raw(1));
+//! assert_eq!(rotated[0], -Torus32::from_raw(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+pub mod decompose;
+mod error;
+pub mod negacyclic;
+mod poly;
+pub mod sampling;
+mod torus;
+
+pub use complex::Complex64;
+pub use decompose::{DecompParams, SignedDecomposer};
+pub use error::MathError;
+pub use poly::Polynomial;
+pub use torus::{Torus32, Torus64, TorusScalar};

@@ -1,0 +1,386 @@
+//! Dense polynomials interpreted in the negacyclic ring `R[X]/(X^N + 1)`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Neg, Sub, SubAssign};
+
+use crate::torus::TorusScalar;
+
+/// A dense polynomial of degree `< N` with coefficients of type `T`,
+/// interpreted in the quotient ring `R[X]/(X^N + 1)` (negacyclic ring).
+///
+/// `N` must be a power of two; this is validated by every constructor.
+/// Morphling packs these coefficients eight at a time into its 256-bit
+/// datapath — the simulator models that, while this type is the functional
+/// representation.
+///
+/// # Example
+///
+/// ```
+/// use morphling_math::Polynomial;
+///
+/// let p = Polynomial::from_coeffs(vec![1i64, 2, 3, 4]);
+/// let q = &p + &p;
+/// assert_eq!(q.coeffs(), &[2, 4, 6, 8]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Polynomial<T> {
+    coeffs: Vec<T>,
+}
+
+impl<T: Copy + Default> Polynomial<T> {
+    /// The zero polynomial with `n` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn zero(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "polynomial size must be a power of two, got {n}");
+        Self { coeffs: vec![T::default(); n] }
+    }
+
+    /// Build from an explicit coefficient vector (constant term first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_coeffs(coeffs: Vec<T>) -> Self {
+        assert!(
+            coeffs.len().is_power_of_two(),
+            "polynomial size must be a power of two, got {}",
+            coeffs.len()
+        );
+        Self { coeffs }
+    }
+
+    /// Build by evaluating `f(j)` for each coefficient index `j`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        assert!(n.is_power_of_two(), "polynomial size must be a power of two, got {n}");
+        Self { coeffs: (0..n).map(|j| f(j)).collect() }
+    }
+
+    /// Number of coefficients `N` (the ring degree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the polynomial has zero length. Always false for a valid
+    /// polynomial (N ≥ 1), provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Borrow the coefficient slice (constant term first).
+    #[inline]
+    pub fn coeffs(&self) -> &[T] {
+        &self.coeffs
+    }
+
+    /// Mutably borrow the coefficient slice.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [T] {
+        &mut self.coeffs
+    }
+
+    /// Consume and return the coefficient vector.
+    #[inline]
+    pub fn into_coeffs(self) -> Vec<T> {
+        self.coeffs
+    }
+
+    /// Iterate over coefficients.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.coeffs.iter()
+    }
+
+    /// Map every coefficient through `f`, producing a polynomial of a
+    /// possibly different coefficient type.
+    pub fn map<U: Copy + Default>(&self, f: impl FnMut(&T) -> U) -> Polynomial<U> {
+        Polynomial { coeffs: self.coeffs.iter().map(f).collect() }
+    }
+}
+
+impl<T> Polynomial<T>
+where
+    T: Copy + Default + Neg<Output = T>,
+{
+    /// Multiply by the monomial `X^power` in the negacyclic ring.
+    ///
+    /// `power` is taken modulo `2N`; exponents in `[N, 2N)` flip the sign of
+    /// the wrapped coefficients because `X^N = -1`. This is the *rotation*
+    /// the paper performs with the double-pointer method inside the
+    /// Private-A1 buffer (§V-C): a shifted read plus conditional negation.
+    #[must_use]
+    pub fn monomial_mul(&self, power: i64) -> Self {
+        let n = self.len() as i64;
+        let two_n = 2 * n;
+        let a = power.rem_euclid(two_n);
+        let (shift, negate_all) = if a < n { (a, false) } else { (a - n, true) };
+        let shift = shift as usize;
+        let n = n as usize;
+        let mut out = vec![T::default(); n];
+        for j in 0..n {
+            // out[j + shift] = coeffs[j], wrapping with sign flip.
+            let (dst, wrapped) = if j + shift < n { (j + shift, false) } else { (j + shift - n, true) };
+            let v = self.coeffs[j];
+            let v = if wrapped ^ negate_all { -v } else { v };
+            out[dst] = v;
+        }
+        Self { coeffs: out }
+    }
+
+    /// `X^power * self - self`: the rotate-and-subtract producing the
+    /// `Λ_{i-1}` term of the external product (Algorithm 1, line 4).
+    #[must_use]
+    pub fn monomial_mul_minus_one(&self, power: i64) -> Self
+    where
+        T: Sub<Output = T>,
+    {
+        let rotated = self.monomial_mul(power);
+        let coeffs = rotated
+            .coeffs
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&r, &s)| r - s)
+            .collect();
+        Self { coeffs }
+    }
+}
+
+impl<T: TorusScalar> Polynomial<T> {
+    /// Sum of `scalar_mul` of each coefficient: `Σ k_j * c_j` — used by
+    /// exact LWE-phase computations.
+    pub fn dot_scalars(&self, scalars: &[i64]) -> T {
+        assert_eq!(self.len(), scalars.len(), "length mismatch in dot product");
+        let mut acc = T::ZERO;
+        for (&c, &k) in self.coeffs.iter().zip(scalars) {
+            acc += c.scalar_mul(k);
+        }
+        acc
+    }
+}
+
+impl<T: Copy + Default> Index<usize> for Polynomial<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.coeffs[i]
+    }
+}
+
+impl<T: Copy + Default> IndexMut<usize> for Polynomial<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.coeffs[i]
+    }
+}
+
+macro_rules! binop_impl {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<'a, T> $trait<&'a Polynomial<T>> for &'a Polynomial<T>
+        where
+            T: Copy + Default + $trait<Output = T>,
+        {
+            type Output = Polynomial<T>;
+            fn $method(self, rhs: &'a Polynomial<T>) -> Polynomial<T> {
+                assert_eq!(self.len(), rhs.len(), "polynomial size mismatch");
+                Polynomial {
+                    coeffs: self
+                        .coeffs
+                        .iter()
+                        .zip(&rhs.coeffs)
+                        .map(|(&a, &b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+
+        impl<T> $trait for Polynomial<T>
+        where
+            T: Copy + Default + $trait<Output = T>,
+        {
+            type Output = Polynomial<T>;
+            fn $method(self, rhs: Polynomial<T>) -> Polynomial<T> {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+binop_impl!(Add, add, +);
+binop_impl!(Sub, sub, -);
+
+impl<T> AddAssign<&Polynomial<T>> for Polynomial<T>
+where
+    T: Copy + Default + AddAssign,
+{
+    fn add_assign(&mut self, rhs: &Polynomial<T>) {
+        assert_eq!(self.len(), rhs.len(), "polynomial size mismatch");
+        for (a, &b) in self.coeffs.iter_mut().zip(&rhs.coeffs) {
+            *a += b;
+        }
+    }
+}
+
+impl<T> SubAssign<&Polynomial<T>> for Polynomial<T>
+where
+    T: Copy + Default + SubAssign,
+{
+    fn sub_assign(&mut self, rhs: &Polynomial<T>) {
+        assert_eq!(self.len(), rhs.len(), "polynomial size mismatch");
+        for (a, &b) in self.coeffs.iter_mut().zip(&rhs.coeffs) {
+            *a -= b;
+        }
+    }
+}
+
+impl<T> Neg for &Polynomial<T>
+where
+    T: Copy + Default + Neg<Output = T>,
+{
+    type Output = Polynomial<T>;
+    fn neg(self) -> Polynomial<T> {
+        Polynomial { coeffs: self.coeffs.iter().map(|&a| -a).collect() }
+    }
+}
+
+impl<T> Neg for Polynomial<T>
+where
+    T: Copy + Default + Neg<Output = T>,
+{
+    type Output = Polynomial<T>;
+    fn neg(self) -> Polynomial<T> {
+        -&self
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Polynomial<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Elide the middle of large polynomials to keep Debug usable.
+        if self.coeffs.len() <= 8 {
+            f.debug_struct("Polynomial").field("coeffs", &self.coeffs).finish()
+        } else {
+            write!(
+                f,
+                "Polynomial {{ n: {}, head: {:?}, .. }}",
+                self.coeffs.len(),
+                &self.coeffs[..4]
+            )
+        }
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for Polynomial<T> {
+    /// Collect coefficients into a polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of items is not a power of two.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::from_coeffs(iter.into_iter().collect())
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Polynomial<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.coeffs.iter()
+    }
+}
+
+impl<T> IntoIterator for Polynomial<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.coeffs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::Torus32;
+
+    fn poly_i64(v: &[i64]) -> Polynomial<i64> {
+        Polynomial::from_coeffs(v.to_vec())
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Polynomial::<i64>::zero(3);
+    }
+
+    #[test]
+    fn monomial_mul_shifts_and_flips() {
+        let p = poly_i64(&[1, 2, 3, 4]);
+        // X^1 * p = -4 + x + 2x^2 + 3x^3 (x^4 = -1 wraps the top coeff).
+        assert_eq!(p.monomial_mul(1).coeffs(), &[-4, 1, 2, 3]);
+        // X^4 = -1 negates everything.
+        assert_eq!(p.monomial_mul(4).coeffs(), &[-1, -2, -3, -4]);
+        // X^8 = identity.
+        assert_eq!(p.monomial_mul(8), p);
+        // Negative exponents rotate the other way.
+        assert_eq!(p.monomial_mul(-1).coeffs(), &[2, 3, 4, -1]);
+    }
+
+    #[test]
+    fn monomial_mul_composes() {
+        let p = poly_i64(&[5, -7, 11, 13, 0, 2, -3, 1]);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(
+                    p.monomial_mul(a).monomial_mul(b),
+                    p.monomial_mul(a + b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monomial_mul_minus_one_matches_definition() {
+        let p = poly_i64(&[1, 2, 3, 4]);
+        let d = p.monomial_mul_minus_one(3);
+        let expected = &p.monomial_mul(3) - &p;
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let p = poly_i64(&[1, -2, 3, -4]);
+        let q = poly_i64(&[10, 20, 30, 40]);
+        assert_eq!(&(&p + &q) - &q, p);
+        assert_eq!(-(-p.clone()), p);
+    }
+
+    #[test]
+    fn dot_scalars_matches_manual_sum() {
+        let p = Polynomial::from_coeffs(vec![
+            Torus32::from_raw(100),
+            Torus32::from_raw(200),
+            Torus32::from_raw(300),
+            Torus32::from_raw(400),
+        ]);
+        let s = [1i64, 0, -1, 2];
+        let expected = Torus32::from_raw(100u32.wrapping_sub(300).wrapping_add(800));
+        assert_eq!(p.dot_scalars(&s), expected);
+    }
+
+    #[test]
+    fn torus_polynomial_rotation_wraps_sign() {
+        let mut p = Polynomial::<Torus32>::zero(4);
+        p[3] = Torus32::from_raw(7);
+        let r = p.monomial_mul(1);
+        assert_eq!(r[0], Torus32::from_raw(0u32.wrapping_sub(7)));
+    }
+
+    #[test]
+    fn from_fn_and_map() {
+        let p = Polynomial::from_fn(8, |j| j as i64);
+        let q = p.map(|&c| c * 2);
+        assert_eq!(q.coeffs()[7], 14);
+    }
+}

@@ -1,0 +1,95 @@
+//! Batched and multi-threaded bootstrapping.
+//!
+//! TFHE bootstraps are embarrassingly parallel across ciphertexts — the
+//! very property Morphling's 16 bootstrapping cores exploit, and the
+//! reason the paper's CPU baseline runs on a 64-core Xeon. This module
+//! provides the software equivalent: a work-stealing batch bootstrap over
+//! OS threads, used by the Table V bench as the multi-core CPU anchor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::lut::Lut;
+use crate::lwe::LweCiphertext;
+use crate::server::ServerKey;
+
+impl ServerKey {
+    /// Bootstrap a batch sequentially (the single-core CPU baseline).
+    pub fn batch_bootstrap(&self, cts: &[LweCiphertext], lut: &Lut) -> Vec<LweCiphertext> {
+        cts.iter().map(|ct| self.programmable_bootstrap(ct, lut)).collect()
+    }
+
+    /// Bootstrap a batch on `threads` OS threads (atomic work queue).
+    /// Results are in input order and identical to the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn batch_bootstrap_parallel(
+        &self,
+        cts: &[LweCiphertext],
+        lut: &Lut,
+        threads: usize,
+    ) -> Vec<LweCiphertext> {
+        assert!(threads > 0, "at least one thread is required");
+        if threads == 1 || cts.len() <= 1 {
+            return self.batch_bootstrap(cts, lut);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<LweCiphertext>>> =
+            (0..cts.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(cts.len()) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cts.len() {
+                        break;
+                    }
+                    let out = self.programmable_bootstrap(&cts[i], lut);
+                    *slots[i].lock().expect("slot lock") = Some(out);
+                });
+            }
+        })
+        .expect("bootstrap worker panicked");
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ClientKey;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(600);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::from_fn(params.poly_size, 4, |m| (m + 2) % 4);
+        let cts: Vec<_> = (0..8).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let seq = sk.batch_bootstrap(&cts, &lut);
+        let par = sk.batch_bootstrap_parallel(&cts, &lut, 4);
+        assert_eq!(seq.len(), par.len());
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a, b, "i={i}");
+            assert_eq!(ck.decrypt(a), ((i as u64 % 4) + 2) % 4);
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(601);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::identity(params.poly_size, 4);
+        let cts = vec![ck.encrypt(1, &mut rng)];
+        assert_eq!(sk.batch_bootstrap_parallel(&cts, &lut, 1).len(), 1);
+    }
+}

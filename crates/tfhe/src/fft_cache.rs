@@ -1,0 +1,35 @@
+//! A per-thread cache of [`NegacyclicFft`] engines keyed by polynomial
+//! size, so hot paths (key generation, encryption) don't rebuild twiddle
+//! tables.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use morphling_transform::NegacyclicFft;
+
+thread_local! {
+    static CACHE: RefCell<HashMap<usize, Rc<NegacyclicFft>>> = RefCell::new(HashMap::new());
+}
+
+/// Fetch (or build) the shared engine for size `n`.
+pub(crate) fn fft_for(n: usize) -> Rc<NegacyclicFft> {
+    CACHE.with(|c| {
+        Rc::clone(
+            c.borrow_mut().entry(n).or_insert_with(|| Rc::new(NegacyclicFft::new(n))),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_same_engine() {
+        let a = fft_for(64);
+        let b = fft_for(64);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(fft_for(128).poly_len(), 128);
+    }
+}

@@ -1,0 +1,209 @@
+//! GLWE ciphertexts: `(A_1(X), …, A_k(X), B(X)) ∈ T_(q,N)[X]^(k+1)` (§II-A).
+
+use morphling_math::{sampling, Polynomial, Torus32};
+use rand::Rng;
+
+use crate::keys::GlweSecretKey;
+
+/// A GLWE ciphertext: `k` mask polynomials plus a body polynomial.
+///
+/// The blind rotation's accumulator (`ACC` in Algorithm 1) is a value of
+/// this type; the paper stores it in the Private-A1 buffer and rotates it
+/// with the double-pointer method.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlweCiphertext {
+    masks: Vec<Polynomial<Torus32>>,
+    body: Polynomial<Torus32>,
+}
+
+impl GlweCiphertext {
+    /// Encrypt a torus message polynomial under `key` with coefficient-wise
+    /// Gaussian noise.
+    pub fn encrypt<R: Rng + ?Sized>(
+        message: &Polynomial<Torus32>,
+        key: &GlweSecretKey,
+        noise_std: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(message.len(), key.poly_size(), "message size must equal N");
+        let n = key.poly_size();
+        let masks: Vec<Polynomial<Torus32>> =
+            (0..key.dim()).map(|_| sampling::uniform_torus_poly(n, rng)).collect();
+        let mut body = message.clone();
+        if noise_std > 0.0 {
+            body += &sampling::gaussian_torus_poly(n, noise_std, rng);
+        }
+        // Binary key × uniform mask is exact through the f64 FFT (products
+        // stay far below the 53-bit mantissa); the FFT path keeps key
+        // generation fast at N = 1024–4096.
+        let fft = crate::fft_cache::fft_for(n);
+        for (a, s) in masks.iter().zip(key.polys()) {
+            body += &fft.mul_int_torus(s, a);
+        }
+        Self { masks, body }
+    }
+
+    /// A trivial (keyless) encryption: zero masks, body = message. Used for
+    /// the test polynomial `TP` at the start of the blind rotation.
+    pub fn trivial(message: Polynomial<Torus32>, glwe_dim: usize) -> Self {
+        let n = message.len();
+        Self { masks: vec![Polynomial::zero(n); glwe_dim], body: message }
+    }
+
+    /// The all-zero ciphertext (trivial encryption of 0).
+    pub fn zero(glwe_dim: usize, poly_size: usize) -> Self {
+        Self::trivial(Polynomial::zero(poly_size), glwe_dim)
+    }
+
+    /// Assemble from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if mask and body sizes disagree.
+    pub fn from_parts(masks: Vec<Polynomial<Torus32>>, body: Polynomial<Torus32>) -> Self {
+        for m in &masks {
+            assert_eq!(m.len(), body.len(), "mask/body size mismatch");
+        }
+        Self { masks, body }
+    }
+
+    /// GLWE dimension `k`.
+    pub fn dim(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Polynomial size `N`.
+    pub fn poly_size(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The mask polynomials `A_1 … A_k`.
+    pub fn masks(&self) -> &[Polynomial<Torus32>] {
+        &self.masks
+    }
+
+    /// The body polynomial `B`.
+    pub fn body(&self) -> &Polynomial<Torus32> {
+        &self.body
+    }
+
+    /// All `k+1` components in order `A_1, …, A_k, B` — the layout the
+    /// external product decomposes.
+    pub fn components(&self) -> impl Iterator<Item = &Polynomial<Torus32>> {
+        self.masks.iter().chain(std::iter::once(&self.body))
+    }
+
+    /// Build from `k+1` components in `A_1, …, A_k, B` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comps` is empty.
+    pub fn from_components(mut comps: Vec<Polynomial<Torus32>>) -> Self {
+        let body = comps.pop().expect("at least one component (the body) is required");
+        Self::from_parts(comps, body)
+    }
+
+    /// Homomorphic addition.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.dim(), rhs.dim(), "GLWE dimension mismatch");
+        Self {
+            masks: self.masks.iter().zip(&rhs.masks).map(|(a, b)| a + b).collect(),
+            body: &self.body + &rhs.body,
+        }
+    }
+
+    /// Homomorphic subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert_eq!(self.dim(), rhs.dim(), "GLWE dimension mismatch");
+        Self {
+            masks: self.masks.iter().zip(&rhs.masks).map(|(a, b)| a - b).collect(),
+            body: &self.body - &rhs.body,
+        }
+    }
+
+    /// Multiply every component by the monomial `X^power` — the ACC
+    /// rotation `X^ã · ACC` of the blind rotation, which Morphling
+    /// implements with the double-pointer read in Private-A1 (§V-C).
+    #[must_use]
+    pub fn monomial_mul(&self, power: i64) -> Self {
+        Self {
+            masks: self.masks.iter().map(|a| a.monomial_mul(power)).collect(),
+            body: self.body.monomial_mul(power),
+        }
+    }
+
+    /// `X^power · self − self`, fused (the `Λ` operand of Algorithm 1
+    /// line 4).
+    #[must_use]
+    pub fn monomial_mul_minus_one(&self, power: i64) -> Self {
+        Self {
+            masks: self.masks.iter().map(|a| a.monomial_mul_minus_one(power)).collect(),
+            body: self.body.monomial_mul_minus_one(power),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morphling_math::TorusScalar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(n: usize, seed: u32) -> Polynomial<Torus32> {
+        // Messages on a coarse grid so noise cannot flip them.
+        Polynomial::from_fn(n, |j| Torus32::from_raw(((j as u32).wrapping_mul(seed) % 8) << 29))
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let key = GlweSecretKey::generate(2, 64, &mut rng);
+        let m = msg(64, 7);
+        let ct = GlweCiphertext::encrypt(&m, &key, 2f64.powi(-25), &mut rng);
+        let phase = key.phase(&ct);
+        for j in 0..64 {
+            assert_eq!(phase[j].decode(8), m[j].decode(8), "j={j}");
+        }
+    }
+
+    #[test]
+    fn trivial_has_zero_masks() {
+        let ct = GlweCiphertext::trivial(msg(32, 3), 2);
+        let key = GlweSecretKey::generate(2, 32, &mut StdRng::seed_from_u64(21));
+        assert_eq!(key.phase(&ct), msg(32, 3));
+    }
+
+    #[test]
+    fn homomorphic_add_sub() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let key = GlweSecretKey::generate(1, 32, &mut rng);
+        let m1 = msg(32, 5);
+        let m2 = msg(32, 11);
+        let c1 = GlweCiphertext::encrypt(&m1, &key, 0.0, &mut rng);
+        let c2 = GlweCiphertext::encrypt(&m2, &key, 0.0, &mut rng);
+        assert_eq!(key.phase(&c1.add(&c2)), &m1 + &m2);
+        assert_eq!(key.phase(&c1.sub(&c2)), &m1 - &m2);
+    }
+
+    #[test]
+    fn rotation_commutes_with_decryption() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let key = GlweSecretKey::generate(1, 32, &mut rng);
+        let m = msg(32, 9);
+        let ct = GlweCiphertext::encrypt(&m, &key, 0.0, &mut rng);
+        for a in [0i64, 1, 31, 32, 45, 63] {
+            assert_eq!(key.phase(&ct.monomial_mul(a)), m.monomial_mul(a), "a={a}");
+        }
+    }
+
+    #[test]
+    fn components_roundtrip() {
+        let ct = GlweCiphertext::trivial(msg(16, 2), 3);
+        let comps: Vec<_> = ct.components().cloned().collect();
+        assert_eq!(comps.len(), 4);
+        assert_eq!(GlweCiphertext::from_components(comps), ct);
+    }
+}

@@ -1,0 +1,160 @@
+//! Key switching (Algorithm 1, line 6) — the memory-intensive stage the
+//! paper assigns to the VPU with prioritized HBM channels (§IV-C).
+
+use morphling_math::{SignedDecomposer, Torus32, TorusScalar};
+use rand::Rng;
+
+use crate::keys::LweSecretKey;
+use crate::lwe::LweCiphertext;
+use crate::params::TfheParams;
+
+/// A key-switching key: `dim_in × l_k` LWE ciphertexts under the output
+/// key, where `KSK_(i,j)` encrypts `s_in_i · q/β^(j+1)`.
+#[derive(Clone, Debug)]
+pub struct KeySwitchKey {
+    /// `rows[i][j]` = KSK for input mask `i`, level `j`.
+    rows: Vec<Vec<LweCiphertext>>,
+    decomposer: SignedDecomposer<Torus32>,
+    dim_out: usize,
+}
+
+impl KeySwitchKey {
+    /// Generate a KSK from `key_in` (e.g. the extracted `k·N` key) to
+    /// `key_out` (the original LWE key), using `params.ksk_decomp` and the
+    /// LWE noise level.
+    pub fn generate<R: Rng + ?Sized>(
+        key_in: &LweSecretKey,
+        key_out: &LweSecretKey,
+        params: &TfheParams,
+        rng: &mut R,
+    ) -> Self {
+        let decomposer = SignedDecomposer::new(params.ksk_decomp);
+        let base_log = params.ksk_decomp.base_log();
+        let l = params.ksk_decomp.level();
+        let rows = key_in
+            .bits()
+            .iter()
+            .map(|&s| {
+                (0..l)
+                    .map(|j| {
+                        let g = Torus32::from_raw(1u32 << (32 - base_log * (j as u32 + 1)));
+                        LweCiphertext::encrypt(
+                            g.scalar_mul(s),
+                            key_out,
+                            params.lwe_noise_std,
+                            rng,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { rows, decomposer, dim_out: key_out.dim() }
+    }
+
+    /// Input dimension (`k·N` for a post-extraction switch).
+    pub fn dim_in(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Output dimension `n`.
+    pub fn dim_out(&self) -> usize {
+        self.dim_out
+    }
+
+    /// Decomposition level `l_k`.
+    pub fn level(&self) -> usize {
+        self.decomposer.params().level()
+    }
+
+    /// Total size in bytes (`dim_in · l_k · (dim_out+1)` 32-bit words) —
+    /// the KSK traffic the paper's DMA prioritization is about.
+    pub fn bytes(&self) -> u64 {
+        (self.dim_in() as u64) * (self.level() as u64) * (self.dim_out as u64 + 1) * 4
+    }
+
+    /// Switch `ct` (under `key_in`) to the output key:
+    /// `c'' = (0, …, 0, b) − Σ_i Σ_j ⟨a_i⟩_j · KSK_(i,j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct.dim() != dim_in()`.
+    pub fn key_switch(&self, ct: &LweCiphertext) -> LweCiphertext {
+        assert_eq!(ct.dim(), self.dim_in(), "key-switch input dimension mismatch");
+        let mut out = LweCiphertext::trivial(ct.body(), self.dim_out);
+        for (a_i, row) in ct.mask().iter().zip(&self.rows) {
+            let digits = self.decomposer.decompose_scalar(*a_i);
+            for (d, ksk_ij) in digits.iter().zip(row) {
+                if *d != 0 {
+                    out = out.sub(&ksk_ij.scalar_mul(*d));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use morphling_math::TorusScalar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_switch_preserves_the_message() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let params = ParamSet::Test.params();
+        let key_in = LweSecretKey::generate(256, &mut rng);
+        let key_out = LweSecretKey::generate(params.lwe_dim, &mut rng);
+        let ksk = KeySwitchKey::generate(&key_in, &key_out, &params, &mut rng);
+        for m in 0..4u64 {
+            let mu = Torus32::encode(m, 8);
+            let ct = LweCiphertext::encrypt(mu, &key_in, params.lwe_noise_std, &mut rng);
+            let switched = ksk.key_switch(&ct);
+            assert_eq!(switched.dim(), params.lwe_dim);
+            assert_eq!(key_out.phase(&switched).decode(8), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn key_switch_noise_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let params = ParamSet::Test.params();
+        let key_in = LweSecretKey::generate(256, &mut rng);
+        let key_out = LweSecretKey::generate(params.lwe_dim, &mut rng);
+        let ksk = KeySwitchKey::generate(&key_in, &key_out, &params, &mut rng);
+        let mu = Torus32::from_f64(0.25);
+        let mut worst = 0.0f64;
+        for _ in 0..20 {
+            let ct = LweCiphertext::encrypt(mu, &key_in, params.lwe_noise_std, &mut rng);
+            let err = (key_out.phase(&ksk.key_switch(&ct)) - mu).to_f64_signed().abs();
+            worst = worst.max(err);
+        }
+        // Decomposition keeps 12 bits (base 2^3, l=4): rounding error alone
+        // is ≤ 256·2^-13; noise adds a little more.
+        assert!(worst < 0.05, "worst error {worst}");
+    }
+
+    #[test]
+    fn ksk_bytes_formula() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let params = ParamSet::Test.params();
+        let key_in = LweSecretKey::generate(params.extracted_lwe_dim(), &mut rng);
+        let key_out = LweSecretKey::generate(params.lwe_dim, &mut rng);
+        let ksk = KeySwitchKey::generate(&key_in, &key_out, &params, &mut rng);
+        assert_eq!(ksk.bytes(), params.ksk_total_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_input_dimension() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let params = ParamSet::Test.params();
+        let key_in = LweSecretKey::generate(64, &mut rng);
+        let key_out = LweSecretKey::generate(params.lwe_dim, &mut rng);
+        let ksk = KeySwitchKey::generate(&key_in, &key_out, &params, &mut rng);
+        let ct = LweCiphertext::trivial(Torus32::ZERO, 32);
+        let _ = ksk.key_switch(&ct);
+    }
+}

@@ -1,0 +1,72 @@
+//! A from-scratch functional implementation of the TFHE scheme over the
+//! 32-bit discretized torus — the cryptographic substrate of the Morphling
+//! reproduction.
+//!
+//! Everything the paper's Algorithm 1 needs is here:
+//!
+//! - ciphertext types: [`LweCiphertext`], [`GlweCiphertext`],
+//!   [`GgswCiphertext`] (plus the transform-domain [`FourierGgsw`] that the
+//!   accelerator stores in its Private-A2 buffer);
+//! - key material: [`LweSecretKey`], [`GlweSecretKey`],
+//!   [`BootstrapKey`] (n GGSW encryptions of the LWE key bits),
+//!   [`KeySwitchKey`];
+//! - the four bootstrapping stages: modulus switching, blind rotation
+//!   (`n` external products / CMUXes), sample extraction, and key
+//!   switching;
+//! - [programmable bootstrapping](ServerKey::programmable_bootstrap) with
+//!   arbitrary lookup tables ([`Lut`]), and a bootstrapped
+//!   [boolean gate API](ServerKey::nand);
+//! - a pluggable polynomial-multiplication backend ([`MulBackend`]): the
+//!   FFT path the hardware accelerates, or the exact integer path used as
+//!   a correctness oracle;
+//! - noise utilities ([`noise`]) that measure and predict ciphertext error.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use morphling_tfhe::{ClientKey, ParamSet, ServerKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let params = ParamSet::Test.params();
+//! let client = ClientKey::generate(params.clone(), &mut rng);
+//! let server = ServerKey::new(&client, &mut rng);
+//!
+//! let a = client.encrypt_bool(true, &mut rng);
+//! let b = client.encrypt_bool(false, &mut rng);
+//! let c = server.nand(&a, &b);
+//! assert!(client.decrypt_bool(&c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod bootstrap;
+mod bootstrap_key;
+mod external_product;
+mod fft_cache;
+mod ggsw;
+mod glwe;
+mod keys;
+mod ksk;
+mod lut;
+mod lwe;
+pub mod noise;
+pub mod ops;
+mod params;
+pub mod radix;
+mod server;
+
+pub use bootstrap::{blind_rotate, modulus_switch, sample_extract};
+pub use bootstrap_key::BootstrapKey;
+pub use external_product::{cmux, external_product, ExternalProductEngine};
+pub use ggsw::{FourierGgsw, GgswCiphertext};
+pub use glwe::GlweCiphertext;
+pub use keys::{ClientKey, GlweSecretKey, LweSecretKey};
+pub use ksk::KeySwitchKey;
+pub use lut::Lut;
+pub use lwe::LweCiphertext;
+pub use params::{ParamSet, TfheParams, ALL_PAPER_SETS};
+pub use server::{MulBackend, ServerKey};

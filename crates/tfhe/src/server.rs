@@ -1,0 +1,318 @@
+//! The server key: all public material and homomorphic operations,
+//! including programmable bootstrapping and bootstrapped boolean gates.
+
+use morphling_math::{Torus32, TorusScalar};
+use rand::Rng;
+
+use crate::bootstrap::{
+    blind_rotate, blind_rotate_exact, blind_rotate_ntt, initial_accumulator, modulus_switch,
+    sample_extract,
+};
+use crate::bootstrap_key::BootstrapKey;
+use crate::external_product::ExternalProductEngine;
+use crate::keys::ClientKey;
+use crate::ksk::KeySwitchKey;
+use crate::lut::Lut;
+use crate::lwe::LweCiphertext;
+use crate::params::TfheParams;
+
+/// Which polynomial-multiplication backend the blind rotation uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MulBackend {
+    /// The transform-domain path with the merge-split FFT — what the
+    /// hardware accelerates. Default.
+    #[default]
+    Fft,
+    /// The transform-domain path without merge-split (ablation).
+    FftPlain,
+    /// Exact number-theoretic transform over two CRT primes — O(N log N)
+    /// with no rounding at all (the paper's "or NTT" alternative, §III).
+    Ntt,
+    /// Exact integer arithmetic (slow; correctness oracle).
+    Exact,
+}
+
+/// Public evaluation key material: bootstrapping key, key-switching key,
+/// and the transform engine.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct ServerKey {
+    params: TfheParams,
+    bsk: BootstrapKey,
+    ksk: KeySwitchKey,
+    engine: ExternalProductEngine,
+    backend: MulBackend,
+    ntt: std::sync::OnceLock<morphling_transform::NegacyclicNtt>,
+}
+
+impl ServerKey {
+    /// Derive the server key from a client key (generates BSK and KSK).
+    pub fn new<R: Rng + ?Sized>(client: &ClientKey, rng: &mut R) -> Self {
+        Self::with_backend(client, MulBackend::Fft, rng)
+    }
+
+    /// Derive with an explicit multiplication backend.
+    pub fn with_backend<R: Rng + ?Sized>(
+        client: &ClientKey,
+        backend: MulBackend,
+        rng: &mut R,
+    ) -> Self {
+        let params = client.params().clone();
+        let bsk = BootstrapKey::generate(client, rng);
+        let ksk = KeySwitchKey::generate(
+            &client.glwe_key().to_extracted_lwe_key(),
+            client.lwe_key(),
+            &params,
+            rng,
+        );
+        let engine = ExternalProductEngine::new(&params)
+            .with_merge_split(backend != MulBackend::FftPlain);
+        Self { params, bsk, ksk, engine, backend, ntt: std::sync::OnceLock::new() }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &TfheParams {
+        &self.params
+    }
+
+    /// The bootstrapping key.
+    pub fn bootstrap_key(&self) -> &BootstrapKey {
+        &self.bsk
+    }
+
+    /// The key-switching key.
+    pub fn key_switch_key(&self) -> &KeySwitchKey {
+        &self.ksk
+    }
+
+    /// The active multiplication backend.
+    pub fn backend(&self) -> MulBackend {
+        self.backend
+    }
+
+    /// Programmable bootstrapping (Algorithm 1): reset the noise of `ct`
+    /// while applying `lut`'s function to the message. Returns a ciphertext
+    /// under the original key with fresh (bounded) noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LUT's plaintext modulus disagrees with the parameters,
+    /// or on dimension mismatch.
+    pub fn programmable_bootstrap(&self, ct: &LweCiphertext, lut: &Lut) -> LweCiphertext {
+        let extracted = self.programmable_bootstrap_no_ks(ct, lut);
+        self.ksk.key_switch(&extracted)
+    }
+
+    /// Programmable bootstrapping *without* the final key switch: the
+    /// result is under the extracted `k·N` key. Exposed because schedules
+    /// sometimes fuse the key switch elsewhere (and for tests).
+    pub fn programmable_bootstrap_no_ks(&self, ct: &LweCiphertext, lut: &Lut) -> LweCiphertext {
+        assert_eq!(ct.dim(), self.params.lwe_dim, "ciphertext dimension mismatch");
+        // MS: rescale the ciphertext to exponents mod 2N.
+        let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
+        // BR: n external products starting from X^(−b̃)·TP.
+        let acc0 = initial_accumulator(lut.polynomial(), self.params.glwe_dim, b_tilde);
+        let acc = match self.backend {
+            MulBackend::Fft | MulBackend::FftPlain => {
+                blind_rotate(&self.engine, &self.bsk, acc0, &mask)
+            }
+            MulBackend::Ntt => {
+                let ntt = self
+                    .ntt
+                    .get_or_init(|| morphling_transform::NegacyclicNtt::new(self.params.poly_size));
+                blind_rotate_ntt(&self.params, &self.bsk, acc0, &mask, ntt)
+            }
+            MulBackend::Exact => blind_rotate_exact(&self.params, &self.bsk, acc0, &mask),
+        };
+        // SE: constant coefficient as an LWE sample.
+        sample_extract(&acc)
+    }
+
+    /// A plain (identity-LUT) bootstrap: refreshes noise, keeps the
+    /// message.
+    pub fn bootstrap(&self, ct: &LweCiphertext) -> LweCiphertext {
+        let lut = Lut::identity(self.params.poly_size, self.params.plaintext_modulus);
+        self.programmable_bootstrap(ct, &lut)
+    }
+
+    /// Gate bootstrap: blind-rotate the ±1/8 test polynomial and key-switch
+    /// back; the result encrypts `+1/8` iff the input phase is positive.
+    fn gate_bootstrap(&self, lin: &LweCiphertext) -> LweCiphertext {
+        let lut = Lut::bool_gate(self.params.poly_size);
+        self.programmable_bootstrap(lin, &lut)
+    }
+
+    /// Bootstrapped NAND of two boolean ciphertexts (±1/8 encoding).
+    pub fn nand(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let lin = LweCiphertext::trivial(Torus32::from_f64(0.125), self.params.lwe_dim)
+            .sub(a)
+            .sub(b);
+        self.gate_bootstrap(&lin)
+    }
+
+    /// Bootstrapped AND.
+    pub fn and(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let lin = a.add(b).add_plain(Torus32::from_f64(-0.125));
+        self.gate_bootstrap(&lin)
+    }
+
+    /// Bootstrapped OR.
+    pub fn or(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let lin = a.add(b).add_plain(Torus32::from_f64(0.125));
+        self.gate_bootstrap(&lin)
+    }
+
+    /// Bootstrapped NOR.
+    pub fn nor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let lin = a.add(b).add_plain(Torus32::from_f64(0.125)).neg();
+        self.gate_bootstrap(&lin)
+    }
+
+    /// Bootstrapped XOR.
+    pub fn xor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let lin = a.add(b).scalar_mul(2).add_plain(Torus32::from_f64(0.25));
+        self.gate_bootstrap(&lin)
+    }
+
+    /// Bootstrapped XNOR.
+    pub fn xnor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let lin = a.add(b).scalar_mul(2).add_plain(Torus32::from_f64(0.25)).neg();
+        self.gate_bootstrap(&lin)
+    }
+
+    /// NOT — a negation, free of bootstrapping (and of noise growth).
+    pub fn not(&self, a: &LweCiphertext) -> LweCiphertext {
+        a.neg()
+    }
+
+    /// Bootstrapped MUX: `cond ? a : b` (three gate bootstraps).
+    pub fn mux(
+        &self,
+        cond: &LweCiphertext,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+    ) -> LweCiphertext {
+        let t = self.and(cond, a);
+        let f = self.and(&self.not(cond), b);
+        self.or(&t, &f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(backend: MulBackend) -> (ClientKey, ServerKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(80);
+        let ck = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+        let sk = ServerKey::with_backend(&ck, backend, &mut rng);
+        (ck, sk, rng)
+    }
+
+    #[test]
+    fn identity_bootstrap_preserves_messages() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        for m in 0..4 {
+            let ct = ck.encrypt(m, &mut rng);
+            let boosted = sk.bootstrap(&ct);
+            assert_eq!(ck.decrypt(&boosted), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn programmable_bootstrap_applies_the_lut() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let lut = Lut::from_fn(sk.params().poly_size, 4, |m| (3 * m + 1) % 4);
+        for m in 0..4 {
+            let ct = ck.encrypt(m, &mut rng);
+            let out = sk.programmable_bootstrap(&ct, &lut);
+            assert_eq!(ck.decrypt(&out), (3 * m + 1) % 4, "m={m}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_resets_noise() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        // Stack additions until the noise is sizable, then bootstrap.
+        let ct = ck.encrypt(1, &mut rng);
+        let zero = ck.encrypt(0, &mut rng);
+        let mut noisy = ct;
+        for _ in 0..8 {
+            noisy = noisy.add(&zero);
+        }
+        let refreshed = sk.bootstrap(&noisy);
+        assert_eq!(ck.decrypt(&refreshed), 1);
+        // The refreshed noise must be below the stacked noise.
+        let target = Torus32::encode(1, 8);
+        let stacked_err = (ck.decrypt_torus(&noisy) - target).to_f64_signed().abs();
+        let fresh_err = (ck.decrypt_torus(&refreshed) - target).to_f64_signed().abs();
+        assert!(fresh_err < stacked_err.max(1e-3), "fresh {fresh_err} vs stacked {stacked_err}");
+    }
+
+    #[test]
+    fn all_two_input_gates_truth_tables() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let cases = [(false, false), (false, true), (true, false), (true, true)];
+        for (x, y) in cases {
+            let a = ck.encrypt_bool(x, &mut rng);
+            let b = ck.encrypt_bool(y, &mut rng);
+            assert_eq!(ck.decrypt_bool(&sk.nand(&a, &b)), !(x && y), "nand {x} {y}");
+            assert_eq!(ck.decrypt_bool(&sk.and(&a, &b)), x && y, "and {x} {y}");
+            assert_eq!(ck.decrypt_bool(&sk.or(&a, &b)), x || y, "or {x} {y}");
+            assert_eq!(ck.decrypt_bool(&sk.nor(&a, &b)), !(x || y), "nor {x} {y}");
+            assert_eq!(ck.decrypt_bool(&sk.xor(&a, &b)), x ^ y, "xor {x} {y}");
+            assert_eq!(ck.decrypt_bool(&sk.xnor(&a, &b)), !(x ^ y), "xnor {x} {y}");
+            assert_eq!(ck.decrypt_bool(&sk.not(&a)), !x, "not {x}");
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        for (c, x, y) in [(true, true, false), (false, true, false), (true, false, true)] {
+            let cc = ck.encrypt_bool(c, &mut rng);
+            let a = ck.encrypt_bool(x, &mut rng);
+            let b = ck.encrypt_bool(y, &mut rng);
+            assert_eq!(ck.decrypt_bool(&sk.mux(&cc, &a, &b)), if c { x } else { y });
+        }
+    }
+
+    #[test]
+    fn exact_backend_agrees_with_fft_backend() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let ck = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+        let sk_fft = ServerKey::with_backend(&ck, MulBackend::Fft, &mut rng);
+        for m in 0..4 {
+            let ct = ck.encrypt(m, &mut rng);
+            assert_eq!(ck.decrypt(&sk_fft.bootstrap(&ct)), m);
+        }
+        for backend in [MulBackend::Exact, MulBackend::Ntt] {
+            let mut rng2 = StdRng::seed_from_u64(81);
+            let ck2 = ClientKey::generate(ParamSet::Test.params(), &mut rng2);
+            let sk2 = ServerKey::with_backend(&ck2, backend, &mut rng2);
+            for m in 0..4 {
+                let ct = ck2.encrypt(m, &mut rng2);
+                assert_eq!(ck2.decrypt(&sk2.bootstrap(&ct)), m, "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gates_chain_through_many_levels() {
+        // A small circuit: ((a NAND b) XOR c) OR (a AND c), evaluated
+        // homomorphically and in the clear.
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        for bits in 0..8u32 {
+            let (x, y, z) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            let a = ck.encrypt_bool(x, &mut rng);
+            let b = ck.encrypt_bool(y, &mut rng);
+            let c = ck.encrypt_bool(z, &mut rng);
+            let out = sk.or(&sk.xor(&sk.nand(&a, &b), &c), &sk.and(&a, &c));
+            assert_eq!(ck.decrypt_bool(&out), (!(x && y) ^ z) || (x && z), "bits={bits}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Iterative radix-2 complex FFT with precomputed twiddle tables.
+//!
+//! This is the software analogue of the multi-delay-commutator pipelined
+//! FFT of §V-A.3: all `log2 n` butterfly stages with a fixed twiddle ROM
+//! (the hardware's Twiddle-Buffer). Timing/occupancy of the hardware unit
+//! is modeled separately in [`crate::pipeline`].
+
+use morphling_math::Complex64;
+
+/// A reusable FFT plan for one transform size.
+///
+/// Construction precomputes the bit-reversal permutation and the per-stage
+/// twiddle factors; [`FftPlan::forward`] and [`FftPlan::inverse`] then run
+/// allocation-free on caller buffers.
+///
+/// Conventions: `forward` computes `X_k = Σ_j x_j e^(-2πi jk/n)` (no
+/// scaling); `inverse` computes `x_j = (1/n) Σ_k X_k e^(+2πi jk/n)`.
+///
+/// # Example
+///
+/// ```
+/// use morphling_math::Complex64;
+/// use morphling_transform::FftPlan;
+///
+/// let plan = FftPlan::new(8);
+/// let mut data: Vec<Complex64> = (0..8).map(|j| Complex64::new(j as f64, 0.0)).collect();
+/// let original = data.clone();
+/// plan.forward(&mut data);
+/// plan.inverse(&mut data);
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    // twiddles[s] holds the factors for stage s (half-block size 2^s):
+    // e^(-2πi k / 2^(s+1)) for k in 0..2^s.
+    twiddles: Vec<Vec<Complex64>>,
+    bit_rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Create a plan for transforms of `n` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a positive power of two, got {n}");
+        let stages = n.trailing_zeros() as usize;
+        let mut twiddles = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let half = 1usize << s;
+            let block = half * 2;
+            let step = -std::f64::consts::TAU / block as f64;
+            twiddles.push((0..half).map(|k| Complex64::from_polar_unit(step * k as f64)).collect());
+        }
+        let shift = (usize::BITS - n.trailing_zeros()) % usize::BITS;
+        let bit_rev = (0..n as u32)
+            .map(|i| if n == 1 { 0 } else { (i as usize).reverse_bits() >> shift } as u32)
+            .collect();
+        Self { n, twiddles, bit_rev }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan size is zero (never true; for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "buffer size does not match FFT plan");
+        self.permute(data);
+        self.butterflies(data, false);
+    }
+
+    /// In-place inverse FFT (including the `1/n` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "buffer size does not match FFT plan");
+        self.permute(data);
+        self.butterflies(data, true);
+        let scale = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    fn permute(&self, data: &mut [Complex64]) {
+        for i in 0..self.n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex64], inverse: bool) {
+        for (s, tw) in self.twiddles.iter().enumerate() {
+            let half = 1usize << s;
+            let block = half * 2;
+            for start in (0..self.n).step_by(block) {
+                for k in 0..half {
+                    let w = if inverse { tw[k].conj() } else { tw[k] };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::naive_dft;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "mismatch at {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n).map(|j| Complex64::new(j as f64 + 1.0, (j as f64) * 0.5 - 1.0)).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let input = ramp(n);
+            let mut fft_out = input.clone();
+            FftPlan::new(n).forward(&mut fft_out);
+            let dft_out = naive_dft(&input);
+            assert_close(&fft_out, &dft_out, 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 8, 128, 1024] {
+            let input = ramp(n);
+            let mut data = input.clone();
+            let plan = FftPlan::new(n);
+            plan.forward(&mut data);
+            plan.inverse(&mut data);
+            assert_close(&data, &input, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 32;
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        FftPlan::new(n).forward(&mut data);
+        for v in &data {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let a = ramp(n);
+        let b: Vec<Complex64> =
+            (0..n).map(|j| Complex64::new((j * j % 17) as f64, -(j as f64))).collect();
+        let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        plan.forward(&mut sum);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&sum, &expect, 1e-8);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let input = ramp(n);
+        let mut freq = input.clone();
+        FftPlan::new(n).forward(&mut freq);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_wrong_buffer() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex64::ZERO; 4];
+        plan.forward(&mut data);
+    }
+}

@@ -1,0 +1,51 @@
+//! Domain transforms for the Morphling reproduction.
+//!
+//! The paper identifies domain transforms (FFT/IFFT) as up to 88% of all
+//! bootstrapping operations and builds its whole architecture around
+//! reducing them. This crate implements the functional transforms:
+//!
+//! - [`FftPlan`]: an iterative radix-2 complex FFT with precomputed
+//!   twiddle tables (the software analogue of the multi-delay-commutator
+//!   pipeline of §V-A.3).
+//! - [`NegacyclicFft`]: the negacyclic ("twisted") transform of
+//!   Klemsa that evaluates a real polynomial of size `N` at the odd
+//!   `2N`-th roots of unity using a single `N/2`-point complex FFT.
+//! - **Merge-split FFT** ([`NegacyclicFft::forward_pair`],
+//!   [`NegacyclicFft::inverse_pair`]): transforming *two* real polynomials
+//!   with one FFT invocation by packing one into the real and one into the
+//!   imaginary component and splitting via conjugate symmetry — the paper's
+//!   MS-FFT (§V-A.3).
+//! - [`Spectrum`]: transform-domain data (what Morphling keeps in
+//!   POLY-ACC-REG and the Private-A2 buffer), with the pointwise
+//!   multiply-accumulate the VPEs perform.
+//! - [`pipeline::PipelinedFftModel`]: the cycle/occupancy model of the
+//!   hardware FFT unit used by the simulator.
+//!
+//! # Example: negacyclic product via the transform domain
+//!
+//! ```
+//! use morphling_math::{Polynomial, Torus32};
+//! use morphling_transform::NegacyclicFft;
+//!
+//! let fft = NegacyclicFft::new(64);
+//! let digits = Polynomial::from_fn(64, |j| (j as i64 % 7) - 3);
+//! let t = Polynomial::from_fn(64, |j| Torus32::from_raw((j as u32) << 20));
+//! let product = fft.mul_int_torus(&digits, &t);
+//! let exact = morphling_math::negacyclic::mul_int_torus32(&digits, &t);
+//! assert_eq!(product, exact);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dft;
+mod fft;
+mod negacyclic;
+pub mod ntt;
+pub mod pipeline;
+mod spectrum;
+
+pub use fft::FftPlan;
+pub use ntt::NegacyclicNtt;
+pub use negacyclic::NegacyclicFft;
+pub use spectrum::Spectrum;

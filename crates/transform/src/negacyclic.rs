@@ -1,0 +1,352 @@
+//! The negacyclic transform and the merge-split FFT (§V-A.3).
+//!
+//! A size-`N` real polynomial multiplied in `R[X]/(X^N + 1)` is diagonalized
+//! by evaluation at the odd `2N`-th roots of unity. Two classical tricks
+//! make this cheap, and Morphling uses both:
+//!
+//! 1. **Folding (Klemsa)**: for one real polynomial, conjugate symmetry
+//!    lets an `N/2`-point complex FFT produce the `N/2` independent
+//!    evaluation points — "the N-point FFT calculation using only one
+//!    N/2-point FFT unit".
+//! 2. **Merge-split**: *two* real polynomials are packed as the real and
+//!    imaginary halves of one complex sequence; a single FFT transforms
+//!    both, and an O(N) split using conjugate symmetry separates the
+//!    spectra. This doubles the throughput of an FFT unit at the cost of
+//!    the small Coef buffer + adder/shifter the paper describes.
+//!
+//! Both paths produce identical [`Spectrum`] values (asserted by tests), so
+//! the rest of the system is agnostic to which one produced the data.
+
+use morphling_math::{Complex64, Polynomial, Torus32};
+
+use crate::fft::FftPlan;
+use crate::spectrum::Spectrum;
+
+/// Negacyclic transform engine for polynomials of one size `N`.
+///
+/// See the [module documentation](self) for the math. All methods are
+/// `&self` and allocation costs are limited to the output buffers, so one
+/// engine can be shared (it is `Send + Sync`).
+#[derive(Clone, Debug)]
+pub struct NegacyclicFft {
+    n: usize,
+    half_plan: FftPlan,
+    full_plan: FftPlan,
+    /// `ζ^j` for `j < N/2`, `ζ = e^(-iπ/N)`.
+    twist_half: Vec<Complex64>,
+    /// `ζ^(-j)` for `j < N/2`.
+    untwist_half: Vec<Complex64>,
+    /// `ζ^j` for `j < N` (merge-split path).
+    twist_full: Vec<Complex64>,
+    /// `ζ^(-j)` for `j < N`.
+    untwist_full: Vec<Complex64>,
+}
+
+impl NegacyclicFft {
+    /// Create an engine for size-`n` polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `n < 4`.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "polynomial size must be a power of two ≥ 4, got {n}");
+        let step = -std::f64::consts::PI / n as f64;
+        let twist = |j: usize| Complex64::from_polar_unit(step * j as f64);
+        let untwist = |j: usize| Complex64::from_polar_unit(-step * j as f64);
+        Self {
+            n,
+            half_plan: FftPlan::new(n / 2),
+            full_plan: FftPlan::new(n),
+            twist_half: (0..n / 2).map(twist).collect(),
+            untwist_half: (0..n / 2).map(untwist).collect(),
+            twist_full: (0..n).map(twist).collect(),
+            untwist_full: (0..n).map(untwist).collect(),
+        }
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_len(&self) -> usize {
+        self.n
+    }
+
+    /// Forward transform of a real polynomial given as `f64` coefficients,
+    /// via the folded `N/2`-point FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    pub fn forward_real(&self, coeffs: &[f64]) -> Spectrum {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must equal the engine size");
+        let half = self.n / 2;
+        let mut buf: Vec<Complex64> = (0..half)
+            .map(|j| Complex64::new(coeffs[j], -coeffs[j + half]) * self.twist_half[j])
+            .collect();
+        self.half_plan.forward(&mut buf);
+        Spectrum::from_values(buf)
+    }
+
+    /// Inverse transform back to real coefficients (unrounded `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum size does not match the engine.
+    pub fn inverse_real(&self, spectrum: &Spectrum) -> Vec<f64> {
+        assert_eq!(spectrum.poly_len(), self.n, "spectrum size must equal the engine size");
+        let half = self.n / 2;
+        let mut buf = spectrum.values().to_vec();
+        self.half_plan.inverse(&mut buf);
+        let mut out = vec![0.0f64; self.n];
+        for j in 0..half {
+            let u = buf[j] * self.untwist_half[j];
+            out[j] = u.re;
+            out[j + half] = -u.im;
+        }
+        out
+    }
+
+    /// Forward transform of an integer (digit) polynomial.
+    pub fn forward_int(&self, p: &Polynomial<i64>) -> Spectrum {
+        let coeffs: Vec<f64> = p.iter().map(|&d| d as f64).collect();
+        self.forward_real(&coeffs)
+    }
+
+    /// Forward transform of a torus polynomial, using the centered signed
+    /// representative of each coefficient (the standard TFHE convention —
+    /// keeping magnitudes ≤ q/2 preserves f64 precision).
+    pub fn forward_torus(&self, p: &Polynomial<Torus32>) -> Spectrum {
+        let coeffs: Vec<f64> = p.iter().map(|&c| c.to_signed() as f64).collect();
+        self.forward_real(&coeffs)
+    }
+
+    /// Inverse transform, rounding each coefficient to the nearest integer
+    /// and wrapping into the 32-bit torus.
+    pub fn inverse_torus(&self, spectrum: &Spectrum) -> Polynomial<Torus32> {
+        let reals = self.inverse_real(spectrum);
+        Polynomial::from_coeffs(
+            reals.into_iter().map(|v| Torus32::from_raw(round_wrap_u32(v))).collect(),
+        )
+    }
+
+    /// **Merge-split forward**: transform *two* real polynomials with one
+    /// `N`-point FFT (the paper's MS-FFT). Returns their two spectra,
+    /// identical to what two [`Self::forward_real`] calls would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input length differs from `N`.
+    pub fn forward_pair_real(&self, p: &[f64], q: &[f64]) -> (Spectrum, Spectrum) {
+        assert_eq!(p.len(), self.n, "first polynomial size mismatch");
+        assert_eq!(q.len(), self.n, "second polynomial size mismatch");
+        // Merge: r_j = (p_j + i q_j) ζ^j, evaluate at all odd 2N-th roots.
+        let mut buf: Vec<Complex64> =
+            (0..self.n).map(|j| Complex64::new(p[j], q[j]) * self.twist_full[j]).collect();
+        self.full_plan.forward(&mut buf);
+        // Split: R_m = P(t_m) + i Q(t_m) with t_m = ζ^(2m+1) and, because p
+        // and q are real, P(t_(N-1-m)) = conj(P(t_m)). Keep the even-m
+        // points, which are exactly the ζ^(4m'+1) grid of the folded path.
+        let half = self.n / 2;
+        let mut ps = Vec::with_capacity(half);
+        let mut qs = Vec::with_capacity(half);
+        for m2 in 0..half {
+            let m = 2 * m2;
+            let r = buf[m];
+            let rc = buf[self.n - 1 - m].conj();
+            let p_val = (r + rc).scale(0.5);
+            // (r - rc) / (2i) = -i (r - rc) / 2.
+            let q_val = (r - rc).mul_i().scale(-0.5);
+            ps.push(p_val);
+            qs.push(q_val);
+        }
+        (Spectrum::from_values(ps), Spectrum::from_values(qs))
+    }
+
+    /// Merge-split forward for two integer polynomials.
+    pub fn forward_pair_int(
+        &self,
+        p: &Polynomial<i64>,
+        q: &Polynomial<i64>,
+    ) -> (Spectrum, Spectrum) {
+        let pc: Vec<f64> = p.iter().map(|&d| d as f64).collect();
+        let qc: Vec<f64> = q.iter().map(|&d| d as f64).collect();
+        self.forward_pair_real(&pc, &qc)
+    }
+
+    /// **Merge-split inverse**: reconstruct two real polynomials from their
+    /// spectra using one `N`-point inverse FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either spectrum size differs from the engine size.
+    pub fn inverse_pair_real(&self, ps: &Spectrum, qs: &Spectrum) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(ps.poly_len(), self.n, "first spectrum size mismatch");
+        assert_eq!(qs.poly_len(), self.n, "second spectrum size mismatch");
+        let mut buf = vec![Complex64::ZERO; self.n];
+        for m in 0..self.n {
+            buf[m] = if m % 2 == 0 {
+                ps.values()[m / 2] + qs.values()[m / 2].mul_i()
+            } else {
+                let k = (self.n - 1 - m) / 2;
+                ps.values()[k].conj() + qs.values()[k].conj().mul_i()
+            };
+        }
+        self.full_plan.inverse(&mut buf);
+        let mut p = vec![0.0; self.n];
+        let mut q = vec![0.0; self.n];
+        for j in 0..self.n {
+            let u = buf[j] * self.untwist_full[j];
+            p[j] = u.re;
+            q[j] = u.im;
+        }
+        (p, q)
+    }
+
+    /// Merge-split inverse with rounding into torus polynomials.
+    pub fn inverse_pair_torus(
+        &self,
+        ps: &Spectrum,
+        qs: &Spectrum,
+    ) -> (Polynomial<Torus32>, Polynomial<Torus32>) {
+        let (p, q) = self.inverse_pair_real(ps, qs);
+        let wrap = |v: Vec<f64>| {
+            Polynomial::from_coeffs(v.into_iter().map(|x| Torus32::from_raw(round_wrap_u32(x))).collect())
+        };
+        (wrap(p), wrap(q))
+    }
+
+    /// Convenience: full negacyclic product `digits(X) · t(X)` through the
+    /// transform domain (forward ×2, pointwise, inverse) — the operation
+    /// one VPE performs per (digit, BSK) pair.
+    pub fn mul_int_torus(&self, digits: &Polynomial<i64>, t: &Polynomial<Torus32>) -> Polynomial<Torus32> {
+        let a = self.forward_int(digits);
+        let b = self.forward_torus(t);
+        self.inverse_torus(&a.pointwise_mul(&b))
+    }
+}
+
+/// Round an f64 to the nearest integer and wrap into `u32` (mod 2³²).
+fn round_wrap_u32(v: f64) -> u32 {
+    // Magnitudes stay ≪ 2^63 for all supported parameter sets, so the cast
+    // through i64 is exact; wrapping to u32 reduces mod q.
+    v.round() as i64 as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::naive_negacyclic_eval;
+    use morphling_math::negacyclic::mul_int_torus32;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_spec_close(a: &Spectrum, b: &Spectrum, tol: f64) {
+        for (i, (x, y)) in a.values().iter().zip(b.values()).enumerate() {
+            assert!((*x - *y).abs() < tol, "point {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_evaluation() {
+        let n = 32;
+        let fft = NegacyclicFft::new(n);
+        let coeffs: Vec<f64> = (0..n).map(|j| ((j * 7 + 3) % 23) as f64 - 11.0).collect();
+        let spec = fft.forward_real(&coeffs);
+        let oracle = Spectrum::from_values(naive_negacyclic_eval(&coeffs));
+        assert_spec_close(&spec, &oracle, 1e-8);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 64;
+        let fft = NegacyclicFft::new(n);
+        let coeffs: Vec<f64> = (0..n).map(|j| (j as f64) * 3.5 - 100.0).collect();
+        let back = fft.inverse_real(&fft.forward_real(&coeffs));
+        for (a, b) in coeffs.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn merge_split_forward_matches_single() {
+        let n = 64;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(11);
+        let p: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+        let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+        let (ps, qs) = fft.forward_pair_real(&p, &q);
+        assert_spec_close(&ps, &fft.forward_real(&p), 1e-7);
+        assert_spec_close(&qs, &fft.forward_real(&q), 1e-7);
+    }
+
+    #[test]
+    fn merge_split_inverse_matches_single() {
+        let n = 32;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(12);
+        let p: Vec<f64> = (0..n).map(|_| rng.gen_range(-500.0..500.0)).collect();
+        let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-500.0..500.0)).collect();
+        let (ps, qs) = fft.forward_pair_real(&p, &q);
+        let (p2, q2) = fft.inverse_pair_real(&ps, &qs);
+        for j in 0..n {
+            assert!((p[j] - p2[j]).abs() < 1e-6);
+            assert!((q[j] - q2[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transform_product_matches_exact_oracle() {
+        let n = 256;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(13);
+        // Realistic external-product operands: small signed digits times a
+        // full-range torus polynomial.
+        let digits = Polynomial::from_fn(n, |_| rng.gen_range(-32i64..32));
+        let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+        assert_eq!(fft.mul_int_torus(&digits, &t), mul_int_torus32(&digits, &t));
+    }
+
+    #[test]
+    fn spectral_accumulation_matches_sum_of_products() {
+        // Accumulate 12 products in the transform domain (what POLY-ACC-REG
+        // does for (k+1)·l_b = 12) and compare one IFFT against the exact sum.
+        let n = 128;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut acc_spec = Spectrum::zero(n);
+        let mut acc_exact = Polynomial::<Torus32>::zero(n);
+        for _ in 0..12 {
+            let digits = Polynomial::from_fn(n, |_| rng.gen_range(-16i64..16));
+            let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+            acc_spec.mul_acc(&fft.forward_int(&digits), &fft.forward_torus(&t));
+            acc_exact += &mul_int_torus32(&digits, &t);
+        }
+        assert_eq!(fft.inverse_torus(&acc_spec), acc_exact);
+    }
+
+    #[test]
+    fn works_at_all_paper_sizes() {
+        for n in [512usize, 1024, 2048, 4096] {
+            let fft = NegacyclicFft::new(n);
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let digits = Polynomial::from_fn(n, |_| rng.gen_range(-8i64..8));
+            let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+            assert_eq!(fft.mul_int_torus(&digits, &t), mul_int_torus32(&digits, &t), "n={n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^(N-1) · X = X^N = -1.
+        let n = 16;
+        let fft = NegacyclicFft::new(n);
+        let mut a = Polynomial::<i64>::zero(n);
+        a[n - 1] = 1;
+        let mut b = Polynomial::<Torus32>::zero(n);
+        b[1] = Torus32::from_raw(1 << 16);
+        let prod = fft.mul_int_torus(&a, &b);
+        assert_eq!(prod[0], Torus32::from_raw(0u32.wrapping_sub(1 << 16)));
+        for j in 1..n {
+            assert_eq!(prod[j], Torus32::ZERO, "j={j}");
+        }
+    }
+}

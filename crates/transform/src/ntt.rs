@@ -1,0 +1,288 @@
+//! Number-theoretic transform backend — the "or NTT" of the paper's §III
+//! ("transform domain methods such as FFT- or NTT-based convolution").
+//!
+//! Unlike the floating-point FFT, the NTT is *exact by construction*: the
+//! negacyclic product is computed modulo two 30-bit NTT-friendly primes
+//! and reconstructed by the CRT, which covers the full coefficient range
+//! of TFHE external products (`|c| ≤ N·(β/2)·2³² < 2⁵²` at the largest
+//! parameters). It is slower than the FFT on CPUs (see the
+//! `poly_mul_ablation` bench) but serves as a second independent oracle
+//! and models NTT-based accelerator datapaths.
+
+use morphling_math::{Polynomial, Torus32};
+
+/// First CRT prime: `119·2²³ + 1` (supports transforms up to 2²³ points).
+pub const PRIME_1: u64 = 998_244_353;
+/// Second CRT prime: `479·2²¹ + 1`.
+pub const PRIME_2: u64 = 1_004_535_809;
+
+fn mod_pow(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % p;
+        }
+        base = base * base % p;
+        exp >>= 1;
+    }
+    acc
+}
+
+fn mod_inv(x: u64, p: u64) -> u64 {
+    mod_pow(x, p - 2, p)
+}
+
+/// A primitive root of the multiplicative group for our two primes.
+fn generator(p: u64) -> u64 {
+    // 3 is a primitive root of both 998244353 and 1004535809.
+    debug_assert!(p == PRIME_1 || p == PRIME_2);
+    3
+}
+
+/// One prime's negacyclic NTT plan: twiddles for the cyclic NTT plus the
+/// ψ-powers implementing the negacyclic twist (`ψ² = ω`, `ψ^N = −1`).
+#[derive(Clone, Debug)]
+struct PrimePlan {
+    p: u64,
+    n: usize,
+    /// ψ^j for j < n.
+    psi: Vec<u64>,
+    /// ψ^(−j) · n^(−1) for j < n (inverse twist with scaling folded in).
+    ipsi_scaled: Vec<u64>,
+    /// Per-stage forward twiddles (bit-reversal-free iterative CT layout).
+    fwd_tw: Vec<Vec<u64>>,
+    /// Per-stage inverse twiddles.
+    inv_tw: Vec<Vec<u64>>,
+    bit_rev: Vec<u32>,
+}
+
+impl PrimePlan {
+    fn new(p: u64, n: usize) -> Self {
+        assert!(n.is_power_of_two(), "NTT size must be a power of two");
+        assert_eq!((p - 1) % (2 * n as u64), 0, "prime does not support 2N-th roots");
+        // ψ = g^((p−1)/2N) is a primitive 2N-th root of unity mod p.
+        let psi_root = mod_pow(generator(p), (p - 1) / (2 * n as u64), p);
+        let omega = psi_root * psi_root % p;
+        let inv_omega = mod_inv(omega, p);
+        let inv_psi = mod_inv(psi_root, p);
+        let n_inv = mod_inv(n as u64, p);
+
+        let mut psi = Vec::with_capacity(n);
+        let mut ipsi_scaled = Vec::with_capacity(n);
+        let mut a = 1u64;
+        let mut b = n_inv;
+        for _ in 0..n {
+            psi.push(a);
+            ipsi_scaled.push(b);
+            a = a * psi_root % p;
+            b = b * inv_psi % p;
+        }
+
+        let stages = n.trailing_zeros() as usize;
+        let mut fwd_tw = Vec::with_capacity(stages);
+        let mut inv_tw = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let half = 1usize << s;
+            let step_f = mod_pow(omega, (n / (2 * half)) as u64, p);
+            let step_i = mod_pow(inv_omega, (n / (2 * half)) as u64, p);
+            let mut row_f = Vec::with_capacity(half);
+            let mut row_i = Vec::with_capacity(half);
+            let (mut wf, mut wi) = (1u64, 1u64);
+            for _ in 0..half {
+                row_f.push(wf);
+                row_i.push(wi);
+                wf = wf * step_f % p;
+                wi = wi * step_i % p;
+            }
+            fwd_tw.push(row_f);
+            inv_tw.push(row_i);
+        }
+        let shift = (usize::BITS - n.trailing_zeros()) % usize::BITS;
+        let bit_rev =
+            (0..n as u32).map(|i| if n == 1 { 0 } else { (i as usize).reverse_bits() >> shift } as u32).collect();
+        Self { p, n, psi, ipsi_scaled, fwd_tw, inv_tw, bit_rev }
+    }
+
+    fn permute(&self, data: &mut [u64]) {
+        for i in 0..self.n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [u64], inverse: bool) {
+        let p = self.p;
+        let tables = if inverse { &self.inv_tw } else { &self.fwd_tw };
+        for (s, tw) in tables.iter().enumerate() {
+            let half = 1usize << s;
+            let block = half * 2;
+            for start in (0..self.n).step_by(block) {
+                for k in 0..half {
+                    let u = data[start + k];
+                    let v = data[start + k + half] * tw[k] % p;
+                    data[start + k] = (u + v) % p;
+                    data[start + k + half] = (u + p - v) % p;
+                }
+            }
+        }
+    }
+
+    /// Forward negacyclic transform: twist by ψ^j, then cyclic NTT.
+    fn forward(&self, coeffs: &[u64]) -> Vec<u64> {
+        let mut data: Vec<u64> =
+            coeffs.iter().zip(&self.psi).map(|(&c, &t)| c % self.p * t % self.p).collect();
+        self.permute(&mut data);
+        self.butterflies(&mut data, false);
+        data
+    }
+
+    /// Inverse: cyclic INTT, then untwist (with 1/n folded in).
+    fn inverse(&self, mut data: Vec<u64>) -> Vec<u64> {
+        self.permute(&mut data);
+        self.butterflies(&mut data, true);
+        for (d, &t) in data.iter_mut().zip(&self.ipsi_scaled) {
+            *d = *d * t % self.p;
+        }
+        data
+    }
+
+    fn pointwise(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().zip(b).map(|(&x, &y)| x * y % self.p).collect()
+    }
+}
+
+/// Exact negacyclic multiplier via a two-prime CRT NTT.
+#[derive(Clone, Debug)]
+pub struct NegacyclicNtt {
+    plan1: PrimePlan,
+    plan2: PrimePlan,
+}
+
+impl NegacyclicNtt {
+    /// Build an engine for size-`n` polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or exceeds the primes' root
+    /// support (2²⁰).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "size must be a power of two ≥ 4");
+        assert!(n <= 1 << 20, "size exceeds the primes' 2N-th root support");
+        Self { plan1: PrimePlan::new(PRIME_1, n), plan2: PrimePlan::new(PRIME_2, n) }
+    }
+
+    /// Polynomial size `N`.
+    pub fn poly_len(&self) -> usize {
+        self.plan1.n
+    }
+
+    /// Exact negacyclic product `digits(X) · t(X) mod (X^N + 1)` over the
+    /// 32-bit torus — bit-identical to the schoolbook oracle, computed in
+    /// O(N log N).
+    pub fn mul_int_torus(&self, digits: &Polynomial<i64>, t: &Polynomial<Torus32>) -> Polynomial<Torus32> {
+        let n = self.poly_len();
+        assert_eq!(digits.len(), n, "digit polynomial size mismatch");
+        assert_eq!(t.len(), n, "torus polynomial size mismatch");
+        let m = (PRIME_1 as u128) * (PRIME_2 as u128);
+
+        // Centered (signed) representatives keep the true product magnitude
+        // below N·(β/2)·2³¹ ≤ 2⁵⁸ < M/2 for every supported parameter set,
+        // so the CRT reconstruction is always exact.
+        let to_res = |p: u64| -> (Vec<u64>, Vec<u64>) {
+            let d: Vec<u64> =
+                digits.iter().map(|&v| (v.rem_euclid(p as i64)) as u64).collect();
+            let tt: Vec<u64> = t
+                .iter()
+                .map(|&c| (i64::from(c.to_signed())).rem_euclid(p as i64) as u64)
+                .collect();
+            (d, tt)
+        };
+
+        let (d1, t1) = to_res(PRIME_1);
+        let (d2, t2) = to_res(PRIME_2);
+        let r1 = self
+            .plan1
+            .inverse(self.plan1.pointwise(&self.plan1.forward(&d1), &self.plan1.forward(&t1)));
+        let r2 = self
+            .plan2
+            .inverse(self.plan2.pointwise(&self.plan2.forward(&d2), &self.plan2.forward(&t2)));
+
+        // CRT: c ≡ r1 (mod p1), c ≡ r2 (mod p2); center into (−M/2, M/2),
+        // then reduce mod 2³².
+        let p1_inv_mod_p2 = mod_inv(PRIME_1 % PRIME_2, PRIME_2);
+        let coeffs = r1
+            .iter()
+            .zip(&r2)
+            .map(|(&a, &b)| {
+                let diff = (b + PRIME_2 - a % PRIME_2) % PRIME_2;
+                let k = diff * p1_inv_mod_p2 % PRIME_2;
+                let c = a as u128 + (k as u128) * (PRIME_1 as u128); // in [0, M)
+                let signed: i128 = if c >= m / 2 { c as i128 - m as i128 } else { c as i128 };
+                Torus32::from_raw(signed as u32)
+            })
+            .collect();
+        Polynomial::from_coeffs(coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morphling_math::negacyclic::mul_int_torus32;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn primes_support_the_required_roots() {
+        for n in [512u64, 1024, 2048, 4096] {
+            assert_eq!((PRIME_1 - 1) % (2 * n), 0);
+            assert_eq!((PRIME_2 - 1) % (2 * n), 0);
+        }
+    }
+
+    #[test]
+    fn mod_pow_and_inv() {
+        assert_eq!(mod_pow(3, PRIME_1 - 1, PRIME_1), 1);
+        let x = 123_456_789u64;
+        assert_eq!(x * mod_inv(x, PRIME_2) % PRIME_2, 1);
+    }
+
+    #[test]
+    fn ntt_matches_exact_oracle_small() {
+        let ntt = NegacyclicNtt::new(16);
+        let mut mono = Polynomial::<i64>::zero(16);
+        mono[15] = 1;
+        let mut t = Polynomial::<Torus32>::zero(16);
+        t[1] = Torus32::from_raw(12345);
+        // X^15 · X = X^16 = −1.
+        let prod = ntt.mul_int_torus(&mono, &t);
+        assert_eq!(prod, mul_int_torus32(&mono, &t));
+        assert_eq!(prod[0], Torus32::from_raw(0u32.wrapping_sub(12345)));
+    }
+
+    #[test]
+    fn ntt_is_bit_exact_at_paper_sizes() {
+        let mut rng = StdRng::seed_from_u64(400);
+        for n in [512usize, 1024, 2048, 4096] {
+            let ntt = NegacyclicNtt::new(n);
+            // Worst-case digit range of the paper's largest base (2^16/2).
+            let digits = Polynomial::from_fn(n, |_| rng.gen_range(-32768i64..32768));
+            let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+            assert_eq!(ntt.mul_int_torus(&digits, &t), mul_int_torus32(&digits, &t), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ntt_and_fft_agree() {
+        let mut rng = StdRng::seed_from_u64(401);
+        let n = 1024;
+        let ntt = NegacyclicNtt::new(n);
+        let fft = crate::NegacyclicFft::new(n);
+        let digits = Polynomial::from_fn(n, |_| rng.gen_range(-64i64..64));
+        let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+        assert_eq!(ntt.mul_int_torus(&digits, &t), fft.mul_int_torus(&digits, &t));
+    }
+}

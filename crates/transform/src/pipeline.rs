@@ -1,0 +1,157 @@
+//! Cycle/occupancy model of the hardware pipelined FFT unit (§V-A.3).
+//!
+//! Morphling's FFT unit is a fully-pipelined multi-delay-commutator design
+//! with 8-element parallelism: it accepts eight transform-domain elements
+//! per cycle, contains all `log2` butterfly stages back to back, and (with
+//! merge-split enabled) carries **two** real polynomials per pass. The
+//! simulator uses this model to decide how many cycles a batch of forward
+//! or inverse transforms occupies an FFT/IFFT unit.
+
+/// Number of parallel lanes in the hardware FFT datapath (eight 64-bit
+/// complex elements → the 512-bit transform datapath of §V-A).
+pub const FFT_LANES: usize = 8;
+
+/// Cycles a butterfly stage adds to the pipeline latency (register +
+/// multiply + shuffle), a conventional value for an MDC stage.
+pub const STAGE_LATENCY: u64 = 4;
+
+/// Timing model of one pipelined FFT (or IFFT) unit.
+///
+/// # Example
+///
+/// ```
+/// use morphling_transform::pipeline::PipelinedFftModel;
+///
+/// // Set I: N = 1024, merge-split on.
+/// let fft = PipelinedFftModel::new(1024, true);
+/// assert_eq!(fft.pass_cycles(), 64);          // N/16 per pass
+/// assert_eq!(fft.polys_per_pass(), 2);        // merge-split carries 2
+/// assert_eq!(fft.occupancy_cycles(16), 512);  // 16 polys → 8 passes
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelinedFftModel {
+    poly_len: usize,
+    merge_split: bool,
+}
+
+impl PipelinedFftModel {
+    /// Model a unit for polynomials of size `poly_len` (power of two ≥ 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly_len` is not a power of two or is below 16.
+    pub fn new(poly_len: usize, merge_split: bool) -> Self {
+        assert!(
+            poly_len.is_power_of_two() && poly_len >= 16,
+            "polynomial size must be a power of two ≥ 16, got {poly_len}"
+        );
+        Self { poly_len, merge_split }
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_len(&self) -> usize {
+        self.poly_len
+    }
+
+    /// Whether merge-split is enabled.
+    #[inline]
+    pub fn merge_split(&self) -> bool {
+        self.merge_split
+    }
+
+    /// Number of butterfly stages (the unit is an `N/2`-point FFT thanks to
+    /// the negacyclic fold, so `log2(N/2)` stages).
+    #[inline]
+    pub fn stages(&self) -> u32 {
+        (self.poly_len / 2).trailing_zeros()
+    }
+
+    /// Initiation interval: cycles between successive passes. The unit
+    /// streams `N/2` complex points at [`FFT_LANES`] per cycle → `N/16`.
+    #[inline]
+    pub fn pass_cycles(&self) -> u64 {
+        (self.poly_len as u64 / 2) / FFT_LANES as u64
+    }
+
+    /// Real polynomials transformed per pass: 2 with merge-split, else 1.
+    #[inline]
+    pub fn polys_per_pass(&self) -> u64 {
+        if self.merge_split {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Pipeline fill latency from first input to first output.
+    #[inline]
+    pub fn fill_latency(&self) -> u64 {
+        u64::from(self.stages()) * STAGE_LATENCY
+    }
+
+    /// Cycles this unit is occupied transforming `polys` real polynomials
+    /// (throughput term only; add [`Self::fill_latency`] once per dependent
+    /// chain if modelling latency).
+    #[inline]
+    pub fn occupancy_cycles(&self, polys: u64) -> u64 {
+        polys.div_ceil(self.polys_per_pass()) * self.pass_cycles()
+    }
+
+    /// Real multiplications one pass performs, for op-count accounting:
+    /// an `N/2`-point complex FFT does `(N/4)·log2(N/2)` complex butterflies
+    /// at 4 real multiplications each.
+    #[inline]
+    pub fn real_mults_per_pass(&self) -> u64 {
+        (self.poly_len as u64 / 4) * u64::from(self.stages()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_timing_matches_the_paper_model() {
+        // N=1024: pass = 64 cycles; 16 forward polys per XPU iteration over
+        // 2 units with merge-split = 4 pass-slots = 256 cycles — the number
+        // that reproduces Table V's 0.11 ms for set I.
+        let fft = PipelinedFftModel::new(1024, true);
+        let per_unit_polys = 8; // 16 polys split over 2 units
+        assert_eq!(fft.occupancy_cycles(per_unit_polys), 4 * 64);
+    }
+
+    #[test]
+    fn merge_split_halves_occupancy() {
+        let with = PipelinedFftModel::new(2048, true);
+        let without = PipelinedFftModel::new(2048, false);
+        assert_eq!(with.occupancy_cycles(12) * 2, without.occupancy_cycles(12));
+    }
+
+    #[test]
+    fn odd_poly_counts_round_up() {
+        let fft = PipelinedFftModel::new(1024, true);
+        assert_eq!(fft.occupancy_cycles(3), 2 * 64);
+        assert_eq!(fft.occupancy_cycles(0), 0);
+    }
+
+    #[test]
+    fn stage_count_and_latency() {
+        let fft = PipelinedFftModel::new(1024, true);
+        assert_eq!(fft.stages(), 9); // 512-point unit
+        assert_eq!(fft.fill_latency(), 36);
+    }
+
+    #[test]
+    fn op_count_formula() {
+        // N=1024 → N/2=512-point FFT: 256·9 butterflies ×4 = 9216 mults.
+        let fft = PipelinedFftModel::new(1024, false);
+        assert_eq!(fft.real_mults_per_pass(), 9216);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_small_sizes() {
+        let _ = PipelinedFftModel::new(8, true);
+    }
+}

@@ -1,0 +1,128 @@
+//! Transform-domain data: the values Morphling keeps inside the VPE
+//! POLY-ACC registers and the Private-A2 buffer.
+
+use std::ops::{Add, AddAssign};
+
+use morphling_math::Complex64;
+
+/// The negacyclic spectrum of a size-`N` real polynomial: its `N/2`
+/// evaluations at the odd `2N`-th roots of unity `e^(-iπ(4m+1)/N)`.
+///
+/// Spectra form a module: they can be added (IFFT linearity — the heart of
+/// *output* transform-domain reuse, §IV-B) and multiplied pointwise
+/// (polynomial multiplication — what a VPE lane computes).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Spectrum {
+    values: Vec<Complex64>,
+}
+
+impl Spectrum {
+    /// A zero spectrum for polynomials of size `n` (stores `n/2` points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two of at least 2.
+    pub fn zero(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "polynomial size must be a power of two ≥ 2");
+        Self { values: vec![Complex64::ZERO; n / 2] }
+    }
+
+    /// Wrap raw spectrum values (must be `N/2` points of a size-`N`
+    /// polynomial).
+    pub fn from_values(values: Vec<Complex64>) -> Self {
+        assert!(values.len().is_power_of_two(), "spectrum length must be a power of two");
+        Self { values }
+    }
+
+    /// The underlying evaluation points.
+    #[inline]
+    pub fn values(&self) -> &[Complex64] {
+        &self.values
+    }
+
+    /// Mutable access to the evaluation points.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [Complex64] {
+        &mut self.values
+    }
+
+    /// The polynomial size `N` this spectrum represents (`2 ×` points).
+    #[inline]
+    pub fn poly_len(&self) -> usize {
+        self.values.len() * 2
+    }
+
+    /// Pointwise product — polynomial multiplication in the transform
+    /// domain (one VPE pass over the `N/2` elements).
+    #[must_use]
+    pub fn pointwise_mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.values.len(), rhs.values.len(), "spectrum size mismatch");
+        Self {
+            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Fused multiply-accumulate: `self += a * b`. This is exactly the VPE
+    /// inner loop with POLY-ACC-REG as `self` (§V-A.2).
+    pub fn mul_acc(&mut self, a: &Self, b: &Self) {
+        assert_eq!(self.values.len(), a.values.len(), "spectrum size mismatch");
+        assert_eq!(self.values.len(), b.values.len(), "spectrum size mismatch");
+        for ((acc, &x), &y) in self.values.iter_mut().zip(&a.values).zip(&b.values) {
+            *acc += x * y;
+        }
+    }
+
+    /// Largest absolute component over all points — used by the precision
+    /// tests that bound f64 round-off against the 53-bit mantissa budget.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().map(|z| z.re.abs().max(z.im.abs())).fold(0.0, f64::max)
+    }
+}
+
+impl Add for &Spectrum {
+    type Output = Spectrum;
+    fn add(self, rhs: &Spectrum) -> Spectrum {
+        assert_eq!(self.values.len(), rhs.values.len(), "spectrum size mismatch");
+        Spectrum {
+            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+}
+
+impl AddAssign<&Spectrum> for Spectrum {
+    fn add_assign(&mut self, rhs: &Spectrum) {
+        assert_eq!(self.values.len(), rhs.values.len(), "spectrum size mismatch");
+        for (a, &b) in self.values.iter_mut().zip(&rhs.values) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_half_the_points() {
+        assert_eq!(Spectrum::zero(64).values().len(), 32);
+        assert_eq!(Spectrum::zero(64).poly_len(), 64);
+    }
+
+    #[test]
+    fn mul_acc_matches_mul_then_add() {
+        let a = Spectrum::from_values(vec![Complex64::new(1.0, 2.0), Complex64::new(-1.0, 0.5)]);
+        let b = Spectrum::from_values(vec![Complex64::new(0.0, 1.0), Complex64::new(3.0, -2.0)]);
+        let mut acc = Spectrum::zero(4);
+        acc.mul_acc(&a, &b);
+        assert_eq!(acc, a.pointwise_mul(&b));
+        acc.mul_acc(&a, &b);
+        let doubled = &a.pointwise_mul(&b) + &a.pointwise_mul(&b);
+        assert_eq!(acc, doubled);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_sizes_panic() {
+        let _ = Spectrum::zero(8).pointwise_mul(&Spectrum::zero(16));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: the FFT path must agree exactly with the integer
+//! oracle under realistic TFHE operand distributions.
+
+use morphling_math::negacyclic::mul_int_torus32;
+use morphling_math::{Polynomial, Torus32};
+use morphling_transform::{NegacyclicFft, Spectrum};
+use proptest::prelude::*;
+
+fn digit_poly(n: usize, half_beta: i64) -> impl Strategy<Value = Polynomial<i64>> {
+    prop::collection::vec(-half_beta..half_beta, n).prop_map(Polynomial::from_coeffs)
+}
+
+fn torus_poly(n: usize) -> impl Strategy<Value = Polynomial<Torus32>> {
+    prop::collection::vec(any::<u32>(), n)
+        .prop_map(|v| Polynomial::from_coeffs(v.into_iter().map(Torus32::from_raw).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_product_is_exact_n256(d in digit_poly(256, 64), t in torus_poly(256)) {
+        let fft = NegacyclicFft::new(256);
+        prop_assert_eq!(fft.mul_int_torus(&d, &t), mul_int_torus32(&d, &t));
+    }
+
+    #[test]
+    fn fft_product_is_exact_n1024_base_2_6(d in digit_poly(1024, 32), t in torus_poly(1024)) {
+        // Paper set I/II digit range (β up to 2^6).
+        let fft = NegacyclicFft::new(1024);
+        prop_assert_eq!(fft.mul_int_torus(&d, &t), mul_int_torus32(&d, &t));
+    }
+
+    #[test]
+    fn merge_split_equals_two_singles(d1 in digit_poly(128, 512), d2 in digit_poly(128, 512)) {
+        let fft = NegacyclicFft::new(128);
+        let (s1, s2) = fft.forward_pair_int(&d1, &d2);
+        let r1 = fft.forward_int(&d1);
+        let r2 = fft.forward_int(&d2);
+        for m in 0..64 {
+            prop_assert!((s1.values()[m] - r1.values()[m]).abs() < 1e-6);
+            prop_assert!((s2.values()[m] - r2.values()[m]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn merged_inverse_equals_two_inverses(
+        d1 in digit_poly(128, 16),
+        d2 in digit_poly(128, 16),
+        t in torus_poly(128),
+    ) {
+        let fft = NegacyclicFft::new(128);
+        let tb = fft.forward_torus(&t);
+        let s1 = fft.forward_int(&d1).pointwise_mul(&tb);
+        let s2 = fft.forward_int(&d2).pointwise_mul(&tb);
+        let (p1, p2) = fft.inverse_pair_torus(&s1, &s2);
+        prop_assert_eq!(p1, fft.inverse_torus(&s1));
+        prop_assert_eq!(p2, fft.inverse_torus(&s2));
+    }
+
+    #[test]
+    fn accumulated_external_product_shape_is_exact(
+        seed in any::<u64>(),
+    ) {
+        // (k+1)·l_b = 16 accumulated products at N=512, k=3-style worst case.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 512;
+        let fft = NegacyclicFft::new(n);
+        let mut acc_spec = Spectrum::zero(n);
+        let mut acc_exact = Polynomial::<Torus32>::zero(n);
+        for _ in 0..16 {
+            let d = Polynomial::from_fn(n, |_| rng.gen_range(-8i64..8));
+            let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+            acc_spec.mul_acc(&fft.forward_int(&d), &fft.forward_torus(&t));
+            acc_exact += &mul_int_torus32(&d, &t);
+        }
+        prop_assert_eq!(fft.inverse_torus(&acc_spec), acc_exact);
+    }
+
+    #[test]
+    fn spectrum_addition_is_ifft_linear(d1 in digit_poly(64, 100), d2 in digit_poly(64, 100)) {
+        let fft = NegacyclicFft::new(64);
+        let sum_spec = &fft.forward_int(&d1) + &fft.forward_int(&d2);
+        let sum_poly = fft.inverse_real(&sum_spec);
+        for (j, v) in sum_poly.iter().enumerate() {
+            let expect = (d1[j] + d2[j]) as f64;
+            prop_assert!((v - expect).abs() < 1e-6);
+        }
+    }
+}

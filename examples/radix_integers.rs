@@ -1,0 +1,70 @@
+//! Multi-ciphertext ("radix") encrypted integers — the paper's §I: "the
+//! TFHE scheme encrypts large-precision plaintext into multiple
+//! ciphertexts … the computation of multiple small-parameter ciphertexts",
+//! which is exactly the independent per-digit work Morphling batches
+//! across its VPE rows.
+//!
+//! ```text
+//! cargo run --release --example radix_integers
+//! ```
+
+use morphling_repro::core::sim::Simulator;
+use morphling_repro::core::ArchConfig;
+use morphling_repro::tfhe::radix::{RadixClient, RadixServer, RadixSpec};
+use morphling_repro::tfhe::{ClientKey, ParamSet, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    // 8-bit integers as four base-4 digits, each with carry space (p=16).
+    let spec = RadixSpec::new(2, 4);
+    let params = ParamSet::TestMedium.params().with_plaintext_modulus(spec.digit_modulus());
+    let client = ClientKey::generate(params, &mut rng);
+    let server = ServerKey::new(&client, &mut rng);
+
+    println!("encrypted 8-bit arithmetic ({} digits of base {}):", spec.digits, spec.base());
+    for (x, y) in [(37u64, 91u64), (200, 55), (255, 255)] {
+        let a = client.encrypt_radix(x, spec, &mut rng);
+        let b = client.encrypt_radix(y, spec, &mut rng);
+        // Leveled digit-wise add fills the carry space …
+        let sum = server.radix_add(&a, &b);
+        // … and carry propagation bootstraps every digit clean again.
+        let clean = server.propagate_carries(&sum);
+        let got = client.decrypt_radix(&clean);
+        println!("  {x:3} + {y:3} = {got:3} (mod 256)   [{} digit bootstraps]", 2 * spec.digits);
+        assert_eq!(got, (x + y) & 0xFF);
+    }
+
+    println!("\nencrypted 8-bit multiplication:");
+    for (x, y) in [(12u64, 13u64), (15, 17)] {
+        let a = client.encrypt_radix(x, spec, &mut rng);
+        let b = client.encrypt_radix(y, spec, &mut rng);
+        let prod = server.radix_mul(&a, &b);
+        let got = client.decrypt_radix(&prod);
+        println!("  {x:3} * {y:3} = {got:3} (mod 256)");
+        assert_eq!(got, (x * y) & 0xFF);
+    }
+
+    println!("\nencrypted 8-bit comparison:");
+    for (x, y) in [(100u64, 99u64), (99, 100), (42, 42)] {
+        let a = client.encrypt_radix(x, spec, &mut rng);
+        let b = client.encrypt_radix(y, spec, &mut rng);
+        let ge = server.radix_ge(&a, &b);
+        println!("  {x} >= {y} → {}", client.decrypt(&ge) == 1);
+        assert_eq!(client.decrypt(&ge), u64::from(x >= y));
+    }
+
+    // What the accelerator makes of it: each digit is an independent
+    // small-parameter bootstrap — exactly what fills the VPE rows.
+    let sim = Simulator::new(ArchConfig::morphling_default());
+    let p128 = ParamSet::III.params();
+    let pbs_per_add = 2 * spec.digits as u64;
+    let adds_per_sec =
+        1.0 / sim.batch_time_seconds(&p128, pbs_per_add, spec.digits as u64);
+    println!(
+        "\nMorphling projection (set III): one 8-bit encrypted add = {pbs_per_add} PBS → \
+         {adds_per_sec:.0} adds/s per dependency chain"
+    );
+    println!("all results verified ✓");
+}

@@ -1,0 +1,40 @@
+//! # Morphling — a TFHE accelerator reproduction
+//!
+//! Umbrella crate for the full reproduction of *Morphling: A
+//! Throughput-Maximized TFHE-based Accelerator using Transform-domain
+//! Reuse* (HPCA 2024). It re-exports the five member crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`math`] | `morphling-math` | torus & negacyclic polynomial arithmetic, gadget decomposition |
+//! | [`transform`] | `morphling-transform` | FFT, negacyclic transform, merge-split FFT, pipelined-FFT model |
+//! | [`tfhe`] | `morphling-tfhe` | the full TFHE scheme: ciphertexts, keys, programmable bootstrapping, gates |
+//! | [`core`] | `morphling-core` | the accelerator: reuse analysis, ISA, schedulers, cycle simulator, cost model |
+//! | [`apps`] | `morphling-apps` | evaluation workloads (XG-Boost, DeepCNN, VGG-9) + functional encrypted inference |
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use morphling_repro::tfhe::{ClientKey, ParamSet, ServerKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let client = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+//! let server = ServerKey::new(&client, &mut rng);
+//! let a = client.encrypt_bool(true, &mut rng);
+//! let b = client.encrypt_bool(true, &mut rng);
+//! assert!(!client.decrypt_bool(&server.nand(&a, &b)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use morphling_apps as apps;
+pub use morphling_core as core;
+pub use morphling_math as math;
+pub use morphling_tfhe as tfhe;
+pub use morphling_transform as transform;

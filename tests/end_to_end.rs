@@ -1,0 +1,124 @@
+//! Cross-crate integration tests through the umbrella API: the functional
+//! cryptosystem, the accelerator model, and the applications working
+//! together.
+
+use morphling_repro::core::sched::{HwScheduler, SwScheduler, Workload};
+use morphling_repro::core::sim::Simulator;
+use morphling_repro::core::{opcount, ArchConfig, ReuseMode};
+use morphling_repro::tfhe::{ClientKey, Lut, ParamSet, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The central thesis of the paper, verified end to end on our stack:
+/// transform-domain reuse removes most domain transforms (analytical
+/// model), which translates into higher simulated throughput (simulator),
+/// while the underlying arithmetic it reorganizes stays exact (functional
+/// layer).
+#[test]
+fn thesis_reuse_reduces_transforms_and_raises_throughput() {
+    let params = ParamSet::C.params();
+    // 1. Analytical: 83.3% fewer transforms.
+    let row = opcount::Fig3Row::for_params(&params);
+    assert!(row.input_output_reduction() > 0.83);
+    // 2. Simulated: ≥4× throughput at equal resources.
+    let tput = |reuse| {
+        Simulator::new(ArchConfig::morphling_default().with_reuse(reuse).with_merge_split(false))
+            .bootstrap_batch(&params, 16)
+            .throughput_bs_per_s()
+    };
+    assert!(tput(ReuseMode::InputOutputReuse) / tput(ReuseMode::NoReuse) >= 3.5);
+    // 3. Functional: the transform-domain accumulation that output reuse
+    // relies on is exact (spectra add before a single IFFT).
+    use morphling_repro::math::{negacyclic, Polynomial, Torus32};
+    use morphling_repro::transform::{NegacyclicFft, Spectrum};
+    let n = 512;
+    let fft = NegacyclicFft::new(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut acc_spec = Spectrum::zero(n);
+    let mut acc_exact = Polynomial::<Torus32>::zero(n);
+    for _ in 0..16 {
+        use rand::Rng;
+        let d = Polynomial::from_fn(n, |_| rng.gen_range(-32i64..32));
+        let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+        acc_spec.mul_acc(&fft.forward_int(&d), &fft.forward_torus(&t));
+        acc_exact += &negacyclic::mul_int_torus32(&d, &t);
+    }
+    assert_eq!(fft.inverse_torus(&acc_spec), acc_exact);
+}
+
+/// A scheduled application workload and the plain simulator agree on
+/// steady-state throughput within 25% (the scheduler adds DMA edges and
+/// wave quantization).
+#[test]
+fn scheduler_and_simulator_agree() {
+    let cfg = ArchConfig::morphling_default();
+    let params = ParamSet::I.params();
+    let groups = 8u64;
+    let count = groups * cfg.bootstrap_cores() as u64;
+    let prog = SwScheduler::new(cfg.clone()).compile(&Workload::independent(count), &params);
+    let makespan = HwScheduler::new(cfg.clone()).run_seconds(&prog, &params);
+    let sched_tput = count as f64 / makespan;
+    let sim_tput = Simulator::new(cfg).bootstrap_batch(&params, 16).throughput_bs_per_s();
+    let ratio = sched_tput / sim_tput;
+    assert!((0.75..=1.05).contains(&ratio), "scheduler {sched_tput} vs simulator {sim_tput}");
+}
+
+/// Full-stack private inference at a paper parameter set: an encrypted
+/// decision stump at set I (real 80-bit-class bootstrapping), verified
+/// against plaintext, with the accelerator projecting its batch latency.
+/// (The deeper tree demo runs at the test set — see
+/// `morphling-apps::functional` — because the depth-2 index combination
+/// amplifies noise by √21, which set I's p=8 budget does not cover.)
+#[test]
+fn private_inference_at_set_i_with_accelerator_projection() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let params = ParamSet::I.params().with_plaintext_modulus(8);
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = ServerKey::new(&ck, &mut rng);
+    // Decision stump: d = (x ≥ 3); leaf = [7, 2][d] via a second PBS on
+    // 2·d (noise amplification only ×2).
+    let ge3 = Lut::from_fn(params.poly_size, 8, |x| u64::from(x >= 3));
+    let leaf = Lut::from_fn(params.poly_size, 8, |idx| if idx >= 2 { 2 } else { 7 });
+    for x in [0u64, 2, 3, 7] {
+        let ct = ck.encrypt(x, &mut rng);
+        let d = sk.programmable_bootstrap(&ct, &ge3);
+        let out = sk.programmable_bootstrap(&d.scalar_mul(2), &leaf);
+        let expect = if x >= 3 { 2 } else { 7 };
+        assert_eq!(ck.decrypt(&out), expect, "x={x}");
+    }
+    // Projection: 2 dependent bootstraps.
+    let sim = Simulator::new(ArchConfig::morphling_default());
+    let t = 2.0 * sim.batch_time_seconds(&params, 1, 1);
+    assert!(t < 0.5e-3, "stump inference projected at {t} s");
+}
+
+/// The umbrella crate exposes a consistent dependency stack: one
+/// polynomial type flows from math through transform into tfhe.
+#[test]
+fn umbrella_reexports_compose() {
+    use morphling_repro::math::{Polynomial, Torus32};
+    use morphling_repro::transform::NegacyclicFft;
+    let p = Polynomial::from_fn(64, |j| Torus32::from_raw(j as u32 * 1000));
+    let fft = NegacyclicFft::new(64);
+    let spec = fft.forward_torus(&p);
+    assert_eq!(fft.inverse_torus(&spec), p);
+    let lut = Lut::identity(64, 4);
+    assert_eq!(lut.plaintext_modulus(), 4);
+}
+
+/// Noise budget: a chain of PBS → leveled ops → PBS at set I keeps
+/// decrypting correctly (bootstrapping really resets noise at a paper
+/// parameter set).
+#[test]
+fn set_i_noise_chain() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let params = ParamSet::I.params();
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = ServerKey::new(&ck, &mut rng);
+    let inc = Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4);
+    let mut ct = ck.encrypt(0, &mut rng);
+    for hop in 1..=6u64 {
+        ct = sk.programmable_bootstrap(&ct, &inc);
+        assert_eq!(ck.decrypt(&ct), hop % 4, "hop {hop}");
+    }
+}
