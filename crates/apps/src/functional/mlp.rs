@@ -3,7 +3,7 @@
 //! between layers, one programmable bootstrap per activation.
 
 use morphling_math::{Torus32, TorusScalar};
-use morphling_tfhe::{ops, LweCiphertext, Lut, ServerKey};
+use morphling_tfhe::{ops, BootstrapEngine, Lut, LweCiphertext, ServerKey, TfheError};
 
 /// A tiny quantized MLP: 2 inputs → `H` hidden ReLU neurons → binary
 /// decision. All weights are small non-negative integers and the value
@@ -98,6 +98,46 @@ impl<'a> EncryptedMlp<'a> {
         let decide = Lut::from_fn(n_poly, p, move |s| u64::from(s >= threshold));
         self.server.programmable_bootstrap(&acc, &decide)
     }
+
+    /// [`infer`](Self::infer) with all hidden-layer ReLU bootstraps
+    /// submitted to a [`BootstrapEngine`] as one batch — the wave shape
+    /// Morphling's scheduler feeds its cores. The engine must wrap a
+    /// server key derived from the same client key as `self`. Results are
+    /// bit-identical to [`infer`](Self::infer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the engine.
+    pub fn infer_batched(
+        &self,
+        engine: &BootstrapEngine,
+        model: &MlpModel,
+        x0: &LweCiphertext,
+        x1: &LweCiphertext,
+    ) -> Result<LweCiphertext, TfheError> {
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let shift = model.relu_shift;
+        let relu = Lut::from_fn(n_poly, p, move |s| s.saturating_sub(shift));
+        let inputs = [x0.clone(), x1.clone()];
+        // Leveled affine layer for every hidden neuron (no bootstraps)...
+        let sums: Vec<LweCiphertext> = model
+            .hidden
+            .iter()
+            .map(|&(w0, w1, b)| ops::affine(&inputs, &[w0, w1], Torus32::encode(b, 2 * p)))
+            .collect();
+        // ...then one wave of ReLU bootstraps through the pool.
+        let activations = engine.bootstrap_batch(&sums, &relu)?;
+        let acc = activations
+            .iter()
+            .zip(&model.output)
+            .map(|(a, &v)| a.scalar_mul(v))
+            .reduce(|acc, term| acc.add(&term))
+            .expect("at least one hidden neuron");
+        let threshold = model.threshold;
+        let decide = Lut::from_fn(n_poly, p, move |s| u64::from(s >= threshold));
+        self.server.try_programmable_bootstrap(&acc, &decide)
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +155,10 @@ mod tests {
         let sk = ServerKey::new(&ck, &mut rng);
         let mlp = EncryptedMlp::new(&sk);
         let model = MlpModel::demo();
-        assert!(model.max_hidden_acc(4) < 16, "accumulator must fit the plaintext space");
+        assert!(
+            model.max_hidden_acc(4) < 16,
+            "accumulator must fit the plaintext space"
+        );
         let mut classes = [0u64; 2];
         for x0 in 0..4u64 {
             for x1 in 0..4u64 {
@@ -133,5 +176,29 @@ mod tests {
     #[test]
     fn bootstrap_count() {
         assert_eq!(MlpModel::demo().bootstraps_per_inference(), 3);
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let params = ParamSet::TestMedium.params().with_plaintext_modulus(16);
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = std::sync::Arc::new(ServerKey::new(&ck, &mut rng));
+        let engine = morphling_tfhe::BootstrapEngine::builder()
+            .workers(2)
+            .build(std::sync::Arc::clone(&sk))
+            .unwrap();
+        let mlp = EncryptedMlp::new(&sk);
+        let model = MlpModel::demo();
+        for (x0, x1) in [(0u64, 0u64), (1, 3), (3, 1), (3, 3)] {
+            let c0 = ck.encrypt(x0, &mut rng);
+            let c1 = ck.encrypt(x1, &mut rng);
+            let seq = mlp.infer(&model, &c0, &c1);
+            let bat = mlp.infer_batched(&engine, &model, &c0, &c1).unwrap();
+            assert_eq!(seq, bat, "x0={x0} x1={x1}");
+            assert_eq!(ck.decrypt(&bat), model.infer_clear(x0, x1));
+        }
+        // Two hidden ReLUs per inference go through the engine.
+        assert_eq!(engine.stats().bootstraps, 4 * 2);
     }
 }

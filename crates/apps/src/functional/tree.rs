@@ -3,7 +3,7 @@
 //! bootstrap, and leaf selection is one more (Concrete-ML's oblivious
 //! evaluation, shrunk to demo size).
 
-use morphling_tfhe::{ClientKey, LweCiphertext, Lut, ServerKey};
+use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, LweCiphertext, ServerKey, TfheError};
 
 /// A depth-2 binary decision tree over small integer features.
 ///
@@ -55,9 +55,15 @@ impl<'a> EncryptedTreeEvaluator<'a> {
         let p = self.server.params().plaintext_modulus;
         let n_poly = self.server.params().poly_size;
         let ge = |threshold: u64| Lut::from_fn(n_poly, p, move |x| u64::from(x >= threshold));
-        let d0 = self.server.programmable_bootstrap(&features[tree.root.0], &ge(tree.root.1));
-        let d1 = self.server.programmable_bootstrap(&features[tree.left.0], &ge(tree.left.1));
-        let d2 = self.server.programmable_bootstrap(&features[tree.right.0], &ge(tree.right.1));
+        let d0 = self
+            .server
+            .programmable_bootstrap(&features[tree.root.0], &ge(tree.root.1));
+        let d1 = self
+            .server
+            .programmable_bootstrap(&features[tree.left.0], &ge(tree.left.1));
+        let d2 = self
+            .server
+            .programmable_bootstrap(&features[tree.right.0], &ge(tree.right.1));
         // index = 4·d0 + 2·d1 + d2 ∈ [0, 8).
         let index = d0.scalar_mul(4).add(&d1.scalar_mul(2)).add(&d2);
         let leaves = tree.leaves;
@@ -69,6 +75,45 @@ impl<'a> EncryptedTreeEvaluator<'a> {
             leaves[(2 * d0 + taken) as usize]
         });
         self.server.programmable_bootstrap(&index, &leaf_lut)
+    }
+
+    /// [`classify`](Self::classify) with the three oblivious comparisons
+    /// submitted to a [`BootstrapEngine`] as one multi-LUT wave (each
+    /// comparison tests a different threshold, so each ciphertext routes
+    /// to its own LUT). The engine must wrap a server key derived from
+    /// the same client key as `self`. Results are bit-identical to
+    /// [`classify`](Self::classify).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the engine.
+    pub fn classify_batched(
+        &self,
+        engine: &BootstrapEngine,
+        tree: &DecisionTree,
+        features: &[LweCiphertext],
+    ) -> Result<LweCiphertext, TfheError> {
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let ge = |threshold: u64| Lut::from_fn(n_poly, p, move |x| u64::from(x >= threshold));
+        let luts = [ge(tree.root.1), ge(tree.left.1), ge(tree.right.1)];
+        let cts = [
+            features[tree.root.0].clone(),
+            features[tree.left.0].clone(),
+            features[tree.right.0].clone(),
+        ];
+        let decisions = engine.bootstrap_batch_multi(&cts, &luts, &[0, 1, 2])?;
+        let (d0, d1, d2) = (&decisions[0], &decisions[1], &decisions[2]);
+        let index = d0.scalar_mul(4).add(&d1.scalar_mul(2)).add(d2);
+        let leaves = tree.leaves;
+        let leaf_lut = Lut::from_fn(n_poly, p, move |idx| {
+            let d0 = (idx >> 2) & 1;
+            let d1 = (idx >> 1) & 1;
+            let d2 = idx & 1;
+            let taken = if d0 == 1 { d2 } else { d1 };
+            leaves[(2 * d0 + taken) as usize]
+        });
+        self.server.try_programmable_bootstrap(&index, &leaf_lut)
     }
 
     /// Classify and decrypt (testing convenience; needs the client key).
@@ -104,11 +149,38 @@ mod tests {
         };
         for x0 in [0u64, 3, 4, 7] {
             for x1 in [0u64, 2, 5, 7] {
-                let feats =
-                    vec![ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)];
+                let feats = vec![ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)];
                 let got = eval.classify_and_decrypt(&tree, &feats, &ck);
                 assert_eq!(got, tree.classify_clear(&[x0, x1]), "x0={x0} x1={x1}");
             }
         }
+    }
+
+    #[test]
+    fn batched_classification_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(203);
+        let params = ParamSet::TestMedium.params();
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = std::sync::Arc::new(ServerKey::new(&ck, &mut rng));
+        let engine = BootstrapEngine::builder()
+            .workers(3)
+            .build(std::sync::Arc::clone(&sk))
+            .unwrap();
+        let eval = EncryptedTreeEvaluator::new(&sk);
+        let tree = DecisionTree {
+            root: (0, 4),
+            left: (1, 2),
+            right: (1, 6),
+            leaves: [0, 1, 2, 3],
+        };
+        for (x0, x1) in [(0u64, 0u64), (3, 5), (4, 2), (7, 7)] {
+            let feats = vec![ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)];
+            let seq = eval.classify(&tree, &feats);
+            let bat = eval.classify_batched(&engine, &tree, &feats).unwrap();
+            assert_eq!(seq, bat, "x0={x0} x1={x1}");
+            assert_eq!(ck.decrypt(&bat), tree.classify_clear(&[x0, x1]));
+        }
+        // The three oblivious comparisons per call went through the pool.
+        assert_eq!(engine.stats().bootstraps, 4 * 3);
     }
 }

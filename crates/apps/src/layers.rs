@@ -72,7 +72,13 @@ impl Layer {
     /// feature map).
     pub fn output_shape(&self, input: Shape) -> Shape {
         match *self {
-            Layer::Conv2d { kernel, filters, stride, padding, .. } => {
+            Layer::Conv2d {
+                kernel,
+                filters,
+                stride,
+                padding,
+                ..
+            } => {
                 let (ih, iw) = (input.h + 2 * padding, input.w + 2 * padding);
                 assert!(kernel <= ih && kernel <= iw, "kernel larger than input");
                 let h = (ih - kernel) / stride + 1;
@@ -103,9 +109,7 @@ impl Layer {
     pub fn macs(&self, input: Shape) -> u64 {
         let out = self.output_shape(input);
         match *self {
-            Layer::Conv2d { kernel, .. } => {
-                out.elements() * (kernel * kernel * input.c) as u64
-            }
+            Layer::Conv2d { kernel, .. } => out.elements() * (kernel * kernel * input.c) as u64,
             Layer::AvgPool { size } => out.elements() * (size * size) as u64,
             Layer::Dense { .. } => out.elements() * input.elements(),
         }
@@ -121,14 +125,32 @@ mod tests {
         // The paper's DeepCNN front end: 8×8×1 → 3×3 conv (2 filters) →
         // 6×6×2 → 3×3 conv stride 2 (92 filters) → 2×2×92.
         let s0 = Shape::new(8, 8, 1);
-        let c1 = Layer::Conv2d { kernel: 3, filters: 2, stride: 1, padding: 0, relu: true };
+        let c1 = Layer::Conv2d {
+            kernel: 3,
+            filters: 2,
+            stride: 1,
+            padding: 0,
+            relu: true,
+        };
         let s1 = c1.output_shape(s0);
         assert_eq!(s1, Shape::new(6, 6, 2));
-        let c2 = Layer::Conv2d { kernel: 3, filters: 92, stride: 2, padding: 0, relu: true };
+        let c2 = Layer::Conv2d {
+            kernel: 3,
+            filters: 92,
+            stride: 2,
+            padding: 0,
+            relu: true,
+        };
         let s2 = c2.output_shape(s1);
         assert_eq!(s2, Shape::new(2, 2, 92));
         // "requires 368 ReLU" per 1×1 layer: 2×2×92 = 368 activations.
-        let c3 = Layer::Conv2d { kernel: 1, filters: 92, stride: 1, padding: 0, relu: true };
+        let c3 = Layer::Conv2d {
+            kernel: 1,
+            filters: 92,
+            stride: 1,
+            padding: 0,
+            relu: true,
+        };
         assert_eq!(c3.output_shape(s2).elements(), 368);
         assert_eq!(c3.bootstraps(s2), 368 * PBS_PER_ACTIVATION);
     }
@@ -144,18 +166,30 @@ mod tests {
 
     #[test]
     fn dense_macs_and_bootstraps() {
-        let d = Layer::Dense { neurons: 10, relu: false };
+        let d = Layer::Dense {
+            neurons: 10,
+            relu: false,
+        };
         let s = Shape::new(1, 1, 512);
         assert_eq!(d.macs(s), 5120);
         assert_eq!(d.bootstraps(s), 0);
-        let d = Layer::Dense { neurons: 512, relu: true };
+        let d = Layer::Dense {
+            neurons: 512,
+            relu: true,
+        };
         assert_eq!(d.bootstraps(s), 512 * PBS_PER_ACTIVATION);
     }
 
     #[test]
     #[should_panic(expected = "kernel larger")]
     fn oversized_kernel_panics() {
-        let c = Layer::Conv2d { kernel: 5, filters: 1, stride: 1, padding: 0, relu: false };
+        let c = Layer::Conv2d {
+            kernel: 5,
+            filters: 1,
+            stride: 1,
+            padding: 0,
+            relu: false,
+        };
         let _ = c.output_shape(Shape::new(3, 3, 1));
     }
 }

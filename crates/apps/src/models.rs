@@ -59,7 +59,9 @@ impl Network {
 
     /// Output shape of the full network.
     pub fn output_shape(&self) -> Shape {
-        self.layers.iter().fold(self.input, |s, l| l.output_shape(s))
+        self.layers
+            .iter()
+            .fold(self.input, |s, l| l.output_shape(s))
     }
 }
 
@@ -68,23 +70,60 @@ impl Network {
 /// 368 ReLUs; a 2×2 conv (16 filters); a 10-neuron FC classifier.
 pub fn deep_cnn(x: usize) -> Network {
     let mut layers = vec![
-        Layer::Conv2d { kernel: 3, filters: 2, stride: 1, padding: 0, relu: true },
-        Layer::Conv2d { kernel: 3, filters: 92, stride: 2, padding: 0, relu: true },
+        Layer::Conv2d {
+            kernel: 3,
+            filters: 2,
+            stride: 1,
+            padding: 0,
+            relu: true,
+        },
+        Layer::Conv2d {
+            kernel: 3,
+            filters: 92,
+            stride: 2,
+            padding: 0,
+            relu: true,
+        },
     ];
     layers.extend(std::iter::repeat_n(
-        Layer::Conv2d { kernel: 1, filters: 92, stride: 1, padding: 0, relu: true },
+        Layer::Conv2d {
+            kernel: 1,
+            filters: 92,
+            stride: 1,
+            padding: 0,
+            relu: true,
+        },
         x,
     ));
-    layers.push(Layer::Conv2d { kernel: 2, filters: 16, stride: 1, padding: 0, relu: true });
-    layers.push(Layer::Dense { neurons: 10, relu: false });
-    Network { name: format!("DeepCNN-{x}"), input: Shape::new(8, 8, 1), layers }
+    layers.push(Layer::Conv2d {
+        kernel: 2,
+        filters: 16,
+        stride: 1,
+        padding: 0,
+        relu: true,
+    });
+    layers.push(Layer::Dense {
+        neurons: 10,
+        relu: false,
+    });
+    Network {
+        name: format!("DeepCNN-{x}"),
+        input: Shape::new(8, 8, 1),
+        layers,
+    }
 }
 
 /// VGG-9 (§VI-A): 32×32×3 CIFAR-10 input; six `same`-padded 3×3 conv
 /// layers with 64, 64, 128, 128, 256, 256 filters; 2×2 average pooling
 /// after the 2nd and 4th conv; FC 512, 512, 10.
 pub fn vgg9() -> Network {
-    let conv = |filters: usize| Layer::Conv2d { kernel: 3, filters, stride: 1, padding: 1, relu: true };
+    let conv = |filters: usize| Layer::Conv2d {
+        kernel: 3,
+        filters,
+        stride: 1,
+        padding: 1,
+        relu: true,
+    };
     Network {
         name: "VGG-9".to_string(),
         input: Shape::new(32, 32, 3),
@@ -97,9 +136,18 @@ pub fn vgg9() -> Network {
             Layer::AvgPool { size: 2 }, // 8×8×128
             conv(256),                  // 8×8×256
             conv(256),                  // 8×8×256
-            Layer::Dense { neurons: 512, relu: true },
-            Layer::Dense { neurons: 512, relu: true },
-            Layer::Dense { neurons: 10, relu: false },
+            Layer::Dense {
+                neurons: 512,
+                relu: true,
+            },
+            Layer::Dense {
+                neurons: 512,
+                relu: true,
+            },
+            Layer::Dense {
+                neurons: 10,
+                relu: false,
+            },
         ],
     }
 }

@@ -26,7 +26,34 @@ impl CpuModel {
     /// The Table VI testbed at 128-bit parameters (set III: 12 BS/s per
     /// core from Table V; 64 cores at 50% scaling).
     pub fn xeon_6226r_set_iii() -> Self {
-        Self { single_core_bs_s: 12.0, cores: 64, parallel_efficiency: 0.5, mac_per_s: 5e10 }
+        Self {
+            single_core_bs_s: 12.0,
+            cores: 64,
+            parallel_efficiency: 0.5,
+            mac_per_s: 5e10,
+        }
+    }
+
+    /// Calibrate the single-core bootstrap rate from measured
+    /// [`EngineStats`](morphling_tfhe::EngineStats) — the engine's `busy`
+    /// counter sums per-worker time inside jobs, so `bootstraps / busy`
+    /// *is* the per-core rate, independent of how many workers ran.
+    /// Scaling (`cores`, `parallel_efficiency`) and the MAC rate are taken
+    /// from `baseline` so a locally measured rate can be projected onto
+    /// the paper's 64-core testbed.
+    ///
+    /// Returns `baseline` unchanged if the stats contain no completed
+    /// bootstraps (nothing to calibrate from).
+    pub fn from_engine_stats(stats: &morphling_tfhe::EngineStats, baseline: Self) -> Self {
+        let rate = stats.bootstraps_per_core_sec();
+        if rate > 0.0 {
+            Self {
+                single_core_bs_s: rate,
+                ..baseline
+            }
+        } else {
+            baseline
+        }
     }
 
     /// Effective aggregate bootstrap throughput.
@@ -65,7 +92,11 @@ impl AppRuntime {
 
     /// Custom construction.
     pub fn new(config: ArchConfig, params: TfheParams, cpu: CpuModel) -> Self {
-        Self { sim: Simulator::new(config), params, cpu }
+        Self {
+            sim: Simulator::new(config),
+            params,
+            cpu,
+        }
     }
 
     /// The TFHE parameter set applications run at.
@@ -90,7 +121,8 @@ impl AppRuntime {
             .levels
             .iter()
             .map(|&(bootstraps, macs)| {
-                self.sim.batch_time_seconds(&self.params, bootstraps, bootstraps)
+                self.sim
+                    .batch_time_seconds(&self.params, bootstraps, bootstraps)
                     + macs as f64 / vpu_mac_s
             })
             .sum()
@@ -136,8 +168,16 @@ mod tests {
             let est = estimate(&deep_cnn(x).workload(), &rt);
             let m_ratio = est.morphling_seconds / paper_m;
             let c_ratio = est.cpu_seconds / paper_c;
-            assert!((0.7..1.4).contains(&m_ratio), "DeepCNN-{x}: morphling {} vs {paper_m}", est.morphling_seconds);
-            assert!((0.7..1.4).contains(&c_ratio), "DeepCNN-{x}: cpu {} vs {paper_c}", est.cpu_seconds);
+            assert!(
+                (0.7..1.4).contains(&m_ratio),
+                "DeepCNN-{x}: morphling {} vs {paper_m}",
+                est.morphling_seconds
+            );
+            assert!(
+                (0.7..1.4).contains(&c_ratio),
+                "DeepCNN-{x}: cpu {} vs {paper_c}",
+                est.cpu_seconds
+            );
         }
     }
 
@@ -170,5 +210,26 @@ mod tests {
     fn cpu_model_throughput() {
         let cpu = CpuModel::xeon_6226r_set_iii();
         assert!((cpu.bs_per_s() - 384.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_model_calibrates_from_engine_stats() {
+        let stats = morphling_tfhe::EngineStats {
+            workers: 4,
+            batches: 10,
+            bootstraps: 200,
+            busy: std::time::Duration::from_secs(4),
+        };
+        let cpu = CpuModel::from_engine_stats(&stats, CpuModel::xeon_6226r_set_iii());
+        // 200 bootstraps over 4 busy core-seconds → 50 BS/s per core.
+        assert!((cpu.single_core_bs_s - 50.0).abs() < 1e-9);
+        assert_eq!(cpu.cores, 64);
+        assert!((cpu.bs_per_s() - 50.0 * 64.0 * 0.5).abs() < 1e-6);
+
+        let empty = morphling_tfhe::EngineStats::default();
+        assert_eq!(
+            CpuModel::from_engine_stats(&empty, CpuModel::xeon_6226r_set_iii()),
+            CpuModel::xeon_6226r_set_iii()
+        );
     }
 }

@@ -21,7 +21,10 @@ pub struct XgBoostModel {
 impl XgBoostModel {
     /// The paper's benchmark model: 100 estimators, depth 6.
     pub fn paper_benchmark() -> Self {
-        Self { estimators: 100, depth: 6 }
+        Self {
+            estimators: 100,
+            depth: 6,
+        }
     }
 
     /// Internal (decision) nodes per tree: `2^depth − 1`.

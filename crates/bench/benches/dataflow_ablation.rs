@@ -8,7 +8,11 @@ use morphling_tfhe::ParamSet;
 fn bench(c: &mut Criterion) {
     println!("{}", morphling_bench::dataflow_ablation_report());
     let mut g = c.benchmark_group("dataflow");
-    for df in [Dataflow::OutputStationary, Dataflow::InputStationary, Dataflow::BskStationary] {
+    for df in [
+        Dataflow::OutputStationary,
+        Dataflow::InputStationary,
+        Dataflow::BskStationary,
+    ] {
         g.bench_function(format!("{df:?}"), |b| {
             let sim = Simulator::new(ArchConfig::morphling_default().with_dataflow(df));
             b.iter(|| sim.bootstrap_batch(std::hint::black_box(&ParamSet::A.params()), 16))

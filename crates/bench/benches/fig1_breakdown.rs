@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
     });
     let extracted = sk.programmable_bootstrap_no_ks(&ct, &lut);
     g.bench_function("cpu_key_switch", |b| {
-        b.iter(|| sk.key_switch_key().key_switch(std::hint::black_box(&extracted)))
+        b.iter(|| {
+            sk.key_switch_key()
+                .key_switch(std::hint::black_box(&extracted))
+        })
     });
     g.finish();
 }

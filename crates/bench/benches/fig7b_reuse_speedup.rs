@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     for reuse in ReuseMode::ALL {
         g.bench_function(format!("simulate_{reuse}"), |b| {
             let sim = Simulator::new(
-                ArchConfig::morphling_default().with_reuse(reuse).with_merge_split(false),
+                ArchConfig::morphling_default()
+                    .with_reuse(reuse)
+                    .with_merge_split(false),
             );
             b.iter(|| sim.bootstrap_batch(std::hint::black_box(&ParamSet::C.params()), 16))
         });

@@ -26,9 +26,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("forward_single", n), &n, |b, _| {
             b.iter(|| fft.forward_int(std::hint::black_box(&digits)))
         });
-        g.bench_with_input(BenchmarkId::new("forward_merge_split_pair", n), &n, |b, _| {
-            b.iter(|| fft.forward_pair_int(std::hint::black_box(&digits), &digits2))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("forward_merge_split_pair", n),
+            &n,
+            |b, _| b.iter(|| fft.forward_pair_int(std::hint::black_box(&digits), &digits2)),
+        );
         if n <= 1024 {
             g.bench_with_input(BenchmarkId::new("exact_schoolbook", n), &n, |b, _| {
                 b.iter(|| negacyclic::mul_int_torus32(std::hint::black_box(&digits), &t))

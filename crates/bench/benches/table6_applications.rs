@@ -33,7 +33,12 @@ fn bench(c: &mut Criterion) {
     let ck = ClientKey::generate(ParamSet::TestMedium.params(), &mut rng);
     let sk = ServerKey::new(&ck, &mut rng);
     let eval = EncryptedTreeEvaluator::new(&sk);
-    let tree = DecisionTree { root: (0, 4), left: (1, 2), right: (1, 6), leaves: [0, 1, 2, 3] };
+    let tree = DecisionTree {
+        root: (0, 4),
+        left: (1, 2),
+        right: (1, 6),
+        leaves: [0, 1, 2, 3],
+    };
     let feats = vec![ck.encrypt(3, &mut rng), ck.encrypt(5, &mut rng)];
     g.bench_function("encrypted_tree_inference", |b| {
         b.iter(|| eval.classify(std::hint::black_box(&tree), &feats))

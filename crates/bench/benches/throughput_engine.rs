@@ -1,0 +1,76 @@
+//! Persistent-engine throughput: the [`BootstrapEngine`]'s warm worker
+//! pool against the per-call `batch_bootstrap_parallel` baseline (spawn +
+//! join every call) and the single-core sequential path, at batch sizes a
+//! streaming inference workload produces.
+//!
+//! The engine's win is the amortization Morphling gets for free in
+//! hardware: its 16 bootstrapping cores exist for the whole run, so only
+//! the software baseline pays per-batch thread setup.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, ParamSet, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let params = ParamSet::Test.params();
+    let p = params.plaintext_modulus;
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = Arc::new(ServerKey::builder().build(&ck, &mut rng));
+    let lut = Lut::identity(params.poly_size, p);
+    // The issue's framing: ≥4 threads. On boxes with fewer cores both
+    // sides time-slice identically, so the comparison stays fair.
+    let workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4)
+        .clamp(4, 8);
+
+    let engine = BootstrapEngine::builder()
+        .workers(workers)
+        .build(Arc::clone(&sk))
+        .expect("nonzero workers");
+
+    let mut g = c.benchmark_group("throughput_engine");
+    g.sample_size(10);
+    for batch in [16usize, 64, 128] {
+        let cts: Vec<_> = (0..batch)
+            .map(|i| ck.encrypt(i as u64 % p, &mut rng))
+            .collect();
+        // Warm both paths once so neither pays first-touch costs inside
+        // the measurement.
+        let _ = engine.bootstrap_batch(&cts, &lut).expect("warm-up");
+        let _ = sk.batch_bootstrap_parallel(&cts, &lut, workers);
+
+        g.bench_with_input(BenchmarkId::new("engine", batch), &cts, |b, cts| {
+            b.iter(|| {
+                engine
+                    .bootstrap_batch(std::hint::black_box(cts), &lut)
+                    .expect("batch")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("spawn_per_call", batch), &cts, |b, cts| {
+            b.iter(|| sk.batch_bootstrap_parallel(std::hint::black_box(cts), &lut, workers))
+        });
+        if batch <= 16 {
+            g.bench_with_input(BenchmarkId::new("sequential", batch), &cts, |b, cts| {
+                b.iter(|| sk.batch_bootstrap(std::hint::black_box(cts), &lut))
+            });
+        }
+    }
+    g.finish();
+
+    let stats = engine.stats();
+    println!(
+        "engine stats: {} batches, {} bootstraps, {:.1} BS/s per core ({} workers)",
+        stats.batches,
+        stats.bootstraps,
+        stats.bootstraps_per_core_sec(),
+        stats.workers
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,10 +8,23 @@
 
 use morphling_bench as reports;
 
+const ARTIFACTS: &[&str] = &[
+    "fig1", "fig3", "table4", "table5", "fig7a", "fig7b", "fig8a", "fig8b", "table6", "dataflow",
+    "summary",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let measure_cpu = args.iter().any(|a| a == "--measure-cpu");
-    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if let Some(unknown) = targets.iter().find(|t| !ARTIFACTS.contains(t)) {
+        eprintln!("error: unknown artifact `{unknown}`; known artifacts: {ARTIFACTS:?}");
+        std::process::exit(2);
+    }
     let all = targets.is_empty();
     let want = |name: &str| all || targets.contains(&name);
 

@@ -16,7 +16,7 @@ use morphling_core::reference::{
 };
 use morphling_core::sim::Simulator;
 use morphling_core::{hwmodel, ArchConfig, ReuseMode};
-use morphling_tfhe::{ClientKey, ParamSet, ServerKey, TfheParams};
+use morphling_tfhe::{BootstrapEngine, ClientKey, EngineStats, ParamSet, ServerKey, TfheParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -63,7 +63,9 @@ pub fn measure_cpu_bootstrap_parallel(set: ParamSet, batch: usize, threads: usiz
     let ck = ClientKey::generate(params.clone(), &mut rng);
     let sk = ServerKey::new(&ck, &mut rng);
     let lut = morphling_tfhe::Lut::identity(params.poly_size, p);
-    let cts: Vec<_> = (0..batch).map(|i| ck.encrypt(i as u64 % p, &mut rng)).collect();
+    let cts: Vec<_> = (0..batch)
+        .map(|i| ck.encrypt(i as u64 % p, &mut rng))
+        .collect();
     // Warm-up one round.
     let _ = sk.batch_bootstrap_parallel(&cts[..threads.min(batch)], &lut, threads);
     let start = Instant::now();
@@ -71,6 +73,34 @@ pub fn measure_cpu_bootstrap_parallel(set: ParamSet, batch: usize, threads: usiz
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(out.len(), batch);
     batch as f64 / elapsed
+}
+
+/// Measure the persistent [`BootstrapEngine`]'s throughput (BS/s) over a
+/// batch, with the pool already warm — the steady-state number a stream
+/// of batches sees. Also returns the engine's own [`EngineStats`] so
+/// callers can calibrate the CPU cost model from the same run.
+pub fn measure_engine_bootstrap(set: ParamSet, batch: usize, workers: usize) -> (f64, EngineStats) {
+    let mut rng = StdRng::seed_from_u64(7779);
+    let params = set.params();
+    let p = params.plaintext_modulus;
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = std::sync::Arc::new(ServerKey::new(&ck, &mut rng));
+    let engine = BootstrapEngine::builder()
+        .workers(workers)
+        .build(sk)
+        .expect("nonzero worker count");
+    let lut = morphling_tfhe::Lut::identity(params.poly_size, p);
+    let cts: Vec<_> = (0..batch)
+        .map(|i| ck.encrypt(i as u64 % p, &mut rng))
+        .collect();
+    // Warm-up one round (first-touch transform tables, thread wake-up).
+    let _ = engine.bootstrap_batch(&cts[..workers.min(batch).max(1)], &lut);
+    engine.reset_stats();
+    let start = Instant::now();
+    let out = engine.bootstrap_batch(&cts, &lut).expect("validated batch");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(out.len(), batch);
+    (batch as f64 / elapsed, engine.stats())
 }
 
 /// **Fig 1**: operation / memory breakdown of one bootstrap at the 128-bit
@@ -81,26 +111,71 @@ pub fn fig1_report() -> String {
     let mem = bootstrap_memory(&params);
     let total = ops.total() as f64;
     let mut s = String::new();
-    let _ = writeln!(s, "Fig 1 — bootstrapping breakdown ({} = N={}, n={}, k={}, l_b={}, l_k={})",
-        params.name, params.poly_size, params.lwe_dim, params.glwe_dim,
-        params.bsk_decomp.level(), params.ksk_decomp.level());
+    let _ = writeln!(
+        s,
+        "Fig 1 — bootstrapping breakdown ({} = N={}, n={}, k={}, l_b={}, l_k={})",
+        params.name,
+        params.poly_size,
+        params.lwe_dim,
+        params.glwe_dim,
+        params.bsk_decomp.level(),
+        params.ksk_decomp.level()
+    );
     let _ = writeln!(s, "  operations (multiplications):            paper");
-    let _ = writeln!(s, "    I/FFT         {:>12}  ({:5.1}%)       ~88%", ops.transform, 100.0 * ops.transform as f64 / total);
-    let _ = writeln!(s, "    poly-mult     {:>12}  ({:5.1}%)", ops.pointwise, 100.0 * ops.pointwise as f64 / total);
-    let _ = writeln!(s, "    key-switch    {:>12}  ({:5.1}%)       ~1.9%", ops.key_switch, 100.0 * ops.key_switch as f64 / total);
-    let _ = writeln!(s, "    others        {:>12}  ({:5.1}%)       ~1%", ops.other, 100.0 * ops.other as f64 / total);
+    let _ = writeln!(
+        s,
+        "    I/FFT         {:>12}  ({:5.1}%)       ~88%",
+        ops.transform,
+        100.0 * ops.transform as f64 / total
+    );
+    let _ = writeln!(
+        s,
+        "    poly-mult     {:>12}  ({:5.1}%)",
+        ops.pointwise,
+        100.0 * ops.pointwise as f64 / total
+    );
+    let _ = writeln!(
+        s,
+        "    key-switch    {:>12}  ({:5.1}%)       ~1.9%",
+        ops.key_switch,
+        100.0 * ops.key_switch as f64 / total
+    );
+    let _ = writeln!(
+        s,
+        "    others        {:>12}  ({:5.1}%)       ~1%",
+        ops.other,
+        100.0 * ops.other as f64 / total
+    );
     let _ = writeln!(s, "  memory:                                  paper");
-    let _ = writeln!(s, "    BSK           {:>9.1} MB                101.4 MB", mem.bsk as f64 / 1048576.0);
-    let _ = writeln!(s, "    KSK           {:>9.1} MB                 33.8 MB", mem.ksk as f64 / 1048576.0);
-    let _ = writeln!(s, "    working set   {:>9.3} MB", mem.working as f64 / 1048576.0);
+    let _ = writeln!(
+        s,
+        "    BSK           {:>9.1} MB                101.4 MB",
+        mem.bsk as f64 / 1048576.0
+    );
+    let _ = writeln!(
+        s,
+        "    KSK           {:>9.1} MB                 33.8 MB",
+        mem.ksk as f64 / 1048576.0
+    );
+    let _ = writeln!(
+        s,
+        "    working set   {:>9.3} MB",
+        mem.working as f64 / 1048576.0
+    );
     s
 }
 
 /// **Fig 3**: reduction in domain-transform operations per reuse type.
 pub fn fig3_report() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig 3 — domain transforms per bootstrap on the 4x4 VPE array");
-    let _ = writeln!(s, "  set  (k,l_b)   no-reuse   input-reuse (reduction)   in+out-reuse (reduction)");
+    let _ = writeln!(
+        s,
+        "Fig 3 — domain transforms per bootstrap on the 4x4 VPE array"
+    );
+    let _ = writeln!(
+        s,
+        "  set  (k,l_b)   no-reuse   input-reuse (reduction)   in+out-reuse (reduction)"
+    );
     for set in [ParamSet::A, ParamSet::B, ParamSet::C] {
         let p = set.params();
         let row = Fig3Row::for_params(&p);
@@ -117,7 +192,10 @@ pub fn fig3_report() -> String {
             100.0 * row.input_output_reduction(),
         );
     }
-    let _ = writeln!(s, "  paper: up to 46752 transforms; 25–37.5% input reuse; up to 83.3% in+out reuse");
+    let _ = writeln!(
+        s,
+        "  paper: up to 46752 transforms; 25–37.5% input reuse; up to 83.3% in+out reuse"
+    );
     s
 }
 
@@ -126,17 +204,36 @@ pub fn table4_report() -> String {
     let cfg = ArchConfig::morphling_default();
     let b = hwmodel::evaluate(&cfg);
     let mut s = String::new();
-    let _ = writeln!(s, "Table IV — area/power breakdown (ours | paper total 74.79 mm² / 53.00 W)");
+    let _ = writeln!(
+        s,
+        "Table IV — area/power breakdown (ours | paper total 74.79 mm² / 53.00 W)"
+    );
     for row in &b.xpu_detail {
-        let _ = writeln!(s, "  {:<28} {:>7.2} mm²  {:>6.2} W", row.component, row.cost.area_mm2, row.cost.power_w);
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>7.2} mm²  {:>6.2} W",
+            row.component, row.cost.area_mm2, row.cost.power_w
+        );
     }
     let xpu = hwmodel::xpu_subtotal(&cfg);
-    let _ = writeln!(s, "  {:<28} {:>7.2} mm²  {:>6.2} W", "XPU (subtotal)", xpu.area_mm2, xpu.power_w);
+    let _ = writeln!(
+        s,
+        "  {:<28} {:>7.2} mm²  {:>6.2} W",
+        "XPU (subtotal)", xpu.area_mm2, xpu.power_w
+    );
     for row in &b.rows {
-        let _ = writeln!(s, "  {:<28} {:>7.2} mm²  {:>6.2} W", row.component, row.cost.area_mm2, row.cost.power_w);
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>7.2} mm²  {:>6.2} W",
+            row.component, row.cost.area_mm2, row.cost.power_w
+        );
     }
     let t = b.total();
-    let _ = writeln!(s, "  {:<28} {:>7.2} mm²  {:>6.2} W", "Total", t.area_mm2, t.power_w);
+    let _ = writeln!(
+        s,
+        "  {:<28} {:>7.2} mm²  {:>6.2} W",
+        "Total", t.area_mm2, t.power_w
+    );
     s
 }
 
@@ -147,7 +244,11 @@ pub fn table5_report(measured_cpu: bool) -> String {
     let sim = Simulator::new(ArchConfig::morphling_default());
     let mut s = String::new();
     let _ = writeln!(s, "Table V — bootstrapping latency and throughput");
-    let _ = writeln!(s, "  {:<24} {:>4}  {:>12} {:>14}", "platform", "set", "latency(ms)", "tput(BS/s)");
+    let _ = writeln!(
+        s,
+        "  {:<24} {:>4}  {:>12} {:>14}",
+        "platform", "set", "latency(ms)", "tput(BS/s)"
+    );
     for set in ["I", "II", "III", "IV"] {
         for b in baselines_for(set) {
             let _ = writeln!(
@@ -172,15 +273,24 @@ pub fn table5_report(measured_cpu: bool) -> String {
                 tput
             );
         }
-        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(4);
         let tput = measure_cpu_bootstrap_parallel(ParamSet::I, 2 * threads, threads);
         let _ = writeln!(
             s,
             "  {:<24} {:>4}  {:>12} {:>14.1}   [measured: our CPU impl, {threads} threads]",
-            "ours (CPU functional)",
+            "ours (CPU functional)", "I", "-", tput
+        );
+        let (engine_tput, stats) = measure_engine_bootstrap(ParamSet::I, 2 * threads, threads);
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>4}  {:>12} {:>14.1}   [measured: persistent engine, {threads} workers, {:.1} BS/s per core]",
+            "ours (CPU engine)",
             "I",
             "-",
-            tput
+            engine_tput,
+            stats.bootstraps_per_core_sec()
         );
     }
     for &(set, paper_lat, paper_tput) in TABLE_V_MORPHLING_PAPER {
@@ -223,7 +333,10 @@ pub fn fig7a_report() -> String {
 /// (same compute resources), sets A/B/C, plus the merge-split FFT bar.
 pub fn fig7b_report() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig 7b — throughput per reuse architecture (speedup vs No-Reuse)");
+    let _ = writeln!(
+        s,
+        "Fig 7b — throughput per reuse architecture (speedup vs No-Reuse)"
+    );
     let _ = writeln!(
         s,
         "  paper speedups: input 1.3–1.6x; in+out 2.0/2.9/3.9x (A/B/C); +merge-split 1.2–1.3x; total 2.6–5.3x"
@@ -231,9 +344,13 @@ pub fn fig7b_report() -> String {
     for set in [ParamSet::A, ParamSet::B, ParamSet::C] {
         let params = set.params();
         let tput = |reuse: ReuseMode, ms: bool| {
-            Simulator::new(ArchConfig::morphling_default().with_reuse(reuse).with_merge_split(ms))
-                .bootstrap_batch(&params, 16)
-                .throughput_bs_per_s()
+            Simulator::new(
+                ArchConfig::morphling_default()
+                    .with_reuse(reuse)
+                    .with_merge_split(ms),
+            )
+            .bootstrap_batch(&params, 16)
+            .throughput_bs_per_s()
         };
         let no = tput(ReuseMode::NoReuse, false);
         let input = tput(ReuseMode::InputReuse, false);
@@ -252,7 +369,10 @@ pub fn fig7b_report() -> String {
 pub fn fig8a_report() -> String {
     let params = ParamSet::A.params();
     let mut s = String::new();
-    let _ = writeln!(s, "Fig 8a — Private-A1 sweep (set A; paper: degrades below 4096 KB, stable above)");
+    let _ = writeln!(
+        s,
+        "Fig 8a — Private-A1 sweep (set A; paper: degrades below 4096 KB, stable above)"
+    );
     let _ = writeln!(s, "  A1(KB)   streams   latency(ms)   tput(BS/s)");
     for kb in [512usize, 1024, 2048, 3072, 4096, 6144, 8192, 16384] {
         let r = Simulator::new(ArchConfig::morphling_default().with_private_a1_kb(kb))
@@ -273,7 +393,10 @@ pub fn fig8a_report() -> String {
 pub fn fig8b_report() -> String {
     let params = ParamSet::A.params();
     let mut s = String::new();
-    let _ = writeln!(s, "Fig 8b — XPU-count sweep (set A; paper: linear to 4, then memory-bound)");
+    let _ = writeln!(
+        s,
+        "Fig 8b — XPU-count sweep (set A; paper: linear to 4, then memory-bound)"
+    );
     let _ = writeln!(s, "  XPUs   cores   tput(BS/s)   stall");
     for xpus in 1..=8usize {
         let r = Simulator::new(ArchConfig::morphling_default().with_xpus(xpus))
@@ -301,7 +424,10 @@ pub fn table6_report() -> String {
         ("VGG-9", models::vgg9().workload()),
     ];
     let mut s = String::new();
-    let _ = writeln!(s, "Table VI — application execution time (paper speedups 88–144x)");
+    let _ = writeln!(
+        s,
+        "Table VI — application execution time (paper speedups 88–144x)"
+    );
     let _ = writeln!(
         s,
         "  {:<12} {:>9} {:>13} {:>9}   {:>18} {:>13}",
@@ -309,8 +435,16 @@ pub fn table6_report() -> String {
     );
     for (name, w) in &workloads {
         let est = runtime::estimate(w, &rt);
-        let paper_cpu = TABLE_VI_CPU_SECONDS.iter().find(|&&(n, _)| n == *name).unwrap().1;
-        let paper_m = TABLE_VI_MORPHLING_PAPER.iter().find(|&&(n, _)| n == *name).unwrap().1;
+        let paper_cpu = TABLE_VI_CPU_SECONDS
+            .iter()
+            .find(|&&(n, _)| n == *name)
+            .unwrap()
+            .1;
+        let paper_m = TABLE_VI_MORPHLING_PAPER
+            .iter()
+            .find(|&&(n, _)| n == *name)
+            .unwrap()
+            .1;
         let _ = writeln!(
             s,
             "  {:<12} {:>9.2} {:>13.3} {:>8.0}x   {:>8.2} / {:<7.2} {:>12.0}x",
@@ -334,10 +468,17 @@ pub fn dataflow_ablation_report() -> String {
     use morphling_core::Dataflow;
     let mut s = String::new();
     let _ = writeln!(s, "Dataflow ablation (§IV-B) — why ACC-output stationary");
-    let _ = writeln!(s, "  set   dataflow             streams   stall   tput(BS/s)");
+    let _ = writeln!(
+        s,
+        "  set   dataflow             streams   stall   tput(BS/s)"
+    );
     for set in [ParamSet::A, ParamSet::B, ParamSet::C] {
         let params = set.params();
-        for df in [Dataflow::OutputStationary, Dataflow::InputStationary, Dataflow::BskStationary] {
+        for df in [
+            Dataflow::OutputStationary,
+            Dataflow::InputStationary,
+            Dataflow::BskStationary,
+        ] {
             let r = Simulator::new(ArchConfig::morphling_default().with_dataflow(df))
                 .bootstrap_batch(&params, 16);
             let _ = writeln!(
@@ -357,24 +498,68 @@ pub fn dataflow_ablation_report() -> String {
 /// Headline summary (abstract claims).
 pub fn summary_report() -> String {
     let sim = Simulator::new(ArchConfig::morphling_default());
-    let ours_i = sim.bootstrap_batch(&ParamSet::I.params(), 16).throughput_bs_per_s();
-    let ours_ii = sim.bootstrap_batch(&ParamSet::II.params(), 16).throughput_bs_per_s();
-    let cpu = baselines_for("I").find(|r| r.platform == "CPU").unwrap().throughput_bs_s;
-    let nufhe = baselines_for("II").find(|r| r.system == "NuFHE").unwrap().throughput_bs_s;
-    let matcha = baselines_for("I").find(|r| r.system == "MATCHA").unwrap().throughput_bs_s;
-    let strix = baselines_for("I").find(|r| r.system == "Strix").unwrap().throughput_bs_s;
+    let ours_i = sim
+        .bootstrap_batch(&ParamSet::I.params(), 16)
+        .throughput_bs_per_s();
+    let ours_ii = sim
+        .bootstrap_batch(&ParamSet::II.params(), 16)
+        .throughput_bs_per_s();
+    let cpu = baselines_for("I")
+        .find(|r| r.platform == "CPU")
+        .unwrap()
+        .throughput_bs_s;
+    let nufhe = baselines_for("II")
+        .find(|r| r.system == "NuFHE")
+        .unwrap()
+        .throughput_bs_s;
+    let matcha = baselines_for("I")
+        .find(|r| r.system == "MATCHA")
+        .unwrap()
+        .throughput_bs_s;
+    let strix = baselines_for("I")
+        .find(|r| r.system == "Strix")
+        .unwrap()
+        .throughput_bs_s;
     let mut s = String::new();
     let _ = writeln!(s, "Headline claims (abstract)            ours        paper");
-    let _ = writeln!(s, "  peak throughput (set I)        {:>9.0}      147,615 BS/s", ours_i);
-    let _ = writeln!(s, "  speedup vs CPU (Concrete)      {:>8.0}x        3440x", ours_i / cpu);
-    let _ = writeln!(s, "  speedup vs GPU (NuFHE, II)     {:>8.0}x         143x", ours_ii / nufhe);
-    let _ = writeln!(s, "  speedup vs MATCHA              {:>8.1}x         14.7x", ours_i / matcha);
-    let _ = writeln!(s, "  speedup vs Strix               {:>8.2}x         1.98x", ours_i / strix);
+    let _ = writeln!(
+        s,
+        "  peak throughput (set I)        {:>9.0}      147,615 BS/s",
+        ours_i
+    );
+    let _ = writeln!(
+        s,
+        "  speedup vs CPU (Concrete)      {:>8.0}x        3440x",
+        ours_i / cpu
+    );
+    let _ = writeln!(
+        s,
+        "  speedup vs GPU (NuFHE, II)     {:>8.0}x         143x",
+        ours_ii / nufhe
+    );
+    let _ = writeln!(
+        s,
+        "  speedup vs MATCHA              {:>8.1}x         14.7x",
+        ours_i / matcha
+    );
+    let _ = writeln!(
+        s,
+        "  speedup vs Strix               {:>8.2}x         1.98x",
+        ours_i / strix
+    );
     // Energy efficiency from the cost model + simulator (supplementary).
-    let power = hwmodel::evaluate(&ArchConfig::morphling_default()).total().power_w;
-    let ours_mj = sim.bootstrap_batch(&ParamSet::I.params(), 16).energy_per_bootstrap_mj(power);
+    let power = hwmodel::evaluate(&ArchConfig::morphling_default())
+        .total()
+        .power_w;
+    let ours_mj = sim
+        .bootstrap_batch(&ParamSet::I.params(), 16)
+        .energy_per_bootstrap_mj(power);
     let strix_mj = 77.14 / strix * 1e3;
-    let _ = writeln!(s, "  energy per bootstrap (set I)   {:>7.2} mJ     (Strix: {:.2} mJ)", ours_mj, strix_mj);
+    let _ = writeln!(
+        s,
+        "  energy per bootstrap (set I)   {:>7.2} mJ     (Strix: {:.2} mJ)",
+        ours_mj, strix_mj
+    );
     s
 }
 

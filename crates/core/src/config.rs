@@ -149,8 +149,15 @@ impl ArchConfig {
             private_b_kb: 2048,
             shared_kb: 1024,
             clock_ghz: 1.2,
-            hbm: HbmConfig { channels: 8, total_gb_s: 310.0, vpu_priority_channels: 6 },
-            noc: NocConfig { bsk_multicast_width: 4, bandwidth_tb_s: 4.8 },
+            hbm: HbmConfig {
+                channels: 8,
+                total_gb_s: 310.0,
+                vpu_priority_channels: 6,
+            },
+            noc: NocConfig {
+                bsk_multicast_width: 4,
+                bandwidth_tb_s: 4.8,
+            },
             max_stream_batch: 4,
             dataflow: Dataflow::default(),
         }

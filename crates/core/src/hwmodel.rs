@@ -25,11 +25,17 @@ impl AreaPower {
     }
 
     fn scale(self, k: f64) -> Self {
-        Self { area_mm2: self.area_mm2 * k, power_w: self.power_w * k }
+        Self {
+            area_mm2: self.area_mm2 * k,
+            power_w: self.power_w * k,
+        }
     }
 
     fn add(self, other: Self) -> Self {
-        Self { area_mm2: self.area_mm2 + other.area_mm2, power_w: self.power_w + other.power_w }
+        Self {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_w: self.power_w + other.power_w,
+        }
     }
 }
 
@@ -75,7 +81,9 @@ impl CostBreakdown {
     /// Total chip area and power (chip-level rows only; the XPU detail is
     /// already aggregated in the `n× XPU` row).
     pub fn total(&self) -> AreaPower {
-        self.rows.iter().fold(AreaPower::default(), |acc, r| acc.add(r.cost))
+        self.rows
+            .iter()
+            .fold(AreaPower::default(), |acc, r| acc.add(r.cost))
     }
 
     /// Find a row by (sub)label, searching the XPU detail first.
@@ -94,7 +102,10 @@ pub fn evaluate(config: &ArchConfig) -> CostBreakdown {
     let mut xpu_detail = Vec::new();
     let mut rows = Vec::new();
     let push = |rows: &mut Vec<CostRow>, label: String, cost: AreaPower| {
-        rows.push(CostRow { component: label, cost });
+        rows.push(CostRow {
+            component: label,
+            cost,
+        });
     };
 
     let decomp = DECOMP_UNIT.scale(config.decomp_units_per_xpu as f64);
@@ -102,17 +113,58 @@ pub fn evaluate(config: &ArchConfig) -> CostBreakdown {
     let coef = COEF_BUFFER.scale(config.ffts_per_xpu as f64);
     let vpe = VPE.scale(config.vpes_per_xpu() as f64);
     let ifft = FFT_UNIT.scale(config.iffts_per_xpu as f64);
-    let xpu = decomp.add(fft).add(coef).add(TWIDDLE_BUFFER).add(vpe).add(ifft);
+    let xpu = decomp
+        .add(fft)
+        .add(coef)
+        .add(TWIDDLE_BUFFER)
+        .add(vpe)
+        .add(ifft);
 
-    push(&mut xpu_detail, format!("{}x Decomposition Unit", config.decomp_units_per_xpu), decomp);
-    push(&mut xpu_detail, format!("{}x FFT", config.ffts_per_xpu), fft);
-    push(&mut xpu_detail, format!("{}x Coef-Buffer", config.ffts_per_xpu), coef);
-    push(&mut xpu_detail, "Twiddle-Buffer".to_string(), TWIDDLE_BUFFER);
-    push(&mut xpu_detail, format!("{}x{} VPE Array", config.vpe_rows, config.vpe_cols), vpe);
-    push(&mut xpu_detail, format!("{}x IFFT", config.iffts_per_xpu), ifft);
-    push(&mut rows, format!("{}x XPU", config.xpus), xpu.scale(config.xpus as f64));
-    push(&mut rows, "VPU".to_string(), VPU_LANE_GROUP.scale(config.vpu_groups as f64));
-    push(&mut rows, "NoC".to_string(), NOC_PER_XPU.scale(config.xpus as f64));
+    push(
+        &mut xpu_detail,
+        format!("{}x Decomposition Unit", config.decomp_units_per_xpu),
+        decomp,
+    );
+    push(
+        &mut xpu_detail,
+        format!("{}x FFT", config.ffts_per_xpu),
+        fft,
+    );
+    push(
+        &mut xpu_detail,
+        format!("{}x Coef-Buffer", config.ffts_per_xpu),
+        coef,
+    );
+    push(
+        &mut xpu_detail,
+        "Twiddle-Buffer".to_string(),
+        TWIDDLE_BUFFER,
+    );
+    push(
+        &mut xpu_detail,
+        format!("{}x{} VPE Array", config.vpe_rows, config.vpe_cols),
+        vpe,
+    );
+    push(
+        &mut xpu_detail,
+        format!("{}x IFFT", config.iffts_per_xpu),
+        ifft,
+    );
+    push(
+        &mut rows,
+        format!("{}x XPU", config.xpus),
+        xpu.scale(config.xpus as f64),
+    );
+    push(
+        &mut rows,
+        "VPU".to_string(),
+        VPU_LANE_GROUP.scale(config.vpu_groups as f64),
+    );
+    push(
+        &mut rows,
+        "NoC".to_string(),
+        NOC_PER_XPU.scale(config.xpus as f64),
+    );
     let mb = |kb: usize| kb as f64 / 1024.0;
     push(
         &mut rows,
@@ -153,8 +205,16 @@ mod tests {
     fn default_total_matches_table_iv() {
         // Table IV: 74.79 mm², 53.00 W.
         let total = evaluate(&ArchConfig::morphling_default()).total();
-        assert!((total.area_mm2 - 74.79).abs() < 1.0, "area {}", total.area_mm2);
-        assert!((total.power_w - 53.00).abs() < 1.0, "power {}", total.power_w);
+        assert!(
+            (total.area_mm2 - 74.79).abs() < 1.0,
+            "area {}",
+            total.area_mm2
+        );
+        assert!(
+            (total.power_w - 53.00).abs() < 1.0,
+            "power {}",
+            total.power_w
+        );
     }
 
     #[test]
@@ -169,9 +229,19 @@ mod tests {
     fn component_rows_match_table_iv() {
         let b = evaluate(&ArchConfig::morphling_default());
         let check = |label: &str, area: f64, power: f64| {
-            let r = b.row(label).unwrap_or_else(|| panic!("missing row {label}"));
-            assert!((r.cost.area_mm2 - area).abs() < 0.05, "{label} area {}", r.cost.area_mm2);
-            assert!((r.cost.power_w - power).abs() < 0.05, "{label} power {}", r.cost.power_w);
+            let r = b
+                .row(label)
+                .unwrap_or_else(|| panic!("missing row {label}"));
+            assert!(
+                (r.cost.area_mm2 - area).abs() < 0.05,
+                "{label} area {}",
+                r.cost.area_mm2
+            );
+            assert!(
+                (r.cost.power_w - power).abs() < 0.05,
+                "{label} power {}",
+                r.cost.power_w
+            );
         };
         check("FFT", 1.22, 0.91);
         check("VPE Array", 4.71, 3.13);

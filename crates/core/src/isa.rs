@@ -144,7 +144,13 @@ impl fmt::Display for Op {
 impl fmt::Display for Instruction {
     /// Assembly-style disassembly: `id: op @group [deps]`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>4}: {:<24} @g{}", self.id, self.op.to_string(), self.group.0)?;
+        write!(
+            f,
+            "{:>4}: {:<24} @g{}",
+            self.id,
+            self.op.to_string(),
+            self.group.0
+        )?;
         if !self.deps.is_empty() {
             write!(f, "  waits {:?}", self.deps)?;
         }
@@ -170,7 +176,12 @@ impl Program {
         for &d in &deps {
             assert!(d < id, "dependency {d} does not precede instruction {id}");
         }
-        self.instructions.push(Instruction { id, group, op, deps });
+        self.instructions.push(Instruction {
+            id,
+            group,
+            op,
+            deps,
+        });
         id
     }
 
@@ -221,7 +232,11 @@ mod tests {
     fn program_assigns_sequential_ids() {
         let mut p = Program::new();
         let a = p.push(GroupId(0), Op::Vpu(VpuOp::ModSwitch), vec![]);
-        let b = p.push(GroupId(0), Op::Xpu(XpuOp::BlindRotate { iterations: 500 }), vec![a]);
+        let b = p.push(
+            GroupId(0),
+            Op::Xpu(XpuOp::BlindRotate { iterations: 500 }),
+            vec![a],
+        );
         assert_eq!((a, b), (0, 1));
         assert_eq!(p.len(), 2);
         assert_eq!(p.instructions()[1].deps, vec![0]);
@@ -236,7 +251,10 @@ mod tests {
 
     #[test]
     fn op_unit_classes() {
-        assert_eq!(Op::Xpu(XpuOp::BlindRotate { iterations: 1 }).unit(), UnitClass::Xpu);
+        assert_eq!(
+            Op::Xpu(XpuOp::BlindRotate { iterations: 1 }).unit(),
+            UnitClass::Xpu
+        );
         assert_eq!(Op::Vpu(VpuOp::KeySwitch).unit(), UnitClass::Vpu);
         assert_eq!(Op::Dma(DmaOp::LoadKsk).unit(), UnitClass::Dma);
         assert_eq!(UnitClass::Dma.to_string(), "DMA");
@@ -246,7 +264,11 @@ mod tests {
     fn disassembly_lists_every_instruction() {
         let mut p = Program::new();
         let ms = p.push(GroupId(0), Op::Vpu(VpuOp::ModSwitch), vec![]);
-        p.push(GroupId(0), Op::Xpu(XpuOp::BlindRotate { iterations: 500 }), vec![ms]);
+        p.push(
+            GroupId(0),
+            Op::Xpu(XpuOp::BlindRotate { iterations: 500 }),
+            vec![ms],
+        );
         let listing = p.to_string();
         assert!(listing.contains("VPU.MS"));
         assert!(listing.contains("XPU.BR    iters=500"));

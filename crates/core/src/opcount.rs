@@ -73,16 +73,20 @@ pub fn cpu_bootstrap_ops(params: &TfheParams) -> OpBreakdown {
     let pointwise = n * k1 * k1 * l_b * (big_n / 2) * 4;
 
     // Key switch: kN·l_k scalar×LWE accumulations of (n+1) words each.
-    let key_switch = (params.extracted_lwe_dim() as u64)
-        * params.ksk_decomp.level() as u64
-        * (n + 1);
+    let key_switch =
+        (params.extracted_lwe_dim() as u64) * params.ksk_decomp.level() as u64 * (n + 1);
 
     // Modulus switch: one multiply per mask element + body; decomposition
     // and sample extraction are shifts/moves (counted once per coefficient
     // to be conservative, like the paper's ≈1% "others").
     let other = (n + 1) + n * k1 * l_b * big_n / 8;
 
-    OpBreakdown { transform, pointwise, key_switch, other }
+    OpBreakdown {
+        transform,
+        pointwise,
+        key_switch,
+        other,
+    }
 }
 
 /// Memory footprint (bytes) of the bootstrapping working set, Fig 1 middle

@@ -27,18 +27,114 @@ pub struct BaselineRow {
 
 /// All baseline rows of Table V (paper values).
 pub const TABLE_V_BASELINES: &[BaselineRow] = &[
-    BaselineRow { system: "Concrete", platform: "CPU", area_mm2: None, power_w: None, param_set: "I", latency_ms: 15.65, throughput_bs_s: 63.0 },
-    BaselineRow { system: "Concrete", platform: "CPU", area_mm2: None, power_w: None, param_set: "II", latency_ms: 27.26, throughput_bs_s: 36.0 },
-    BaselineRow { system: "Concrete", platform: "CPU", area_mm2: None, power_w: None, param_set: "III", latency_ms: 82.19, throughput_bs_s: 12.0 },
-    BaselineRow { system: "NuFHE", platform: "GPU", area_mm2: None, power_w: None, param_set: "I", latency_ms: 240.0, throughput_bs_s: 2500.0 },
-    BaselineRow { system: "NuFHE", platform: "GPU", area_mm2: None, power_w: None, param_set: "II", latency_ms: 420.0, throughput_bs_s: 550.0 },
-    BaselineRow { system: "cuda TFHE", platform: "GPU", area_mm2: None, power_w: None, param_set: "IV", latency_ms: 66.0, throughput_bs_s: 1786.0 },
-    BaselineRow { system: "XHEC", platform: "FPGA", area_mm2: None, power_w: None, param_set: "I", latency_ms: 1.15, throughput_bs_s: 4000.0 },
-    BaselineRow { system: "XHEC", platform: "FPGA", area_mm2: None, power_w: None, param_set: "II", latency_ms: 1.65, throughput_bs_s: 2800.0 },
-    BaselineRow { system: "MATCHA", platform: "ASIC (16 nm)", area_mm2: Some(36.96), power_w: Some(39.98), param_set: "I", latency_ms: 0.20, throughput_bs_s: 10_000.0 },
-    BaselineRow { system: "Strix", platform: "ASIC (28 nm)", area_mm2: Some(141.37), power_w: Some(77.14), param_set: "I", latency_ms: 0.16, throughput_bs_s: 74_696.0 },
-    BaselineRow { system: "Strix", platform: "ASIC (28 nm)", area_mm2: Some(141.37), power_w: Some(77.14), param_set: "II", latency_ms: 0.23, throughput_bs_s: 39_600.0 },
-    BaselineRow { system: "Strix", platform: "ASIC (28 nm)", area_mm2: Some(141.37), power_w: Some(77.14), param_set: "III", latency_ms: 0.44, throughput_bs_s: 21_104.0 },
+    BaselineRow {
+        system: "Concrete",
+        platform: "CPU",
+        area_mm2: None,
+        power_w: None,
+        param_set: "I",
+        latency_ms: 15.65,
+        throughput_bs_s: 63.0,
+    },
+    BaselineRow {
+        system: "Concrete",
+        platform: "CPU",
+        area_mm2: None,
+        power_w: None,
+        param_set: "II",
+        latency_ms: 27.26,
+        throughput_bs_s: 36.0,
+    },
+    BaselineRow {
+        system: "Concrete",
+        platform: "CPU",
+        area_mm2: None,
+        power_w: None,
+        param_set: "III",
+        latency_ms: 82.19,
+        throughput_bs_s: 12.0,
+    },
+    BaselineRow {
+        system: "NuFHE",
+        platform: "GPU",
+        area_mm2: None,
+        power_w: None,
+        param_set: "I",
+        latency_ms: 240.0,
+        throughput_bs_s: 2500.0,
+    },
+    BaselineRow {
+        system: "NuFHE",
+        platform: "GPU",
+        area_mm2: None,
+        power_w: None,
+        param_set: "II",
+        latency_ms: 420.0,
+        throughput_bs_s: 550.0,
+    },
+    BaselineRow {
+        system: "cuda TFHE",
+        platform: "GPU",
+        area_mm2: None,
+        power_w: None,
+        param_set: "IV",
+        latency_ms: 66.0,
+        throughput_bs_s: 1786.0,
+    },
+    BaselineRow {
+        system: "XHEC",
+        platform: "FPGA",
+        area_mm2: None,
+        power_w: None,
+        param_set: "I",
+        latency_ms: 1.15,
+        throughput_bs_s: 4000.0,
+    },
+    BaselineRow {
+        system: "XHEC",
+        platform: "FPGA",
+        area_mm2: None,
+        power_w: None,
+        param_set: "II",
+        latency_ms: 1.65,
+        throughput_bs_s: 2800.0,
+    },
+    BaselineRow {
+        system: "MATCHA",
+        platform: "ASIC (16 nm)",
+        area_mm2: Some(36.96),
+        power_w: Some(39.98),
+        param_set: "I",
+        latency_ms: 0.20,
+        throughput_bs_s: 10_000.0,
+    },
+    BaselineRow {
+        system: "Strix",
+        platform: "ASIC (28 nm)",
+        area_mm2: Some(141.37),
+        power_w: Some(77.14),
+        param_set: "I",
+        latency_ms: 0.16,
+        throughput_bs_s: 74_696.0,
+    },
+    BaselineRow {
+        system: "Strix",
+        platform: "ASIC (28 nm)",
+        area_mm2: Some(141.37),
+        power_w: Some(77.14),
+        param_set: "II",
+        latency_ms: 0.23,
+        throughput_bs_s: 39_600.0,
+    },
+    BaselineRow {
+        system: "Strix",
+        platform: "ASIC (28 nm)",
+        area_mm2: Some(141.37),
+        power_w: Some(77.14),
+        param_set: "III",
+        latency_ms: 0.44,
+        throughput_bs_s: 21_104.0,
+    },
 ];
 
 /// The paper's own Morphling rows of Table V — used to cross-check our
@@ -72,7 +168,9 @@ pub const TABLE_VI_MORPHLING_PAPER: &[(&str, f64)] = &[
 
 /// Baselines for a given parameter set.
 pub fn baselines_for(param_set: &str) -> impl Iterator<Item = &'static BaselineRow> + use<'_> {
-    TABLE_V_BASELINES.iter().filter(move |r| r.param_set == param_set)
+    TABLE_V_BASELINES
+        .iter()
+        .filter(move |r| r.param_set == param_set)
 }
 
 #[cfg(test)]
@@ -84,10 +182,19 @@ mod tests {
         // 3440× over CPU, 143× over GPU (NuFHE), 14.7× over the SOTA
         // accelerator (MATCHA) — all at their shared parameter sets.
         let morphling_i = TABLE_V_MORPHLING_PAPER[0].2;
-        let cpu_i = baselines_for("I").find(|r| r.platform == "CPU").unwrap().throughput_bs_s;
-        let gpu_ii = baselines_for("II").find(|r| r.system == "NuFHE").unwrap().throughput_bs_s;
+        let cpu_i = baselines_for("I")
+            .find(|r| r.platform == "CPU")
+            .unwrap()
+            .throughput_bs_s;
+        let gpu_ii = baselines_for("II")
+            .find(|r| r.system == "NuFHE")
+            .unwrap()
+            .throughput_bs_s;
         let morphling_ii = TABLE_V_MORPHLING_PAPER[1].2;
-        let matcha = baselines_for("I").find(|r| r.system == "MATCHA").unwrap().throughput_bs_s;
+        let matcha = baselines_for("I")
+            .find(|r| r.system == "MATCHA")
+            .unwrap()
+            .throughput_bs_s;
         assert!((morphling_i / cpu_i - 3440.0).abs() / 3440.0 < 0.35);
         assert!((morphling_ii / gpu_ii - 143.0).abs() / 143.0 < 0.01);
         assert!((morphling_i / matcha - 14.76).abs() < 0.1);

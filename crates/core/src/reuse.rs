@@ -23,8 +23,11 @@ pub enum ReuseMode {
 
 impl ReuseMode {
     /// All three modes in Fig 2 order.
-    pub const ALL: [ReuseMode; 3] =
-        [ReuseMode::NoReuse, ReuseMode::InputReuse, ReuseMode::InputOutputReuse];
+    pub const ALL: [ReuseMode; 3] = [
+        ReuseMode::NoReuse,
+        ReuseMode::InputReuse,
+        ReuseMode::InputOutputReuse,
+    ];
 
     /// Forward transforms needed per blind-rotation iteration *per
     /// ciphertext* for GLWE dimension `k` and BSK level `l_b`.
@@ -104,7 +107,10 @@ mod tests {
     fn fig3_maximum_transform_count() {
         // Fig 3: "bootstrapping could require up to 46752 domain-transform
         // operations" — set C (n=487, k=3, l_b=3), no reuse.
-        assert_eq!(ReuseMode::NoReuse.transforms_per_bootstrap(487, 3, 3), 46_752);
+        assert_eq!(
+            ReuseMode::NoReuse.transforms_per_bootstrap(487, 3, 3),
+            46_752
+        );
     }
 
     #[test]
@@ -121,6 +127,9 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ReuseMode::InputOutputReuse.to_string(), "Input+Output-Reuse");
+        assert_eq!(
+            ReuseMode::InputOutputReuse.to_string(),
+            "Input+Output-Reuse"
+        );
     }
 }

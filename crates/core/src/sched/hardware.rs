@@ -42,7 +42,11 @@ impl Timeline {
 
     /// Busy cycles of one unit class (sum of instruction durations).
     pub fn busy_cycles(&self, unit: UnitClass) -> u64 {
-        self.entries.iter().filter(|e| e.unit == unit).map(|e| e.end - e.start).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.unit == unit)
+            .map(|e| e.end - e.start)
+            .sum()
     }
 
     /// Utilization of a unit class over the makespan.
@@ -76,22 +80,26 @@ impl HwScheduler {
         match op {
             Op::Xpu(XpuOp::BlindRotate { iterations }) => {
                 // The full simulator supplies the stalled iteration period.
-                let report = Simulator::new(cfg.clone()).bootstrap_batch(params, group_size as usize);
+                let report =
+                    Simulator::new(cfg.clone()).bootstrap_batch(params, group_size as usize);
                 (u64::from(*iterations) as f64 * report.iter_cycles as f64 * report.stall) as u64
             }
-            Op::Vpu(VpuOp::ModSwitch) => {
-                (group_size * vpu.mod_switch_macs).div_ceil(cfg.vpu_macs_per_cycle()).max(1)
-            }
+            Op::Vpu(VpuOp::ModSwitch) => (group_size * vpu.mod_switch_macs)
+                .div_ceil(cfg.vpu_macs_per_cycle())
+                .max(1),
             Op::Vpu(VpuOp::SampleExtract) => (group_size * vpu.sample_extract_words)
                 .div_ceil((cfg.lanes * cfg.vpu_groups) as u64)
                 .max(1),
-            Op::Vpu(VpuOp::KeySwitch) => {
-                (group_size * vpu.key_switch_macs).div_ceil(cfg.vpu_macs_per_cycle()).max(1)
-            }
+            Op::Vpu(VpuOp::KeySwitch) => (group_size * vpu.key_switch_macs)
+                .div_ceil(cfg.vpu_macs_per_cycle())
+                .max(1),
             Op::Vpu(VpuOp::PAlu { macs }) => macs.div_ceil(cfg.vpu_macs_per_cycle()).max(1),
             Op::Dma(DmaOp::LoadBskWindow { .. }) => {
                 // Prefetch head start: fill the double-buffered A2 window.
-                self.dma_cycles(2 * params.bsk_iter_bytes_fourier(), cfg.hbm.xpu_priority_gb_s())
+                self.dma_cycles(
+                    2 * params.bsk_iter_bytes_fourier(),
+                    cfg.hbm.xpu_priority_gb_s(),
+                )
             }
             Op::Dma(DmaOp::LoadKsk) => {
                 // One KSK tile per group; the full key is reused across the
@@ -110,7 +118,9 @@ impl HwScheduler {
     }
 
     fn dma_cycles(&self, bytes: u64, gb_s: f64) -> u64 {
-        ((bytes as f64 / (gb_s * 1e9)) * self.config.clock_hz()).ceil().max(1.0) as u64
+        ((bytes as f64 / (gb_s * 1e9)) * self.config.clock_hz())
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Dispatch a program: an event-driven list scheduler (the scoreboard
@@ -148,7 +158,7 @@ impl HwScheduler {
                     UnitClass::Dma => *dma_free.iter().min().expect("two engines"),
                 };
                 let start = dep_ready.max(unit_free);
-                if best.map_or(true, |(s, _)| start < s) {
+                if best.is_none_or(|(s, _)| start < s) {
                     best = Some((start, instr.id as usize));
                 }
             }
@@ -169,7 +179,12 @@ impl HwScheduler {
                 }
             }
             finish[idx] = Some(end);
-            timeline.entries.push(Scheduled { id: instr.id, start, end, unit });
+            timeline.entries.push(Scheduled {
+                id: instr.id,
+                start,
+                end,
+                unit,
+            });
             scheduled += 1;
         }
         timeline.entries.sort_by_key(|e| (e.start, e.id));
@@ -190,7 +205,11 @@ mod tests {
 
     fn setup() -> (SwScheduler, HwScheduler, TfheParams) {
         let cfg = ArchConfig::morphling_default();
-        (SwScheduler::new(cfg.clone()), HwScheduler::new(cfg), ParamSet::I.params())
+        (
+            SwScheduler::new(cfg.clone()),
+            HwScheduler::new(cfg),
+            ParamSet::I.params(),
+        )
     }
 
     #[test]
@@ -211,7 +230,11 @@ mod tests {
         // Four groups take ≈ 4× the XPU time, but VPU/DMA overlap, so the
         // makespan is < 4.5× a single group and XPU utilization is high.
         assert!(four.makespan_cycles() < one.makespan_cycles() * 9 / 2);
-        assert!(four.utilization(UnitClass::Xpu) > 0.85, "{}", four.utilization(UnitClass::Xpu));
+        assert!(
+            four.utilization(UnitClass::Xpu) > 0.85,
+            "{}",
+            four.utilization(UnitClass::Xpu)
+        );
     }
 
     #[test]
@@ -219,7 +242,10 @@ mod tests {
         let (sw, hw, params) = setup();
         // Four dependent levels vs the same work fully independent: the
         // dependent chain cannot overlap KS with the next level's BR.
-        let w = Workload::independent(16).then(16, 0).then(16, 0).then(16, 0);
+        let w = Workload::independent(16)
+            .then(16, 0)
+            .then(16, 0)
+            .then(16, 0);
         let seq = hw.run_seconds(&sw.compile(&w, &params), &params);
         let par = hw.run_seconds(&sw.compile(&Workload::independent(64), &params), &params);
         assert!(seq > par * 1.1, "seq {seq} par {par}");

@@ -19,7 +19,9 @@ pub struct Workload {
 impl Workload {
     /// A single level of `count` independent bootstraps.
     pub fn independent(count: u64) -> Self {
-        Self { levels: vec![(count, 0)] }
+        Self {
+            levels: vec![(count, 0)],
+        }
     }
 
     /// Append a level.
@@ -72,13 +74,18 @@ impl SwScheduler {
                 let load = prog.push(g, Op::Dma(DmaOp::LoadLwe), deps.clone());
                 let bsk = prog.push(
                     g,
-                    Op::Dma(DmaOp::LoadBskWindow { from_iter: 0, to_iter: params.lwe_dim as u32 }),
+                    Op::Dma(DmaOp::LoadBskWindow {
+                        from_iter: 0,
+                        to_iter: params.lwe_dim as u32,
+                    }),
                     vec![],
                 );
                 let ms = prog.push(g, Op::Vpu(VpuOp::ModSwitch), vec![load]);
                 let br = prog.push(
                     g,
-                    Op::Xpu(XpuOp::BlindRotate { iterations: params.lwe_dim as u32 }),
+                    Op::Xpu(XpuOp::BlindRotate {
+                        iterations: params.lwe_dim as u32,
+                    }),
                     vec![ms, bsk],
                 );
                 let se = prog.push(g, Op::Vpu(VpuOp::SampleExtract), vec![br]);
@@ -91,8 +98,11 @@ impl SwScheduler {
             if palu_macs > 0 {
                 let g = GroupId(group_no);
                 group_no += 1;
-                let palu =
-                    prog.push(g, Op::Vpu(VpuOp::PAlu { macs: palu_macs }), this_level.clone());
+                let palu = prog.push(
+                    g,
+                    Op::Vpu(VpuOp::PAlu { macs: palu_macs }),
+                    this_level.clone(),
+                );
                 this_level.push(palu);
             }
             prev_level_last = this_level;

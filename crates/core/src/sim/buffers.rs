@@ -44,8 +44,14 @@ pub struct RotatorBuffer {
 impl RotatorBuffer {
     /// Store a polynomial into the banked buffer.
     pub fn store(poly: &Polynomial<Torus32>, lanes: usize) -> Self {
-        assert!(lanes >= 1 && poly.len() % lanes == 0, "lanes must divide the polynomial size");
-        Self { data: poly.coeffs().to_vec(), lanes }
+        assert!(
+            lanes >= 1 && poly.len().is_multiple_of(lanes),
+            "lanes must divide the polynomial size"
+        );
+        Self {
+            data: poly.coeffs().to_vec(),
+            lanes,
+        }
     }
 
     /// Polynomial size `N`.
@@ -73,8 +79,11 @@ impl RotatorBuffer {
             for lane in 0..self.lanes {
                 let j = (group * self.lanes + lane) as i64;
                 let src = (j - a).rem_euclid(two_n);
-                let (idx, negate) =
-                    if src < n { (src as usize, false) } else { ((src - n) as usize, true) };
+                let (idx, negate) = if src < n {
+                    (src as usize, false)
+                } else {
+                    ((src - n) as usize, true)
+                };
                 let v = self.data[idx];
                 out.push(if negate { -v } else { v });
             }
@@ -97,7 +106,9 @@ mod tests {
     use morphling_tfhe::ParamSet;
 
     fn poly(n: usize) -> Polynomial<Torus32> {
-        Polynomial::from_fn(n, |j| Torus32::from_raw((j as u32).wrapping_mul(0x9E37_79B9)))
+        Polynomial::from_fn(n, |j| {
+            Torus32::from_raw((j as u32).wrapping_mul(0x9E37_79B9))
+        })
     }
 
     #[test]
@@ -114,7 +125,11 @@ mod tests {
         let p = poly(32);
         let buf = RotatorBuffer::store(&p, 8);
         for a in [1i64, 13, 40, 63] {
-            assert_eq!(buf.read_rotated_minus_orig(a), p.monomial_mul_minus_one(a), "a={a}");
+            assert_eq!(
+                buf.read_rotated_minus_orig(a),
+                p.monomial_mul_minus_one(a),
+                "a={a}"
+            );
         }
     }
 

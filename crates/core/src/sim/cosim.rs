@@ -7,8 +7,8 @@
 //! "the simulator models the machine that computes the right answer".
 
 use morphling_tfhe::{
-    modulus_switch, sample_extract, BootstrapKey, ExternalProductEngine, GlweCiphertext,
-    LweCiphertext, Lut, TfheParams,
+    modulus_switch, sample_extract, BootstrapKey, ExternalProductEngine, GlweCiphertext, Lut,
+    LweCiphertext, TfheParams,
 };
 
 use crate::config::ArchConfig;
@@ -65,7 +65,11 @@ impl XpuCosim {
         lut: &Lut,
     ) -> CosimResult {
         assert_eq!(ct.dim(), params.lwe_dim, "ciphertext dimension mismatch");
-        assert_eq!(bsk.lwe_dim(), params.lwe_dim, "bootstrap key dimension mismatch");
+        assert_eq!(
+            bsk.lwe_dim(),
+            params.lwe_dim,
+            "bootstrap key dimension mismatch"
+        );
         let profile = IterProfile::compute(&self.config, params);
         let iter_cycles = profile.iter_cycles();
 
@@ -142,7 +146,10 @@ mod tests {
             assert_eq!(result.extracted, reference, "m={m}");
             // Timing: exactly n iterations of the profiled pipeline.
             let profile = IterProfile::compute(&cfg, &params);
-            assert_eq!(result.xpu_cycles, params.lwe_dim as u64 * profile.iter_cycles());
+            assert_eq!(
+                result.xpu_cycles,
+                params.lwe_dim as u64 * profile.iter_cycles()
+            );
             // And the key-switched result decodes correctly.
             let out = sk.key_switch_key().key_switch(&result.extracted);
             assert_eq!(ck.decrypt(&out), (3 * m) % 4, "m={m}");

@@ -53,7 +53,8 @@ impl Simulator {
         let raw_throughput = cores as f64 / (n as f64 * iter_cycles as f64 / cfg.clock_hz());
 
         // Memory stall.
-        let demand = BandwidthDemand::compute(cfg, params, iter_cycles, stream_batch, raw_throughput);
+        let demand =
+            BandwidthDemand::compute(cfg, params, iter_cycles, stream_batch, raw_throughput);
         let mem_stall = demand.stall_factor(cfg);
 
         // VPU throughput bound: all in-flight ciphertexts must key-switch
@@ -67,7 +68,10 @@ impl Simulator {
         // Latency: the blind rotation (stalled), plus the serial MS / SE /
         // KS stages for one ciphertext (KS on one VPU lane group).
         let br_cycles = (n as f64 * iter_cycles as f64 * stall).round() as u64;
-        let ms_cycles = vpu.mod_switch_macs.div_ceil(cfg.vpu_macs_per_cycle().max(1)).max(1);
+        let ms_cycles = vpu
+            .mod_switch_macs
+            .div_ceil(cfg.vpu_macs_per_cycle().max(1))
+            .max(1);
         let se_cycles = vpu
             .sample_extract_words
             .div_ceil((cfg.lanes * cfg.vpu_groups) as u64)
@@ -212,7 +216,11 @@ mod tests {
     #[test]
     fn table_v_set_i() {
         let r = sim().bootstrap_batch(&ParamSet::I.params(), 16);
-        assert!((r.latency_ms() - 0.11).abs() < 0.012, "latency {}", r.latency_ms());
+        assert!(
+            (r.latency_ms() - 0.11).abs() < 0.012,
+            "latency {}",
+            r.latency_ms()
+        );
         let t = r.throughput_bs_per_s();
         assert!((140_000.0..160_000.0).contains(&t), "throughput {t}");
     }
@@ -220,7 +228,11 @@ mod tests {
     #[test]
     fn table_v_set_ii() {
         let r = sim().bootstrap_batch(&ParamSet::II.params(), 16);
-        assert!((r.latency_ms() - 0.20).abs() < 0.02, "latency {}", r.latency_ms());
+        assert!(
+            (r.latency_ms() - 0.20).abs() < 0.02,
+            "latency {}",
+            r.latency_ms()
+        );
         let t = r.throughput_bs_per_s();
         assert!((72_000.0..86_000.0).contains(&t), "throughput {t}");
     }
@@ -228,7 +240,11 @@ mod tests {
     #[test]
     fn table_v_set_iii() {
         let r = sim().bootstrap_batch(&ParamSet::III.params(), 16);
-        assert!((r.latency_ms() - 0.38).abs() < 0.03, "latency {}", r.latency_ms());
+        assert!(
+            (r.latency_ms() - 0.38).abs() < 0.03,
+            "latency {}",
+            r.latency_ms()
+        );
         let t = r.throughput_bs_per_s();
         assert!((39_000.0..46_000.0).contains(&t), "throughput {t}");
     }
@@ -239,7 +255,11 @@ mod tests {
         // our report also charges the serial KS tail (~0.03 ms), which the
         // paper's pipelined measurement hides — hence the wider tolerance.
         let r = sim().bootstrap_batch(&ParamSet::IV.params(), 16);
-        assert!((r.latency_ms() - 0.16).abs() < 0.04, "latency {}", r.latency_ms());
+        assert!(
+            (r.latency_ms() - 0.16).abs() < 0.04,
+            "latency {}",
+            r.latency_ms()
+        );
         let t = r.throughput_bs_per_s();
         assert!((93_000.0..107_000.0).contains(&t), "throughput {t}");
     }
@@ -249,7 +269,12 @@ mod tests {
         for set in [ParamSet::I, ParamSet::II, ParamSet::III, ParamSet::IV] {
             let r = sim().bootstrap_batch(&set.params(), 16);
             assert!(r.stall <= 1.001, "set {:?} stalls by {}", set, r.stall);
-            assert!(r.vpu_utilization <= 1.0, "set {:?} vpu {}", set, r.vpu_utilization);
+            assert!(
+                r.vpu_utilization <= 1.0,
+                "set {:?} vpu {}",
+                set,
+                r.vpu_utilization
+            );
         }
     }
 
@@ -258,7 +283,11 @@ mod tests {
         for set in [ParamSet::I, ParamSet::II, ParamSet::III, ParamSet::IV] {
             let r = sim().bootstrap_batch(&set.params(), 16);
             let (_, br, _, _) = r.latency_breakdown();
-            assert!((0.80..=0.99).contains(&br), "set {:?}: br fraction {br}", set);
+            assert!(
+                (0.80..=0.99).contains(&br),
+                "set {:?}: br fraction {br}",
+                set
+            );
         }
     }
 
@@ -304,6 +333,9 @@ mod tests {
         let params = ParamSet::I.params();
         let serial = s.batch_time_seconds(&params, 16, 1);
         let parallel = s.batch_time_seconds(&params, 16, 16);
-        assert!(serial > 10.0 * parallel, "serial {serial} parallel {parallel}");
+        assert!(
+            serial > 10.0 * parallel,
+            "serial {serial} parallel {parallel}"
+        );
     }
 }

@@ -60,7 +60,12 @@ impl BandwidthDemand {
         } else {
             0.0
         };
-        Self { bsk_gb_s, ksk_gb_s, lwe_gb_s, acc_spill_gb_s }
+        Self {
+            bsk_gb_s,
+            ksk_gb_s,
+            lwe_gb_s,
+            acc_spill_gb_s,
+        }
     }
 
     /// The pipeline stall factor: ≥ 1. BSK competes for the XPU-priority

@@ -38,15 +38,15 @@ impl VpuCost {
     /// programs each group independently, one ciphertext slot per group —
     /// this is the *latency* term of the KS stage).
     pub fn ks_latency_cycles(&self, config: &ArchConfig) -> u64 {
-        let group_macs_per_cycle =
-            (config.vpu_lanes_per_group * config.vpu_macs_per_lane) as u64;
+        let group_macs_per_cycle = (config.vpu_lanes_per_group * config.vpu_macs_per_lane) as u64;
         self.key_switch_macs.div_ceil(group_macs_per_cycle.max(1))
     }
 
     /// Cycles the whole VPU (all groups) needs per ciphertext — the
     /// *throughput* term.
     pub fn throughput_cycles(&self, config: &ArchConfig) -> u64 {
-        self.total_macs().div_ceil(config.vpu_macs_per_cycle().max(1))
+        self.total_macs()
+            .div_ceil(config.vpu_macs_per_cycle().max(1))
     }
 }
 
@@ -73,8 +73,8 @@ mod tests {
         for set in [ParamSet::I, ParamSet::II, ParamSet::III, ParamSet::IV] {
             let params = set.params();
             let window = params.lwe_dim as u64 * IterProfile::compute(&cfg, &params).iter_cycles();
-            let vpu = VpuCost::compute(&params).throughput_cycles(&cfg)
-                * cfg.bootstrap_cores() as u64;
+            let vpu =
+                VpuCost::compute(&params).throughput_cycles(&cfg) * cfg.bootstrap_cores() as u64;
             assert!(
                 vpu <= window,
                 "set {}: VPU needs {vpu} cycles but the window is {window}",

@@ -47,8 +47,14 @@ impl IterProfile {
         // inverse-transformed separately (still mergeable in pairs).
         let ms_inv = ms_fwd;
 
-        let fwd_polys = rows * config.reuse.forward_transforms_per_iter(params.glwe_dim, params.bsk_decomp.level());
-        let inv_polys = rows * config.reuse.inverse_transforms_per_iter(params.glwe_dim, params.bsk_decomp.level());
+        let fwd_polys = rows
+            * config
+                .reuse
+                .forward_transforms_per_iter(params.glwe_dim, params.bsk_decomp.level());
+        let inv_polys = rows
+            * config
+                .reuse
+                .inverse_transforms_per_iter(params.glwe_dim, params.bsk_decomp.level());
 
         let fft = div_ceil(fwd_polys, config.ffts_per_xpu as u64 * ms_fwd) * pass;
         let ifft = div_ceil(inv_polys, config.iffts_per_xpu as u64 * ms_inv) * pass;
@@ -68,19 +74,30 @@ impl IterProfile {
         // each bank's port is two vectors wide (the ptrA/ptrB pair), i.e.
         // 2×lanes coefficients per cycle — "maintaining a constant data
         // stream to pipelined-FFT on each cycle" (§V-C).
-        let banks_per_xpu = (16 / config.xpus.min(16).max(1)).max(1) as u64;
+        let banks_per_xpu = (16 / config.xpus.clamp(1, 16)).max(1) as u64;
         let rotator = src_polys * big_n / (banks_per_xpu * 2 * lanes);
 
         // BSK_i in the transform domain: (k+1)·l_b × (k+1) polynomials at
         // N/2 points × 8 bytes.
         let bsk_bytes = k1 * l_b * k1 * (big_n / 2) * 8;
 
-        Self { rotator, decompose, fft, vpe, ifft, bsk_bytes }
+        Self {
+            rotator,
+            decompose,
+            fft,
+            vpe,
+            ifft,
+            bsk_bytes,
+        }
     }
 
     /// The steady-state iteration period: the busiest resource.
     pub fn iter_cycles(&self) -> u64 {
-        self.rotator.max(self.decompose).max(self.fft).max(self.vpe).max(self.ifft)
+        self.rotator
+            .max(self.decompose)
+            .max(self.fft)
+            .max(self.vpe)
+            .max(self.ifft)
     }
 
     /// Which resource bounds the iteration (for reports).
@@ -144,8 +161,12 @@ mod tests {
         let cfg = ArchConfig::morphling_default();
         let params = ParamSet::C.params();
         let io = IterProfile::compute(&cfg, &params);
-        let none =
-            IterProfile::compute(&cfg.clone().with_reuse(ReuseMode::NoReuse).with_merge_split(false), &params);
+        let none = IterProfile::compute(
+            &cfg.clone()
+                .with_reuse(ReuseMode::NoReuse)
+                .with_merge_split(false),
+            &params,
+        );
         assert!(none.iter_cycles() > 4 * io.iter_cycles());
     }
 

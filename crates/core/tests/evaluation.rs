@@ -1,7 +1,7 @@
 //! Integration tests: the simulator reproduces the paper's evaluation
 //! claims, and the hardware-structured dataflow computes correct results.
 
-use morphling_core::reference::{TABLE_V_MORPHLING_PAPER, TABLE_VI_CPU_SECONDS};
+use morphling_core::reference::{TABLE_VI_CPU_SECONDS, TABLE_V_MORPHLING_PAPER};
 use morphling_core::sim::{RotatorBuffer, Simulator};
 use morphling_core::{ArchConfig, ReuseMode};
 use morphling_tfhe::{ParamSet, TfheParams};
@@ -25,7 +25,11 @@ fn table_v_all_rows_within_tolerance() {
         let r = sim.bootstrap_batch(&params_by_name(set), 16);
         let lat_err = (r.latency_ms() - paper_lat).abs() / paper_lat;
         let tput_err = (r.throughput_bs_per_s() - paper_tput).abs() / paper_tput;
-        assert!(lat_err < 0.20, "set {set}: latency {} vs paper {paper_lat}", r.latency_ms());
+        assert!(
+            lat_err < 0.20,
+            "set {set}: latency {} vs paper {paper_lat}",
+            r.latency_ms()
+        );
         assert!(
             tput_err < 0.20,
             "set {set}: throughput {} vs paper {paper_tput}",
@@ -44,8 +48,12 @@ fn fig7b_reuse_speedups_match_the_paper_shape() {
     for set in [ParamSet::A, ParamSet::B, ParamSet::C] {
         let params = set.params();
         let tput = |reuse: ReuseMode| {
-            let cfg = ArchConfig::morphling_default().with_reuse(reuse).with_merge_split(false);
-            Simulator::new(cfg).bootstrap_batch(&params, 16).throughput_bs_per_s()
+            let cfg = ArchConfig::morphling_default()
+                .with_reuse(reuse)
+                .with_merge_split(false);
+            Simulator::new(cfg)
+                .bootstrap_batch(&params, 16)
+                .throughput_bs_per_s()
         };
         let no = tput(ReuseMode::NoReuse);
         let input = tput(ReuseMode::InputReuse);
@@ -84,7 +92,11 @@ fn fig7b_merge_split_improves_throughput() {
             .bootstrap_batch(&params, 16)
             .throughput_bs_per_s();
         let gain = with / without;
-        assert!((1.1..=2.1).contains(&gain), "{}: ms gain {gain}", params.name);
+        assert!(
+            (1.1..=2.1).contains(&gain),
+            "{}: ms gain {gain}",
+            params.name
+        );
     }
 }
 
@@ -93,7 +105,9 @@ fn fig7b_merge_split_improves_throughput() {
 #[test]
 fn headline_speedups() {
     let sim = Simulator::new(ArchConfig::morphling_default());
-    let ours_i = sim.bootstrap_batch(&ParamSet::I.params(), 16).throughput_bs_per_s();
+    let ours_i = sim
+        .bootstrap_batch(&ParamSet::I.params(), 16)
+        .throughput_bs_per_s();
     let cpu = morphling_core::reference::baselines_for("I")
         .find(|r| r.platform == "CPU")
         .unwrap()
@@ -104,7 +118,9 @@ fn headline_speedups() {
         .throughput_bs_s;
     assert!(ours_i / cpu > 2000.0, "cpu speedup {}", ours_i / cpu);
     assert!(ours_i / matcha > 10.0, "asic speedup {}", ours_i / matcha);
-    let ours_ii = sim.bootstrap_batch(&ParamSet::II.params(), 16).throughput_bs_per_s();
+    let ours_ii = sim
+        .bootstrap_batch(&ParamSet::II.params(), 16)
+        .throughput_bs_per_s();
     let nufhe = morphling_core::reference::baselines_for("II")
         .find(|r| r.system == "NuFHE")
         .unwrap()
@@ -194,5 +210,14 @@ fn fig8b_xpu_sweep_shape() {
 #[test]
 fn table_vi_reference_rows_present() {
     let names: Vec<&str> = TABLE_VI_CPU_SECONDS.iter().map(|&(n, _)| n).collect();
-    assert_eq!(names, ["XG-Boost", "DeepCNN-20", "DeepCNN-50", "DeepCNN-100", "VGG-9"]);
+    assert_eq!(
+        names,
+        [
+            "XG-Boost",
+            "DeepCNN-20",
+            "DeepCNN-50",
+            "DeepCNN-100",
+            "VGG-9"
+        ]
+    );
 }

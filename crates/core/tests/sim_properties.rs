@@ -9,12 +9,12 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = ArchConfig> {
     (
-        1usize..=8,       // xpus
-        1usize..=3,       // fft units per xpu
-        1usize..=6,       // ifft units per xpu
-        any::<bool>(),    // merge split
+        1usize..=8,                                                   // xpus
+        1usize..=3,                                                   // fft units per xpu
+        1usize..=6,                                                   // ifft units per xpu
+        any::<bool>(),                                                // merge split
         prop::sample::select(vec![512usize, 1024, 2048, 4096, 8192]), // a1 KB
-        0usize..3,        // reuse mode index
+        0usize..3,                                                    // reuse mode index
     )
         .prop_map(|(xpus, ffts, iffts, ms, a1, reuse)| {
             let mut c = ArchConfig::morphling_default()

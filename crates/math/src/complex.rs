@@ -43,13 +43,19 @@ impl Complex64 {
     /// `e^(i·theta)` — a point on the unit circle.
     #[inline]
     pub fn from_polar_unit(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -68,13 +74,19 @@ impl Complex64 {
     /// complex multiply — the FFT butterflies use this.
     #[inline]
     pub fn mul_i(self) -> Self {
-        Self { re: -self.im, im: self.re }
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Scale both components by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
@@ -82,7 +94,10 @@ impl Add for Complex64 {
     type Output = Self;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -98,7 +113,10 @@ impl Sub for Complex64 {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -144,7 +162,10 @@ impl Neg for Complex64 {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -90,7 +90,10 @@ impl<T: TorusScalar> SignedDecomposer<T> {
             params.total_bits(),
             T::BITS
         );
-        Self { params, _marker: std::marker::PhantomData }
+        Self {
+            params,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// The decomposition parameters.
@@ -205,9 +208,20 @@ mod tests {
     fn digits_are_balanced() {
         let dec = SignedDecomposer::<Torus32>::new(DecompParams::new(4, 3));
         let beta_half = 8i64;
-        for raw in [0u32, 1, 0xFFFF_FFFF, 0x8000_0000, 0x7FFF_FFFF, 0x1234_5678, 0xDEAD_BEEF] {
+        for raw in [
+            0u32,
+            1,
+            0xFFFF_FFFF,
+            0x8000_0000,
+            0x7FFF_FFFF,
+            0x1234_5678,
+            0xDEAD_BEEF,
+        ] {
             for d in dec.decompose_scalar(Torus32::from_raw(raw)) {
-                assert!((-beta_half..beta_half).contains(&d), "digit {d} out of range for {raw:#x}");
+                assert!(
+                    (-beta_half..beta_half).contains(&d),
+                    "digit {d} out of range for {raw:#x}"
+                );
             }
         }
     }
@@ -230,7 +244,11 @@ mod tests {
         let dec = SignedDecomposer::<Torus32>::new(DecompParams::new(8, 4));
         for raw in [0u32, 1, 0x8000_0000, 0xFFFF_FFFF, 0xCAFE_BABE] {
             let x = Torus32::from_raw(raw);
-            assert_eq!(dec.recompose_scalar(&dec.decompose_scalar(x)), x, "raw={raw:#x}");
+            assert_eq!(
+                dec.recompose_scalar(&dec.decompose_scalar(x)),
+                x,
+                "raw={raw:#x}"
+            );
         }
     }
 
@@ -243,7 +261,9 @@ mod tests {
     #[test]
     fn poly_decomposition_matches_scalar() {
         let dec = SignedDecomposer::<Torus32>::new(DecompParams::new(7, 2));
-        let p = Polynomial::from_fn(8, |j| Torus32::from_raw((j as u32).wrapping_mul(0x0135_7924)));
+        let p = Polynomial::from_fn(8, |j| {
+            Torus32::from_raw((j as u32).wrapping_mul(0x0135_7924))
+        });
         let digit_polys = dec.decompose_poly(&p);
         assert_eq!(digit_polys.len(), 2);
         for (j, &c) in p.iter().enumerate() {

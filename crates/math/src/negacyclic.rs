@@ -39,7 +39,11 @@ pub fn mul_int_torus32(digits: &Polynomial<i64>, t: &Polynomial<Torus32>) -> Pol
             }
         }
     }
-    Polynomial::from_coeffs(acc.into_iter().map(|v| Torus32::from_raw(v as u32)).collect())
+    Polynomial::from_coeffs(
+        acc.into_iter()
+            .map(|v| Torus32::from_raw(v as u32))
+            .collect(),
+    )
 }
 
 /// Exact negacyclic product for the 64-bit torus. Accumulates in `i128`.
@@ -65,7 +69,11 @@ pub fn mul_int_torus64(digits: &Polynomial<i64>, t: &Polynomial<Torus64>) -> Pol
             }
         }
     }
-    Polynomial::from_coeffs(acc.into_iter().map(|v| Torus64::from_u64(v as u64)).collect())
+    Polynomial::from_coeffs(
+        acc.into_iter()
+            .map(|v| Torus64::from_u64(v as u64))
+            .collect(),
+    )
 }
 
 /// Exact negacyclic product of two integer polynomials, with `i128`
@@ -139,8 +147,12 @@ mod tests {
     #[test]
     fn distributes_over_addition() {
         let d = poly(&[2, -1, 0, 3]);
-        let t1 = Polynomial::from_fn(4, |j| Torus32::from_raw(0x1111_1111u32.wrapping_mul(j as u32)));
-        let t2 = Polynomial::from_fn(4, |j| Torus32::from_raw(0x0F0F_0F0Fu32.wrapping_add(j as u32)));
+        let t1 = Polynomial::from_fn(4, |j| {
+            Torus32::from_raw(0x1111_1111u32.wrapping_mul(j as u32))
+        });
+        let t2 = Polynomial::from_fn(4, |j| {
+            Torus32::from_raw(0x0F0F_0F0Fu32.wrapping_add(j as u32))
+        });
         let lhs = mul_int_torus32(&d, &(&t1 + &t2));
         let rhs = &mul_int_torus32(&d, &t1) + &mul_int_torus32(&d, &t2);
         assert_eq!(lhs, rhs);

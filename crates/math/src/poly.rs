@@ -34,8 +34,13 @@ impl<T: Copy + Default> Polynomial<T> {
     ///
     /// Panics if `n` is not a power of two.
     pub fn zero(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "polynomial size must be a power of two, got {n}");
-        Self { coeffs: vec![T::default(); n] }
+        assert!(
+            n.is_power_of_two(),
+            "polynomial size must be a power of two, got {n}"
+        );
+        Self {
+            coeffs: vec![T::default(); n],
+        }
     }
 
     /// Build from an explicit coefficient vector (constant term first).
@@ -53,9 +58,14 @@ impl<T: Copy + Default> Polynomial<T> {
     }
 
     /// Build by evaluating `f(j)` for each coefficient index `j`.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> T) -> Self {
-        assert!(n.is_power_of_two(), "polynomial size must be a power of two, got {n}");
-        Self { coeffs: (0..n).map(|j| f(j)).collect() }
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> T) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "polynomial size must be a power of two, got {n}"
+        );
+        Self {
+            coeffs: (0..n).map(f).collect(),
+        }
     }
 
     /// Number of coefficients `N` (the ring degree).
@@ -97,7 +107,9 @@ impl<T: Copy + Default> Polynomial<T> {
     /// Map every coefficient through `f`, producing a polynomial of a
     /// possibly different coefficient type.
     pub fn map<U: Copy + Default>(&self, f: impl FnMut(&T) -> U) -> Polynomial<U> {
-        Polynomial { coeffs: self.coeffs.iter().map(f).collect() }
+        Polynomial {
+            coeffs: self.coeffs.iter().map(f).collect(),
+        }
     }
 }
 
@@ -122,7 +134,11 @@ where
         let mut out = vec![T::default(); n];
         for j in 0..n {
             // out[j + shift] = coeffs[j], wrapping with sign flip.
-            let (dst, wrapped) = if j + shift < n { (j + shift, false) } else { (j + shift - n, true) };
+            let (dst, wrapped) = if j + shift < n {
+                (j + shift, false)
+            } else {
+                (j + shift - n, true)
+            };
             let v = self.coeffs[j];
             let v = if wrapped ^ negate_all { -v } else { v };
             out[dst] = v;
@@ -241,7 +257,9 @@ where
 {
     type Output = Polynomial<T>;
     fn neg(self) -> Polynomial<T> {
-        Polynomial { coeffs: self.coeffs.iter().map(|&a| -a).collect() }
+        Polynomial {
+            coeffs: self.coeffs.iter().map(|&a| -a).collect(),
+        }
     }
 }
 
@@ -259,7 +277,9 @@ impl<T: fmt::Debug> fmt::Debug for Polynomial<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Elide the middle of large polynomials to keep Debug usable.
         if self.coeffs.len() <= 8 {
-            f.debug_struct("Polynomial").field("coeffs", &self.coeffs).finish()
+            f.debug_struct("Polynomial")
+                .field("coeffs", &self.coeffs)
+                .finish()
         } else {
             write!(
                 f,

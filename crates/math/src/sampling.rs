@@ -92,7 +92,10 @@ mod tests {
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         let var: f64 =
             samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
-        assert!(mean.abs() < 5.0 * std / (samples.len() as f64).sqrt() + 1e-9, "mean = {mean}");
+        assert!(
+            mean.abs() < 5.0 * std / (samples.len() as f64).sqrt() + 1e-9,
+            "mean = {mean}"
+        );
         let ratio = var.sqrt() / std;
         assert!((0.95..1.05).contains(&ratio), "std ratio = {ratio}");
     }

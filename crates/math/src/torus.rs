@@ -248,7 +248,12 @@ macro_rules! torus_impl {
 
         impl fmt::Debug for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, concat!(stringify!($name), "({:#x} ~ {:.6})"), self.0, self.to_f64())
+                write!(
+                    f,
+                    concat!(stringify!($name), "({:#x} ~ {:.6})"),
+                    self.0,
+                    self.to_f64()
+                )
             }
         }
 

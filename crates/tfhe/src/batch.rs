@@ -3,57 +3,149 @@
 //! TFHE bootstraps are embarrassingly parallel across ciphertexts — the
 //! very property Morphling's 16 bootstrapping cores exploit, and the
 //! reason the paper's CPU baseline runs on a 64-core Xeon. This module
-//! provides the software equivalent: a work-stealing batch bootstrap over
-//! OS threads, used by the Table V bench as the multi-core CPU anchor.
+//! provides the per-call software equivalent: the batch is split into
+//! contiguous chunks, each scoped thread writes its chunk through a
+//! disjoint `split_at_mut` slice of the output (no per-slot locks), and
+//! results come back in input order.
+//!
+//! These methods spawn and join their threads on **every call**. For a
+//! stream of batches, prefer [`BootstrapEngine`](crate::BootstrapEngine),
+//! which keeps a persistent worker pool warm and amortizes the setup;
+//! these remain as the zero-state baseline the engine is benchmarked
+//! against.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use crate::error::TfheError;
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
 use crate::server::ServerKey;
 
+/// Split `n` items into `parts` contiguous ranges whose lengths differ by
+/// at most one (the same plan the engine's chunker and the scoped threads
+/// below both rely on for ordered, disjoint output).
+pub(crate) fn balanced_chunks(
+    n: usize,
+    parts: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    (0..parts).map(move |t| {
+        let len = base + usize::from(t < extra);
+        let range = start..start + len;
+        start += len;
+        range
+    })
+}
+
 impl ServerKey {
     /// Bootstrap a batch sequentially (the single-core CPU baseline).
     pub fn batch_bootstrap(&self, cts: &[LweCiphertext], lut: &Lut) -> Vec<LweCiphertext> {
-        cts.iter().map(|ct| self.programmable_bootstrap(ct, lut)).collect()
+        cts.iter()
+            .map(|ct| self.programmable_bootstrap(ct, lut))
+            .collect()
     }
 
-    /// Bootstrap a batch on `threads` OS threads (atomic work queue).
-    /// Results are in input order and identical to the sequential path.
+    /// Fallible [`batch_bootstrap`](Self::batch_bootstrap).
+    ///
+    /// # Errors
+    ///
+    /// The first [`TfheError`] any element produces, in input order.
+    pub fn try_batch_bootstrap(
+        &self,
+        cts: &[LweCiphertext],
+        lut: &Lut,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        cts.iter()
+            .map(|ct| self.try_programmable_bootstrap(ct, lut))
+            .collect()
+    }
+
+    /// Bootstrap a batch on `threads` OS threads. Results are in input
+    /// order and identical to the sequential path.
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if `threads == 0` or on malformed inputs; use
+    /// [`try_batch_bootstrap_parallel`](Self::try_batch_bootstrap_parallel)
+    /// for a `Result`.
     pub fn batch_bootstrap_parallel(
         &self,
         cts: &[LweCiphertext],
         lut: &Lut,
         threads: usize,
     ) -> Vec<LweCiphertext> {
-        assert!(threads > 0, "at least one thread is required");
-        if threads == 1 || cts.len() <= 1 {
-            return self.batch_bootstrap(cts, lut);
+        match self.try_batch_bootstrap_parallel(cts, lut, threads) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
         }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<LweCiphertext>>> =
-            (0..cts.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    }
+
+    /// Fallible
+    /// [`batch_bootstrap_parallel`](Self::batch_bootstrap_parallel).
+    ///
+    /// Inputs are validated up front; each scoped thread then writes its
+    /// contiguous chunk through a disjoint `split_at_mut` view of the
+    /// output buffer — ordered results with no locks on the write path.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::ZeroThreads`] if `threads == 0`;
+    /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
+    /// on malformed inputs.
+    pub fn try_batch_bootstrap_parallel(
+        &self,
+        cts: &[LweCiphertext],
+        lut: &Lut,
+        threads: usize,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        if threads == 0 {
+            return Err(TfheError::ZeroThreads);
+        }
+        self.validate_batch(cts, lut)?;
+        if threads == 1 || cts.len() <= 1 {
+            // Inputs are pre-validated: the infallible path cannot panic.
+            return Ok(self.batch_bootstrap(cts, lut));
+        }
+        let placeholder =
+            LweCiphertext::trivial(morphling_math::Torus32::ZERO, self.params().lwe_dim);
+        let mut out = vec![placeholder; cts.len()];
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(cts.len()) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cts.len() {
-                        break;
+            let mut rest: &mut [LweCiphertext] = &mut out;
+            for range in balanced_chunks(cts.len(), threads) {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let inputs = &cts[range];
+                scope.spawn(move |_| {
+                    for (slot, ct) in chunk.iter_mut().zip(inputs) {
+                        *slot = self.programmable_bootstrap(ct, lut);
                     }
-                    let out = self.programmable_bootstrap(&cts[i], lut);
-                    *slots[i].lock().expect("slot lock") = Some(out);
                 });
             }
         })
         .expect("bootstrap worker panicked");
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("slot lock").expect("every slot filled"))
-            .collect()
+        Ok(out)
+    }
+
+    /// Check every ciphertext's dimension and the LUT's polynomial size
+    /// against this key's parameters (shared by the per-call batch paths
+    /// and the [`BootstrapEngine`](crate::BootstrapEngine) submit path).
+    pub(crate) fn validate_batch(&self, cts: &[LweCiphertext], lut: &Lut) -> Result<(), TfheError> {
+        for ct in cts {
+            if ct.dim() != self.params().lwe_dim {
+                return Err(TfheError::LweDimensionMismatch {
+                    expected: self.params().lwe_dim,
+                    got: ct.dim(),
+                });
+            }
+        }
+        if lut.polynomial().len() != self.params().poly_size {
+            return Err(TfheError::LutSizeMismatch {
+                lut: lut.polynomial().len(),
+                poly_size: self.params().poly_size,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -64,6 +156,22 @@ mod tests {
     use crate::params::ParamSet;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn balanced_chunks_cover_everything_in_order() {
+        for n in [0usize, 1, 5, 8, 13] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges: Vec<_> = balanced_chunks(n, parts).collect();
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+                if n > 0 {
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "n={n} parts={parts} lens={lens:?}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn parallel_matches_sequential() {
@@ -83,6 +191,19 @@ mod tests {
     }
 
     #[test]
+    fn parallel_handles_uneven_chunks() {
+        let mut rng = StdRng::seed_from_u64(602);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::identity(params.poly_size, 4);
+        // 7 items on 3 threads: chunks of 3/2/2.
+        let cts: Vec<_> = (0..7).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let par = sk.batch_bootstrap_parallel(&cts, &lut, 3);
+        assert_eq!(par, sk.batch_bootstrap(&cts, &lut));
+    }
+
+    #[test]
     fn single_thread_falls_back_to_sequential() {
         let mut rng = StdRng::seed_from_u64(601);
         let params = ParamSet::Test.params();
@@ -91,5 +212,29 @@ mod tests {
         let lut = Lut::identity(params.poly_size, 4);
         let cts = vec![ck.encrypt(1, &mut rng)];
         assert_eq!(sk.batch_bootstrap_parallel(&cts, &lut, 1).len(), 1);
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(603);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::identity(params.poly_size, 4);
+        assert_eq!(
+            sk.try_batch_bootstrap_parallel(&[], &lut, 0),
+            Err(TfheError::ZeroThreads)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread is required")]
+    fn zero_threads_panics_in_infallible_wrapper() {
+        let mut rng = StdRng::seed_from_u64(604);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::identity(params.poly_size, 4);
+        let _ = sk.batch_bootstrap_parallel(&[], &lut, 0);
     }
 }

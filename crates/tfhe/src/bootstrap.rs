@@ -29,7 +29,11 @@ pub fn blind_rotate(
     mut acc: GlweCiphertext,
     mask_exponents: &[u64],
 ) -> GlweCiphertext {
-    assert_eq!(mask_exponents.len(), bsk.lwe_dim(), "mask length must equal the LWE dimension");
+    assert_eq!(
+        mask_exponents.len(),
+        bsk.lwe_dim(),
+        "mask length must equal the LWE dimension"
+    );
     for (i, &a_tilde) in mask_exponents.iter().enumerate() {
         if a_tilde == 0 {
             // X^0 − 1 = 0: the external product would add an encryption of
@@ -49,7 +53,11 @@ pub fn blind_rotate_exact(
     mut acc: GlweCiphertext,
     mask_exponents: &[u64],
 ) -> GlweCiphertext {
-    assert_eq!(mask_exponents.len(), bsk.lwe_dim(), "mask length must equal the LWE dimension");
+    assert_eq!(
+        mask_exponents.len(),
+        bsk.lwe_dim(),
+        "mask length must equal the LWE dimension"
+    );
     for (i, &a_tilde) in mask_exponents.iter().enumerate() {
         if a_tilde == 0 {
             continue;
@@ -69,7 +77,11 @@ pub fn blind_rotate_ntt(
     mask_exponents: &[u64],
     ntt: &morphling_transform::NegacyclicNtt,
 ) -> GlweCiphertext {
-    assert_eq!(mask_exponents.len(), bsk.lwe_dim(), "mask length must equal the LWE dimension");
+    assert_eq!(
+        mask_exponents.len(),
+        bsk.lwe_dim(),
+        "mask length must equal the LWE dimension"
+    );
     for (i, &a_tilde) in mask_exponents.iter().enumerate() {
         if a_tilde == 0 {
             continue;
@@ -138,9 +150,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(60);
         let params = ParamSet::TestMedium.params();
         let glwe_key = GlweSecretKey::generate(params.glwe_dim, params.poly_size, &mut rng);
-        let msg = Polynomial::from_fn(params.poly_size, |j| {
-            Torus32::encode((j as u64) % 8, 16)
-        });
+        let msg = Polynomial::from_fn(params.poly_size, |j| Torus32::encode((j as u64) % 8, 16));
         let ct = GlweCiphertext::encrypt(&msg, &glwe_key, 0.0, &mut rng);
         let extracted = sample_extract(&ct);
         let lwe_key = glwe_key.to_extracted_lwe_key();
@@ -200,8 +210,9 @@ mod tests {
         let bsk = BootstrapKey::generate(&ck, &mut rng);
         let engine = ExternalProductEngine::new(&params);
         let tp = Polynomial::from_fn(params.poly_size, |j| Torus32::encode((j % 4) as u64, 8));
-        let mask: Vec<u64> =
-            (0..params.lwe_dim).map(|_| sampling::uniform_torus::<Torus32, _>(&mut rng).mod_switch(params.two_n())).collect();
+        let mask: Vec<u64> = (0..params.lwe_dim)
+            .map(|_| sampling::uniform_torus::<Torus32, _>(&mut rng).mod_switch(params.two_n()))
+            .collect();
         let acc0 = initial_accumulator(&tp, params.glwe_dim, 17);
         let fft_acc = blind_rotate(&engine, &bsk, acc0.clone(), &mask);
         let exact_acc = blind_rotate_exact(&params, &bsk, acc0, &mask);

@@ -30,7 +30,10 @@ impl BootstrapKey {
             .map(|&s| GgswCiphertext::encrypt(s, client.glwe_key(), params, rng))
             .collect();
         let fourier = coefficient.iter().map(|g| g.to_fourier(&fft)).collect();
-        Self { coefficient, fourier }
+        Self {
+            coefficient,
+            fourier,
+        }
     }
 
     /// Number of GGSWs, equal to the LWE dimension `n`.

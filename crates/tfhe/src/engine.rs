@@ -1,0 +1,577 @@
+//! A persistent bootstrap engine: the software analogue of Morphling's
+//! always-resident bootstrapping cores.
+//!
+//! [`ServerKey::batch_bootstrap_parallel`] spawns a fresh set of OS
+//! threads for every call — fine for one large batch, wasteful for the
+//! steady stream of medium batches that inference workloads produce
+//! (thread spawn/join plus first-touch transform setup on every call).
+//! [`BootstrapEngine`] instead spawns its worker pool **once** and feeds
+//! it through a channel:
+//!
+//! - workers hold an `Arc<ServerKey>` and stay warm for the engine's
+//!   lifetime, sharing the process-global transform caches (one FFT per
+//!   polynomial size for the whole pool, the way Morphling banks one set
+//!   of twiddles for all 16 cores);
+//! - a batch is split into contiguous chunks, each chunk is bootstrapped
+//!   into a chunk-owned output vector, and the chunks are reassembled in
+//!   index order — no per-slot locks anywhere on the result path;
+//! - every job is timed, and the engine exposes the totals as
+//!   [`EngineStats`] so benches and the CPU cost model can calibrate from
+//!   real measurements.
+//!
+//! The API is `Result`-based from day one: all submission paths validate
+//! eagerly and return [`TfheError`] instead of panicking.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, ParamSet, ServerKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let params = ParamSet::Test.params();
+//! let client = ClientKey::generate(params.clone(), &mut rng);
+//! let server = Arc::new(ServerKey::builder().build(&client, &mut rng));
+//!
+//! let engine = BootstrapEngine::builder().workers(2).build(Arc::clone(&server)).unwrap();
+//! let lut = Lut::identity(params.poly_size, 4);
+//! let cts: Vec<_> = (0..4).map(|m| client.encrypt(m, &mut rng)).collect();
+//! let out = engine.bootstrap_batch(&cts, &lut).unwrap();
+//! for (m, ct) in out.iter().enumerate() {
+//!     assert_eq!(client.decrypt(ct), m as u64);
+//! }
+//! assert_eq!(engine.stats().bootstraps, 4);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::error::TfheError;
+use crate::lut::Lut;
+use crate::lwe::LweCiphertext;
+use crate::server::ServerKey;
+
+/// Running totals across everything an engine has executed.
+///
+/// `busy` sums the wall time each worker spent inside jobs, so
+/// `bootstraps / busy` is the **per-core** bootstrap rate — exactly the
+/// `single_core_bs_s` input of the CPU cost model — while
+/// `bootstraps / (busy / workers)` estimates pool throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of worker threads in the pool.
+    pub workers: usize,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Bootstraps completed.
+    pub bootstraps: u64,
+    /// Total worker time spent executing jobs (summed across workers).
+    pub busy: Duration,
+}
+
+impl EngineStats {
+    /// Mean wall time of one bootstrap on one core, if any completed.
+    pub fn mean_bootstrap_time(&self) -> Option<Duration> {
+        (self.bootstraps > 0).then(|| self.busy / self.bootstraps.max(1) as u32)
+    }
+
+    /// Single-core bootstrap rate (bootstraps per busy-second).
+    pub fn bootstraps_per_core_sec(&self) -> f64 {
+        let busy_s = self.busy.as_secs_f64();
+        if busy_s > 0.0 {
+            self.bootstraps as f64 / busy_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    batches: AtomicU64,
+    bootstraps: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// One contiguous chunk of a batch, self-contained: workers never borrow
+/// from the submitting call's stack (the crate forbids `unsafe`, so no
+/// lifetime laundering), they share the inputs via `Arc` and send owned
+/// results back.
+struct Job {
+    cts: Arc<Vec<LweCiphertext>>,
+    luts: Arc<Vec<Lut>>,
+    /// `lut_of[i]` selects the LUT for ciphertext `i`; `None` means all
+    /// ciphertexts use `luts[0]`.
+    lut_of: Option<Arc<Vec<usize>>>,
+    range: Range<usize>,
+    reply: Sender<Chunk>,
+}
+
+struct Chunk {
+    start: usize,
+    result: Result<Vec<LweCiphertext>, TfheError>,
+}
+
+fn worker_loop(server: Arc<ServerKey>, rx: Receiver<Job>, counters: Arc<Counters>) {
+    while let Ok(job) = rx.recv() {
+        let t0 = Instant::now();
+        let mut outs = Vec::with_capacity(job.range.len());
+        let mut err = None;
+        for i in job.range.clone() {
+            let lut = match &job.lut_of {
+                Some(sel) => &job.luts[sel[i]],
+                None => &job.luts[0],
+            };
+            match server.try_programmable_bootstrap(&job.cts[i], lut) {
+                Ok(out) => outs.push(out),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        counters
+            .busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        counters
+            .bootstraps
+            .fetch_add(outs.len() as u64, Ordering::Relaxed);
+        let result = match err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        };
+        // The submitter may have bailed early; a closed reply channel is
+        // not the worker's problem.
+        let _ = job.reply.send(Chunk {
+            start: job.range.start,
+            result,
+        });
+    }
+}
+
+/// Configures a [`BootstrapEngine`].
+#[derive(Clone, Copy, Debug, Default)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct BootstrapEngineBuilder {
+    workers: Option<usize>,
+    chunk_size: Option<usize>,
+}
+
+impl BootstrapEngineBuilder {
+    /// Start from the defaults (one worker per available core, automatic
+    /// chunking).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of worker threads. Defaults to
+    /// `std::thread::available_parallelism()`.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Force a fixed chunk size (ciphertexts per job). By default the
+    /// engine splits each batch into about two jobs per worker, which
+    /// balances load without flooding the queue.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = Some(n.max(1));
+        self
+    }
+
+    /// Spawn the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::ZeroThreads`] if `workers(0)` was requested.
+    pub fn build(self, server: Arc<ServerKey>) -> Result<BootstrapEngine, TfheError> {
+        let workers = match self.workers {
+            Some(0) => return Err(TfheError::ZeroThreads),
+            Some(n) => n,
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        let (tx, rx) = channel::unbounded::<Job>();
+        let counters = Arc::new(Counters::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                let rx = rx.clone();
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("bootstrap-worker-{i}"))
+                    .spawn(move || worker_loop(server, rx, counters))
+                    .expect("spawn bootstrap worker")
+            })
+            .collect();
+        Ok(BootstrapEngine {
+            server,
+            tx: Some(tx),
+            handles,
+            counters,
+            chunk_size: self.chunk_size,
+        })
+    }
+}
+
+/// A persistent pool of bootstrap workers fed over a channel — spawn
+/// once, submit many batches. See the [module docs](self) for rationale
+/// and an example.
+pub struct BootstrapEngine {
+    server: Arc<ServerKey>,
+    /// `Some` until drop; taken there to close the channel and stop the
+    /// workers.
+    tx: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    counters: Arc<Counters>,
+    chunk_size: Option<usize>,
+}
+
+impl std::fmt::Debug for BootstrapEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootstrapEngine")
+            .field("workers", &self.handles.len())
+            .field("chunk_size", &self.chunk_size)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BootstrapEngine {
+    /// Configure worker count and chunking before spawning the pool.
+    pub fn builder() -> BootstrapEngineBuilder {
+        BootstrapEngineBuilder::new()
+    }
+
+    /// Spawn an engine with default settings (one worker per core).
+    pub fn new(server: Arc<ServerKey>) -> Self {
+        Self::builder()
+            .build(server)
+            .expect("default worker count is nonzero")
+    }
+
+    /// The shared server key the pool evaluates under.
+    pub fn server(&self) -> &Arc<ServerKey> {
+        &self.server
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Bootstrap a batch, every ciphertext through the same `lut`.
+    /// Results are in input order and bit-identical to
+    /// [`ServerKey::batch_bootstrap`].
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
+    /// on malformed inputs, [`TfheError::EngineShutDown`] if the pool died.
+    pub fn bootstrap_batch(
+        &self,
+        cts: &[LweCiphertext],
+        lut: &Lut,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        self.submit(cts.to_vec(), vec![lut.clone()], None)
+    }
+
+    /// Bootstrap a batch where ciphertext `i` goes through
+    /// `luts[lut_of[i]]` — the shape mixed workloads produce (e.g. a tree
+    /// evaluator comparing against several thresholds in one wave).
+    ///
+    /// # Errors
+    ///
+    /// As [`bootstrap_batch`](Self::bootstrap_batch), plus
+    /// [`TfheError::LutIndexOutOfRange`] if `lut_of` references a missing
+    /// LUT, and [`TfheError::LutSelectorLengthMismatch`] if
+    /// `lut_of.len() != cts.len()`.
+    pub fn bootstrap_batch_multi(
+        &self,
+        cts: &[LweCiphertext],
+        luts: &[Lut],
+        lut_of: &[usize],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        if lut_of.len() != cts.len() {
+            return Err(TfheError::LutSelectorLengthMismatch {
+                expected: cts.len(),
+                got: lut_of.len(),
+            });
+        }
+        for &sel in lut_of {
+            if sel >= luts.len() {
+                return Err(TfheError::LutIndexOutOfRange {
+                    index: sel,
+                    luts: luts.len(),
+                });
+            }
+        }
+        self.submit(cts.to_vec(), luts.to_vec(), Some(lut_of.to_vec()))
+    }
+
+    /// Totals since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            workers: self.handles.len(),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            bootstraps: self.counters.bootstraps.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.counters.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zero the counters (e.g. between bench warm-up and measurement).
+    pub fn reset_stats(&self) {
+        self.counters.batches.store(0, Ordering::Relaxed);
+        self.counters.bootstraps.store(0, Ordering::Relaxed);
+        self.counters.busy_nanos.store(0, Ordering::Relaxed);
+    }
+
+    fn chunk_len(&self, n: usize) -> usize {
+        match self.chunk_size {
+            Some(c) => c,
+            // About two jobs per worker: coarse enough that channel
+            // traffic is negligible next to a bootstrap, fine enough
+            // that a straggler chunk can't idle half the pool.
+            None => n.div_ceil(self.handles.len() * 2).max(1),
+        }
+    }
+
+    fn submit(
+        &self,
+        cts: Vec<LweCiphertext>,
+        luts: Vec<Lut>,
+        lut_of: Option<Vec<usize>>,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        let n = cts.len();
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Validate eagerly so errors surface here, not inside the pool.
+        let params = self.server.params();
+        for ct in &cts {
+            if ct.dim() != params.lwe_dim {
+                return Err(TfheError::LweDimensionMismatch {
+                    expected: params.lwe_dim,
+                    got: ct.dim(),
+                });
+            }
+        }
+        for lut in &luts {
+            if lut.polynomial().len() != params.poly_size {
+                return Err(TfheError::LutSizeMismatch {
+                    lut: lut.polynomial().len(),
+                    poly_size: params.poly_size,
+                });
+            }
+        }
+
+        let cts = Arc::new(cts);
+        let luts = Arc::new(luts);
+        let lut_of = lut_of.map(Arc::new);
+        let chunk = self.chunk_len(n);
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        let (reply_tx, reply_rx) = channel::unbounded::<Chunk>();
+        let mut jobs = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let job = Job {
+                cts: Arc::clone(&cts),
+                luts: Arc::clone(&luts),
+                lut_of: lut_of.clone(),
+                range: start..end,
+                reply: reply_tx.clone(),
+            };
+            tx.send(job).map_err(|_| TfheError::EngineShutDown)?;
+            jobs += 1;
+            start = end;
+        }
+        drop(reply_tx);
+
+        let mut parts: Vec<(usize, Vec<LweCiphertext>)> = Vec::with_capacity(jobs);
+        let mut first_err: Option<(usize, TfheError)> = None;
+        for _ in 0..jobs {
+            let chunk = reply_rx.recv().map_err(|_| TfheError::EngineShutDown)?;
+            match chunk.result {
+                Ok(outs) => parts.push((chunk.start, outs)),
+                Err(e) => {
+                    let replace = first_err.as_ref().is_none_or(|(s, _)| chunk.start < *s);
+                    if replace {
+                        first_err = Some((chunk.start, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        // Lock-free ordered assembly: chunks are disjoint contiguous
+        // ranges, so sorting by start index and flattening restores input
+        // order exactly.
+        parts.sort_unstable_by_key(|(s, _)| *s);
+        let out: Vec<LweCiphertext> = parts.into_iter().flat_map(|(_, outs)| outs).collect();
+        debug_assert_eq!(out.len(), n);
+        Ok(out)
+    }
+}
+
+impl Drop for BootstrapEngine {
+    fn drop(&mut self) {
+        // Closing the job channel ends every worker's recv loop.
+        drop(self.tx.take());
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already reported via EngineShutDown;
+            // nothing useful to do with the payload here.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ClientKey;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (ClientKey, Arc<ServerKey>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ck = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+        let sk = Arc::new(ServerKey::builder().build(&ck, &mut rng));
+        (ck, sk, rng)
+    }
+
+    #[test]
+    fn engine_matches_sequential_batch() {
+        let (ck, sk, mut rng) = setup(700);
+        let lut = Lut::from_fn(sk.params().poly_size, 4, |m| (m + 1) % 4);
+        let cts: Vec<_> = (0..13).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let engine = BootstrapEngine::builder()
+            .workers(3)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let seq = sk.batch_bootstrap(&cts, &lut);
+        let eng = engine.bootstrap_batch(&cts, &lut).unwrap();
+        assert_eq!(seq, eng);
+    }
+
+    #[test]
+    fn engine_survives_many_batches() {
+        let (ck, sk, mut rng) = setup(701);
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let engine = BootstrapEngine::builder()
+            .workers(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        for round in 0..4u64 {
+            let cts: Vec<_> = (0..5)
+                .map(|m| ck.encrypt((m + round) % 4, &mut rng))
+                .collect();
+            let out = engine.bootstrap_batch(&cts, &lut).unwrap();
+            for (m, ct) in out.iter().enumerate() {
+                assert_eq!(ck.decrypt(ct), (m as u64 + round) % 4, "round={round}");
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.bootstraps, 20);
+        assert!(stats.busy > Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_lut_batches_route_each_ciphertext() {
+        let (ck, sk, mut rng) = setup(702);
+        let n = sk.params().poly_size;
+        let luts = [
+            Lut::identity(n, 4),
+            Lut::from_fn(n, 4, |m| (m + 1) % 4),
+            Lut::from_fn(n, 4, |m| 3 - m),
+        ];
+        let msgs = [0u64, 1, 2, 3, 2, 1];
+        let lut_of = [0usize, 1, 2, 0, 1, 2];
+        let cts: Vec<_> = msgs.iter().map(|&m| ck.encrypt(m, &mut rng)).collect();
+        let engine = BootstrapEngine::builder()
+            .workers(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let out = engine.bootstrap_batch_multi(&cts, &luts, &lut_of).unwrap();
+        let expect = |m: u64, sel: usize| match sel {
+            0 => m,
+            1 => (m + 1) % 4,
+            _ => 3 - m,
+        };
+        for i in 0..msgs.len() {
+            assert_eq!(ck.decrypt(&out[i]), expect(msgs[i], lut_of[i]), "i={i}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs_eagerly() {
+        let (ck, sk, mut rng) = setup(703);
+        let engine = BootstrapEngine::builder()
+            .workers(1)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let good_lut = Lut::identity(sk.params().poly_size, 4);
+        let cts = vec![ck.encrypt(1, &mut rng)];
+
+        let wrong_dim = crate::lwe::LweCiphertext::trivial(morphling_math::Torus32::ZERO, 3);
+        assert!(matches!(
+            engine.bootstrap_batch(&[wrong_dim], &good_lut),
+            Err(TfheError::LweDimensionMismatch { .. })
+        ));
+
+        let wrong_lut = Lut::identity(sk.params().poly_size * 2, 4);
+        assert!(matches!(
+            engine.bootstrap_batch(&cts, &wrong_lut),
+            Err(TfheError::LutSizeMismatch { .. })
+        ));
+
+        assert!(matches!(
+            engine.bootstrap_batch_multi(&cts, std::slice::from_ref(&good_lut), &[1]),
+            Err(TfheError::LutIndexOutOfRange { index: 1, luts: 1 })
+        ));
+        assert!(matches!(
+            engine.bootstrap_batch_multi(&cts, &[good_lut], &[0, 0]),
+            Err(TfheError::LutSelectorLengthMismatch {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_and_empty_batch_is_ok() {
+        let (_ck, sk, _rng) = setup(704);
+        assert_eq!(
+            BootstrapEngine::builder()
+                .workers(0)
+                .build(Arc::clone(&sk))
+                .err(),
+            Some(TfheError::ZeroThreads)
+        );
+        let engine = BootstrapEngine::builder().workers(1).build(sk).unwrap();
+        let lut = Lut::identity(engine.server().params().poly_size, 4);
+        assert_eq!(engine.bootstrap_batch(&[], &lut).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn forced_chunk_size_still_orders_results() {
+        let (ck, sk, mut rng) = setup(705);
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let cts: Vec<_> = (0..7).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let engine = BootstrapEngine::builder()
+            .workers(4)
+            .chunk_size(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let out = engine.bootstrap_batch(&cts, &lut).unwrap();
+        assert_eq!(out, sk.batch_bootstrap(&cts, &lut));
+    }
+}

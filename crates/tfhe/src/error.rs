@@ -1,0 +1,183 @@
+//! Error types for the fallible (`try_*`) API surface.
+//!
+//! Every panic in the infallible API corresponds to a variant here; the
+//! panicking methods are thin `expect`-style wrappers over the `try_*`
+//! methods so the two surfaces can never drift apart.
+
+/// Everything that can go wrong when driving the TFHE evaluation API with
+/// mismatched key material, malformed LUTs, or a misconfigured engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TfheError {
+    /// A ciphertext's LWE dimension does not match what the operation
+    /// expects (e.g. feeding a `k·N`-dimension extracted sample to a
+    /// bootstrap that wants the small `n`-dimension input).
+    LweDimensionMismatch {
+        /// The dimension the operation expects.
+        expected: usize,
+        /// The dimension the ciphertext actually has.
+        got: usize,
+    },
+    /// A key-switch input's dimension does not match the KSK's input
+    /// dimension.
+    KeySwitchDimensionMismatch {
+        /// The KSK's input dimension (`k·N` for a post-extraction switch).
+        expected: usize,
+        /// The dimension of the ciphertext being switched.
+        got: usize,
+    },
+    /// A LUT was built (or used) with a plaintext modulus that disagrees
+    /// with the parameter set's modulus.
+    LutModulusMismatch {
+        /// The LUT's plaintext modulus.
+        lut: u64,
+        /// The parameter set's plaintext modulus.
+        params: u64,
+    },
+    /// A LUT plaintext modulus that is not a power of two.
+    PlaintextModulusNotPowerOfTwo {
+        /// The offending modulus.
+        modulus: u64,
+    },
+    /// A LUT plaintext modulus too large for the polynomial size (needs
+    /// `p ≤ N/2` with the padding-bit encoding).
+    PlaintextModulusTooLarge {
+        /// The offending modulus.
+        modulus: u64,
+        /// The polynomial size it must fit into.
+        poly_size: usize,
+    },
+    /// A LUT whose test polynomial length disagrees with the parameter
+    /// set's polynomial size (it was built for different parameters).
+    LutSizeMismatch {
+        /// The LUT's polynomial length.
+        lut: usize,
+        /// The parameter set's polynomial size `N`.
+        poly_size: usize,
+    },
+    /// A parallel batch API was asked to run on zero threads.
+    ZeroThreads,
+    /// A multi-LUT batch submission referenced a LUT index out of range.
+    LutIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of LUTs supplied with the batch.
+        luts: usize,
+    },
+    /// A multi-LUT batch submission's selector slice length disagrees
+    /// with the number of ciphertexts (`lut_of` must name one LUT per
+    /// ciphertext).
+    LutSelectorLengthMismatch {
+        /// The batch size (`cts.len()`).
+        expected: usize,
+        /// The selector slice length (`lut_of.len()`).
+        got: usize,
+    },
+    /// The bootstrap engine's worker pool has shut down (a worker
+    /// panicked or the engine is mid-drop); the submitted batch was not
+    /// processed.
+    EngineShutDown,
+}
+
+impl std::fmt::Display for TfheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LweDimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "ciphertext dimension mismatch: expected {expected}, got {got}"
+                )
+            }
+            Self::KeySwitchDimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "key-switch input dimension mismatch: expected {expected}, got {got}"
+                )
+            }
+            Self::LutModulusMismatch { lut, params } => {
+                write!(
+                    f,
+                    "LUT plaintext modulus {lut} disagrees with parameter set modulus {params}"
+                )
+            }
+            Self::PlaintextModulusNotPowerOfTwo { modulus } => {
+                write!(
+                    f,
+                    "plaintext modulus must be a power of two (got {modulus})"
+                )
+            }
+            Self::PlaintextModulusTooLarge { modulus, poly_size } => {
+                write!(
+                    f,
+                    "plaintext modulus {modulus} too large for polynomial size {poly_size}"
+                )
+            }
+            Self::LutSizeMismatch { lut, poly_size } => {
+                write!(f, "LUT polynomial length {lut} disagrees with parameter polynomial size {poly_size}")
+            }
+            Self::ZeroThreads => write!(f, "at least one thread is required"),
+            Self::LutIndexOutOfRange { index, luts } => {
+                write!(f, "LUT index {index} out of range for {luts} supplied LUTs")
+            }
+            Self::LutSelectorLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "LUT selector length mismatch: {expected} ciphertexts but {got} selectors"
+                )
+            }
+            Self::EngineShutDown => {
+                write!(f, "bootstrap engine worker pool has shut down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TfheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_keep_legacy_panic_substrings() {
+        // The infallible wrappers panic with these Display strings; tests
+        // elsewhere match on the quoted substrings, so they are load-bearing.
+        let cases: [(TfheError, &str); 5] = [
+            (
+                TfheError::LweDimensionMismatch {
+                    expected: 16,
+                    got: 8,
+                },
+                "ciphertext dimension mismatch",
+            ),
+            (
+                TfheError::KeySwitchDimensionMismatch {
+                    expected: 256,
+                    got: 32,
+                },
+                "key-switch input dimension mismatch",
+            ),
+            (
+                TfheError::PlaintextModulusNotPowerOfTwo { modulus: 3 },
+                "must be a power of two",
+            ),
+            (
+                TfheError::PlaintextModulusTooLarge {
+                    modulus: 64,
+                    poly_size: 64,
+                },
+                "too large",
+            ),
+            (TfheError::ZeroThreads, "at least one thread is required"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TfheError::EngineShutDown);
+    }
+}

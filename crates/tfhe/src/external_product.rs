@@ -75,7 +75,10 @@ impl ExternalProductEngine {
             }
             spectra
         } else {
-            digit_polys.iter().map(|p| self.fft.forward_int(p)).collect()
+            digit_polys
+                .iter()
+                .map(|p| self.fft.forward_int(p))
+                .collect()
         }
     }
 
@@ -89,7 +92,11 @@ impl ExternalProductEngine {
         assert_eq!(ggsw.poly_size(), ct.poly_size(), "polynomial size mismatch");
         let k1 = ct.dim() + 1;
         let digit_spectra = self.decompose_to_spectra(ct);
-        assert_eq!(digit_spectra.len(), ggsw.row_count(), "gadget level mismatch");
+        assert_eq!(
+            digit_spectra.len(),
+            ggsw.row_count(),
+            "gadget level mismatch"
+        );
 
         // ACC-output-stationary accumulation: each output component u keeps
         // a running spectrum (POLY-ACC-REG) over all (k+1)·l_b rows; the
@@ -134,7 +141,12 @@ impl ExternalProductEngine {
     /// The blind-rotation step: `ACC ← BSK_i ⊡ (X^ã · ACC − ACC) + ACC`
     /// (Algorithm 1 line 4), with the rotate-and-subtract fused as the
     /// double-pointer read does in hardware.
-    pub fn rotate_cmux(&self, bsk_i: &FourierGgsw, acc: &GlweCiphertext, a_tilde: i64) -> GlweCiphertext {
+    pub fn rotate_cmux(
+        &self,
+        bsk_i: &FourierGgsw,
+        acc: &GlweCiphertext,
+        a_tilde: i64,
+    ) -> GlweCiphertext {
         acc.add(&self.external_product(bsk_i, &acc.monomial_mul_minus_one(a_tilde)))
     }
 }
@@ -212,7 +224,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn coarse_msg(n: usize, seed: u32) -> Polynomial<Torus32> {
-        Polynomial::from_fn(n, |j| Torus32::from_raw((((j as u32 * seed) % 4) << 30).wrapping_add(0)))
+        Polynomial::from_fn(n, |j| {
+            Torus32::from_raw((((j as u32 * seed) % 4) << 30).wrapping_add(0))
+        })
     }
 
     struct Setup {
@@ -222,8 +236,11 @@ mod tests {
     }
 
     fn setup(noiseless: bool) -> Setup {
-        let params =
-            if noiseless { ParamSet::Test.params().noiseless() } else { ParamSet::Test.params() };
+        let params = if noiseless {
+            ParamSet::Test.params().noiseless()
+        } else {
+            ParamSet::Test.params()
+        };
         let mut rng = StdRng::seed_from_u64(40);
         let key = GlweSecretKey::generate(params.glwe_dim, params.poly_size, &mut rng);
         Setup { params, key, rng }
@@ -231,7 +248,11 @@ mod tests {
 
     #[test]
     fn external_product_with_one_preserves_message() {
-        let Setup { params, key, mut rng } = setup(false);
+        let Setup {
+            params,
+            key,
+            mut rng,
+        } = setup(false);
         let m = coarse_msg(params.poly_size, 3);
         let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
         let ggsw = GgswCiphertext::encrypt(1, &key, &params, &mut rng);
@@ -245,7 +266,11 @@ mod tests {
 
     #[test]
     fn external_product_with_zero_kills_message() {
-        let Setup { params, key, mut rng } = setup(false);
+        let Setup {
+            params,
+            key,
+            mut rng,
+        } = setup(false);
         let m = coarse_msg(params.poly_size, 5);
         let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
         let ggsw = GgswCiphertext::encrypt(0, &key, &params, &mut rng);
@@ -259,7 +284,11 @@ mod tests {
 
     #[test]
     fn fft_path_matches_exact_oracle() {
-        let Setup { params, key, mut rng } = setup(false);
+        let Setup {
+            params,
+            key,
+            mut rng,
+        } = setup(false);
         let m = coarse_msg(params.poly_size, 7);
         let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
         let ggsw = GgswCiphertext::encrypt(1, &key, &params, &mut rng);
@@ -278,7 +307,11 @@ mod tests {
 
     #[test]
     fn merge_split_path_is_equivalent() {
-        let Setup { params, key, mut rng } = setup(false);
+        let Setup {
+            params,
+            key,
+            mut rng,
+        } = setup(false);
         let m = coarse_msg(params.poly_size, 9);
         let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
         let ggsw = GgswCiphertext::encrypt(1, &key, &params, &mut rng);
@@ -296,14 +329,19 @@ mod tests {
 
     #[test]
     fn cmux_selects_by_the_encrypted_bit() {
-        let Setup { params, key, mut rng } = setup(false);
+        let Setup {
+            params,
+            key,
+            mut rng,
+        } = setup(false);
         let m0 = coarse_msg(params.poly_size, 2);
         let m1 = coarse_msg(params.poly_size, 3);
         let c0 = GlweCiphertext::encrypt(&m0, &key, params.glwe_noise_std, &mut rng);
         let c1 = GlweCiphertext::encrypt(&m1, &key, params.glwe_noise_std, &mut rng);
         let engine = ExternalProductEngine::new(&params);
         for bit in [0i64, 1] {
-            let ggsw = GgswCiphertext::encrypt(bit, &key, &params, &mut rng).to_fourier(engine.fft());
+            let ggsw =
+                GgswCiphertext::encrypt(bit, &key, &params, &mut rng).to_fourier(engine.fft());
             let selected = engine.cmux(&ggsw, &c0, &c1);
             let want = if bit == 1 { &m1 } else { &m0 };
             let phase = key.phase(&selected);
@@ -315,15 +353,24 @@ mod tests {
 
     #[test]
     fn rotate_cmux_rotates_when_bit_is_one() {
-        let Setup { params, key, mut rng } = setup(false);
+        let Setup {
+            params,
+            key,
+            mut rng,
+        } = setup(false);
         let m = coarse_msg(params.poly_size, 11);
         let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
         let engine = ExternalProductEngine::new(&params);
         let rot = 37i64;
         for bit in [0i64, 1] {
-            let ggsw = GgswCiphertext::encrypt(bit, &key, &params, &mut rng).to_fourier(engine.fft());
+            let ggsw =
+                GgswCiphertext::encrypt(bit, &key, &params, &mut rng).to_fourier(engine.fft());
             let out = engine.rotate_cmux(&ggsw, &ct, rot);
-            let want = if bit == 1 { m.monomial_mul(rot) } else { m.clone() };
+            let want = if bit == 1 {
+                m.monomial_mul(rot)
+            } else {
+                m.clone()
+            };
             let phase = key.phase(&out);
             for j in 0..params.poly_size {
                 assert_eq!(phase[j].decode(4), want[j].decode(4), "bit={bit} j={j}");

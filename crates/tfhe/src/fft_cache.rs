@@ -1,24 +1,47 @@
-//! A per-thread cache of [`NegacyclicFft`] engines keyed by polynomial
-//! size, so hot paths (key generation, encryption) don't rebuild twiddle
-//! tables.
+//! Process-global caches of transform engines keyed by polynomial size.
+//!
+//! Hot paths (key generation, encryption, bootstrapping) must not rebuild
+//! twiddle tables, and the [`BootstrapEngine`](crate::BootstrapEngine)'s
+//! worker pool must *share* one engine per size across threads — Morphling
+//! itself banks one set of transform twiddles for all 16 bootstrapping
+//! cores. The caches are therefore `Arc`-based and global (a
+//! `OnceLock<RwLock<HashMap>>` per transform kind), not thread-local:
+//! every thread that asks for size `N` gets a handle to the same
+//! immutable engine, built exactly once.
+//!
+//! Reads (the steady state) take only the `RwLock` read lock; the write
+//! lock is taken once per distinct polynomial size for the lifetime of
+//! the process.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock, RwLock};
 
-use morphling_transform::NegacyclicFft;
+use morphling_transform::{NegacyclicFft, NegacyclicNtt};
 
-thread_local! {
-    static CACHE: RefCell<HashMap<usize, Rc<NegacyclicFft>>> = RefCell::new(HashMap::new());
+type Cache<T> = OnceLock<RwLock<HashMap<usize, Arc<T>>>>;
+
+static FFT_CACHE: Cache<NegacyclicFft> = OnceLock::new();
+static NTT_CACHE: Cache<NegacyclicNtt> = OnceLock::new();
+
+fn get_or_build<T>(cache: &Cache<T>, n: usize, build: impl FnOnce(usize) -> T) -> Arc<T> {
+    let lock = cache.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(engine) = lock.read().expect("transform cache poisoned").get(&n) {
+        return Arc::clone(engine);
+    }
+    let mut map = lock.write().expect("transform cache poisoned");
+    // Double-checked: another thread may have built it between our read
+    // and write lock acquisitions.
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(build(n))))
 }
 
-/// Fetch (or build) the shared engine for size `n`.
-pub(crate) fn fft_for(n: usize) -> Rc<NegacyclicFft> {
-    CACHE.with(|c| {
-        Rc::clone(
-            c.borrow_mut().entry(n).or_insert_with(|| Rc::new(NegacyclicFft::new(n))),
-        )
-    })
+/// Fetch (or build) the process-wide FFT engine for polynomial size `n`.
+pub(crate) fn fft_for(n: usize) -> Arc<NegacyclicFft> {
+    get_or_build(&FFT_CACHE, n, NegacyclicFft::new)
+}
+
+/// Fetch (or build) the process-wide NTT engine for polynomial size `n`.
+pub(crate) fn ntt_for(n: usize) -> Arc<NegacyclicNtt> {
+    get_or_build(&NTT_CACHE, n, NegacyclicNtt::new)
 }
 
 #[cfg(test)]
@@ -29,7 +52,40 @@ mod tests {
     fn cache_returns_same_engine() {
         let a = fft_for(64);
         let b = fft_for(64);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(fft_for(128).poly_len(), 128);
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let here = fft_for(64);
+        let there = std::thread::spawn(|| fft_for(64)).join().expect("no panic");
+        assert!(
+            Arc::ptr_eq(&here, &there),
+            "global cache must hand every thread the same engine"
+        );
+    }
+
+    #[test]
+    fn ntt_cache_returns_same_engine() {
+        let a = ntt_for(64);
+        let b = ntt_for(64);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_first_access_builds_once() {
+        // Hammer an uncommon size from many threads; every handle must
+        // alias a single allocation.
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| fft_for(512)))
+            .collect();
+        let engines: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        for e in &engines[1..] {
+            assert!(Arc::ptr_eq(&engines[0], e));
+        }
     }
 }

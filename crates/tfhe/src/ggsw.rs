@@ -59,7 +59,11 @@ impl GgswCiphertext {
                 rows.push(row);
             }
         }
-        Self { rows, glwe_dim: k, level: l }
+        Self {
+            rows,
+            glwe_dim: k,
+            level: l,
+        }
     }
 
     /// The matrix rows in `(component, level)` order — row `i·l + j` holds
@@ -92,7 +96,12 @@ impl GgswCiphertext {
             .iter()
             .map(|row| row.components().map(|p| fft.forward_torus(p)).collect())
             .collect();
-        FourierGgsw { rows, glwe_dim: self.glwe_dim, level: self.level, poly_size: self.poly_size() }
+        FourierGgsw {
+            rows,
+            glwe_dim: self.glwe_dim,
+            level: self.level,
+            poly_size: self.poly_size(),
+        }
     }
 }
 
@@ -137,10 +146,7 @@ impl FourierGgsw {
     /// Bytes this ciphertext occupies in the transform domain (8 bytes per
     /// spectrum point) — the Private-A2 footprint of one `BSK_i`.
     pub fn fourier_bytes(&self) -> u64 {
-        (self.rows.len() as u64)
-            * (self.glwe_dim as u64 + 1)
-            * (self.poly_size as u64 / 2)
-            * 8
+        (self.rows.len() as u64) * (self.glwe_dim as u64 + 1) * (self.poly_size as u64 / 2) * 8
     }
 }
 
@@ -158,7 +164,10 @@ mod tests {
         let key = GlweSecretKey::generate(params.glwe_dim, params.poly_size, &mut rng);
         let ggsw = GgswCiphertext::encrypt(1, &key, &params, &mut rng);
         // (k+1)·l rows of (k+1) polynomials.
-        assert_eq!(ggsw.rows().len(), (params.glwe_dim + 1) * params.bsk_decomp.level());
+        assert_eq!(
+            ggsw.rows().len(),
+            (params.glwe_dim + 1) * params.bsk_decomp.level()
+        );
         assert_eq!(ggsw.rows()[0].dim(), params.glwe_dim);
     }
 

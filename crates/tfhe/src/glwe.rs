@@ -27,8 +27,9 @@ impl GlweCiphertext {
     ) -> Self {
         assert_eq!(message.len(), key.poly_size(), "message size must equal N");
         let n = key.poly_size();
-        let masks: Vec<Polynomial<Torus32>> =
-            (0..key.dim()).map(|_| sampling::uniform_torus_poly(n, rng)).collect();
+        let masks: Vec<Polynomial<Torus32>> = (0..key.dim())
+            .map(|_| sampling::uniform_torus_poly(n, rng))
+            .collect();
         let mut body = message.clone();
         if noise_std > 0.0 {
             body += &sampling::gaussian_torus_poly(n, noise_std, rng);
@@ -47,7 +48,10 @@ impl GlweCiphertext {
     /// the test polynomial `TP` at the start of the blind rotation.
     pub fn trivial(message: Polynomial<Torus32>, glwe_dim: usize) -> Self {
         let n = message.len();
-        Self { masks: vec![Polynomial::zero(n); glwe_dim], body: message }
+        Self {
+            masks: vec![Polynomial::zero(n); glwe_dim],
+            body: message,
+        }
     }
 
     /// The all-zero ciphertext (trivial encryption of 0).
@@ -99,7 +103,9 @@ impl GlweCiphertext {
     ///
     /// Panics if `comps` is empty.
     pub fn from_components(mut comps: Vec<Polynomial<Torus32>>) -> Self {
-        let body = comps.pop().expect("at least one component (the body) is required");
+        let body = comps
+            .pop()
+            .expect("at least one component (the body) is required");
         Self::from_parts(comps, body)
     }
 
@@ -108,7 +114,12 @@ impl GlweCiphertext {
     pub fn add(&self, rhs: &Self) -> Self {
         assert_eq!(self.dim(), rhs.dim(), "GLWE dimension mismatch");
         Self {
-            masks: self.masks.iter().zip(&rhs.masks).map(|(a, b)| a + b).collect(),
+            masks: self
+                .masks
+                .iter()
+                .zip(&rhs.masks)
+                .map(|(a, b)| a + b)
+                .collect(),
             body: &self.body + &rhs.body,
         }
     }
@@ -118,7 +129,12 @@ impl GlweCiphertext {
     pub fn sub(&self, rhs: &Self) -> Self {
         assert_eq!(self.dim(), rhs.dim(), "GLWE dimension mismatch");
         Self {
-            masks: self.masks.iter().zip(&rhs.masks).map(|(a, b)| a - b).collect(),
+            masks: self
+                .masks
+                .iter()
+                .zip(&rhs.masks)
+                .map(|(a, b)| a - b)
+                .collect(),
             body: &self.body - &rhs.body,
         }
     }
@@ -139,7 +155,11 @@ impl GlweCiphertext {
     #[must_use]
     pub fn monomial_mul_minus_one(&self, power: i64) -> Self {
         Self {
-            masks: self.masks.iter().map(|a| a.monomial_mul_minus_one(power)).collect(),
+            masks: self
+                .masks
+                .iter()
+                .map(|a| a.monomial_mul_minus_one(power))
+                .collect(),
             body: self.body.monomial_mul_minus_one(power),
         }
     }
@@ -154,7 +174,9 @@ mod tests {
 
     fn msg(n: usize, seed: u32) -> Polynomial<Torus32> {
         // Messages on a coarse grid so noise cannot flip them.
-        Polynomial::from_fn(n, |j| Torus32::from_raw(((j as u32).wrapping_mul(seed) % 8) << 29))
+        Polynomial::from_fn(n, |j| {
+            Torus32::from_raw(((j as u32).wrapping_mul(seed) % 8) << 29)
+        })
     }
 
     #[test]

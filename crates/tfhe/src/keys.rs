@@ -16,7 +16,9 @@ pub struct LweSecretKey {
 impl LweSecretKey {
     /// Sample a fresh key of dimension `n`.
     pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        Self { bits: sampling::binary_vector(n, rng) }
+        Self {
+            bits: sampling::binary_vector(n, rng),
+        }
     }
 
     /// Build from explicit bits (each must be 0 or 1).
@@ -25,7 +27,10 @@ impl LweSecretKey {
     ///
     /// Panics if any entry is not 0 or 1.
     pub fn from_bits(bits: Vec<i64>) -> Self {
-        assert!(bits.iter().all(|&b| b == 0 || b == 1), "key bits must be 0 or 1");
+        assert!(
+            bits.iter().all(|&b| b == 0 || b == 1),
+            "key bits must be 0 or 1"
+        );
         Self { bits }
     }
 
@@ -62,7 +67,9 @@ pub struct GlweSecretKey {
 impl GlweSecretKey {
     /// Sample a fresh key of dimension `k` over size-`N` polynomials.
     pub fn generate<R: Rng + ?Sized>(k: usize, n: usize, rng: &mut R) -> Self {
-        Self { polys: (0..k).map(|_| sampling::binary_poly(n, rng)).collect() }
+        Self {
+            polys: (0..k).map(|_| sampling::binary_poly(n, rng)).collect(),
+        }
     }
 
     /// GLWE dimension `k`.
@@ -120,7 +127,11 @@ impl ClientKey {
     pub fn generate<R: Rng + ?Sized>(params: TfheParams, rng: &mut R) -> Self {
         let lwe_key = LweSecretKey::generate(params.lwe_dim, rng);
         let glwe_key = GlweSecretKey::generate(params.glwe_dim, params.poly_size, rng);
-        Self { params, lwe_key, glwe_key }
+        Self {
+            params,
+            lwe_key,
+            glwe_key,
+        }
     }
 
     /// The parameter set.
@@ -143,7 +154,10 @@ impl ClientKey {
     /// one bit of padding: the torus value is `m / 2p`.
     pub fn encrypt<R: Rng + ?Sized>(&self, message: u64, rng: &mut R) -> LweCiphertext {
         let p = self.params.plaintext_modulus;
-        assert!(message < p, "message {message} out of range for modulus {p}");
+        assert!(
+            message < p,
+            "message {message} out of range for modulus {p}"
+        );
         let mu = Torus32::encode(message, 2 * p);
         self.encrypt_torus(mu, rng)
     }
@@ -174,7 +188,11 @@ impl ClientKey {
     /// Encrypt a boolean with the ±1/8 gate-bootstrapping convention:
     /// `true → +1/8`, `false → −1/8`.
     pub fn encrypt_bool<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> LweCiphertext {
-        let mu = if bit { Torus32::from_f64(0.125) } else { Torus32::from_f64(-0.125) };
+        let mu = if bit {
+            Torus32::from_f64(0.125)
+        } else {
+            Torus32::from_f64(-0.125)
+        };
         self.encrypt_torus(mu, rng)
     }
 

@@ -4,6 +4,7 @@
 use morphling_math::{SignedDecomposer, Torus32, TorusScalar};
 use rand::Rng;
 
+use crate::error::TfheError;
 use crate::keys::LweSecretKey;
 use crate::lwe::LweCiphertext;
 use crate::params::TfheParams;
@@ -38,17 +39,16 @@ impl KeySwitchKey {
                 (0..l)
                     .map(|j| {
                         let g = Torus32::from_raw(1u32 << (32 - base_log * (j as u32 + 1)));
-                        LweCiphertext::encrypt(
-                            g.scalar_mul(s),
-                            key_out,
-                            params.lwe_noise_std,
-                            rng,
-                        )
+                        LweCiphertext::encrypt(g.scalar_mul(s), key_out, params.lwe_noise_std, rng)
                     })
                     .collect()
             })
             .collect();
-        Self { rows, decomposer, dim_out: key_out.dim() }
+        Self {
+            rows,
+            decomposer,
+            dim_out: key_out.dim(),
+        }
     }
 
     /// Input dimension (`k·N` for a post-extraction switch).
@@ -77,9 +77,27 @@ impl KeySwitchKey {
     ///
     /// # Panics
     ///
-    /// Panics if `ct.dim() != dim_in()`.
+    /// Panics if `ct.dim() != dim_in()`; use
+    /// [`try_key_switch`](Self::try_key_switch) for a `Result`.
     pub fn key_switch(&self, ct: &LweCiphertext) -> LweCiphertext {
-        assert_eq!(ct.dim(), self.dim_in(), "key-switch input dimension mismatch");
+        match self.try_key_switch(ct) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`key_switch`](Self::key_switch).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::KeySwitchDimensionMismatch`] if `ct.dim() != dim_in()`.
+    pub fn try_key_switch(&self, ct: &LweCiphertext) -> Result<LweCiphertext, TfheError> {
+        if ct.dim() != self.dim_in() {
+            return Err(TfheError::KeySwitchDimensionMismatch {
+                expected: self.dim_in(),
+                got: ct.dim(),
+            });
+        }
         let mut out = LweCiphertext::trivial(ct.body(), self.dim_out);
         for (a_i, row) in ct.mask().iter().zip(&self.rows) {
             let digits = self.decomposer.decompose_scalar(*a_i);
@@ -89,7 +107,7 @@ impl KeySwitchKey {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -128,7 +146,9 @@ mod tests {
         let mut worst = 0.0f64;
         for _ in 0..20 {
             let ct = LweCiphertext::encrypt(mu, &key_in, params.lwe_noise_std, &mut rng);
-            let err = (key_out.phase(&ksk.key_switch(&ct)) - mu).to_f64_signed().abs();
+            let err = (key_out.phase(&ksk.key_switch(&ct)) - mu)
+                .to_f64_signed()
+                .abs();
             worst = worst.max(err);
         }
         // Decomposition keeps 12 bits (base 2^3, l=4): rounding error alone

@@ -45,6 +45,8 @@
 mod batch;
 mod bootstrap;
 mod bootstrap_key;
+mod engine;
+mod error;
 mod external_product;
 mod fft_cache;
 mod ggsw;
@@ -61,6 +63,8 @@ mod server;
 
 pub use bootstrap::{blind_rotate, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
+pub use engine::{BootstrapEngine, BootstrapEngineBuilder, EngineStats};
+pub use error::TfheError;
 pub use external_product::{cmux, external_product, ExternalProductEngine};
 pub use ggsw::{FourierGgsw, GgswCiphertext};
 pub use glwe::GlweCiphertext;
@@ -69,4 +73,4 @@ pub use ksk::KeySwitchKey;
 pub use lut::Lut;
 pub use lwe::LweCiphertext;
 pub use params::{ParamSet, TfheParams, ALL_PAPER_SETS};
-pub use server::{MulBackend, ServerKey};
+pub use server::{MulBackend, ServerKey, ServerKeyBuilder};

@@ -8,6 +8,8 @@
 
 use morphling_math::{Polynomial, Torus32, TorusScalar};
 
+use crate::error::TfheError;
+
 /// A lookup table for programmable bootstrapping over `Z_p`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Lut {
@@ -21,9 +23,27 @@ impl Lut {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not a power of two, or `p > N/2`.
-    pub fn from_fn(poly_size: usize, p: u64, mut f: impl FnMut(u64) -> u64) -> Self {
-        Self::from_torus_fn(poly_size, p, |m| Torus32::encode(f(m) % p, 2 * p))
+    /// Panics if `p` is not a power of two, or `p > N/2`; use
+    /// [`try_from_fn`](Self::try_from_fn) for a `Result`.
+    pub fn from_fn(poly_size: usize, p: u64, f: impl FnMut(u64) -> u64) -> Self {
+        match Self::try_from_fn(poly_size, p, f) {
+            Ok(lut) => lut,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`from_fn`](Self::from_fn).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::PlaintextModulusNotPowerOfTwo`] or
+    /// [`TfheError::PlaintextModulusTooLarge`].
+    pub fn try_from_fn(
+        poly_size: usize,
+        p: u64,
+        mut f: impl FnMut(u64) -> u64,
+    ) -> Result<Self, TfheError> {
+        Self::try_from_torus_fn(poly_size, p, |m| Torus32::encode(f(m) % p, 2 * p))
     }
 
     /// Build a test polynomial whose output values are arbitrary torus
@@ -31,23 +51,44 @@ impl Lut {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not a power of two, or `p > N/2`.
-    pub fn from_torus_fn(
+    /// Panics if `p` is not a power of two, or `p > N/2`; use
+    /// [`try_from_torus_fn`](Self::try_from_torus_fn) for a `Result`.
+    pub fn from_torus_fn(poly_size: usize, p: u64, f: impl FnMut(u64) -> Torus32) -> Self {
+        match Self::try_from_torus_fn(poly_size, p, f) {
+            Ok(lut) => lut,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`from_torus_fn`](Self::from_torus_fn).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::PlaintextModulusNotPowerOfTwo`] if `p` is not a power
+    /// of two; [`TfheError::PlaintextModulusTooLarge`] if `p > N/2`.
+    pub fn try_from_torus_fn(
         poly_size: usize,
         p: u64,
         mut f: impl FnMut(u64) -> Torus32,
-    ) -> Self {
-        assert!(p.is_power_of_two() && p >= 1, "plaintext modulus must be a power of two");
-        assert!(
-            p as usize <= poly_size / 2,
-            "plaintext modulus {p} too large for polynomial size {poly_size}"
-        );
+    ) -> Result<Self, TfheError> {
+        if !p.is_power_of_two() {
+            return Err(TfheError::PlaintextModulusNotPowerOfTwo { modulus: p });
+        }
+        if p as usize > poly_size / 2 {
+            return Err(TfheError::PlaintextModulusTooLarge {
+                modulus: p,
+                poly_size,
+            });
+        }
         let box_size = poly_size / p as usize;
         let blocks = Polynomial::from_fn(poly_size, |j| f((j / box_size) as u64));
         // Pre-rotate by half a block so that ±half-box noise around each
         // block center stays inside the block (no negacyclic wrap at m=0).
         let poly = blocks.monomial_mul(-((box_size / 2) as i64));
-        Self { poly, plaintext_modulus: p }
+        Ok(Self {
+            poly,
+            plaintext_modulus: p,
+        })
     }
 
     /// The identity LUT (a plain noise-resetting bootstrap).

@@ -24,7 +24,9 @@ impl LweCiphertext {
         noise_std: f64,
         rng: &mut R,
     ) -> Self {
-        let mask: Vec<Torus32> = (0..key.dim()).map(|_| sampling::uniform_torus(rng)).collect();
+        let mask: Vec<Torus32> = (0..key.dim())
+            .map(|_| sampling::uniform_torus(rng))
+            .collect();
         let mut body = mu;
         if noise_std > 0.0 {
             body += sampling::gaussian_torus(noise_std, rng);
@@ -41,7 +43,10 @@ impl LweCiphertext {
     /// key decrypts it to `mu`. Used for public constants and test
     /// polynomial bodies.
     pub fn trivial(mu: Torus32, dim: usize) -> Self {
-        Self { mask: vec![Torus32::ZERO; dim], body: mu }
+        Self {
+            mask: vec![Torus32::ZERO; dim],
+            body: mu,
+        }
     }
 
     /// Assemble from raw parts (used by sample extraction and the key
@@ -75,7 +80,12 @@ impl LweCiphertext {
     pub fn add(&self, rhs: &Self) -> Self {
         assert_eq!(self.dim(), rhs.dim(), "LWE dimension mismatch");
         Self {
-            mask: self.mask.iter().zip(&rhs.mask).map(|(&a, &b)| a + b).collect(),
+            mask: self
+                .mask
+                .iter()
+                .zip(&rhs.mask)
+                .map(|(&a, &b)| a + b)
+                .collect(),
             body: self.body + rhs.body,
         }
     }
@@ -89,7 +99,12 @@ impl LweCiphertext {
     pub fn sub(&self, rhs: &Self) -> Self {
         assert_eq!(self.dim(), rhs.dim(), "LWE dimension mismatch");
         Self {
-            mask: self.mask.iter().zip(&rhs.mask).map(|(&a, &b)| a - b).collect(),
+            mask: self
+                .mask
+                .iter()
+                .zip(&rhs.mask)
+                .map(|(&a, &b)| a - b)
+                .collect(),
             body: self.body - rhs.body,
         }
     }
@@ -97,7 +112,10 @@ impl LweCiphertext {
     /// Homomorphic negation.
     #[must_use]
     pub fn neg(&self) -> Self {
-        Self { mask: self.mask.iter().map(|&a| -a).collect(), body: -self.body }
+        Self {
+            mask: self.mask.iter().map(|&a| -a).collect(),
+            body: -self.body,
+        }
     }
 
     /// Multiply by a small signed constant (noise scales by `|k|`).
@@ -113,7 +131,10 @@ impl LweCiphertext {
     /// noise growth).
     #[must_use]
     pub fn add_plain(&self, mu: Torus32) -> Self {
-        Self { mask: self.mask.clone(), body: self.body + mu }
+        Self {
+            mask: self.mask.clone(),
+            body: self.body + mu,
+        }
     }
 }
 

@@ -82,7 +82,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let e = poly * (-x * x).exp();
     if sign_negative {
         2.0 - e
@@ -152,7 +153,10 @@ mod tests {
         let predicted = post_bootstrap_std(&params);
         // Measured std should be the same order as predicted (within 8×
         // given only 12 samples) and must not exceed the margin.
-        assert!(measured < predicted * 8.0, "measured {measured} vs predicted {predicted}");
+        assert!(
+            measured < predicted * 8.0,
+            "measured {measured} vs predicted {predicted}"
+        );
         assert!(measured < decryption_margin(params.plaintext_modulus));
     }
 

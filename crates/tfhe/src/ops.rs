@@ -15,7 +15,11 @@ use crate::lwe::LweCiphertext;
 ///
 /// Panics if lengths differ or `cts` is empty.
 pub fn weighted_sum(cts: &[LweCiphertext], weights: &[i64]) -> LweCiphertext {
-    assert_eq!(cts.len(), weights.len(), "weights/ciphertexts length mismatch");
+    assert_eq!(
+        cts.len(),
+        weights.len(),
+        "weights/ciphertexts length mismatch"
+    );
     assert!(!cts.is_empty(), "weighted sum needs at least one term");
     let mut acc = LweCiphertext::trivial(Torus32::ZERO, cts[0].dim());
     for (ct, &w) in cts.iter().zip(weights) {
@@ -48,7 +52,10 @@ mod tests {
     #[test]
     fn weighted_sum_matches_plaintext() {
         let mut rng = StdRng::seed_from_u64(100);
-        let params = ParamSet::Test.params().with_plaintext_modulus(16).noiseless();
+        let params = ParamSet::Test
+            .params()
+            .with_plaintext_modulus(16)
+            .noiseless();
         let ck = ClientKey::generate(params, &mut rng);
         let values = [1u64, 2, 3];
         let weights = [2i64, 1, 3];
@@ -61,7 +68,10 @@ mod tests {
     #[test]
     fn affine_adds_the_bias() {
         let mut rng = StdRng::seed_from_u64(101);
-        let params = ParamSet::Test.params().with_plaintext_modulus(16).noiseless();
+        let params = ParamSet::Test
+            .params()
+            .with_plaintext_modulus(16)
+            .noiseless();
         let ck = ClientKey::generate(params, &mut rng);
         let cts = vec![ck.encrypt(3, &mut rng)];
         let out = affine(&cts, &[2], Torus32::encode(5, 32));
@@ -71,7 +81,10 @@ mod tests {
     #[test]
     fn sum_is_weighted_sum_of_ones() {
         let mut rng = StdRng::seed_from_u64(102);
-        let params = ParamSet::Test.params().with_plaintext_modulus(16).noiseless();
+        let params = ParamSet::Test
+            .params()
+            .with_plaintext_modulus(16)
+            .noiseless();
         let ck = ClientKey::generate(params, &mut rng);
         let cts: Vec<_> = (1..=4u64).map(|v| ck.encrypt(v, &mut rng)).collect();
         assert_eq!(ck.decrypt(&sum(&cts)), 10);

@@ -112,7 +112,10 @@ impl TfheParams {
     /// Panics if `p` is not a power of two ≥ 2.
     #[must_use]
     pub fn with_plaintext_modulus(mut self, p: u64) -> Self {
-        assert!(p.is_power_of_two() && p >= 2, "plaintext modulus must be a power of two ≥ 2");
+        assert!(
+            p.is_power_of_two() && p >= 2,
+            "plaintext modulus must be a power of two ≥ 2"
+        );
         self.plaintext_modulus = p;
         self
     }
@@ -358,7 +361,10 @@ mod tests {
 
     #[test]
     fn decomposition_fits_the_32_bit_torus() {
-        for set in ALL_PAPER_SETS.iter().chain([ParamSet::Fig1, ParamSet::Test].iter()) {
+        for set in ALL_PAPER_SETS
+            .iter()
+            .chain([ParamSet::Fig1, ParamSet::Test].iter())
+        {
             let p = set.params();
             assert!(p.bsk_decomp.total_bits() <= 32, "{}", p.name);
             assert!(p.ksk_decomp.total_bits() <= 32, "{}", p.name);

@@ -39,7 +39,10 @@ impl RadixSpec {
     pub fn new(message_bits: u32, digits: usize) -> Self {
         assert!(message_bits > 0, "digits need at least one payload bit");
         assert!(digits > 0, "at least one digit is required");
-        Self { message_bits, digits }
+        Self {
+            message_bits,
+            digits,
+        }
     }
 
     /// Digit base `2^message_bits`.
@@ -176,9 +179,16 @@ pub trait RadixServer {
 impl RadixServer for ServerKey {
     fn radix_add(&self, a: &RadixCiphertext, b: &RadixCiphertext) -> RadixCiphertext {
         assert_eq!(a.spec, b.spec, "radix spec mismatch");
-        let digits =
-            a.digits.iter().zip(&b.digits).map(|(x, y)| x.add(y)).collect();
-        RadixCiphertext { digits, spec: a.spec }
+        let digits = a
+            .digits
+            .iter()
+            .zip(&b.digits)
+            .map(|(x, y)| x.add(y))
+            .collect();
+        RadixCiphertext {
+            digits,
+            spec: a.spec,
+        }
     }
 
     fn radix_scalar_add(&self, a: &RadixCiphertext, scalar: u64) -> RadixCiphertext {
@@ -195,7 +205,10 @@ impl RadixServer for ServerKey {
                 x.add_plain(morphling_math::TorusScalar::encode(d, 2 * p))
             })
             .collect();
-        RadixCiphertext { digits, spec: a.spec }
+        RadixCiphertext {
+            digits,
+            spec: a.spec,
+        }
     }
 
     fn propagate_carries(&self, a: &RadixCiphertext) -> RadixCiphertext {
@@ -266,8 +279,12 @@ impl RadixServer for ServerKey {
         let p = spec.digit_modulus();
         let n_poly = self.params().poly_size;
         // Digit product LUTs over the packed pair (x·base + y).
-        let lo_lut = Lut::from_fn(n_poly, p, move |packed| (packed / base) * (packed % base) % base);
-        let hi_lut = Lut::from_fn(n_poly, p, move |packed| (packed / base) * (packed % base) / base);
+        let lo_lut = Lut::from_fn(n_poly, p, move |packed| {
+            (packed / base) * (packed % base) % base
+        });
+        let hi_lut = Lut::from_fn(n_poly, p, move |packed| {
+            (packed / base) * (packed % base) / base
+        });
 
         let zero = LweCiphertext::trivial(morphling_math::Torus32::ZERO, self.params().lwe_dim);
         let mut lo_cols: Vec<LweCiphertext> = vec![zero.clone(); spec.digits];
@@ -287,8 +304,10 @@ impl RadixServer for ServerKey {
             }
         }
         // Stage 1: low halves (each column ≤ digits·(base−1) < base²).
-        let stage1 = self
-            .propagate_carries(&RadixCiphertext { digits: lo_cols, spec });
+        let stage1 = self.propagate_carries(&RadixCiphertext {
+            digits: lo_cols,
+            spec,
+        });
         // Stage 2: add the high halves onto clean digits and propagate.
         let digits = stage1
             .digits
@@ -310,7 +329,9 @@ mod tests {
     fn setup() -> (ClientKey, ServerKey, StdRng, RadixSpec) {
         let spec = RadixSpec::new(2, 4); // 8-bit integers in 4 base-4 digits
         let mut rng = StdRng::seed_from_u64(300);
-        let params = ParamSet::TestMedium.params().with_plaintext_modulus(spec.digit_modulus());
+        let params = ParamSet::TestMedium
+            .params()
+            .with_plaintext_modulus(spec.digit_modulus());
         let ck = ClientKey::generate(params, &mut rng);
         let sk = ServerKey::new(&ck, &mut rng);
         (ck, sk, rng, spec)
@@ -345,7 +366,11 @@ mod tests {
             assert_eq!(ck.decrypt_radix(&sum), (x + y) & 0xFF, "pre-prop {x}+{y}");
             // …and each digit is clean after propagation.
             let clean = sk.propagate_carries(&sum);
-            assert_eq!(ck.decrypt_radix(&clean), (x + y) & 0xFF, "post-prop {x}+{y}");
+            assert_eq!(
+                ck.decrypt_radix(&clean),
+                (x + y) & 0xFF,
+                "post-prop {x}+{y}"
+            );
             for d in clean.digits() {
                 assert!(ck.decrypt(d) < spec.base(), "digit not reduced");
             }

@@ -9,6 +9,7 @@ use crate::bootstrap::{
     sample_extract,
 };
 use crate::bootstrap_key::BootstrapKey;
+use crate::error::TfheError;
 use crate::external_product::ExternalProductEngine;
 use crate::keys::ClientKey;
 use crate::ksk::KeySwitchKey;
@@ -32,8 +33,80 @@ pub enum MulBackend {
     Exact,
 }
 
+/// Configures and derives a [`ServerKey`] — the one place where backend
+/// and transform options are chosen.
+///
+/// ```
+/// use morphling_tfhe::{ClientKey, MulBackend, ParamSet, ServerKey};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let client = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+/// let server = ServerKey::builder()
+///     .backend(MulBackend::Fft)
+///     .merge_split(true)
+///     .build(&client, &mut rng);
+/// assert_eq!(server.backend(), MulBackend::Fft);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct ServerKeyBuilder {
+    backend: MulBackend,
+    merge_split: Option<bool>,
+}
+
+impl ServerKeyBuilder {
+    /// Start from the defaults: FFT backend with merge-split enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Choose the polynomial-multiplication backend.
+    pub fn backend(mut self, backend: MulBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Force the merge-split FFT optimization on or off, overriding the
+    /// backend's default (`Fft` ⇒ on, `FftPlain` ⇒ off; irrelevant for
+    /// the exact backends).
+    pub fn merge_split(mut self, enabled: bool) -> Self {
+        self.merge_split = Some(enabled);
+        self
+    }
+
+    /// Generate BSK and KSK from the client key and assemble the server
+    /// key.
+    pub fn build<R: Rng + ?Sized>(self, client: &ClientKey, rng: &mut R) -> ServerKey {
+        let params = client.params().clone();
+        let bsk = BootstrapKey::generate(client, rng);
+        let ksk = KeySwitchKey::generate(
+            &client.glwe_key().to_extracted_lwe_key(),
+            client.lwe_key(),
+            &params,
+            rng,
+        );
+        let merge_split = self
+            .merge_split
+            .unwrap_or(self.backend != MulBackend::FftPlain);
+        let engine = ExternalProductEngine::new(&params).with_merge_split(merge_split);
+        ServerKey {
+            params,
+            bsk,
+            ksk,
+            engine,
+            backend: self.backend,
+        }
+    }
+}
+
 /// Public evaluation key material: bootstrapping key, key-switching key,
 /// and the transform engine.
+///
+/// `ServerKey` is `Send + Sync`: one key can drive any number of worker
+/// threads (see [`BootstrapEngine`](crate::BootstrapEngine)); the
+/// transform engines it uses come from a process-global `Arc` cache.
 ///
 /// See the [crate-level example](crate) for typical usage.
 #[derive(Debug)]
@@ -43,32 +116,39 @@ pub struct ServerKey {
     ksk: KeySwitchKey,
     engine: ExternalProductEngine,
     backend: MulBackend,
-    ntt: std::sync::OnceLock<morphling_transform::NegacyclicNtt>,
 }
 
+// The engine's worker pool shares one key behind an `Arc`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerKey>()
+};
+
 impl ServerKey {
+    /// Configure backend and transform options before deriving the key.
+    pub fn builder() -> ServerKeyBuilder {
+        ServerKeyBuilder::new()
+    }
+
     /// Derive the server key from a client key (generates BSK and KSK).
+    ///
+    /// Deprecated-in-docs: prefer [`ServerKey::builder`], which is the
+    /// single place backend and merge-split options live. `new` remains as
+    /// a convenience alias for `ServerKey::builder().build(client, rng)`.
     pub fn new<R: Rng + ?Sized>(client: &ClientKey, rng: &mut R) -> Self {
-        Self::with_backend(client, MulBackend::Fft, rng)
+        Self::builder().build(client, rng)
     }
 
     /// Derive with an explicit multiplication backend.
+    ///
+    /// Deprecated-in-docs: prefer
+    /// [`ServerKey::builder`]`.backend(backend).build(client, rng)`.
     pub fn with_backend<R: Rng + ?Sized>(
         client: &ClientKey,
         backend: MulBackend,
         rng: &mut R,
     ) -> Self {
-        let params = client.params().clone();
-        let bsk = BootstrapKey::generate(client, rng);
-        let ksk = KeySwitchKey::generate(
-            &client.glwe_key().to_extracted_lwe_key(),
-            client.lwe_key(),
-            &params,
-            rng,
-        );
-        let engine = ExternalProductEngine::new(&params)
-            .with_merge_split(backend != MulBackend::FftPlain);
-        Self { params, bsk, ksk, engine, backend, ntt: std::sync::OnceLock::new() }
+        Self::builder().backend(backend).build(client, rng)
     }
 
     /// The parameter set.
@@ -97,18 +177,74 @@ impl ServerKey {
     ///
     /// # Panics
     ///
-    /// Panics if the LUT's plaintext modulus disagrees with the parameters,
-    /// or on dimension mismatch.
+    /// Panics if the LUT was built for a different polynomial size, or on
+    /// ciphertext dimension mismatch. Use
+    /// [`try_programmable_bootstrap`](Self::try_programmable_bootstrap)
+    /// for a `Result`.
     pub fn programmable_bootstrap(&self, ct: &LweCiphertext, lut: &Lut) -> LweCiphertext {
-        let extracted = self.programmable_bootstrap_no_ks(ct, lut);
-        self.ksk.key_switch(&extracted)
+        match self.try_programmable_bootstrap(ct, lut) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`programmable_bootstrap`](Self::programmable_bootstrap).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::LweDimensionMismatch`] if `ct` is not under the small
+    /// LWE key; [`TfheError::LutSizeMismatch`] if `lut` was built for a
+    /// different polynomial size.
+    pub fn try_programmable_bootstrap(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+    ) -> Result<LweCiphertext, TfheError> {
+        let extracted = self.try_programmable_bootstrap_no_ks(ct, lut)?;
+        self.ksk.try_key_switch(&extracted)
     }
 
     /// Programmable bootstrapping *without* the final key switch: the
     /// result is under the extracted `k·N` key. Exposed because schedules
     /// sometimes fuse the key switch elsewhere (and for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or LUT-size mismatch; use
+    /// [`try_programmable_bootstrap_no_ks`](Self::try_programmable_bootstrap_no_ks)
+    /// for a `Result`.
     pub fn programmable_bootstrap_no_ks(&self, ct: &LweCiphertext, lut: &Lut) -> LweCiphertext {
-        assert_eq!(ct.dim(), self.params.lwe_dim, "ciphertext dimension mismatch");
+        match self.try_programmable_bootstrap_no_ks(ct, lut) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible
+    /// [`programmable_bootstrap_no_ks`](Self::programmable_bootstrap_no_ks).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::LweDimensionMismatch`] if `ct` is not under the small
+    /// LWE key; [`TfheError::LutSizeMismatch`] if `lut` was built for a
+    /// different polynomial size.
+    pub fn try_programmable_bootstrap_no_ks(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+    ) -> Result<LweCiphertext, TfheError> {
+        if ct.dim() != self.params.lwe_dim {
+            return Err(TfheError::LweDimensionMismatch {
+                expected: self.params.lwe_dim,
+                got: ct.dim(),
+            });
+        }
+        if lut.polynomial().len() != self.params.poly_size {
+            return Err(TfheError::LutSizeMismatch {
+                lut: lut.polynomial().len(),
+                poly_size: self.params.poly_size,
+            });
+        }
         // MS: rescale the ciphertext to exponents mod 2N.
         let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
         // BR: n external products starting from X^(−b̃)·TP.
@@ -118,15 +254,13 @@ impl ServerKey {
                 blind_rotate(&self.engine, &self.bsk, acc0, &mask)
             }
             MulBackend::Ntt => {
-                let ntt = self
-                    .ntt
-                    .get_or_init(|| morphling_transform::NegacyclicNtt::new(self.params.poly_size));
-                blind_rotate_ntt(&self.params, &self.bsk, acc0, &mask, ntt)
+                let ntt = crate::fft_cache::ntt_for(self.params.poly_size);
+                blind_rotate_ntt(&self.params, &self.bsk, acc0, &mask, &ntt)
             }
             MulBackend::Exact => blind_rotate_exact(&self.params, &self.bsk, acc0, &mask),
         };
         // SE: constant coefficient as an LWE sample.
-        sample_extract(&acc)
+        Ok(sample_extract(&acc))
     }
 
     /// A plain (identity-LUT) bootstrap: refreshes noise, keeps the
@@ -177,7 +311,11 @@ impl ServerKey {
 
     /// Bootstrapped XNOR.
     pub fn xnor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let lin = a.add(b).scalar_mul(2).add_plain(Torus32::from_f64(0.25)).neg();
+        let lin = a
+            .add(b)
+            .scalar_mul(2)
+            .add_plain(Torus32::from_f64(0.25))
+            .neg();
         self.gate_bootstrap(&lin)
     }
 
@@ -187,12 +325,7 @@ impl ServerKey {
     }
 
     /// Bootstrapped MUX: `cond ? a : b` (three gate bootstraps).
-    pub fn mux(
-        &self,
-        cond: &LweCiphertext,
-        a: &LweCiphertext,
-        b: &LweCiphertext,
-    ) -> LweCiphertext {
+    pub fn mux(&self, cond: &LweCiphertext, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
         let t = self.and(cond, a);
         let f = self.and(&self.not(cond), b);
         self.or(&t, &f)
@@ -249,8 +382,13 @@ mod tests {
         // The refreshed noise must be below the stacked noise.
         let target = Torus32::encode(1, 8);
         let stacked_err = (ck.decrypt_torus(&noisy) - target).to_f64_signed().abs();
-        let fresh_err = (ck.decrypt_torus(&refreshed) - target).to_f64_signed().abs();
-        assert!(fresh_err < stacked_err.max(1e-3), "fresh {fresh_err} vs stacked {stacked_err}");
+        let fresh_err = (ck.decrypt_torus(&refreshed) - target)
+            .to_f64_signed()
+            .abs();
+        assert!(
+            fresh_err < stacked_err.max(1e-3),
+            "fresh {fresh_err} vs stacked {stacked_err}"
+        );
     }
 
     #[test]
@@ -273,7 +411,11 @@ mod tests {
     #[test]
     fn mux_selects() {
         let (ck, sk, mut rng) = setup(MulBackend::Fft);
-        for (c, x, y) in [(true, true, false), (false, true, false), (true, false, true)] {
+        for (c, x, y) in [
+            (true, true, false),
+            (false, true, false),
+            (true, false, true),
+        ] {
             let cc = ck.encrypt_bool(c, &mut rng);
             let a = ck.encrypt_bool(x, &mut rng);
             let b = ck.encrypt_bool(y, &mut rng);
@@ -312,7 +454,11 @@ mod tests {
             let b = ck.encrypt_bool(y, &mut rng);
             let c = ck.encrypt_bool(z, &mut rng);
             let out = sk.or(&sk.xor(&sk.nand(&a, &b), &c), &sk.and(&a, &c));
-            assert_eq!(ck.decrypt_bool(&out), (!(x && y) ^ z) || (x && z), "bits={bits}");
+            assert_eq!(
+                ck.decrypt_bool(&out),
+                (!(x && y) ^ z) || (x && z),
+                "bits={bits}"
+            );
         }
     }
 }

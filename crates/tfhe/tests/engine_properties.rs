@@ -1,0 +1,107 @@
+//! Property tests for the persistent [`BootstrapEngine`]: across random
+//! batch sizes, worker counts, and chunkings, the engine must be
+//! **bit-identical** to the sequential `batch_bootstrap` path — same
+//! ciphertexts, not just same decryptions — and its statistics must add
+//! up exactly.
+
+use std::sync::{Arc, OnceLock};
+
+use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, LweCiphertext, ParamSet, ServerKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Key material is expensive; generate once and share across all cases.
+struct Fixture {
+    client: ClientKey,
+    server: Arc<ServerKey>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x9E37);
+        let client = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+        let server = Arc::new(ServerKey::builder().build(&client, &mut rng));
+        Fixture { client, server }
+    })
+}
+
+fn encrypt_batch(msgs: &[u64]) -> Vec<LweCiphertext> {
+    let f = fixture();
+    // Fresh deterministic rng per call keeps cases independent of order.
+    let mut rng = StdRng::seed_from_u64(msgs.iter().fold(17u64, |a, &m| a.wrapping_mul(31) + m));
+    msgs.iter()
+        .map(|&m| f.client.encrypt(m % 4, &mut rng))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn engine_is_bit_identical_to_sequential(
+        msgs in prop::collection::vec(0u64..4, 17),
+        workers in 1usize..5,
+        chunk in 1usize..7,
+    ) {
+        let f = fixture();
+        let lut = Lut::from_fn(f.server.params().poly_size, 4, |m| (3 * m + 1) % 4);
+        let cts = encrypt_batch(&msgs);
+        let engine = BootstrapEngine::builder()
+            .workers(workers)
+            .chunk_size(chunk)
+            .build(Arc::clone(&f.server))
+            .expect("workers >= 1");
+        let seq = f.server.batch_bootstrap(&cts, &lut);
+        let eng = engine.bootstrap_batch(&cts, &lut).expect("valid batch");
+        // Bit-identical, element for element — not merely decrypt-equal.
+        prop_assert_eq!(seq, eng);
+    }
+
+    #[test]
+    fn engine_matches_parallel_baseline_and_counts_exactly(
+        sizes in prop::collection::vec(0usize..9, 4),
+        workers in 1usize..4,
+    ) {
+        let f = fixture();
+        let lut = Lut::identity(f.server.params().poly_size, 4);
+        let engine = BootstrapEngine::builder()
+            .workers(workers)
+            .build(Arc::clone(&f.server))
+            .expect("workers >= 1");
+        let mut expected_bootstraps = 0u64;
+        for (round, &size) in sizes.iter().enumerate() {
+            let msgs: Vec<u64> = (0..size as u64).map(|i| (i + round as u64) % 4).collect();
+            let cts = encrypt_batch(&msgs);
+            let eng = engine.bootstrap_batch(&cts, &lut).expect("valid batch");
+            let par = f.server.batch_bootstrap_parallel(&cts, &lut, workers.max(2));
+            prop_assert_eq!(&eng, &par);
+            expected_bootstraps += size as u64;
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.batches, sizes.len() as u64);
+        prop_assert_eq!(stats.bootstraps, expected_bootstraps);
+        prop_assert_eq!(stats.workers, workers);
+        prop_assert!(expected_bootstraps == 0 || stats.busy.as_nanos() > 0);
+    }
+}
+
+#[test]
+fn stats_reset_zeroes_every_counter() {
+    let f = fixture();
+    let lut = Lut::identity(f.server.params().poly_size, 4);
+    let engine = BootstrapEngine::builder()
+        .workers(2)
+        .build(Arc::clone(&f.server))
+        .expect("workers");
+    let cts = encrypt_batch(&[1, 2, 3]);
+    let _ = engine.bootstrap_batch(&cts, &lut).expect("valid batch");
+    assert_eq!(engine.stats().bootstraps, 3);
+    engine.reset_stats();
+    let zeroed = engine.stats();
+    assert_eq!(zeroed.batches, 0);
+    assert_eq!(zeroed.bootstraps, 0);
+    assert_eq!(zeroed.busy.as_nanos(), 0);
+    assert_eq!(zeroed.workers, 2);
+}

@@ -29,7 +29,11 @@ fn set_i_programmable_bootstrap() {
     let lut = Lut::from_fn(params.poly_size, 4, |m| (m * m) % 4);
     for m in 0..4 {
         let ct = ck.encrypt(m, &mut rng);
-        assert_eq!(ck.decrypt(&sk.programmable_bootstrap(&ct, &lut)), (m * m) % 4, "m={m}");
+        assert_eq!(
+            ck.decrypt(&sk.programmable_bootstrap(&ct, &lut)),
+            (m * m) % 4,
+            "m={m}"
+        );
     }
 }
 
@@ -44,7 +48,11 @@ fn k2_pipeline_with_p8() {
     let lut = Lut::from_fn(params.poly_size, 8, |m| (7 - m) % 8);
     for m in 0..8 {
         let ct = ck.encrypt(m, &mut rng);
-        assert_eq!(ck.decrypt(&sk.programmable_bootstrap(&ct, &lut)), (7 - m) % 8, "m={m}");
+        assert_eq!(
+            ck.decrypt(&sk.programmable_bootstrap(&ct, &lut)),
+            (7 - m) % 8,
+            "m={m}"
+        );
     }
 }
 
@@ -74,7 +82,12 @@ fn noise_stays_bounded_across_a_chain() {
 fn exact_and_fft_backends_decode_identically() {
     let params = ParamSet::Test.params();
     let lut = Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4);
-    for backend in [MulBackend::Fft, MulBackend::FftPlain, MulBackend::Ntt, MulBackend::Exact] {
+    for backend in [
+        MulBackend::Fft,
+        MulBackend::FftPlain,
+        MulBackend::Ntt,
+        MulBackend::Exact,
+    ] {
         let mut rng = StdRng::seed_from_u64(1004);
         let ck = ClientKey::generate(params.clone(), &mut rng);
         let sk = ServerKey::with_backend(&ck, backend, &mut rng);
@@ -113,13 +126,20 @@ fn four_bit_ripple_carry_adder() {
     let sk = ServerKey::new(&ck, &mut rng);
 
     let add = |x: u32, y: u32, rng: &mut StdRng| -> u32 {
-        let xe: Vec<_> = (0..4).map(|i| ck.encrypt_bool(x >> i & 1 == 1, rng)).collect();
-        let ye: Vec<_> = (0..4).map(|i| ck.encrypt_bool(y >> i & 1 == 1, rng)).collect();
+        let xe: Vec<_> = (0..4)
+            .map(|i| ck.encrypt_bool(x >> i & 1 == 1, rng))
+            .collect();
+        let ye: Vec<_> = (0..4)
+            .map(|i| ck.encrypt_bool(y >> i & 1 == 1, rng))
+            .collect();
         let mut carry = ck.encrypt_bool(false, rng);
         let mut out = 0u32;
         for i in 0..4 {
             let s = sk.xor(&sk.xor(&xe[i], &ye[i]), &carry);
-            let c = sk.or(&sk.and(&xe[i], &ye[i]), &sk.and(&carry, &sk.xor(&xe[i], &ye[i])));
+            let c = sk.or(
+                &sk.and(&xe[i], &ye[i]),
+                &sk.and(&carry, &sk.xor(&xe[i], &ye[i])),
+            );
             carry = c;
             if ck.decrypt_bool(&s) {
                 out |= 1 << i;

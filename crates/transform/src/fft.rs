@@ -47,20 +47,31 @@ impl FftPlan {
     ///
     /// Panics if `n` is not a power of two or is zero.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a positive power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a positive power of two, got {n}"
+        );
         let stages = n.trailing_zeros() as usize;
         let mut twiddles = Vec::with_capacity(stages);
         for s in 0..stages {
             let half = 1usize << s;
             let block = half * 2;
             let step = -std::f64::consts::TAU / block as f64;
-            twiddles.push((0..half).map(|k| Complex64::from_polar_unit(step * k as f64)).collect());
+            twiddles.push(
+                (0..half)
+                    .map(|k| Complex64::from_polar_unit(step * k as f64))
+                    .collect(),
+            );
         }
         let shift = (usize::BITS - n.trailing_zeros()) % usize::BITS;
         let bit_rev = (0..n as u32)
             .map(|i| if n == 1 { 0 } else { (i as usize).reverse_bits() >> shift } as u32)
             .collect();
-        Self { n, twiddles, bit_rev }
+        Self {
+            n,
+            twiddles,
+            bit_rev,
+        }
     }
 
     /// Transform size.
@@ -140,7 +151,9 @@ mod tests {
     }
 
     fn ramp(n: usize) -> Vec<Complex64> {
-        (0..n).map(|j| Complex64::new(j as f64 + 1.0, (j as f64) * 0.5 - 1.0)).collect()
+        (0..n)
+            .map(|j| Complex64::new(j as f64 + 1.0, (j as f64) * 0.5 - 1.0))
+            .collect()
     }
 
     #[test]
@@ -182,8 +195,9 @@ mod tests {
         let n = 64;
         let plan = FftPlan::new(n);
         let a = ramp(n);
-        let b: Vec<Complex64> =
-            (0..n).map(|j| Complex64::new((j * j % 17) as f64, -(j as f64))).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::new((j * j % 17) as f64, -(j as f64)))
+            .collect();
         let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         plan.forward(&mut sum);
         let mut fa = a.clone();

@@ -46,6 +46,18 @@ pub mod pipeline;
 mod spectrum;
 
 pub use fft::FftPlan;
-pub use ntt::NegacyclicNtt;
 pub use negacyclic::NegacyclicFft;
+pub use ntt::NegacyclicNtt;
 pub use spectrum::Spectrum;
+
+// The TFHE crate shares one transform engine per polynomial size across
+// its whole bootstrap worker pool (process-global `Arc` cache), so these
+// types being `Send + Sync` is a public contract, enforced at compile
+// time here: a field change that introduces interior mutability or
+// thread-affine state must fail loudly, not poison the pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FftPlan>();
+    assert_send_sync::<NegacyclicFft>();
+    assert_send_sync::<NegacyclicNtt>();
+};

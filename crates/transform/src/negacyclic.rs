@@ -49,7 +49,10 @@ impl NegacyclicFft {
     ///
     /// Panics if `n` is not a power of two or `n < 4`.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "polynomial size must be a power of two ≥ 4, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "polynomial size must be a power of two ≥ 4, got {n}"
+        );
         let step = -std::f64::consts::PI / n as f64;
         let twist = |j: usize| Complex64::from_polar_unit(step * j as f64);
         let untwist = |j: usize| Complex64::from_polar_unit(-step * j as f64);
@@ -77,7 +80,11 @@ impl NegacyclicFft {
     ///
     /// Panics if `coeffs.len() != N`.
     pub fn forward_real(&self, coeffs: &[f64]) -> Spectrum {
-        assert_eq!(coeffs.len(), self.n, "coefficient count must equal the engine size");
+        assert_eq!(
+            coeffs.len(),
+            self.n,
+            "coefficient count must equal the engine size"
+        );
         let half = self.n / 2;
         let mut buf: Vec<Complex64> = (0..half)
             .map(|j| Complex64::new(coeffs[j], -coeffs[j + half]) * self.twist_half[j])
@@ -92,7 +99,11 @@ impl NegacyclicFft {
     ///
     /// Panics if the spectrum size does not match the engine.
     pub fn inverse_real(&self, spectrum: &Spectrum) -> Vec<f64> {
-        assert_eq!(spectrum.poly_len(), self.n, "spectrum size must equal the engine size");
+        assert_eq!(
+            spectrum.poly_len(),
+            self.n,
+            "spectrum size must equal the engine size"
+        );
         let half = self.n / 2;
         let mut buf = spectrum.values().to_vec();
         self.half_plan.inverse(&mut buf);
@@ -124,7 +135,10 @@ impl NegacyclicFft {
     pub fn inverse_torus(&self, spectrum: &Spectrum) -> Polynomial<Torus32> {
         let reals = self.inverse_real(spectrum);
         Polynomial::from_coeffs(
-            reals.into_iter().map(|v| Torus32::from_raw(round_wrap_u32(v))).collect(),
+            reals
+                .into_iter()
+                .map(|v| Torus32::from_raw(round_wrap_u32(v)))
+                .collect(),
         )
     }
 
@@ -139,8 +153,9 @@ impl NegacyclicFft {
         assert_eq!(p.len(), self.n, "first polynomial size mismatch");
         assert_eq!(q.len(), self.n, "second polynomial size mismatch");
         // Merge: r_j = (p_j + i q_j) ζ^j, evaluate at all odd 2N-th roots.
-        let mut buf: Vec<Complex64> =
-            (0..self.n).map(|j| Complex64::new(p[j], q[j]) * self.twist_full[j]).collect();
+        let mut buf: Vec<Complex64> = (0..self.n)
+            .map(|j| Complex64::new(p[j], q[j]) * self.twist_full[j])
+            .collect();
         self.full_plan.forward(&mut buf);
         // Split: R_m = P(t_m) + i Q(t_m) with t_m = ζ^(2m+1) and, because p
         // and q are real, P(t_(N-1-m)) = conj(P(t_m)). Keep the even-m
@@ -182,8 +197,8 @@ impl NegacyclicFft {
         assert_eq!(ps.poly_len(), self.n, "first spectrum size mismatch");
         assert_eq!(qs.poly_len(), self.n, "second spectrum size mismatch");
         let mut buf = vec![Complex64::ZERO; self.n];
-        for m in 0..self.n {
-            buf[m] = if m % 2 == 0 {
+        for (m, slot) in buf.iter_mut().enumerate() {
+            *slot = if m % 2 == 0 {
                 ps.values()[m / 2] + qs.values()[m / 2].mul_i()
             } else {
                 let k = (self.n - 1 - m) / 2;
@@ -209,7 +224,11 @@ impl NegacyclicFft {
     ) -> (Polynomial<Torus32>, Polynomial<Torus32>) {
         let (p, q) = self.inverse_pair_real(ps, qs);
         let wrap = |v: Vec<f64>| {
-            Polynomial::from_coeffs(v.into_iter().map(|x| Torus32::from_raw(round_wrap_u32(x))).collect())
+            Polynomial::from_coeffs(
+                v.into_iter()
+                    .map(|x| Torus32::from_raw(round_wrap_u32(x)))
+                    .collect(),
+            )
         };
         (wrap(p), wrap(q))
     }
@@ -217,7 +236,11 @@ impl NegacyclicFft {
     /// Convenience: full negacyclic product `digits(X) · t(X)` through the
     /// transform domain (forward ×2, pointwise, inverse) — the operation
     /// one VPE performs per (digit, BSK) pair.
-    pub fn mul_int_torus(&self, digits: &Polynomial<i64>, t: &Polynomial<Torus32>) -> Polynomial<Torus32> {
+    pub fn mul_int_torus(
+        &self,
+        digits: &Polynomial<i64>,
+        t: &Polynomial<Torus32>,
+    ) -> Polynomial<Torus32> {
         let a = self.forward_int(digits);
         let b = self.forward_torus(t);
         self.inverse_torus(&a.pointwise_mul(&b))
@@ -330,7 +353,11 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let digits = Polynomial::from_fn(n, |_| rng.gen_range(-8i64..8));
             let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
-            assert_eq!(fft.mul_int_torus(&digits, &t), mul_int_torus32(&digits, &t), "n={n}");
+            assert_eq!(
+                fft.mul_int_torus(&digits, &t),
+                mul_int_torus32(&digits, &t),
+                "n={n}"
+            );
         }
     }
 

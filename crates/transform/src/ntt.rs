@@ -60,7 +60,11 @@ struct PrimePlan {
 impl PrimePlan {
     fn new(p: u64, n: usize) -> Self {
         assert!(n.is_power_of_two(), "NTT size must be a power of two");
-        assert_eq!((p - 1) % (2 * n as u64), 0, "prime does not support 2N-th roots");
+        assert_eq!(
+            (p - 1) % (2 * n as u64),
+            0,
+            "prime does not support 2N-th roots"
+        );
         // ψ = g^((p−1)/2N) is a primitive 2N-th root of unity mod p.
         let psi_root = mod_pow(generator(p), (p - 1) / (2 * n as u64), p);
         let omega = psi_root * psi_root % p;
@@ -101,7 +105,15 @@ impl PrimePlan {
         let shift = (usize::BITS - n.trailing_zeros()) % usize::BITS;
         let bit_rev =
             (0..n as u32).map(|i| if n == 1 { 0 } else { (i as usize).reverse_bits() >> shift } as u32).collect();
-        Self { p, n, psi, ipsi_scaled, fwd_tw, inv_tw, bit_rev }
+        Self {
+            p,
+            n,
+            psi,
+            ipsi_scaled,
+            fwd_tw,
+            inv_tw,
+            bit_rev,
+        }
     }
 
     fn permute(&self, data: &mut [u64]) {
@@ -132,8 +144,11 @@ impl PrimePlan {
 
     /// Forward negacyclic transform: twist by ψ^j, then cyclic NTT.
     fn forward(&self, coeffs: &[u64]) -> Vec<u64> {
-        let mut data: Vec<u64> =
-            coeffs.iter().zip(&self.psi).map(|(&c, &t)| c % self.p * t % self.p).collect();
+        let mut data: Vec<u64> = coeffs
+            .iter()
+            .zip(&self.psi)
+            .map(|(&c, &t)| c % self.p * t % self.p)
+            .collect();
         self.permute(&mut data);
         self.butterflies(&mut data, false);
         data
@@ -169,9 +184,15 @@ impl NegacyclicNtt {
     /// Panics if `n` is not a power of two or exceeds the primes' root
     /// support (2²⁰).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "size must be a power of two ≥ 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "size must be a power of two ≥ 4"
+        );
         assert!(n <= 1 << 20, "size exceeds the primes' 2N-th root support");
-        Self { plan1: PrimePlan::new(PRIME_1, n), plan2: PrimePlan::new(PRIME_2, n) }
+        Self {
+            plan1: PrimePlan::new(PRIME_1, n),
+            plan2: PrimePlan::new(PRIME_2, n),
+        }
     }
 
     /// Polynomial size `N`.
@@ -182,7 +203,11 @@ impl NegacyclicNtt {
     /// Exact negacyclic product `digits(X) · t(X) mod (X^N + 1)` over the
     /// 32-bit torus — bit-identical to the schoolbook oracle, computed in
     /// O(N log N).
-    pub fn mul_int_torus(&self, digits: &Polynomial<i64>, t: &Polynomial<Torus32>) -> Polynomial<Torus32> {
+    pub fn mul_int_torus(
+        &self,
+        digits: &Polynomial<i64>,
+        t: &Polynomial<Torus32>,
+    ) -> Polynomial<Torus32> {
         let n = self.poly_len();
         assert_eq!(digits.len(), n, "digit polynomial size mismatch");
         assert_eq!(t.len(), n, "torus polynomial size mismatch");
@@ -192,8 +217,10 @@ impl NegacyclicNtt {
         // below N·(β/2)·2³¹ ≤ 2⁵⁸ < M/2 for every supported parameter set,
         // so the CRT reconstruction is always exact.
         let to_res = |p: u64| -> (Vec<u64>, Vec<u64>) {
-            let d: Vec<u64> =
-                digits.iter().map(|&v| (v.rem_euclid(p as i64)) as u64).collect();
+            let d: Vec<u64> = digits
+                .iter()
+                .map(|&v| (v.rem_euclid(p as i64)) as u64)
+                .collect();
             let tt: Vec<u64> = t
                 .iter()
                 .map(|&c| (i64::from(c.to_signed())).rem_euclid(p as i64) as u64)
@@ -203,12 +230,14 @@ impl NegacyclicNtt {
 
         let (d1, t1) = to_res(PRIME_1);
         let (d2, t2) = to_res(PRIME_2);
-        let r1 = self
-            .plan1
-            .inverse(self.plan1.pointwise(&self.plan1.forward(&d1), &self.plan1.forward(&t1)));
-        let r2 = self
-            .plan2
-            .inverse(self.plan2.pointwise(&self.plan2.forward(&d2), &self.plan2.forward(&t2)));
+        let r1 = self.plan1.inverse(
+            self.plan1
+                .pointwise(&self.plan1.forward(&d1), &self.plan1.forward(&t1)),
+        );
+        let r2 = self.plan2.inverse(
+            self.plan2
+                .pointwise(&self.plan2.forward(&d2), &self.plan2.forward(&t2)),
+        );
 
         // CRT: c ≡ r1 (mod p1), c ≡ r2 (mod p2); center into (−M/2, M/2),
         // then reduce mod 2³².
@@ -220,7 +249,11 @@ impl NegacyclicNtt {
                 let diff = (b + PRIME_2 - a % PRIME_2) % PRIME_2;
                 let k = diff * p1_inv_mod_p2 % PRIME_2;
                 let c = a as u128 + (k as u128) * (PRIME_1 as u128); // in [0, M)
-                let signed: i128 = if c >= m / 2 { c as i128 - m as i128 } else { c as i128 };
+                let signed: i128 = if c >= m / 2 {
+                    c as i128 - m as i128
+                } else {
+                    c as i128
+                };
                 Torus32::from_raw(signed as u32)
             })
             .collect();
@@ -271,7 +304,11 @@ mod tests {
             // Worst-case digit range of the paper's largest base (2^16/2).
             let digits = Polynomial::from_fn(n, |_| rng.gen_range(-32768i64..32768));
             let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
-            assert_eq!(ntt.mul_int_torus(&digits, &t), mul_int_torus32(&digits, &t), "n={n}");
+            assert_eq!(
+                ntt.mul_int_torus(&digits, &t),
+                mul_int_torus32(&digits, &t),
+                "n={n}"
+            );
         }
     }
 
@@ -283,6 +320,9 @@ mod tests {
         let fft = crate::NegacyclicFft::new(n);
         let digits = Polynomial::from_fn(n, |_| rng.gen_range(-64i64..64));
         let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
-        assert_eq!(ntt.mul_int_torus(&digits, &t), fft.mul_int_torus(&digits, &t));
+        assert_eq!(
+            ntt.mul_int_torus(&digits, &t),
+            fft.mul_int_torus(&digits, &t)
+        );
     }
 }

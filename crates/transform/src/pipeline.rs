@@ -45,7 +45,10 @@ impl PipelinedFftModel {
             poly_len.is_power_of_two() && poly_len >= 16,
             "polynomial size must be a power of two ≥ 16, got {poly_len}"
         );
-        Self { poly_len, merge_split }
+        Self {
+            poly_len,
+            merge_split,
+        }
     }
 
     /// Polynomial size `N`.

@@ -23,14 +23,22 @@ impl Spectrum {
     ///
     /// Panics if `n` is not a power of two of at least 2.
     pub fn zero(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "polynomial size must be a power of two ≥ 2");
-        Self { values: vec![Complex64::ZERO; n / 2] }
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "polynomial size must be a power of two ≥ 2"
+        );
+        Self {
+            values: vec![Complex64::ZERO; n / 2],
+        }
     }
 
     /// Wrap raw spectrum values (must be `N/2` points of a size-`N`
     /// polynomial).
     pub fn from_values(values: Vec<Complex64>) -> Self {
-        assert!(values.len().is_power_of_two(), "spectrum length must be a power of two");
+        assert!(
+            values.len().is_power_of_two(),
+            "spectrum length must be a power of two"
+        );
         Self { values }
     }
 
@@ -56,9 +64,18 @@ impl Spectrum {
     /// domain (one VPE pass over the `N/2` elements).
     #[must_use]
     pub fn pointwise_mul(&self, rhs: &Self) -> Self {
-        assert_eq!(self.values.len(), rhs.values.len(), "spectrum size mismatch");
+        assert_eq!(
+            self.values.len(),
+            rhs.values.len(),
+            "spectrum size mismatch"
+        );
         Self {
-            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a * b).collect(),
+            values: self
+                .values
+                .iter()
+                .zip(&rhs.values)
+                .map(|(&a, &b)| a * b)
+                .collect(),
         }
     }
 
@@ -75,23 +92,39 @@ impl Spectrum {
     /// Largest absolute component over all points — used by the precision
     /// tests that bound f64 round-off against the 53-bit mantissa budget.
     pub fn max_abs(&self) -> f64 {
-        self.values.iter().map(|z| z.re.abs().max(z.im.abs())).fold(0.0, f64::max)
+        self.values
+            .iter()
+            .map(|z| z.re.abs().max(z.im.abs()))
+            .fold(0.0, f64::max)
     }
 }
 
 impl Add for &Spectrum {
     type Output = Spectrum;
     fn add(self, rhs: &Spectrum) -> Spectrum {
-        assert_eq!(self.values.len(), rhs.values.len(), "spectrum size mismatch");
+        assert_eq!(
+            self.values.len(),
+            rhs.values.len(),
+            "spectrum size mismatch"
+        );
         Spectrum {
-            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a + b).collect(),
+            values: self
+                .values
+                .iter()
+                .zip(&rhs.values)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
 
 impl AddAssign<&Spectrum> for Spectrum {
     fn add_assign(&mut self, rhs: &Spectrum) {
-        assert_eq!(self.values.len(), rhs.values.len(), "spectrum size mismatch");
+        assert_eq!(
+            self.values.len(),
+            rhs.values.len(),
+            "spectrum size mismatch"
+        );
         for (a, &b) in self.values.iter_mut().zip(&rhs.values) {
             *a += b;
         }

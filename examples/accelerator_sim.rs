@@ -7,16 +7,16 @@
 //! ```
 
 use morphling_repro::core::sched::{HwScheduler, SwScheduler, Workload};
-use morphling_repro::core::sim::Simulator;
-use morphling_repro::core::{ArchConfig, ReuseMode};
-use morphling_repro::tfhe::ParamSet;
+use morphling_repro::prelude::*;
 
 fn main() {
     let cfg = ArchConfig::morphling_default();
     let sim = Simulator::new(cfg.clone());
 
-    println!("Morphling default: {} XPUs × {}×{} VPEs, {} FFT + {} IFFT per XPU, {} GHz",
-        cfg.xpus, cfg.vpe_rows, cfg.vpe_cols, cfg.ffts_per_xpu, cfg.iffts_per_xpu, cfg.clock_ghz);
+    println!(
+        "Morphling default: {} XPUs × {}×{} VPEs, {} FFT + {} IFFT per XPU, {} GHz",
+        cfg.xpus, cfg.vpe_rows, cfg.vpe_cols, cfg.ffts_per_xpu, cfg.iffts_per_xpu, cfg.clock_ghz
+    );
 
     println!("\nbootstrapping latency / throughput (Table V):");
     for set in [ParamSet::I, ParamSet::II, ParamSet::III, ParamSet::IV] {
@@ -37,7 +37,11 @@ fn main() {
     for reuse in ReuseMode::ALL {
         let r = Simulator::new(cfg.clone().with_reuse(reuse).with_merge_split(false))
             .bootstrap_batch(&params, 16);
-        println!("  {:<22} {:>8.0} BS/s", reuse.to_string(), r.throughput_bs_per_s());
+        println!(
+            "  {:<22} {:>8.0} BS/s",
+            reuse.to_string(),
+            r.throughput_bs_per_s()
+        );
     }
 
     println!("\nscheduling a 64-ciphertext super-group (Fig 6) at set I:");
@@ -47,12 +51,18 @@ fn main() {
     let prog = sw.compile(&Workload::independent(64), &params);
     let tl = hw.run(&prog, &params);
     println!("  instructions: {}", prog.len());
-    println!("  makespan:     {:.3} ms", tl.makespan_cycles() as f64 / cfg.clock_hz() * 1e3);
+    println!(
+        "  makespan:     {:.3} ms",
+        tl.makespan_cycles() as f64 / cfg.clock_hz() * 1e3
+    );
     for unit in [
         morphling_repro::core::isa::UnitClass::Xpu,
         morphling_repro::core::isa::UnitClass::Vpu,
         morphling_repro::core::isa::UnitClass::Dma,
     ] {
-        println!("  {unit} utilization: {:5.1}%", tl.utilization(unit) * 100.0);
+        println!(
+            "  {unit} utilization: {:5.1}%",
+            tl.utilization(unit) * 100.0
+        );
     }
 }

@@ -5,14 +5,18 @@
 //! cargo run --release --example gate_logic
 //! ```
 
-use morphling_repro::tfhe::{ClientKey, LweCiphertext, ParamSet, ServerKey};
+use morphling_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 struct EncryptedByte(Vec<LweCiphertext>);
 
 fn encrypt_byte(client: &ClientKey, value: u8, rng: &mut StdRng) -> EncryptedByte {
-    EncryptedByte((0..8).map(|i| client.encrypt_bool(value >> i & 1 == 1, rng)).collect())
+    EncryptedByte(
+        (0..8)
+            .map(|i| client.encrypt_bool(value >> i & 1 == 1, rng))
+            .collect(),
+    )
 }
 
 fn decrypt_byte(client: &ClientKey, byte: &EncryptedByte) -> u8 {
@@ -36,7 +40,13 @@ fn full_adder(
     (sum, carry)
 }
 
-fn add_bytes(server: &ServerKey, client: &ClientKey, a: &EncryptedByte, b: &EncryptedByte, rng: &mut StdRng) -> EncryptedByte {
+fn add_bytes(
+    server: &ServerKey,
+    client: &ClientKey,
+    a: &EncryptedByte,
+    b: &EncryptedByte,
+    rng: &mut StdRng,
+) -> EncryptedByte {
     let mut carry = client.encrypt_bool(false, rng);
     let mut out = Vec::with_capacity(8);
     for i in 0..8 {

@@ -6,7 +6,7 @@
 //! cargo run --release --example lut_oracle
 //! ```
 
-use morphling_repro::tfhe::{ClientKey, Lut, ParamSet, ServerKey};
+use morphling_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,7 +28,9 @@ fn main() {
         (v.max(0) + offset) as u64
     });
     // Sign: 1 if v ≥ 0 else 0 (the XG-Boost comparison).
-    let sign = Lut::from_fn(params.poly_size, p, move |m| u64::from(m as i64 - offset >= 0));
+    let sign = Lut::from_fn(params.poly_size, p, move |m| {
+        u64::from(m as i64 - offset >= 0)
+    });
     // Modular triple: (3v) mod p on raw residues.
     let triple = Lut::from_fn(params.poly_size, p, |m| (3 * m) % p);
 

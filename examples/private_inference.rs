@@ -11,7 +11,7 @@ use morphling_repro::apps::functional::{
     DecisionTree, EncryptedMlp, EncryptedTreeEvaluator, MlpModel,
 };
 use morphling_repro::apps::{models, runtime, xgboost::XgBoostModel};
-use morphling_repro::tfhe::{ClientKey, ParamSet, ServerKey};
+use morphling_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,40 +19,68 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let params = ParamSet::TestMedium.params();
     let client = ClientKey::generate(params, &mut rng);
-    let server = ServerKey::new(&client, &mut rng);
+    let server = std::sync::Arc::new(ServerKey::builder().build(&client, &mut rng));
+    // One persistent worker pool serves every batch below — the software
+    // analogue of Morphling's always-resident bootstrapping cores.
+    let engine = BootstrapEngine::new(std::sync::Arc::clone(&server));
 
-    // 1. Encrypted decision tree (XG-Boost's primitive).
+    // 1. Encrypted decision tree (XG-Boost's primitive), its three
+    //    oblivious comparisons batched through the engine as one wave.
     println!("encrypted decision tree (4 programmable bootstraps/inference):");
-    let tree = DecisionTree { root: (0, 4), left: (1, 2), right: (1, 6), leaves: [0, 1, 2, 3] };
+    let tree = DecisionTree {
+        root: (0, 4),
+        left: (1, 2),
+        right: (1, 6),
+        leaves: [0, 1, 2, 3],
+    };
     let eval = EncryptedTreeEvaluator::new(&server);
     for (x0, x1) in [(2u64, 1u64), (2, 5), (6, 3), (6, 7)] {
         let feats = vec![client.encrypt(x0, &mut rng), client.encrypt(x1, &mut rng)];
-        let class = eval.classify_and_decrypt(&tree, &feats, &client);
+        let class = client.decrypt(
+            &eval
+                .classify_batched(&engine, &tree, &feats)
+                .expect("engine"),
+        );
         println!("  features ({x0}, {x1}) → class {class}");
         assert_eq!(class, tree.classify_clear(&[x0, x1]));
     }
 
-    // 2. Encrypted quantized MLP (DeepCNN's primitive).
+    // 2. Encrypted quantized MLP (DeepCNN's primitive), hidden-layer
+    //    ReLUs batched through a pool on its own key.
     println!("\nencrypted 2-2-1 MLP (3 programmable bootstraps/inference):");
     let mut rng2 = StdRng::seed_from_u64(12);
     let params16 = ParamSet::TestMedium.params().with_plaintext_modulus(16);
     let client16 = ClientKey::generate(params16, &mut rng2);
-    let server16 = ServerKey::new(&client16, &mut rng2);
+    let server16 = std::sync::Arc::new(ServerKey::builder().build(&client16, &mut rng2));
+    let engine16 = BootstrapEngine::new(std::sync::Arc::clone(&server16));
     let mlp = EncryptedMlp::new(&server16);
     let model = MlpModel::demo();
     for (x0, x1) in [(0u64, 0u64), (1, 3), (3, 1), (3, 3)] {
         let c0 = client16.encrypt(x0, &mut rng2);
         let c1 = client16.encrypt(x1, &mut rng2);
-        let class = client16.decrypt(&mlp.infer(&model, &c0, &c1));
+        let class = client16.decrypt(
+            &mlp.infer_batched(&engine16, &model, &c0, &c1)
+                .expect("engine"),
+        );
         println!("  input ({x0}, {x1}) → class {class}");
         assert_eq!(class, model.infer_clear(x0, x1));
     }
+    let stats = engine.stats();
+    println!(
+        "\nengine: {} batches, {} bootstraps, {:.1} BS/s per core",
+        stats.batches,
+        stats.bootstraps,
+        stats.bootstraps_per_core_sec()
+    );
 
     // 3. Full-size Table VI projections on the accelerator.
     println!("\nprojected full-model execution (Table VI):");
     let rt = runtime::AppRuntime::paper_default();
     let workloads = [
-        ("XG-Boost (100 trees, depth 6)", XgBoostModel::paper_benchmark().workload()),
+        (
+            "XG-Boost (100 trees, depth 6)",
+            XgBoostModel::paper_benchmark().workload(),
+        ),
         ("DeepCNN-20", models::deep_cnn(20).workload()),
         ("DeepCNN-100", models::deep_cnn(100).workload()),
         ("VGG-9", models::vgg9().workload()),

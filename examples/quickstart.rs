@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use morphling_repro::tfhe::{ClientKey, Lut, ParamSet, ServerKey};
+use morphling_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -13,9 +13,15 @@ fn main() {
 
     // Set I is the paper's 80-bit benchmark set (N=1024, n=500).
     let params = ParamSet::I.params();
-    println!("parameter set {}: N={}, n={}, k={}", params.name, params.poly_size, params.lwe_dim, params.glwe_dim);
+    println!(
+        "parameter set {}: N={}, n={}, k={}",
+        params.name, params.poly_size, params.lwe_dim, params.glwe_dim
+    );
 
-    println!("generating keys (BSK: {} GGSW ciphertexts)…", params.lwe_dim);
+    println!(
+        "generating keys (BSK: {} GGSW ciphertexts)…",
+        params.lwe_dim
+    );
     let client = ClientKey::generate(params.clone(), &mut rng);
     let server = ServerKey::new(&client, &mut rng);
 

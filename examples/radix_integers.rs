@@ -8,10 +8,8 @@
 //! cargo run --release --example radix_integers
 //! ```
 
-use morphling_repro::core::sim::Simulator;
-use morphling_repro::core::ArchConfig;
+use morphling_repro::prelude::*;
 use morphling_repro::tfhe::radix::{RadixClient, RadixServer, RadixSpec};
-use morphling_repro::tfhe::{ClientKey, ParamSet, ServerKey};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,11 +17,17 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(21);
     // 8-bit integers as four base-4 digits, each with carry space (p=16).
     let spec = RadixSpec::new(2, 4);
-    let params = ParamSet::TestMedium.params().with_plaintext_modulus(spec.digit_modulus());
+    let params = ParamSet::TestMedium
+        .params()
+        .with_plaintext_modulus(spec.digit_modulus());
     let client = ClientKey::generate(params, &mut rng);
     let server = ServerKey::new(&client, &mut rng);
 
-    println!("encrypted 8-bit arithmetic ({} digits of base {}):", spec.digits, spec.base());
+    println!(
+        "encrypted 8-bit arithmetic ({} digits of base {}):",
+        spec.digits,
+        spec.base()
+    );
     for (x, y) in [(37u64, 91u64), (200, 55), (255, 255)] {
         let a = client.encrypt_radix(x, spec, &mut rng);
         let b = client.encrypt_radix(y, spec, &mut rng);
@@ -32,7 +36,10 @@ fn main() {
         // … and carry propagation bootstraps every digit clean again.
         let clean = server.propagate_carries(&sum);
         let got = client.decrypt_radix(&clean);
-        println!("  {x:3} + {y:3} = {got:3} (mod 256)   [{} digit bootstraps]", 2 * spec.digits);
+        println!(
+            "  {x:3} + {y:3} = {got:3} (mod 256)   [{} digit bootstraps]",
+            2 * spec.digits
+        );
         assert_eq!(got, (x + y) & 0xFF);
     }
 
@@ -60,8 +67,7 @@ fn main() {
     let sim = Simulator::new(ArchConfig::morphling_default());
     let p128 = ParamSet::III.params();
     let pbs_per_add = 2 * spec.digits as u64;
-    let adds_per_sec =
-        1.0 / sim.batch_time_seconds(&p128, pbs_per_add, spec.digits as u64);
+    let adds_per_sec = 1.0 / sim.batch_time_seconds(&p128, pbs_per_add, spec.digits as u64);
     println!(
         "\nMorphling projection (set III): one 8-bit encrypted add = {pbs_per_add} PBS → \
          {adds_per_sec:.0} adds/s per dependency chain"

@@ -18,13 +18,13 @@
 //! ## Quickstart
 //!
 //! ```
-//! use morphling_repro::tfhe::{ClientKey, ParamSet, ServerKey};
+//! use morphling_repro::prelude::*;
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let client = ClientKey::generate(ParamSet::Test.params(), &mut rng);
-//! let server = ServerKey::new(&client, &mut rng);
+//! let server = ServerKey::builder().build(&client, &mut rng);
 //! let a = client.encrypt_bool(true, &mut rng);
 //! let b = client.encrypt_bool(true, &mut rng);
 //! assert!(!client.decrypt_bool(&server.nand(&a, &b)));
@@ -38,3 +38,18 @@ pub use morphling_core as core;
 pub use morphling_math as math;
 pub use morphling_tfhe as tfhe;
 pub use morphling_transform as transform;
+
+/// The types nearly every consumer touches, importable in one line:
+/// `use morphling_repro::prelude::*;`.
+///
+/// Client/server key material, the persistent [`BootstrapEngine`], LUTs
+/// and ciphertexts, the paper's parameter sets, and the accelerator
+/// simulator. Deeper items (schedulers, radix integers, app models) stay
+/// behind their module paths.
+pub mod prelude {
+    pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
+    pub use morphling_tfhe::{
+        BootstrapEngine, BootstrapEngineBuilder, ClientKey, EngineStats, Lut, LweCiphertext,
+        MulBackend, ParamSet, ServerKey, ServerKeyBuilder, TfheError, TfheParams,
+    };
+}

@@ -22,9 +22,13 @@ fn thesis_reuse_reduces_transforms_and_raises_throughput() {
     assert!(row.input_output_reduction() > 0.83);
     // 2. Simulated: ≥4× throughput at equal resources.
     let tput = |reuse| {
-        Simulator::new(ArchConfig::morphling_default().with_reuse(reuse).with_merge_split(false))
-            .bootstrap_batch(&params, 16)
-            .throughput_bs_per_s()
+        Simulator::new(
+            ArchConfig::morphling_default()
+                .with_reuse(reuse)
+                .with_merge_split(false),
+        )
+        .bootstrap_batch(&params, 16)
+        .throughput_bs_per_s()
     };
     assert!(tput(ReuseMode::InputOutputReuse) / tput(ReuseMode::NoReuse) >= 3.5);
     // 3. Functional: the transform-domain accumulation that output reuse
@@ -58,9 +62,14 @@ fn scheduler_and_simulator_agree() {
     let prog = SwScheduler::new(cfg.clone()).compile(&Workload::independent(count), &params);
     let makespan = HwScheduler::new(cfg.clone()).run_seconds(&prog, &params);
     let sched_tput = count as f64 / makespan;
-    let sim_tput = Simulator::new(cfg).bootstrap_batch(&params, 16).throughput_bs_per_s();
+    let sim_tput = Simulator::new(cfg)
+        .bootstrap_batch(&params, 16)
+        .throughput_bs_per_s();
     let ratio = sched_tput / sim_tput;
-    assert!((0.75..=1.05).contains(&ratio), "scheduler {sched_tput} vs simulator {sim_tput}");
+    assert!(
+        (0.75..=1.05).contains(&ratio),
+        "scheduler {sched_tput} vs simulator {sim_tput}"
+    );
 }
 
 /// Full-stack private inference at a paper parameter set: an encrypted

@@ -1,0 +1,254 @@
+//! A minimal, self-contained, API-compatible subset of the `criterion`
+//! crate (0.5 line), vendored so the workspace builds and runs benches in
+//! offline environments (see `vendor/README.md`).
+//!
+//! Measurement is simplified: each benchmark runs a short warm-up, then
+//! timed batches until a time budget (or sample count) is reached, and
+//! prints mean / min per-iteration wall time. No statistical analysis,
+//! HTML reports, or comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (upstream: `from_parameter`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Runs closures and measures per-iteration wall time.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    last: Option<Measurement>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly until the sample count or the
+    /// time budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches the way upstream does).
+        let warm_start = Instant::now();
+        black_box(routine());
+        let first = warm_start.elapsed();
+
+        let mut total = Duration::ZERO;
+        let mut min = first;
+        let mut iters = 0u64;
+        let cap = self.samples as u64;
+        while iters < cap && total < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        let mean = if iters > 0 {
+            total / iters as u32
+        } else {
+            first
+        };
+        self.last = Some(Measurement {
+            mean,
+            min,
+            iters: iters.max(1),
+        });
+    }
+}
+
+fn run_one(name: &str, samples: usize, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        budget,
+        last: None,
+    };
+    f(&mut b);
+    match b.last {
+        Some(m) => println!(
+            "bench {name:<48} mean {:>12.3?}  min {:>12.3?}  ({} iters)",
+            m.mean, m.min, m.iters
+        ),
+        None => println!("bench {name:<48} (no measurement recorded)"),
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    samples: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            samples: 20,
+            budget: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; this subset accepts and ignores them.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.samples, self.budget, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        let (samples, budget) = (self.samples, self.budget);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples,
+            budget,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    budget: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of samples for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Set the per-benchmark time budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            self.budget,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a function against an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            self.budget,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing in this subset).
+    pub fn finish(self) {}
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        (0..n).fold(0, |a, x| a ^ x.wrapping_mul(0x9E3779B9))
+    }
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("spin", |b| b.iter(|| spin(black_box(10_000))));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| spin(black_box(1_000))));
+        g.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &n| {
+            b.iter(|| spin(n))
+        });
+        g.finish();
+    }
+}

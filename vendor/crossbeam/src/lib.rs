@@ -1,0 +1,325 @@
+//! A minimal, self-contained, API-compatible subset of the `crossbeam`
+//! crate (0.8 line), vendored so the workspace builds and tests in offline
+//! environments (see `vendor/README.md`).
+//!
+//! Provides [`thread::scope`] (built on `std::thread::scope`) and
+//! [`channel`] (an MPMC channel built on `Mutex` + `Condvar`). Semantics
+//! match upstream for the surface this repository uses; performance of the
+//! channel is lower than upstream's lock-free implementation but the
+//! channel only carries coarse-grained jobs here.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention
+    //! (`scope(|s| { s.spawn(|_| ...); })`).
+
+    use std::any::Any;
+
+    /// Result type of [`scope`]: `Err` carries the payload of a panicked
+    /// child thread.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; `spawn` borrows data owned by the caller of
+    /// [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// nested spawns are possible (crossbeam convention).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before
+    /// `scope` returns. Returns `Err` if any child panicked.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    //! An MPMC FIFO channel with the crossbeam 0.8 API surface used by
+    //! this repository: [`unbounded`], [`bounded`], cloneable [`Sender`] /
+    //! [`Receiver`], blocking `send` / `recv`, and `try_recv`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty (senders still connected).
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; returns the value back if all receivers dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.items.len() >= cap => {
+                        st = self.shared.not_full.wait(st).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `Err` once the channel is empty and all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.queue.lock().expect("channel lock");
+            if let Some(v) = st.items.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Iterate until the channel is empty and disconnected.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received values.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Channel that blocks senders at `cap` queued items.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    )
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_mpmc_fifo_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn channel_cross_thread() {
+        let (tx, rx) = super::channel::bounded(2);
+        let h = std::thread::spawn(move || (0..100).map(|i| tx.send(i)).all(|r| r.is_ok()));
+        let got: Vec<i32> = rx.iter().collect();
+        assert!(h.join().unwrap());
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,412 @@
+//! A minimal, self-contained, API-compatible subset of the `proptest`
+//! crate (1.x line), vendored so the workspace builds and tests in offline
+//! environments (see `vendor/README.md`).
+//!
+//! Supported surface: the [`proptest!`] macro (with typed arguments,
+//! `name in strategy` arguments, and `#![proptest_config(...)]`),
+//! [`Strategy`] with `prop_map`, range / tuple / `any` strategies,
+//! `prop::collection::vec`, `prop::sample::select`, and the
+//! `prop_assert*` / `prop_assume!` macros. No shrinking is performed on
+//! failure — the failing input is printed instead.
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test random source.
+
+    /// Deterministic RNG driving case generation (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction; each `proptest!` test derives a seed from
+        /// its own name so cases are deterministic per test.
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x5851F42D4C957F2D,
+            }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use super::{Strategy, TestRng};
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "uniform over the whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Bounded arbitrary floats (upstream generates specials too;
+            // consumers here only need ordinary values).
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` of exactly `len` elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `len` independent draws from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit choices.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            assert!(!self.choices.is_empty(), "select from an empty list");
+            self.choices[rng.below(self.choices.len() as u128) as usize].clone()
+        }
+    }
+
+    /// Choose uniformly from `choices`.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        Select { choices }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Deterministic 64-bit hash of a test name (FNV-1a) used to seed each
+/// property's RNG.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Assert inside a property (no shrinking; behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident @) => {};
+    ($rng:ident @ $name:ident : $ty:ty) => {
+        let $name: $ty =
+            $crate::Strategy::gen_value(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident @ $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_bind!($rng @ $name : $ty);
+        $crate::__proptest_bind!($rng @ $($rest)*);
+    };
+    ($rng:ident @ $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::gen_value(&($strat), &mut $rng);
+    };
+    ($rng:ident @ $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_bind!($rng @ $name in $strat);
+        $crate::__proptest_bind!($rng @ $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    // `#[test]` arrives as part of `$meta` (callers write it explicitly,
+    // as with upstream proptest), so it is passed through, not added.
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for __case in 0..__config.cases {
+                // One closure per case so `prop_assume!` can skip via
+                // `return`; `prop_assert*` panic like plain asserts.
+                let mut __one_case = || {
+                    $crate::__proptest_bind!(__rng @ $($params)*);
+                    $body
+                };
+                __one_case();
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// Define property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(::core::default::Default::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even(limit: u64) -> impl Strategy<Value = u64> {
+        (0..limit / 2).prop_map(|h| 2 * h)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn typed_args_and_ranges(a: u32, k in -50i64..50, v in prop::collection::vec(any::<u32>(), 4)) {
+            prop_assert!(k >= -50 && k < 50);
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(u64::from(a) <= u64::from(u32::MAX));
+        }
+
+        #[test]
+        fn mapped_and_selected(e in even(1000), s in prop::sample::select(vec![1usize, 3, 5])) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(s % 2 == 1);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}
