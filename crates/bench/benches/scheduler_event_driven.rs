@@ -1,0 +1,73 @@
+//! Event-driven vs reference list scheduler on a DeepCNN-100-sized
+//! program.
+//!
+//! The seed `HwScheduler::run` rescanned every unscheduled instruction per
+//! dispatch (O(n²)) and re-ran the analytical simulator for every
+//! `BlindRotate`. The rewrite keeps per-unit ready heaps and memoizes the
+//! simulator report, making the same policy O(n log n). This bench pins
+//! the speedup on the paper's largest application workload and asserts
+//! both implementations still agree on the makespan.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphling_apps::models;
+use morphling_core::sched::{HwScheduler, SwScheduler, Workload};
+use morphling_core::ArchConfig;
+use morphling_tfhe::ParamSet;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ArchConfig::morphling_default();
+    let params = ParamSet::I.params();
+    let sw = SwScheduler::new(cfg.clone());
+    let hw = HwScheduler::new(cfg);
+    let deepcnn = models::deep_cnn(100).workload();
+    let prog = sw.compile(&deepcnn, &params);
+    println!(
+        "DeepCNN-100 program: {} instructions across {} levels ({} bootstraps)",
+        prog.len(),
+        deepcnn.levels.len(),
+        deepcnn.total_bootstraps()
+    );
+
+    // Headline comparison: one timed run each, same program, same policy.
+    let t0 = Instant::now();
+    let fast = hw.run(&prog, &params);
+    let t_fast = t0.elapsed();
+    let t0 = Instant::now();
+    let slow = hw.run_reference(&prog, &params);
+    let t_slow = t0.elapsed();
+    assert_eq!(
+        fast.makespan_cycles(),
+        slow.makespan_cycles(),
+        "schedulers disagree on the DeepCNN-100 makespan"
+    );
+    let speedup = t_slow.as_secs_f64() / t_fast.as_secs_f64().max(1e-9);
+    println!(
+        "event-driven {t_fast:?}  vs  reference list {t_slow:?}  ({speedup:.0}x speedup, \
+         makespan {} cycles)",
+        fast.makespan_cycles()
+    );
+    assert!(
+        speedup > 10.0,
+        "event-driven scheduler must be >10x faster on DeepCNN-100 (got {speedup:.1}x)"
+    );
+
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("event_driven/deepcnn100", |b| {
+        b.iter(|| hw.run(std::hint::black_box(&prog), &params))
+    });
+    // A 1000-group flat program — the scaling smoke point of the tests.
+    let thousand = sw.compile(&Workload::independent(1000 * sw.group_size()), &params);
+    g.bench_function("event_driven/1000_groups", |b| {
+        b.iter(|| hw.run(std::hint::black_box(&thousand), &params))
+    });
+    g.sample_size(3);
+    g.bench_function("reference_list/deepcnn100", |b| {
+        b.iter(|| hw.run_reference(std::hint::black_box(&prog), &params))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,14 @@
 //! cargo run -p morphling-bench --release --bin report            # everything
 //! cargo run -p morphling-bench --release --bin report -- table5  # one artifact
 //! cargo run -p morphling-bench --release --bin report -- table5 --measure-cpu
+//! cargo run -p morphling-bench --release --bin report -- --trace trace.json
 //! ```
+//!
+//! `--trace <out.json>` writes a Chrome-trace execution timeline (the
+//! DeepCNN-20 workload scheduled through the SW → HW scheduler pair, plus
+//! the simulator's per-stage spans) loadable in `chrome://tracing` or
+//! Perfetto. It can be combined with artifact names; on its own it skips
+//! the text artifacts.
 
 use morphling_bench as reports;
 
@@ -15,17 +22,32 @@ const ARTIFACTS: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let measure_cpu = args.iter().any(|a| a == "--measure-cpu");
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut measure_cpu = false;
+    let mut trace_path: Option<String> = None;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--measure-cpu" => measure_cpu = true,
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => {
+                    eprintln!("error: --trace requires an output path");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag `{flag}`");
+                std::process::exit(2);
+            }
+            target => targets.push(target),
+        }
+    }
     if let Some(unknown) = targets.iter().find(|t| !ARTIFACTS.contains(t)) {
         eprintln!("error: unknown artifact `{unknown}`; known artifacts: {ARTIFACTS:?}");
         std::process::exit(2);
     }
-    let all = targets.is_empty();
+    let all = targets.is_empty() && trace_path.is_none();
     let want = |name: &str| all || targets.contains(&name);
 
     if want("fig1") {
@@ -60,5 +82,16 @@ fn main() {
     }
     if want("summary") {
         println!("{}", reports::summary_report());
+    }
+    if let Some(path) = trace_path {
+        let json = reports::deepcnn_trace_json(20);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write trace to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote execution trace ({} bytes) to {path} — open in chrome://tracing or ui.perfetto.dev",
+            json.len()
+        );
     }
 }

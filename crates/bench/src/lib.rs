@@ -14,6 +14,7 @@ use morphling_core::opcount::{bootstrap_memory, cpu_bootstrap_ops, Fig3Row};
 use morphling_core::reference::{
     baselines_for, TABLE_VI_CPU_SECONDS, TABLE_VI_MORPHLING_PAPER, TABLE_V_MORPHLING_PAPER,
 };
+use morphling_core::sched::{HwScheduler, SwScheduler, Workload};
 use morphling_core::sim::Simulator;
 use morphling_core::{hwmodel, ArchConfig, ReuseMode};
 use morphling_tfhe::{BootstrapEngine, ClientKey, EngineStats, ParamSet, ServerKey, TfheParams};
@@ -495,6 +496,29 @@ pub fn dataflow_ablation_report() -> String {
     s
 }
 
+/// **Execution trace** (`report --trace <out.json>`): schedule `workload`
+/// through the SW → HW scheduler pair with tracing on, merge in the
+/// simulator's per-stage latency spans (same cycle time base), and return
+/// the combined Chrome-trace JSON (loadable in `chrome://tracing` or
+/// Perfetto). See DESIGN.md §"Execution tracing" for the format.
+pub fn scheduler_trace_json(workload: &Workload, set: ParamSet) -> String {
+    let cfg = ArchConfig::morphling_default();
+    let params = set.params();
+    let sw = SwScheduler::new(cfg.clone());
+    let hw = HwScheduler::new(cfg.clone());
+    let prog = sw.compile(workload, &params);
+    let (_, mut trace) = hw.run_traced(&prog, &params);
+    let report = Simulator::new(cfg.clone()).bootstrap_batch(&params, cfg.bootstrap_cores());
+    trace.merge(&report.to_trace());
+    trace.to_chrome_json()
+}
+
+/// [`scheduler_trace_json`] for a DeepCNN-X workload at parameter set I —
+/// the `report` binary's `--trace` payload.
+pub fn deepcnn_trace_json(x: usize) -> String {
+    scheduler_trace_json(&models::deep_cnn(x).workload(), ParamSet::I)
+}
+
 /// Headline summary (abstract claims).
 pub fn summary_report() -> String {
     let sim = Simulator::new(ArchConfig::morphling_default());
@@ -588,6 +612,32 @@ mod tests {
     #[test]
     fn fig3_report_contains_the_46752_datum() {
         assert!(fig3_report().contains("46752"));
+    }
+
+    #[test]
+    fn trace_json_is_structurally_valid() {
+        let json = scheduler_trace_json(&Workload::independent(64).then(32, 10_000), ParamSet::I);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        // Scheduler spans and merged simulator spans both present.
+        assert!(json.contains("XPU.BR"));
+        assert!(json.contains("BlindRotate"));
+        // Structural brace balance, skipping string contents (span names
+        // like `DMA.LDBSK [0..500)` carry an unmatched `[`).
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            match (in_str, esc, c) {
+                (true, true, _) => esc = false,
+                (true, false, '\\') => esc = true,
+                (true, false, '"') => in_str = false,
+                (true, ..) => {}
+                (false, _, '"') => in_str = true,
+                (false, _, '{' | '[') => depth += 1,
+                (false, _, '}' | ']') => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON braces");
     }
 
     #[test]

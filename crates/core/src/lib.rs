@@ -21,6 +21,9 @@
 //!   VPU, buffers with the double-pointer rotator, HBM bandwidth
 //!   contention — producing the latency/throughput numbers of Tables V–VI
 //!   and Figs 7–8.
+//! - [`trace`]: execution tracing — a cycle-stamped event journal with
+//!   per-unit busy/stall counters and Chrome-trace JSON export, fed by
+//!   the scheduler, the simulator, and the software bootstrap engine.
 //! - [`hwmodel`]: the 28 nm area/power model (Table IV).
 //! - [`reference`]: published baseline numbers (CPU/GPU/FPGA/ASIC rows of
 //!   Table V) with provenance.
@@ -49,6 +52,7 @@ pub mod reference;
 mod reuse;
 pub mod sched;
 pub mod sim;
+pub mod trace;
 
 pub use config::{ArchConfig, Dataflow, HbmConfig, NocConfig};
 pub use reuse::ReuseMode;

@@ -70,8 +70,12 @@ impl SwScheduler {
             for _ in 0..groups {
                 let g = GroupId(group_no);
                 group_no += 1;
-                let mut deps = prev_level_last.clone();
-                let load = prog.push(g, Op::Dma(DmaOp::LoadLwe), deps.clone());
+                // Groups within a level are independent: each group's
+                // LoadLwe waits only on the previous level's outputs.
+                // (An earlier revision also pushed this group's StoreLwe
+                // into a clone of that list after use — a dead store that
+                // suggested cross-group chaining which never existed.)
+                let load = prog.push(g, Op::Dma(DmaOp::LoadLwe), prev_level_last.clone());
                 let bsk = prog.push(
                     g,
                     Op::Dma(DmaOp::LoadBskWindow {
@@ -92,7 +96,6 @@ impl SwScheduler {
                 let ksk = prog.push(g, Op::Dma(DmaOp::LoadKsk), vec![]);
                 let ks = prog.push(g, Op::Vpu(VpuOp::KeySwitch), vec![se, ksk]);
                 let store = prog.push(g, Op::Dma(DmaOp::StoreLwe), vec![ks]);
-                deps.push(store);
                 this_level.push(store);
             }
             if palu_macs > 0 {
@@ -142,6 +145,47 @@ mod tests {
             .nth(1)
             .unwrap();
         assert!(!second_load.deps.is_empty());
+    }
+
+    #[test]
+    fn groups_within_a_level_do_not_chain_on_each_other() {
+        // Regression for the dead `deps.push(store)`: within one level,
+        // group g+1's LoadLwe must depend only on the *previous level's*
+        // stores — never on sibling groups of its own level.
+        let sched = SwScheduler::new(ArchConfig::morphling_default());
+        let prog = sched.compile(
+            &Workload::independent(64).then(64, 0),
+            &ParamSet::I.params(),
+        );
+        let stores_of_level: Vec<Vec<u32>> = (0..2)
+            .map(|level| {
+                prog.instructions()
+                    .iter()
+                    .filter(|i| matches!(i.op, Op::Dma(DmaOp::StoreLwe)))
+                    .skip(level * 4)
+                    .take(4)
+                    .map(|i| i.id)
+                    .collect()
+            })
+            .collect();
+        let loads: Vec<_> = prog
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i.op, Op::Dma(DmaOp::LoadLwe)))
+            .collect();
+        assert_eq!(loads.len(), 8);
+        for load in &loads[..4] {
+            assert!(load.deps.is_empty(), "level-0 load {load} has deps");
+        }
+        for load in &loads[4..] {
+            assert_eq!(
+                load.deps, stores_of_level[0],
+                "level-1 load {load} must wait on exactly the level-0 stores"
+            );
+            for sibling_store in &stores_of_level[1] {
+                assert!(!load.deps.contains(sibling_store));
+            }
+        }
     }
 
     #[test]

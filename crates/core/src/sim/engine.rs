@@ -8,6 +8,7 @@ use crate::sim::buffers::stream_batch_depth;
 use crate::sim::hbm::BandwidthDemand;
 use crate::sim::vpu::VpuCost;
 use crate::sim::xpu::IterProfile;
+use crate::trace::ExecutionTrace;
 
 /// Pipeline-fill overhead charged once per bootstrap (FFT fill + VPE +
 /// IFFT + write-back), in cycles. Small against `n × iter_cycles`.
@@ -87,6 +88,7 @@ impl Simulator {
             stream_batch,
             demand,
             stall,
+            mem_stall,
             vpu_utilization,
             clock_hz: cfg.clock_hz(),
             br_cycles,
@@ -132,6 +134,9 @@ pub struct SimReport {
     pub demand: BandwidthDemand,
     /// Pipeline stall factor (≥ 1): max of memory and VPU bounds.
     pub stall: f64,
+    /// Memory-only stall factor (≥ 1) — the HBM contribution to `stall`,
+    /// kept separate so traces can attribute stalls to a cause.
+    pub mem_stall: f64,
     /// VPU utilization (fraction of one window).
     pub vpu_utilization: f64,
     /// Clock rate in Hz.
@@ -148,10 +153,84 @@ pub struct SimReport {
     pub ks_cycles: u64,
 }
 
+/// What bounds a simulated bootstrap batch's steady-state throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// The XPU pipeline runs unstalled — compute-bound (the intended
+    /// operating point of the default configuration).
+    Compute,
+    /// HBM bandwidth (BSK/KSK/LWE traffic) stretches the iteration
+    /// period.
+    MemoryBandwidth,
+    /// The VPU cannot key-switch the in-flight ciphertexts within one
+    /// blind-rotation window.
+    VpuThroughput,
+}
+
+impl Bottleneck {
+    /// Short label for trace args and report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Bottleneck::Compute => "compute",
+            Bottleneck::MemoryBandwidth => "memory_bandwidth",
+            Bottleneck::VpuThroughput => "vpu_throughput",
+        }
+    }
+}
+
 impl SimReport {
     /// Total latency of one bootstrap in cycles.
     pub fn latency_cycles(&self) -> u64 {
         self.br_cycles + self.fill_cycles + self.ms_cycles + self.se_cycles + self.ks_cycles
+    }
+
+    /// Which resource bounds this batch's throughput: the larger of the
+    /// memory and VPU stall contributions, or compute if neither stalls
+    /// the pipeline.
+    pub fn bottleneck(&self) -> Bottleneck {
+        if self.stall <= 1.0 {
+            Bottleneck::Compute
+        } else if self.mem_stall >= self.vpu_utilization {
+            Bottleneck::MemoryBandwidth
+        } else {
+            Bottleneck::VpuThroughput
+        }
+    }
+
+    /// Render the serial per-ciphertext latency chain (MS → BR → SE → KS)
+    /// as an [`ExecutionTrace`], with stall and bottleneck attribution on
+    /// the blind-rotation span. Merges cleanly with a scheduler trace
+    /// (both use cycle ticks at the same clock).
+    pub fn to_trace(&self) -> ExecutionTrace {
+        let mut t = ExecutionTrace::new(self.clock_hz / 1e6);
+        let vpu = t.track("Simulator", "VPU stages");
+        let xpu = t.track("Simulator", "XPU blind rotation");
+        let mut cursor = 0u64;
+        t.span(vpu, "ModSwitch", "sim", cursor, self.ms_cycles);
+        cursor += self.ms_cycles;
+        t.span_with_args(
+            xpu,
+            "BlindRotate",
+            "sim",
+            cursor,
+            self.br_cycles + self.fill_cycles,
+            vec![
+                ("iter_cycles".into(), self.iter_cycles.to_string()),
+                ("stream_batch".into(), self.stream_batch.to_string()),
+                ("stall".into(), format!("{:.4}", self.stall)),
+                ("mem_stall".into(), format!("{:.4}", self.mem_stall)),
+                (
+                    "vpu_utilization".into(),
+                    format!("{:.4}", self.vpu_utilization),
+                ),
+                ("bottleneck".into(), self.bottleneck().label().into()),
+            ],
+        );
+        cursor += self.br_cycles + self.fill_cycles;
+        t.span(vpu, "SampleExtract", "sim", cursor, self.se_cycles);
+        cursor += self.se_cycles;
+        t.span(vpu, "KeySwitch", "sim", cursor, self.ks_cycles);
+        t
     }
 
     /// Latency in seconds.
@@ -325,6 +404,30 @@ mod tests {
             .throughput_bs_per_s();
         assert!(small < 0.7 * base, "small {} base {}", small, base);
         assert!(large <= base * 1.05, "large {} base {}", large, base);
+    }
+
+    #[test]
+    fn bottleneck_attribution_follows_the_binding_bound() {
+        // Default config at set I: unstalled → compute-bound.
+        let r = sim().bootstrap_batch(&ParamSet::I.params(), 16);
+        assert_eq!(r.bottleneck(), Bottleneck::Compute);
+        // Starving Private-A1 kills stream batching → the BSK stream
+        // overloads the XPU channels → memory-bound.
+        let starved = Simulator::new(ArchConfig::morphling_default().with_private_a1_kb(256))
+            .bootstrap_batch(&ParamSet::I.params(), 16);
+        assert!(starved.stall > 1.0);
+        assert_eq!(starved.bottleneck(), Bottleneck::MemoryBandwidth);
+    }
+
+    #[test]
+    fn report_trace_covers_the_latency_chain() {
+        let r = sim().bootstrap_batch(&ParamSet::I.params(), 16);
+        let trace = r.to_trace();
+        assert_eq!(trace.spans().len(), 4);
+        assert_eq!(trace.makespan_ticks(), r.latency_cycles());
+        let br = &trace.spans()[1];
+        assert!(br.args.iter().any(|(k, _)| k == "bottleneck"));
+        assert!(trace.to_chrome_json().contains("BlindRotate"));
     }
 
     #[test]

@@ -68,17 +68,40 @@ impl BandwidthDemand {
         }
     }
 
-    /// The pipeline stall factor: ≥ 1. BSK competes for the XPU-priority
-    /// channels; KSK + LWE compete for the VPU-priority channels; the whole
-    /// stack is the final backstop.
+    /// Hard ceiling on the stall factor. A channel split that leaves a
+    /// traffic class with no bandwidth at all (e.g. every channel
+    /// prioritized for the XPU while KSK traffic still flows) would
+    /// otherwise divide by zero — or, with float rounding, go negative —
+    /// and silently poison every downstream latency. A saturated stall
+    /// keeps the report finite and unmistakably pathological.
+    pub const MAX_STALL: f64 = 1e6;
+
+    /// The pipeline stall factor: ≥ 1, ≤ [`Self::MAX_STALL`]. BSK
+    /// competes for the XPU-priority channels; KSK + LWE compete for the
+    /// VPU-priority channels; the whole stack is the final backstop.
     pub fn stall_factor(&self, config: &ArchConfig) -> f64 {
-        let xpu_cap = config.hbm.xpu_priority_gb_s();
-        let vpu_cap = config.hbm.total_gb_s - xpu_cap;
-        let xpu_stall = (self.bsk_gb_s + self.acc_spill_gb_s) / xpu_cap;
-        let vpu_stall = (self.ksk_gb_s + self.lwe_gb_s) / vpu_cap;
-        let total_stall = (self.bsk_gb_s + self.ksk_gb_s + self.lwe_gb_s + self.acc_spill_gb_s)
-            / config.hbm.total_gb_s;
-        xpu_stall.max(vpu_stall).max(total_stall).max(1.0)
+        let xpu_cap = config.hbm.xpu_priority_gb_s().max(0.0);
+        let vpu_cap = (config.hbm.total_gb_s - xpu_cap).max(0.0);
+        // A class with demand but zero capacity saturates outright.
+        let class_stall = |demand: f64, cap: f64| {
+            if demand <= 0.0 {
+                1.0
+            } else if cap <= 0.0 {
+                Self::MAX_STALL
+            } else {
+                demand / cap
+            }
+        };
+        let xpu_stall = class_stall(self.bsk_gb_s + self.acc_spill_gb_s, xpu_cap);
+        let vpu_stall = class_stall(self.ksk_gb_s + self.lwe_gb_s, vpu_cap);
+        let total_stall = class_stall(
+            self.bsk_gb_s + self.ksk_gb_s + self.lwe_gb_s + self.acc_spill_gb_s,
+            config.hbm.total_gb_s,
+        );
+        xpu_stall
+            .max(vpu_stall)
+            .max(total_stall)
+            .clamp(1.0, Self::MAX_STALL)
     }
 }
 
@@ -102,6 +125,30 @@ mod tests {
         let d = BandwidthDemand::compute(&cfg, &ParamSet::I.params(), 256, 1, 150_000.0);
         assert!(d.bsk_gb_s > 140.0, "bsk {}", d.bsk_gb_s);
         assert!(d.stall_factor(&cfg) > 1.5);
+    }
+
+    #[test]
+    fn zero_vpu_capacity_saturates_instead_of_diverging() {
+        // All eight channels prioritized for the XPU: the VPU classes
+        // have zero capacity, so their nonzero KSK/LWE demand must yield
+        // the saturated stall — finite, positive, and clamped — rather
+        // than an infinity (or, with rounding, a negative value).
+        let mut cfg = ArchConfig::morphling_default();
+        cfg.hbm.vpu_priority_channels = 0;
+        assert!(cfg.hbm.xpu_priority_gb_s() >= cfg.hbm.total_gb_s);
+        let d = BandwidthDemand::compute(&cfg, &ParamSet::I.params(), 256, 4, 150_000.0);
+        assert!(d.ksk_gb_s > 0.0);
+        let stall = d.stall_factor(&cfg);
+        assert!(stall.is_finite(), "stall {stall} not finite");
+        assert_eq!(stall, BandwidthDemand::MAX_STALL);
+        // Zero demand against zero capacity is not a stall at all.
+        let idle = BandwidthDemand {
+            bsk_gb_s: 0.0,
+            ksk_gb_s: 0.0,
+            lwe_gb_s: 0.0,
+            acc_spill_gb_s: 0.0,
+        };
+        assert_eq!(idle.stall_factor(&cfg), 1.0);
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod xpu;
 
 pub use buffers::RotatorBuffer;
 pub use cosim::{CosimResult, XpuCosim};
-pub use engine::{SimReport, Simulator};
+pub use engine::{Bottleneck, SimReport, Simulator};
 pub use xpu::IterProfile;

@@ -44,8 +44,8 @@
 //! ```
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
@@ -90,11 +90,43 @@ impl EngineStats {
     }
 }
 
+/// One worker's execution of one job, stamped relative to the engine's
+/// construction instant — the raw material for per-worker trace tracks
+/// (`morphling-core`'s `trace` module converts a slice of these into a
+/// Chrome-trace timeline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Index of the worker thread that ran the job.
+    pub worker: usize,
+    /// Job start, measured from engine construction.
+    pub start: Duration,
+    /// Time the worker spent inside the job.
+    pub dur: Duration,
+    /// Bootstraps the job completed.
+    pub bootstraps: usize,
+}
+
 #[derive(Default)]
 struct Counters {
     batches: AtomicU64,
     bootstraps: AtomicU64,
     busy_nanos: AtomicU64,
+    /// Workers still inside their receive loop; 0 means the pool is dead
+    /// (every worker exited or panicked) and submissions must fail fast.
+    alive: AtomicUsize,
+    /// Per-job execution spans (coarse-grained: one entry per chunk, so
+    /// the mutex is uncontended relative to the bootstrap work itself).
+    spans: Mutex<Vec<JobSpan>>,
+}
+
+/// Decrements the alive-worker count when a worker exits its loop — via
+/// `Drop` so a panicking worker is counted out too.
+struct AliveGuard(Arc<Counters>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.alive.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// One contiguous chunk of a batch, self-contained: workers never borrow
@@ -116,7 +148,14 @@ struct Chunk {
     result: Result<Vec<LweCiphertext>, TfheError>,
 }
 
-fn worker_loop(server: Arc<ServerKey>, rx: Receiver<Job>, counters: Arc<Counters>) {
+fn worker_loop(
+    worker: usize,
+    epoch: Instant,
+    server: Arc<ServerKey>,
+    rx: Receiver<Job>,
+    counters: Arc<Counters>,
+) {
+    let _alive = AliveGuard(Arc::clone(&counters));
     while let Ok(job) = rx.recv() {
         let t0 = Instant::now();
         let mut outs = Vec::with_capacity(job.range.len());
@@ -134,12 +173,21 @@ fn worker_loop(server: Arc<ServerKey>, rx: Receiver<Job>, counters: Arc<Counters
                 }
             }
         }
+        let dur = t0.elapsed();
         counters
             .busy_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
         counters
             .bootstraps
             .fetch_add(outs.len() as u64, Ordering::Relaxed);
+        if let Ok(mut spans) = counters.spans.lock() {
+            spans.push(JobSpan {
+                worker,
+                start: t0.duration_since(epoch),
+                dur,
+                bootstraps: outs.len(),
+            });
+        }
         let result = match err {
             Some(e) => Err(e),
             None => Ok(outs),
@@ -196,6 +244,8 @@ impl BootstrapEngineBuilder {
         };
         let (tx, rx) = channel::unbounded::<Job>();
         let counters = Arc::new(Counters::default());
+        counters.alive.store(workers, Ordering::SeqCst);
+        let epoch = Instant::now();
         let handles = (0..workers)
             .map(|i| {
                 let server = Arc::clone(&server);
@@ -203,7 +253,7 @@ impl BootstrapEngineBuilder {
                 let counters = Arc::clone(&counters);
                 std::thread::Builder::new()
                     .name(format!("bootstrap-worker-{i}"))
-                    .spawn(move || worker_loop(server, rx, counters))
+                    .spawn(move || worker_loop(i, epoch, server, rx, counters))
                     .expect("spawn bootstrap worker")
             })
             .collect();
@@ -323,11 +373,45 @@ impl BootstrapEngine {
         }
     }
 
-    /// Zero the counters (e.g. between bench warm-up and measurement).
+    /// Zero the counters and the job journal (e.g. between bench warm-up
+    /// and measurement).
     pub fn reset_stats(&self) {
         self.counters.batches.store(0, Ordering::Relaxed);
         self.counters.bootstraps.store(0, Ordering::Relaxed);
         self.counters.busy_nanos.store(0, Ordering::Relaxed);
+        if let Ok(mut spans) = self.counters.spans.lock() {
+            spans.clear();
+        }
+    }
+
+    /// Snapshot of the per-worker job journal (one [`JobSpan`] per
+    /// executed chunk) since construction or the last
+    /// [`reset_stats`](Self::reset_stats).
+    pub fn job_spans(&self) -> Vec<JobSpan> {
+        self.counters
+            .spans
+            .lock()
+            .map(|s| s.clone())
+            .unwrap_or_default()
+    }
+
+    /// Workers still running their receive loop. Drops to zero only if
+    /// every worker exited (engine shut down, or the whole pool
+    /// panicked).
+    pub fn alive_workers(&self) -> usize {
+        self.counters.alive.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully stop the pool: close the job channel, join every
+    /// worker. Subsequent submissions return
+    /// [`TfheError::EngineShutDown`]. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        drop(self.tx.take());
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already surfaced as EngineShutDown to
+            // any in-flight submitter; nothing useful in the payload here.
+            let _ = handle.join();
+        }
     }
 
     fn chunk_len(&self, n: usize) -> usize {
@@ -347,9 +431,17 @@ impl BootstrapEngine {
         lut_of: Option<Vec<usize>>,
     ) -> Result<Vec<LweCiphertext>, TfheError> {
         let n = cts.len();
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
         if n == 0 {
             return Ok(Vec::new());
+        }
+        // Fail fast on a dead pool: the channel may still accept sends
+        // (queued jobs hold receiver clones), but with zero live workers
+        // nothing would ever reply and the submitter would hang.
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(TfheError::EngineShutDown);
+        };
+        if self.counters.alive.load(Ordering::SeqCst) == 0 {
+            return Err(TfheError::EngineShutDown);
         }
         // Validate eagerly so errors surface here, not inside the pool.
         let params = self.server.params();
@@ -374,7 +466,9 @@ impl BootstrapEngine {
         let luts = Arc::new(luts);
         let lut_of = lut_of.map(Arc::new);
         let chunk = self.chunk_len(n);
-        let tx = self.tx.as_ref().expect("sender lives until drop");
+        // Count only batches that actually reach the pool — rejected
+        // submissions must not inflate the calibration denominator.
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel::unbounded::<Chunk>();
         let mut jobs = 0usize;
         let mut start = 0usize;
@@ -422,13 +516,7 @@ impl BootstrapEngine {
 
 impl Drop for BootstrapEngine {
     fn drop(&mut self) {
-        // Closing the job channel ends every worker's recv loop.
-        drop(self.tx.take());
-        for handle in self.handles.drain(..) {
-            // A worker that panicked already reported via EngineShutDown;
-            // nothing useful to do with the payload here.
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -559,6 +647,72 @@ mod tests {
         let engine = BootstrapEngine::builder().workers(1).build(sk).unwrap();
         let lut = Lut::identity(engine.server().params().poly_size, 4);
         assert_eq!(engine.bootstrap_batch(&[], &lut).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejected_batches_do_not_count_toward_stats() {
+        let (ck, sk, mut rng) = setup(706);
+        let engine = BootstrapEngine::builder()
+            .workers(1)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        // Malformed submissions are rejected before dispatch.
+        let wrong_lut = Lut::identity(sk.params().poly_size * 2, 4);
+        let cts = vec![ck.encrypt(1, &mut rng)];
+        assert!(engine.bootstrap_batch(&cts, &wrong_lut).is_err());
+        assert_eq!(engine.stats().batches, 0, "rejected batch was counted");
+        // Empty batches never reach the pool either.
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        assert!(engine.bootstrap_batch(&[], &lut).is_ok());
+        assert_eq!(engine.stats().batches, 0, "empty batch was counted");
+        // A dispatched batch counts exactly once.
+        engine.bootstrap_batch(&cts, &lut).unwrap();
+        assert_eq!(engine.stats().batches, 1);
+    }
+
+    #[test]
+    fn dead_pool_is_detected_at_submit_time() {
+        let (ck, sk, mut rng) = setup(707);
+        let mut engine = BootstrapEngine::builder()
+            .workers(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let cts = vec![ck.encrypt(1, &mut rng)];
+        engine.bootstrap_batch(&cts, &lut).unwrap();
+        assert_eq!(engine.alive_workers(), 2);
+        engine.shutdown();
+        assert_eq!(engine.alive_workers(), 0);
+        // Submitting to the dead pool errors instead of hanging.
+        assert_eq!(
+            engine.bootstrap_batch(&cts, &lut).err(),
+            Some(TfheError::EngineShutDown)
+        );
+        assert_eq!(engine.stats().batches, 1, "failed submit was counted");
+        // Shutdown is idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn job_spans_journal_every_chunk() {
+        let (ck, sk, mut rng) = setup(708);
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let cts: Vec<_> = (0..6).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let engine = BootstrapEngine::builder()
+            .workers(2)
+            .chunk_size(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        engine.bootstrap_batch(&cts, &lut).unwrap();
+        let spans = engine.job_spans();
+        assert_eq!(spans.len(), 3, "one span per 2-ciphertext chunk");
+        assert_eq!(spans.iter().map(|s| s.bootstraps).sum::<usize>(), 6);
+        for s in &spans {
+            assert!(s.worker < 2);
+            assert!(s.dur > Duration::ZERO);
+        }
+        engine.reset_stats();
+        assert!(engine.job_spans().is_empty());
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod server;
 
 pub use bootstrap::{blind_rotate, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
-pub use engine::{BootstrapEngine, BootstrapEngineBuilder, EngineStats};
+pub use engine::{BootstrapEngine, BootstrapEngineBuilder, EngineStats, JobSpan};
 pub use error::TfheError;
 pub use external_product::{cmux, external_product, ExternalProductEngine};
 pub use ggsw::{FourierGgsw, GgswCiphertext};

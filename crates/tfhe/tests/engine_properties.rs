@@ -80,7 +80,11 @@ proptest! {
             expected_bootstraps += size as u64;
         }
         let stats = engine.stats();
-        prop_assert_eq!(stats.batches, sizes.len() as u64);
+        // Only batches that actually reach the worker pool count: empty
+        // submissions return early and must not inflate the calibration
+        // denominator.
+        let dispatched = sizes.iter().filter(|&&s| s > 0).count() as u64;
+        prop_assert_eq!(stats.batches, dispatched);
         prop_assert_eq!(stats.bootstraps, expected_bootstraps);
         prop_assert_eq!(stats.workers, workers);
         prop_assert!(expected_bootstraps == 0 || stats.busy.as_nanos() > 0);
