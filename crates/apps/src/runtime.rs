@@ -219,6 +219,7 @@ mod tests {
             batches: 10,
             bootstraps: 200,
             busy: std::time::Duration::from_secs(4),
+            ..morphling_tfhe::EngineStats::default()
         };
         let cpu = CpuModel::from_engine_stats(&stats, CpuModel::xeon_6226r_set_iii());
         // 200 bootstraps over 4 busy core-seconds → 50 BS/s per core.

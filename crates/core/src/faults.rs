@@ -1,0 +1,237 @@
+//! Deterministic fault injection for the accelerator simulator, plus
+//! re-exports of the engine-side injection machinery.
+//!
+//! The engine half (worker panics, wedged jobs, corrupted outputs) lives
+//! in [`morphling_tfhe::faults`] next to the
+//! [`BootstrapEngine`](morphling_tfhe::BootstrapEngine) it targets; this
+//! module re-exports it so fault-aware tooling can depend on
+//! `morphling_core::faults` alone. The simulator half models **transient
+//! component outages** of the modeled hardware:
+//!
+//! - an FFT/IFFT unit dropping out for a number of cycles (the pipeline
+//!   drains and refills);
+//! - a DMA engine stalling a BSK burst;
+//! - an HBM bit flip on a burst, forcing a re-fetch of that iteration's
+//!   BSK slice.
+//!
+//! Faults **re-cost** the simulated batch instead of crashing it: each
+//! sampled event adds a deterministic cycle penalty to the report's
+//! blind-rotation window, and the events are journaled on the report (and
+//! in its trace) so a chaos run shows *where* the latency went. Sampling
+//! uses the same `(seed, domain, key, attempt)` hash as the engine
+//! injector ([`decide`]), so a plan replays identically across runs — and
+//! a zero-rate plan is bit-for-bit identical to no plan at all.
+
+pub use morphling_tfhe::faults::{decide, FaultInjector, FaultPlan, FaultSite};
+
+/// Which modeled component a simulator fault hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimFaultKind {
+    /// A transform (FFT/IFFT) unit is down: the XPU pipeline drains,
+    /// waits out the outage, and pays a refill.
+    FftOutage,
+    /// A DMA engine stalls mid-burst; the iteration waits for the
+    /// transfer to resume.
+    DmaStall,
+    /// An HBM burst arrives corrupted (bit flip caught by ECC/CRC); the
+    /// iteration's BSK slice is re-fetched over the XPU-priority
+    /// channels.
+    HbmBitFlip,
+}
+
+impl SimFaultKind {
+    /// Stable per-kind hash-domain separator (disjoint from the engine
+    /// sites' domains).
+    fn domain(self) -> u64 {
+        match self {
+            SimFaultKind::FftOutage => 0x66_66_74_5f,
+            SimFaultKind::DmaStall => 0x64_6d_61_5f,
+            SimFaultKind::HbmBitFlip => 0x68_62_6d_5f,
+        }
+    }
+
+    /// Short lower-case label for trace span names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimFaultKind::FftOutage => "fft_outage",
+            SimFaultKind::DmaStall => "dma_stall",
+            SimFaultKind::HbmBitFlip => "hbm_bitflip",
+        }
+    }
+}
+
+/// A seeded schedule of transient component outages for the simulator.
+/// Rates are per blind-rotation iteration; the default plan injects
+/// nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimFaultPlan {
+    /// Seed for every sampling decision.
+    pub seed: u64,
+    /// Per-iteration probability a transform unit drops out.
+    pub fft_outage_rate: f64,
+    /// How many cycles a transform outage lasts (the pipeline refill is
+    /// charged on top).
+    pub fft_outage_cycles: u64,
+    /// Per-iteration probability a DMA burst stalls.
+    pub dma_stall_rate: f64,
+    /// How many cycles a stalled DMA burst loses.
+    pub dma_stall_cycles: u64,
+    /// Per-iteration probability an HBM burst needs a re-fetch.
+    pub hbm_bitflip_rate: f64,
+}
+
+impl Default for SimFaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            fft_outage_rate: 0.0,
+            fft_outage_cycles: 500,
+            dma_stall_rate: 0.0,
+            dma_stall_cycles: 200,
+            hbm_bitflip_rate: 0.0,
+        }
+    }
+}
+
+impl SimFaultPlan {
+    /// Start an all-zero plan with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the transform-outage rate and duration.
+    #[must_use]
+    pub fn with_fft_outage(mut self, rate: f64, cycles: u64) -> Self {
+        self.fft_outage_rate = rate;
+        self.fft_outage_cycles = cycles;
+        self
+    }
+
+    /// Set the DMA-stall rate and duration.
+    #[must_use]
+    pub fn with_dma_stall(mut self, rate: f64, cycles: u64) -> Self {
+        self.dma_stall_rate = rate;
+        self.dma_stall_cycles = cycles;
+        self
+    }
+
+    /// Set the HBM bit-flip rate (the re-fetch penalty is derived from
+    /// the architecture's channel bandwidth).
+    #[must_use]
+    pub fn with_hbm_bitflip(mut self, rate: f64) -> Self {
+        self.hbm_bitflip_rate = rate;
+        self
+    }
+
+    /// `true` if every rate is zero — the simulator skips all fault
+    /// bookkeeping and its report is bit-identical to a fault-free run.
+    pub fn is_noop(&self) -> bool {
+        self.fft_outage_rate <= 0.0 && self.dma_stall_rate <= 0.0 && self.hbm_bitflip_rate <= 0.0
+    }
+
+    /// The rate configured for one kind.
+    pub fn rate(&self, kind: SimFaultKind) -> f64 {
+        match kind {
+            SimFaultKind::FftOutage => self.fft_outage_rate,
+            SimFaultKind::DmaStall => self.dma_stall_rate,
+            SimFaultKind::HbmBitFlip => self.hbm_bitflip_rate,
+        }
+    }
+
+    /// Sample which iterations of an `iters`-iteration blind rotation are
+    /// hit, deterministically from the seed. Events come back ordered by
+    /// iteration, one per (iteration, kind) pair that fires.
+    pub fn sample(&self, iters: u64) -> Vec<(u64, SimFaultKind)> {
+        if self.is_noop() {
+            return Vec::new();
+        }
+        let mut hits = Vec::new();
+        for iter in 0..iters {
+            for kind in [
+                SimFaultKind::FftOutage,
+                SimFaultKind::DmaStall,
+                SimFaultKind::HbmBitFlip,
+            ] {
+                if decide(self.seed, kind.domain(), iter, 0, self.rate(kind)) {
+                    hits.push((iter, kind));
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// One transient outage the simulator charged to a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimFaultEvent {
+    /// The blind-rotation iteration the fault hit.
+    pub iter: u64,
+    /// Which component failed.
+    pub kind: SimFaultKind,
+    /// Cycles the batch lost to this event.
+    pub penalty_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_plan_samples_nothing() {
+        let plan = SimFaultPlan::seeded(99);
+        assert!(plan.is_noop());
+        assert!(plan.sample(10_000).is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let a = SimFaultPlan::seeded(5).with_fft_outage(0.05, 500);
+        let b = SimFaultPlan::seeded(5).with_fft_outage(0.05, 500);
+        let c = SimFaultPlan::seeded(6).with_fft_outage(0.05, 500);
+        assert_eq!(a.sample(2000), b.sample(2000));
+        assert_ne!(a.sample(2000), c.sample(2000));
+    }
+
+    #[test]
+    fn rates_hold_statistically_per_kind() {
+        let plan = SimFaultPlan::seeded(7)
+            .with_fft_outage(0.1, 500)
+            .with_dma_stall(0.02, 200);
+        let hits = plan.sample(20_000);
+        let fft = hits
+            .iter()
+            .filter(|(_, k)| *k == SimFaultKind::FftOutage)
+            .count();
+        let dma = hits
+            .iter()
+            .filter(|(_, k)| *k == SimFaultKind::DmaStall)
+            .count();
+        let hbm = hits
+            .iter()
+            .filter(|(_, k)| *k == SimFaultKind::HbmBitFlip)
+            .count();
+        assert!((fft as f64 / 20_000.0 - 0.1).abs() < 0.01, "fft {fft}");
+        assert!((dma as f64 / 20_000.0 - 0.02).abs() < 0.005, "dma {dma}");
+        assert_eq!(hbm, 0, "zero-rate kind must never fire");
+    }
+
+    #[test]
+    fn events_come_back_in_iteration_order() {
+        let plan = SimFaultPlan::seeded(11).with_dma_stall(0.2, 200);
+        let hits = plan.sample(512);
+        assert!(!hits.is_empty());
+        assert!(hits.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn engine_fault_machinery_is_reachable_through_core() {
+        // The re-export is the contract: `morphling_core::faults` is the
+        // one-stop module for fault-aware tooling.
+        let plan = FaultPlan::seeded(3).with_worker_panic(0.5);
+        let inj = FaultInjector::new(plan);
+        assert!((0..64).any(|k| inj.fires(FaultSite::WorkerPanic, k, 0)));
+    }
+}

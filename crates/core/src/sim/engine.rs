@@ -4,8 +4,9 @@
 use morphling_tfhe::TfheParams;
 
 use crate::config::ArchConfig;
+use crate::faults::{SimFaultEvent, SimFaultKind, SimFaultPlan};
 use crate::sim::buffers::stream_batch_depth;
-use crate::sim::hbm::BandwidthDemand;
+use crate::sim::hbm::{bitflip_refetch_cycles, BandwidthDemand};
 use crate::sim::vpu::VpuCost;
 use crate::sim::xpu::IterProfile;
 use crate::trace::ExecutionTrace;
@@ -20,17 +21,36 @@ const PIPELINE_FILL_CYCLES: u64 = 200;
 #[derive(Clone, Debug)]
 pub struct Simulator {
     config: ArchConfig,
+    faults: SimFaultPlan,
 }
 
 impl Simulator {
     /// Create a simulator for one architecture configuration.
     pub fn new(config: ArchConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            faults: SimFaultPlan::default(),
+        }
+    }
+
+    /// Install a seeded transient-fault plan: sampled outages re-cost the
+    /// simulated batch (the report's `fault_cycles` / `fault_events`)
+    /// instead of crashing it. The default zero-rate plan leaves every
+    /// report bit-identical to a fault-free run.
+    #[must_use]
+    pub fn with_faults(mut self, plan: SimFaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// The architecture being simulated.
     pub fn config(&self) -> &ArchConfig {
         &self.config
+    }
+
+    /// The installed transient-fault plan (all-zero by default).
+    pub fn fault_plan(&self) -> &SimFaultPlan {
+        &self.faults
     }
 
     /// Per-iteration XPU resource profile for `params`.
@@ -79,6 +99,33 @@ impl Simulator {
             .max(1);
         let ks_cycles = vpu.ks_latency_cycles(cfg);
 
+        // Transient component outages: sampled deterministically from the
+        // fault plan, each charged a cycle penalty against the
+        // blind-rotation window. A zero-rate plan samples nothing, so the
+        // fault-free report is reproduced bit for bit.
+        let fault_events: Vec<SimFaultEvent> = self
+            .faults
+            .sample(n)
+            .into_iter()
+            .map(|(iter, kind)| {
+                let penalty_cycles = match kind {
+                    // The pipeline drains for the outage, then pays a
+                    // refill on top.
+                    SimFaultKind::FftOutage => self.faults.fft_outage_cycles + PIPELINE_FILL_CYCLES,
+                    SimFaultKind::DmaStall => self.faults.dma_stall_cycles,
+                    // Re-fetch the iteration's BSK slice over the
+                    // XPU-priority channels.
+                    SimFaultKind::HbmBitFlip => bitflip_refetch_cycles(cfg, params),
+                };
+                SimFaultEvent {
+                    iter,
+                    kind,
+                    penalty_cycles,
+                }
+            })
+            .collect();
+        let fault_cycles = fault_events.iter().map(|e| e.penalty_cycles).sum();
+
         SimReport {
             params_name: params.name,
             n_cts,
@@ -96,6 +143,8 @@ impl Simulator {
             ms_cycles,
             se_cycles,
             ks_cycles,
+            fault_cycles,
+            fault_events,
         }
     }
 
@@ -151,6 +200,11 @@ pub struct SimReport {
     pub se_cycles: u64,
     /// Key-switch serial cycles (one VPU lane group).
     pub ks_cycles: u64,
+    /// Cycles lost to injected transient component outages (zero without
+    /// a fault plan).
+    pub fault_cycles: u64,
+    /// The outages charged to this batch, in iteration order.
+    pub fault_events: Vec<SimFaultEvent>,
 }
 
 /// What bounds a simulated bootstrap batch's steady-state throughput.
@@ -179,9 +233,16 @@ impl Bottleneck {
 }
 
 impl SimReport {
-    /// Total latency of one bootstrap in cycles.
+    /// Total latency of one bootstrap in cycles (including cycles lost to
+    /// injected transient outages, which stretch the blind-rotation
+    /// window).
     pub fn latency_cycles(&self) -> u64 {
-        self.br_cycles + self.fill_cycles + self.ms_cycles + self.se_cycles + self.ks_cycles
+        self.br_cycles
+            + self.fill_cycles
+            + self.ms_cycles
+            + self.se_cycles
+            + self.ks_cycles
+            + self.fault_cycles
     }
 
     /// Which resource bounds this batch's throughput: the larger of the
@@ -213,7 +274,7 @@ impl SimReport {
             "BlindRotate",
             "sim",
             cursor,
-            self.br_cycles + self.fill_cycles,
+            self.br_cycles + self.fill_cycles + self.fault_cycles,
             vec![
                 ("iter_cycles".into(), self.iter_cycles.to_string()),
                 ("stream_batch".into(), self.stream_batch.to_string()),
@@ -226,7 +287,27 @@ impl SimReport {
                 ("bottleneck".into(), self.bottleneck().label().into()),
             ],
         );
-        cursor += self.br_cycles + self.fill_cycles;
+        cursor += self.br_cycles + self.fill_cycles + self.fault_cycles;
+        if !self.fault_events.is_empty() {
+            // One span per outage, placed at the iteration it hit within
+            // the (stalled) blind-rotation window.
+            let faults = t.track("Simulator", "Faults");
+            let per_iter = self.iter_cycles as f64 * self.stall;
+            for e in &self.fault_events {
+                let offset = ((e.iter as f64 * per_iter).round() as u64).min(self.br_cycles);
+                t.span_with_args(
+                    faults,
+                    e.kind.label(),
+                    "fault",
+                    self.ms_cycles + offset,
+                    e.penalty_cycles.max(1),
+                    vec![
+                        ("iter".into(), e.iter.to_string()),
+                        ("penalty_cycles".into(), e.penalty_cycles.to_string()),
+                    ],
+                );
+            }
+        }
         t.span(vpu, "SampleExtract", "sim", cursor, self.se_cycles);
         cursor += self.se_cycles;
         t.span(vpu, "KeySwitch", "sim", cursor, self.ks_cycles);
@@ -247,7 +328,7 @@ impl SimReport {
     /// BS/s): the in-flight ciphertexts complete every stalled
     /// blind-rotation window.
     pub fn throughput_bs_per_s(&self) -> f64 {
-        self.cores as f64 / (self.br_cycles as f64 / self.clock_hz)
+        self.cores as f64 / ((self.br_cycles + self.fault_cycles) as f64 / self.clock_hz)
     }
 
     /// Latency fractions per stage — Fig 7-a. Returns

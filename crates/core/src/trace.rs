@@ -18,7 +18,7 @@
 
 use std::fmt::Write as _;
 
-use morphling_tfhe::JobSpan;
+use morphling_tfhe::{FaultEvent, FaultEventKind, JobSpan};
 
 /// Why an instruction did not start the moment it became ready.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -260,6 +260,58 @@ impl ExecutionTrace {
         trace
     }
 
+    /// Append a [`BootstrapEngine`](morphling_tfhe::BootstrapEngine)
+    /// fault/recovery journal as instant-style spans on a dedicated
+    /// `faults` track (nanosecond stamps — the same epoch as the job
+    /// spans, so the incidents line up under the worker timelines).
+    pub fn add_engine_fault_events(&mut self, events: &[FaultEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let track = self.track("BootstrapEngine", "faults");
+        for e in events {
+            let mut args: Vec<(String, String)> = Vec::new();
+            if let Some(w) = e.worker {
+                args.push(("worker".into(), w.to_string()));
+            }
+            match e.kind {
+                FaultEventKind::WatchdogTimeout { batch, chunk_start } => {
+                    args.push(("batch".into(), batch.to_string()));
+                    args.push(("chunk_start".into(), chunk_start.to_string()));
+                }
+                FaultEventKind::OutputCheckFailed { index } => {
+                    args.push(("index".into(), index.to_string()));
+                }
+                FaultEventKind::Retry {
+                    chunk_start,
+                    attempt,
+                } => {
+                    args.push(("chunk_start".into(), chunk_start.to_string()));
+                    args.push(("attempt".into(), attempt.to_string()));
+                }
+                _ => {}
+            }
+            self.span_with_args(
+                track,
+                e.kind.label(),
+                "fault",
+                e.at.as_nanos() as u64,
+                1,
+                args,
+            );
+        }
+    }
+
+    /// Convert an engine's full journal — job spans *and* fault events —
+    /// into one trace: worker tracks from
+    /// [`from_engine_spans`](Self::from_engine_spans) plus a `faults`
+    /// track carrying every recovery incident.
+    pub fn from_engine(spans: &[JobSpan], events: &[FaultEvent], workers: usize) -> Self {
+        let mut trace = Self::from_engine_spans(spans, workers);
+        trace.add_engine_fault_events(events);
+        trace
+    }
+
     /// Serialize as Chrome trace-event JSON (the `traceEvents` array
     /// format), loadable in `chrome://tracing` and Perfetto. Counters are
     /// attached as instant metadata events so they survive the export.
@@ -458,5 +510,46 @@ mod tests {
         assert_eq!(pool.instructions, 2);
         assert_eq!(pool.busy, 90);
         assert_eq!(pool.engines, 2);
+    }
+
+    #[test]
+    fn fault_events_land_on_their_own_track() {
+        let spans = vec![JobSpan {
+            worker: 0,
+            start: Duration::from_nanos(100),
+            dur: Duration::from_nanos(50),
+            bootstraps: 3,
+        }];
+        let events = vec![
+            FaultEvent {
+                at: Duration::from_nanos(110),
+                worker: Some(0),
+                kind: FaultEventKind::WorkerPanic,
+            },
+            FaultEvent {
+                at: Duration::from_nanos(130),
+                worker: None,
+                kind: FaultEventKind::Retry {
+                    chunk_start: 4,
+                    attempt: 1,
+                },
+            },
+        ];
+        let trace = ExecutionTrace::from_engine(&spans, &events, 1);
+        assert_eq!(trace.spans().len(), 3);
+        let faults: Vec<_> = trace.spans().iter().filter(|s| s.cat == "fault").collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].name, "worker_panic");
+        assert!(faults[1]
+            .args
+            .iter()
+            .any(|(k, v)| k == "attempt" && v == "1"));
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"fault\""));
+        // An empty journal adds nothing — zero-fault traces stay identical.
+        let mut clean = ExecutionTrace::from_engine_spans(&spans, 1);
+        let before = clean.spans().len();
+        clean.add_engine_fault_events(&[]);
+        assert_eq!(clean.spans().len(), before);
     }
 }

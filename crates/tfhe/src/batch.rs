@@ -92,7 +92,10 @@ impl ServerKey {
     ///
     /// [`TfheError::ZeroThreads`] if `threads == 0`;
     /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
-    /// on malformed inputs.
+    /// on malformed inputs; [`TfheError::WorkerPanicked`] if a scoped
+    /// worker thread panicked mid-batch (this per-call path has no retry
+    /// loop — use the [`BootstrapEngine`](crate::BootstrapEngine) for
+    /// self-healing execution).
     pub fn try_batch_bootstrap_parallel(
         &self,
         cts: &[LweCiphertext],
@@ -123,7 +126,7 @@ impl ServerKey {
                 });
             }
         })
-        .expect("bootstrap worker panicked");
+        .map_err(|_| TfheError::WorkerPanicked { worker: 0 })?;
         Ok(out)
     }
 

@@ -1,10 +1,10 @@
-//! A persistent bootstrap engine: the software analogue of Morphling's
-//! always-resident bootstrapping cores.
+//! A persistent, self-healing bootstrap engine: the software analogue of
+//! Morphling's always-resident bootstrapping cores, hardened for
+//! production serving.
 //!
 //! [`ServerKey::batch_bootstrap_parallel`] spawns a fresh set of OS
 //! threads for every call — fine for one large batch, wasteful for the
-//! steady stream of medium batches that inference workloads produce
-//! (thread spawn/join plus first-touch transform setup on every call).
+//! steady stream of medium batches that inference workloads produce.
 //! [`BootstrapEngine`] instead spawns its worker pool **once** and feeds
 //! it through a channel:
 //!
@@ -18,6 +18,46 @@
 //! - every job is timed, and the engine exposes the totals as
 //!   [`EngineStats`] so benches and the CPU cost model can calibrate from
 //!   real measurements.
+//!
+//! # Fault tolerance
+//!
+//! A serving pool must outlive its faults. The engine's recovery
+//! machinery (all policies configurable on the builder):
+//!
+//! - **Panic isolation + respawn** — every job runs under
+//!   `catch_unwind`; a panicking worker reports the failed chunk as
+//!   [`TfheError::WorkerPanicked`] (so the submitter retries it
+//!   elsewhere) and respawns its receive loop in place, bounded by a
+//!   per-worker [respawn budget](BootstrapEngineBuilder::respawn_budget).
+//!   A worker that exhausts the budget retires; the pool keeps serving on
+//!   the remaining workers (degraded mode).
+//! - **Watchdog** — with a [`job_timeout`](BootstrapEngineBuilder::job_timeout)
+//!   configured, a chunk that produces no reply in time is presumed
+//!   wedged and re-dispatched to another worker; a late reply from the
+//!   original worker is deduplicated (bootstrapping is deterministic, so
+//!   either copy is bit-identical).
+//! - **Bounded retry with exponential backoff** — transient failures
+//!   (panics, timeouts, failed output checks) are retried up to
+//!   [`max_retries`](BootstrapEngineBuilder::max_retries) times with
+//!   [`retry_backoff`](BootstrapEngineBuilder::retry_backoff) doubling
+//!   per attempt. [`noise_adaptive_retries`](BootstrapEngineBuilder::noise_adaptive_retries)
+//!   derives the budget from [`noise::failure_probability`](crate::noise).
+//! - **Output sanity checks** — an optional
+//!   [hook](BootstrapEngineBuilder::output_check) vets every output;
+//!   failures are retried like any transient fault.
+//! - **Degraded-mode serving** — [`EngineHealth`] (`Healthy` /
+//!   `Degraded` / `Failed`), exposed via [`EngineStats`] and
+//!   [`BootstrapEngine::health`], tells callers whether the pool is at
+//!   full strength, serving on reduced capacity, or dead. Submissions
+//!   fail fast with [`TfheError::EngineShutDown`] only at `Failed`.
+//!
+//! Every fault and recovery action is journaled as a [`FaultEvent`];
+//! `morphling_core::trace` renders the journal (together with the
+//! [`JobSpan`] timeline) as a Chrome-trace file, so a chaos run produces
+//! a readable timeline of what failed and how the engine recovered.
+//!
+//! Deterministic fault *injection* for tests lives in [`crate::faults`];
+//! a zero-rate [`FaultPlan`] (the default) makes every hook a no-op.
 //!
 //! The API is `Result`-based from day one: all submission paths validate
 //! eagerly and return [`TfheError`] instead of panicking.
@@ -44,26 +84,121 @@
 //! ```
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::TfheError;
+use crate::faults::{corrupt_ciphertext, fault_key, FaultInjector, FaultPlan, FaultSite};
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
+use crate::params::TfheParams;
 use crate::server::ServerKey;
+
+/// Liveness-check period for the submit loop when no watchdog timeout is
+/// configured: often enough that a dead pool is detected promptly, rare
+/// enough to cost nothing.
+const LIVENESS_TICK: Duration = Duration::from_millis(100);
+
+/// The engine's serving state — the degraded-mode contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineHealth {
+    /// Every spawned worker is alive; full throughput.
+    #[default]
+    Healthy,
+    /// At least one worker retired (respawn budget exhausted) but the
+    /// pool still serves on the survivors at reduced throughput.
+    Degraded,
+    /// No live workers (every worker retired, or the engine shut down);
+    /// submissions fail fast with [`TfheError::EngineShutDown`].
+    Failed,
+}
+
+impl EngineHealth {
+    /// Short lower-case label for trace args and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineHealth::Healthy => "healthy",
+            EngineHealth::Degraded => "degraded",
+            EngineHealth::Failed => "failed",
+        }
+    }
+}
+
+/// What happened in one fault/recovery incident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A worker's job panicked (caught; the chunk was reported back as
+    /// [`TfheError::WorkerPanicked`]).
+    WorkerPanic,
+    /// A panicked worker re-entered its receive loop (in-place respawn).
+    WorkerRespawn,
+    /// A worker exhausted its respawn budget and retired.
+    RespawnExhausted,
+    /// The watchdog declared a chunk wedged (no reply within the job
+    /// timeout).
+    WatchdogTimeout {
+        /// Engine-wide batch sequence number.
+        batch: u64,
+        /// Batch-relative index of the chunk's first ciphertext.
+        chunk_start: usize,
+    },
+    /// An output failed the sanity check.
+    OutputCheckFailed {
+        /// Batch-relative index of the offending ciphertext.
+        index: usize,
+    },
+    /// A chunk was re-dispatched (after a panic, timeout, or failed
+    /// check).
+    Retry {
+        /// Batch-relative index of the chunk's first ciphertext.
+        chunk_start: usize,
+        /// The attempt number of the re-dispatch (1 = first retry).
+        attempt: u32,
+    },
+}
+
+impl FaultEventKind {
+    /// Short lower-case label for trace span names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEventKind::WorkerPanic => "worker_panic",
+            FaultEventKind::WorkerRespawn => "worker_respawn",
+            FaultEventKind::RespawnExhausted => "respawn_exhausted",
+            FaultEventKind::WatchdogTimeout { .. } => "watchdog_timeout",
+            FaultEventKind::OutputCheckFailed { .. } => "output_check_failed",
+            FaultEventKind::Retry { .. } => "retry",
+        }
+    }
+}
+
+/// One fault or recovery incident, stamped relative to the engine's
+/// construction instant (the same epoch as [`JobSpan`], so the two
+/// journals merge into one timeline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the incident was recorded, measured from engine construction.
+    pub at: Duration,
+    /// The worker involved, if the incident is worker-local.
+    pub worker: Option<usize>,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
 
 /// Running totals across everything an engine has executed.
 ///
 /// `busy` sums the wall time each worker spent inside jobs, so
 /// `bootstraps / busy` is the **per-core** bootstrap rate — exactly the
 /// `single_core_bs_s` input of the CPU cost model — while
-/// `bootstraps / (busy / workers)` estimates pool throughput.
+/// `bootstraps / (busy / workers)` estimates pool throughput. The fault
+/// counters summarize the engine's recovery history; `health` is the
+/// degraded-mode state at the instant of the snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Number of worker threads in the pool.
+    /// Number of worker threads in the pool (as spawned).
     pub workers: usize,
     /// Batches submitted.
     pub batches: u64,
@@ -71,6 +206,18 @@ pub struct EngineStats {
     pub bootstraps: u64,
     /// Total worker time spent executing jobs (summed across workers).
     pub busy: Duration,
+    /// Serving state at snapshot time.
+    pub health: EngineHealth,
+    /// Worker panics caught by the isolation boundary.
+    pub panics: u64,
+    /// In-place worker respawns after a caught panic.
+    pub respawns: u64,
+    /// Chunk re-dispatches (after panics, timeouts, or failed checks).
+    pub retries: u64,
+    /// Chunks the watchdog declared wedged.
+    pub watchdog_timeouts: u64,
+    /// Outputs rejected by the sanity-check hook.
+    pub check_failures: u64,
 }
 
 impl EngineStats {
@@ -111,16 +258,37 @@ struct Counters {
     batches: AtomicU64,
     bootstraps: AtomicU64,
     busy_nanos: AtomicU64,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    retries: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+    check_failures: AtomicU64,
     /// Workers still inside their receive loop; 0 means the pool is dead
-    /// (every worker exited or panicked) and submissions must fail fast.
+    /// (every worker retired or the engine shut down) and submissions
+    /// must fail fast.
     alive: AtomicUsize,
     /// Per-job execution spans (coarse-grained: one entry per chunk, so
     /// the mutex is uncontended relative to the bootstrap work itself).
     spans: Mutex<Vec<JobSpan>>,
+    /// Fault/recovery incident journal, same epoch as `spans`.
+    events: Mutex<Vec<FaultEvent>>,
 }
 
-/// Decrements the alive-worker count when a worker exits its loop — via
-/// `Drop` so a panicking worker is counted out too.
+impl Counters {
+    fn record(&self, epoch: Instant, worker: Option<usize>, kind: FaultEventKind) {
+        if let Ok(mut events) = self.events.lock() {
+            events.push(FaultEvent {
+                at: epoch.elapsed(),
+                worker,
+                kind,
+            });
+        }
+    }
+}
+
+/// Decrements the alive-worker count when a worker thread exits — via
+/// `Drop` so even an unexpected unwind past the respawn loop is counted
+/// out.
 struct AliveGuard(Arc<Counters>);
 
 impl Drop for AliveGuard {
@@ -134,6 +302,10 @@ impl Drop for AliveGuard {
 /// lifetime laundering), they share the inputs via `Arc` and send owned
 /// results back.
 struct Job {
+    /// Engine-wide batch sequence number (fault-injection key component).
+    batch: u64,
+    /// Dispatch attempt (0 = first; retries re-roll injected faults).
+    attempt: u32,
     cts: Arc<Vec<LweCiphertext>>,
     luts: Arc<Vec<Lut>>,
     /// `lut_of[i]` selects the LUT for ciphertext `i`; `None` means all
@@ -148,70 +320,175 @@ struct Chunk {
     result: Result<Vec<LweCiphertext>, TfheError>,
 }
 
-fn worker_loop(
-    worker: usize,
-    epoch: Instant,
+/// State shared by every worker thread.
+struct WorkerShared {
     server: Arc<ServerKey>,
-    rx: Receiver<Job>,
     counters: Arc<Counters>,
-) {
-    let _alive = AliveGuard(Arc::clone(&counters));
+    injector: FaultInjector,
+    epoch: Instant,
+}
+
+/// Execute one job's bootstraps, with fault-injection hooks. Runs under
+/// `catch_unwind`: an (injected or organic) panic unwinds out of here and
+/// is handled by the caller.
+fn run_job(shared: &WorkerShared, job: &Job) -> Result<Vec<LweCiphertext>, TfheError> {
+    let injector = &shared.injector;
+    let mut outs = Vec::with_capacity(job.range.len());
+    for i in job.range.clone() {
+        let key = fault_key(job.batch, i);
+        if injector.fires(FaultSite::WorkerPanic, key, job.attempt) {
+            panic!(
+                "injected fault: worker panic (batch {} ct {i} attempt {})",
+                job.batch, job.attempt
+            );
+        }
+        if injector.fires(FaultSite::WedgedJob, key, job.attempt) {
+            std::thread::sleep(injector.plan().wedge);
+        }
+        let lut = match &job.lut_of {
+            Some(sel) => &job.luts[sel[i]],
+            None => &job.luts[0],
+        };
+        let mut out = shared.server.try_programmable_bootstrap(&job.cts[i], lut)?;
+        if injector.fires(FaultSite::CorruptOutput, key, job.attempt) {
+            out = corrupt_ciphertext(&out);
+        }
+        outs.push(out);
+    }
+    Ok(outs)
+}
+
+enum WorkerExit {
+    /// The job channel closed: the engine is shutting down.
+    ChannelClosed,
+    /// A job panicked; the worker's state is suspect and the loop
+    /// returned for a (budget-gated) respawn.
+    Panicked,
+}
+
+fn worker_loop(worker: usize, shared: &WorkerShared, rx: &Receiver<Job>) -> WorkerExit {
     while let Ok(job) = rx.recv() {
         let t0 = Instant::now();
-        let mut outs = Vec::with_capacity(job.range.len());
-        let mut err = None;
-        for i in job.range.clone() {
-            let lut = match &job.lut_of {
-                Some(sel) => &job.luts[sel[i]],
-                None => &job.luts[0],
-            };
-            match server.try_programmable_bootstrap(&job.cts[i], lut) {
-                Ok(out) => outs.push(out),
-                Err(e) => {
-                    err = Some(e);
-                    break;
-                }
-            }
-        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
         let dur = t0.elapsed();
+        let counters = &shared.counters;
         counters
             .busy_nanos
             .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
-        counters
-            .bootstraps
-            .fetch_add(outs.len() as u64, Ordering::Relaxed);
-        if let Ok(mut spans) = counters.spans.lock() {
-            spans.push(JobSpan {
-                worker,
-                start: t0.duration_since(epoch),
-                dur,
-                bootstraps: outs.len(),
-            });
+        match outcome {
+            Ok(result) => {
+                let done = result.as_ref().map_or(0, Vec::len);
+                counters
+                    .bootstraps
+                    .fetch_add(done as u64, Ordering::Relaxed);
+                if let Ok(mut spans) = counters.spans.lock() {
+                    spans.push(JobSpan {
+                        worker,
+                        start: t0.duration_since(shared.epoch),
+                        dur,
+                        bootstraps: done,
+                    });
+                }
+                // The submitter may have bailed early; a closed reply
+                // channel is not the worker's problem.
+                let _ = job.reply.send(Chunk {
+                    start: job.range.start,
+                    result,
+                });
+            }
+            Err(_) => {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                counters.record(shared.epoch, Some(worker), FaultEventKind::WorkerPanic);
+                // Report the chunk as failed so the submitter can retry
+                // it immediately (no reply is ever lost to a panic), then
+                // hand control to the respawn loop.
+                let _ = job.reply.send(Chunk {
+                    start: job.range.start,
+                    result: Err(TfheError::WorkerPanicked { worker }),
+                });
+                return WorkerExit::Panicked;
+            }
         }
-        let result = match err {
-            Some(e) => Err(e),
-            None => Ok(outs),
-        };
-        // The submitter may have bailed early; a closed reply channel is
-        // not the worker's problem.
-        let _ = job.reply.send(Chunk {
-            start: job.range.start,
-            result,
-        });
+    }
+    WorkerExit::ChannelClosed
+}
+
+/// Worker thread body: run the receive loop, respawning it in place
+/// after each caught panic until the respawn budget is spent. An
+/// in-place respawn (a fresh loop over the same channel) has the same
+/// recovery semantics as replacing the OS thread — the worker holds no
+/// job-local state across iterations — at a fraction of the cost.
+fn worker_thread(worker: usize, shared: WorkerShared, rx: Receiver<Job>, respawn_budget: u32) {
+    let _alive = AliveGuard(Arc::clone(&shared.counters));
+    let mut respawns_left = respawn_budget;
+    loop {
+        match worker_loop(worker, &shared, &rx) {
+            WorkerExit::ChannelClosed => break,
+            WorkerExit::Panicked => {
+                if respawns_left == 0 {
+                    shared.counters.record(
+                        shared.epoch,
+                        Some(worker),
+                        FaultEventKind::RespawnExhausted,
+                    );
+                    break;
+                }
+                respawns_left -= 1;
+                shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .record(shared.epoch, Some(worker), FaultEventKind::WorkerRespawn);
+            }
+        }
     }
 }
 
+/// Output sanity-check hook: `(batch-relative index, output) → accept?`.
+pub type OutputCheck = Arc<dyn Fn(usize, &LweCiphertext) -> bool + Send + Sync>;
+
 /// Configures a [`BootstrapEngine`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Default)]
 #[must_use = "a builder does nothing until .build() is called"]
 pub struct BootstrapEngineBuilder {
     workers: Option<usize>,
     chunk_size: Option<usize>,
+    job_timeout: Option<Duration>,
+    max_retries: Option<u32>,
+    retry_backoff: Option<Duration>,
+    respawn_budget: Option<u32>,
+    fault_plan: FaultPlan,
+    output_check: Option<OutputCheck>,
+}
+
+impl std::fmt::Debug for BootstrapEngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootstrapEngineBuilder")
+            .field("workers", &self.workers)
+            .field("chunk_size", &self.chunk_size)
+            .field("job_timeout", &self.job_timeout)
+            .field("max_retries", &self.max_retries)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("respawn_budget", &self.respawn_budget)
+            .field("fault_plan", &self.fault_plan)
+            .field(
+                "output_check",
+                &self.output_check.as_ref().map(|_| "<hook>"),
+            )
+            .finish()
+    }
 }
 
 impl BootstrapEngineBuilder {
+    /// Default number of retries per chunk.
+    pub const DEFAULT_MAX_RETRIES: u32 = 3;
+    /// Default backoff before the first retry (doubles per attempt).
+    pub const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_micros(200);
+    /// Default respawn budget per worker.
+    pub const DEFAULT_RESPAWN_BUDGET: u32 = 2;
+
     /// Start from the defaults (one worker per available core, automatic
-    /// chunking).
+    /// chunking, no watchdog, 3 retries, 2 respawns per worker, no fault
+    /// injection).
     pub fn new() -> Self {
         Self::default()
     }
@@ -231,6 +508,68 @@ impl BootstrapEngineBuilder {
         self
     }
 
+    /// Watchdog timeout per job: a chunk with no reply within this window
+    /// is presumed wedged and re-dispatched (up to the retry budget).
+    /// Disabled by default — set it comfortably above the worst-case
+    /// honest chunk time, or the watchdog will duplicate live work.
+    pub fn job_timeout(mut self, timeout: Duration) -> Self {
+        self.job_timeout = Some(timeout);
+        self
+    }
+
+    /// Maximum re-dispatches per chunk after transient failures (panics,
+    /// watchdog timeouts, failed output checks). Default
+    /// [`Self::DEFAULT_MAX_RETRIES`].
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = Some(n);
+        self
+    }
+
+    /// Derive the retry budget from the parameter set's predicted
+    /// per-bootstrap failure probability
+    /// ([`noise::failure_probability`](crate::noise::failure_probability)):
+    /// enough retries that a noise-induced transient failure surviving
+    /// all of them is rarer than 2⁻⁴⁰.
+    pub fn noise_adaptive_retries(mut self, params: &TfheParams) -> Self {
+        let p_fail = crate::noise::bootstrap_failure_probability(params);
+        let budget = crate::faults::retry_budget_for(p_fail, 2f64.powi(-40));
+        self.max_retries = Some(budget.clamp(1, 8));
+        self
+    }
+
+    /// Backoff before the first retry; doubles on each subsequent attempt
+    /// of the same chunk. Default [`Self::DEFAULT_RETRY_BACKOFF`].
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = Some(backoff);
+        self
+    }
+
+    /// How many times one worker may respawn its receive loop after a
+    /// caught panic before retiring. Default
+    /// [`Self::DEFAULT_RESPAWN_BUDGET`].
+    pub fn respawn_budget(mut self, n: u32) -> Self {
+        self.respawn_budget = Some(n);
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (chaos testing). The
+    /// default zero-rate plan injects nothing and costs nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Install an output sanity check: called as `check(index, output)`
+    /// for every bootstrap output (batch-relative index); returning
+    /// `false` rejects the chunk and triggers a retry.
+    pub fn output_check(
+        mut self,
+        check: impl Fn(usize, &LweCiphertext) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.output_check = Some(Arc::new(check));
+        self
+    }
+
     /// Spawn the worker pool.
     ///
     /// # Errors
@@ -246,14 +585,20 @@ impl BootstrapEngineBuilder {
         let counters = Arc::new(Counters::default());
         counters.alive.store(workers, Ordering::SeqCst);
         let epoch = Instant::now();
+        let injector = FaultInjector::new(self.fault_plan);
+        let respawn_budget = self.respawn_budget.unwrap_or(Self::DEFAULT_RESPAWN_BUDGET);
         let handles = (0..workers)
             .map(|i| {
-                let server = Arc::clone(&server);
+                let shared = WorkerShared {
+                    server: Arc::clone(&server),
+                    counters: Arc::clone(&counters),
+                    injector,
+                    epoch,
+                };
                 let rx = rx.clone();
-                let counters = Arc::clone(&counters);
                 std::thread::Builder::new()
                     .name(format!("bootstrap-worker-{i}"))
-                    .spawn(move || worker_loop(i, epoch, server, rx, counters))
+                    .spawn(move || worker_thread(i, shared, rx, respawn_budget))
                     .expect("spawn bootstrap worker")
             })
             .collect();
@@ -261,46 +606,65 @@ impl BootstrapEngineBuilder {
             server,
             tx: Some(tx),
             handles,
+            spawned: workers,
             counters,
+            epoch,
             chunk_size: self.chunk_size,
+            job_timeout: self.job_timeout,
+            max_retries: self.max_retries.unwrap_or(Self::DEFAULT_MAX_RETRIES),
+            retry_backoff: self.retry_backoff.unwrap_or(Self::DEFAULT_RETRY_BACKOFF),
+            output_check: self.output_check,
         })
     }
 }
 
-/// A persistent pool of bootstrap workers fed over a channel — spawn
-/// once, submit many batches. See the [module docs](self) for rationale
-/// and an example.
+/// A persistent, self-healing pool of bootstrap workers fed over a
+/// channel — spawn once, submit many batches. See the
+/// [module docs](self) for the recovery machinery and an example.
 pub struct BootstrapEngine {
     server: Arc<ServerKey>,
     /// `Some` until drop; taken there to close the channel and stop the
     /// workers.
     tx: Option<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Workers spawned at construction (denominator for degraded-mode
+    /// detection; `handles` is drained by shutdown).
+    spawned: usize,
     counters: Arc<Counters>,
+    epoch: Instant,
     chunk_size: Option<usize>,
+    job_timeout: Option<Duration>,
+    max_retries: u32,
+    retry_backoff: Duration,
+    output_check: Option<OutputCheck>,
 }
 
 impl std::fmt::Debug for BootstrapEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BootstrapEngine")
-            .field("workers", &self.handles.len())
+            .field("workers", &self.spawned)
             .field("chunk_size", &self.chunk_size)
+            .field("job_timeout", &self.job_timeout)
+            .field("max_retries", &self.max_retries)
+            .field("health", &self.health())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
 impl BootstrapEngine {
-    /// Configure worker count and chunking before spawning the pool.
+    /// Configure worker count, chunking, and fault tolerance before
+    /// spawning the pool.
     pub fn builder() -> BootstrapEngineBuilder {
         BootstrapEngineBuilder::new()
     }
 
     /// Spawn an engine with default settings (one worker per core).
     pub fn new(server: Arc<ServerKey>) -> Self {
-        Self::builder()
-            .build(server)
-            .expect("default worker count is nonzero")
+        match Self::builder().build(server) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The shared server key the pool evaluates under.
@@ -308,9 +672,9 @@ impl BootstrapEngine {
         &self.server
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads spawned at construction.
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.spawned
     }
 
     /// Bootstrap a batch, every ciphertext through the same `lut`.
@@ -320,7 +684,10 @@ impl BootstrapEngine {
     /// # Errors
     ///
     /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
-    /// on malformed inputs, [`TfheError::EngineShutDown`] if the pool died.
+    /// on malformed inputs, [`TfheError::EngineShutDown`] if the pool
+    /// died, and — only once the retry budget is exhausted —
+    /// [`TfheError::WorkerPanicked`], [`TfheError::JobTimedOut`], or
+    /// [`TfheError::OutputCheckFailed`].
     pub fn bootstrap_batch(
         &self,
         cts: &[LweCiphertext],
@@ -366,21 +733,49 @@ impl BootstrapEngine {
     /// [`reset_stats`](Self::reset_stats)).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            workers: self.handles.len(),
+            workers: self.spawned,
             batches: self.counters.batches.load(Ordering::Relaxed),
             bootstraps: self.counters.bootstraps.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.counters.busy_nanos.load(Ordering::Relaxed)),
+            health: self.health(),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+            respawns: self.counters.respawns.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            watchdog_timeouts: self.counters.watchdog_timeouts.load(Ordering::Relaxed),
+            check_failures: self.counters.check_failures.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero the counters and the job journal (e.g. between bench warm-up
-    /// and measurement).
+    /// The degraded-mode state machine: `Healthy` while every spawned
+    /// worker is alive, `Degraded` once some (but not all) have retired,
+    /// `Failed` when none remain or the engine has shut down.
+    pub fn health(&self) -> EngineHealth {
+        let alive = self.counters.alive.load(Ordering::SeqCst);
+        if self.tx.is_none() || alive == 0 {
+            EngineHealth::Failed
+        } else if alive < self.spawned {
+            EngineHealth::Degraded
+        } else {
+            EngineHealth::Healthy
+        }
+    }
+
+    /// Zero the counters and the job/fault journals (e.g. between bench
+    /// warm-up and measurement).
     pub fn reset_stats(&self) {
         self.counters.batches.store(0, Ordering::Relaxed);
         self.counters.bootstraps.store(0, Ordering::Relaxed);
         self.counters.busy_nanos.store(0, Ordering::Relaxed);
+        self.counters.panics.store(0, Ordering::Relaxed);
+        self.counters.respawns.store(0, Ordering::Relaxed);
+        self.counters.retries.store(0, Ordering::Relaxed);
+        self.counters.watchdog_timeouts.store(0, Ordering::Relaxed);
+        self.counters.check_failures.store(0, Ordering::Relaxed);
         if let Ok(mut spans) = self.counters.spans.lock() {
             spans.clear();
+        }
+        if let Ok(mut events) = self.counters.events.lock() {
+            events.clear();
         }
     }
 
@@ -395,9 +790,19 @@ impl BootstrapEngine {
             .unwrap_or_default()
     }
 
-    /// Workers still running their receive loop. Drops to zero only if
-    /// every worker exited (engine shut down, or the whole pool
-    /// panicked).
+    /// Snapshot of the fault/recovery incident journal since construction
+    /// or the last [`reset_stats`](Self::reset_stats).
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.counters
+            .events
+            .lock()
+            .map(|e| e.clone())
+            .unwrap_or_default()
+    }
+
+    /// Workers still running their receive loop. Drops below
+    /// [`workers`](Self::workers) when a worker exhausts its respawn
+    /// budget; zero means the pool is dead.
     pub fn alive_workers(&self) -> usize {
         self.counters.alive.load(Ordering::SeqCst)
     }
@@ -408,8 +813,8 @@ impl BootstrapEngine {
     pub fn shutdown(&mut self) {
         drop(self.tx.take());
         for handle in self.handles.drain(..) {
-            // A worker that panicked already surfaced as EngineShutDown to
-            // any in-flight submitter; nothing useful in the payload here.
+            // A worker that panicked already surfaced as a failed chunk
+            // to any in-flight submitter; nothing useful in the payload.
             let _ = handle.join();
         }
     }
@@ -420,8 +825,17 @@ impl BootstrapEngine {
             // About two jobs per worker: coarse enough that channel
             // traffic is negligible next to a bootstrap, fine enough
             // that a straggler chunk can't idle half the pool.
-            None => n.div_ceil(self.handles.len() * 2).max(1),
+            None => n.div_ceil(self.spawned * 2).max(1),
         }
+    }
+
+    /// Index of the first output in `range` that the sanity check
+    /// rejects, if a check is installed.
+    fn rejected_output(&self, range: &Range<usize>, outs: &[LweCiphertext]) -> Option<usize> {
+        let check = self.output_check.as_ref()?;
+        outs.iter()
+            .enumerate()
+            .find_map(|(j, ct)| (!check(range.start + j, ct)).then_some(range.start + j))
     }
 
     fn submit(
@@ -467,48 +881,158 @@ impl BootstrapEngine {
         let lut_of = lut_of.map(Arc::new);
         let chunk = self.chunk_len(n);
         // Count only batches that actually reach the pool — rejected
-        // submissions must not inflate the calibration denominator.
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        // submissions must not inflate the calibration denominator. The
+        // pre-increment value doubles as the batch's fault-injection id.
+        let batch = self.counters.batches.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel::unbounded::<Chunk>();
-        let mut jobs = 0usize;
+
+        // The fixed chunk plan: disjoint contiguous ranges in ascending
+        // order. Retries re-dispatch a range verbatim, so the plan (and
+        // with it the fault-injection keys) never shifts mid-batch.
+        let mut ranges: Vec<Range<usize>> = Vec::with_capacity(n.div_ceil(chunk));
         let mut start = 0usize;
         while start < n {
             let end = (start + chunk).min(n);
+            ranges.push(start..end);
+            start = end;
+        }
+
+        let dispatch = |slot: usize, attempt: u32| -> Result<(), TfheError> {
             let job = Job {
+                batch,
+                attempt,
                 cts: Arc::clone(&cts),
                 luts: Arc::clone(&luts),
                 lut_of: lut_of.clone(),
-                range: start..end,
+                range: ranges[slot].clone(),
                 reply: reply_tx.clone(),
             };
-            tx.send(job).map_err(|_| TfheError::EngineShutDown)?;
-            jobs += 1;
-            start = end;
-        }
-        drop(reply_tx);
+            tx.send(job).map_err(|_| TfheError::EngineShutDown)
+        };
 
-        let mut parts: Vec<(usize, Vec<LweCiphertext>)> = Vec::with_capacity(jobs);
-        let mut first_err: Option<(usize, TfheError)> = None;
-        for _ in 0..jobs {
-            let chunk = reply_rx.recv().map_err(|_| TfheError::EngineShutDown)?;
-            match chunk.result {
-                Ok(outs) => parts.push((chunk.start, outs)),
-                Err(e) => {
-                    let replace = first_err.as_ref().is_none_or(|(s, _)| chunk.start < *s);
-                    if replace {
-                        first_err = Some((chunk.start, e));
+        let mut slots: Vec<Option<Vec<LweCiphertext>>> = vec![None; ranges.len()];
+        let mut attempts = vec![0u32; ranges.len()];
+        let mut sent_at: Vec<Instant> = Vec::with_capacity(ranges.len());
+        for slot in 0..ranges.len() {
+            dispatch(slot, 0)?;
+            sent_at.push(Instant::now());
+        }
+        let mut pending = ranges.len();
+
+        // Re-dispatch `slot` after a transient failure, with exponential
+        // backoff. Returns the new attempt number, or `None` if the
+        // retry budget is exhausted (caller converts to its error).
+        let retry = |slot: usize,
+                     attempts: &mut [u32],
+                     sent_at: &mut [Instant]|
+         -> Result<Option<u32>, TfheError> {
+            if attempts[slot] >= self.max_retries {
+                return Ok(None);
+            }
+            attempts[slot] += 1;
+            let attempt = attempts[slot];
+            self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            self.counters.record(
+                self.epoch,
+                None,
+                FaultEventKind::Retry {
+                    chunk_start: ranges[slot].start,
+                    attempt,
+                },
+            );
+            let backoff = self
+                .retry_backoff
+                .saturating_mul(1u32 << (attempt - 1).min(16));
+            if backoff > Duration::ZERO {
+                std::thread::sleep(backoff);
+            }
+            dispatch(slot, attempt)?;
+            sent_at[slot] = Instant::now();
+            Ok(Some(attempt))
+        };
+
+        // Liveness tick: at most the watchdog timeout, at least often
+        // enough to notice a dead pool.
+        let tick = self
+            .job_timeout
+            .map_or(LIVENESS_TICK, |t| t.min(LIVENESS_TICK));
+
+        while pending > 0 {
+            match reply_rx.recv_timeout(tick) {
+                Ok(reply) => {
+                    let Some(slot) = ranges.iter().position(|r| r.start == reply.start) else {
+                        continue;
+                    };
+                    if slots[slot].is_some() {
+                        // Late duplicate from a watchdog-rescued worker;
+                        // results are deterministic, so drop it.
+                        continue;
+                    }
+                    match reply.result {
+                        Ok(outs) => {
+                            if let Some(index) = self.rejected_output(&ranges[slot], &outs) {
+                                self.counters.check_failures.fetch_add(1, Ordering::Relaxed);
+                                self.counters.record(
+                                    self.epoch,
+                                    None,
+                                    FaultEventKind::OutputCheckFailed { index },
+                                );
+                                if retry(slot, &mut attempts, &mut sent_at)?.is_none() {
+                                    return Err(TfheError::OutputCheckFailed { index });
+                                }
+                                continue;
+                            }
+                            slots[slot] = Some(outs);
+                            pending -= 1;
+                        }
+                        Err(e @ TfheError::WorkerPanicked { .. }) => {
+                            if retry(slot, &mut attempts, &mut sent_at)?.is_none() {
+                                return Err(e);
+                            }
+                        }
+                        // Validation errors are deterministic — retrying
+                        // would reproduce them, so fail the batch.
+                        Err(e) => return Err(e),
                     }
                 }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.counters.alive.load(Ordering::SeqCst) == 0 {
+                        return Err(TfheError::EngineShutDown);
+                    }
+                    let Some(limit) = self.job_timeout else {
+                        continue;
+                    };
+                    for slot in 0..ranges.len() {
+                        if slots[slot].is_none() && sent_at[slot].elapsed() >= limit {
+                            self.counters
+                                .watchdog_timeouts
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.counters.record(
+                                self.epoch,
+                                None,
+                                FaultEventKind::WatchdogTimeout {
+                                    batch,
+                                    chunk_start: ranges[slot].start,
+                                },
+                            );
+                            if retry(slot, &mut attempts, &mut sent_at)?.is_none() {
+                                return Err(TfheError::JobTimedOut {
+                                    chunk_start: ranges[slot].start,
+                                    attempts: attempts[slot] + 1,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Unreachable while we hold `reply_tx`, but map it
+                // defensively rather than hanging.
+                Err(RecvTimeoutError::Disconnected) => return Err(TfheError::EngineShutDown),
             }
         }
-        if let Some((_, e)) = first_err {
-            return Err(e);
-        }
-        // Lock-free ordered assembly: chunks are disjoint contiguous
-        // ranges, so sorting by start index and flattening restores input
-        // order exactly.
-        parts.sort_unstable_by_key(|(s, _)| *s);
-        let out: Vec<LweCiphertext> = parts.into_iter().flat_map(|(_, outs)| outs).collect();
+
+        // Ordered assembly: slots follow the ascending chunk plan, so
+        // flattening restores input order exactly.
+        let out: Vec<LweCiphertext> = slots.into_iter().flatten().flatten().collect();
         debug_assert_eq!(out.len(), n);
         Ok(out)
     }
@@ -570,6 +1094,9 @@ mod tests {
         assert_eq!(stats.batches, 4);
         assert_eq!(stats.bootstraps, 20);
         assert!(stats.busy > Duration::ZERO);
+        assert_eq!(stats.health, EngineHealth::Healthy);
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.retries, 0);
     }
 
     #[test]
@@ -681,8 +1208,10 @@ mod tests {
         let cts = vec![ck.encrypt(1, &mut rng)];
         engine.bootstrap_batch(&cts, &lut).unwrap();
         assert_eq!(engine.alive_workers(), 2);
+        assert_eq!(engine.health(), EngineHealth::Healthy);
         engine.shutdown();
         assert_eq!(engine.alive_workers(), 0);
+        assert_eq!(engine.health(), EngineHealth::Failed);
         // Submitting to the dead pool errors instead of hanging.
         assert_eq!(
             engine.bootstrap_batch(&cts, &lut).err(),
@@ -713,6 +1242,7 @@ mod tests {
         }
         engine.reset_stats();
         assert!(engine.job_spans().is_empty());
+        assert!(engine.fault_events().is_empty());
     }
 
     #[test]
@@ -727,5 +1257,97 @@ mod tests {
             .unwrap();
         let out = engine.bootstrap_batch(&cts, &lut).unwrap();
         assert_eq!(out, sk.batch_bootstrap(&cts, &lut));
+    }
+
+    #[test]
+    fn injected_panics_are_retried_and_respawned() {
+        let (ck, sk, mut rng) = setup(710);
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let cts: Vec<_> = (0..12).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let engine = BootstrapEngine::builder()
+            .workers(2)
+            .chunk_size(3)
+            .respawn_budget(16)
+            .max_retries(8)
+            .fault_plan(FaultPlan::seeded(4242).with_worker_panic(0.3))
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let out = engine.bootstrap_batch(&cts, &lut).unwrap();
+        assert_eq!(out, sk.batch_bootstrap(&cts, &lut), "bit-identical");
+        let stats = engine.stats();
+        assert!(stats.panics > 0, "seed 4242 must fire at rate 0.3");
+        assert_eq!(stats.panics, stats.respawns, "every panic respawned");
+        assert_eq!(stats.retries, stats.panics, "every panic retried");
+        assert_eq!(stats.health, EngineHealth::Healthy);
+        assert!(engine
+            .fault_events()
+            .iter()
+            .any(|e| e.kind == FaultEventKind::WorkerPanic));
+    }
+
+    #[test]
+    fn exhausted_respawn_budget_degrades_then_fails() {
+        let (ck, sk, mut rng) = setup(711);
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let cts = vec![ck.encrypt(1, &mut rng)];
+        // Every job panics; zero respawns: the single worker dies on the
+        // first job and the pool fails — without hanging the submitter.
+        let engine = BootstrapEngine::builder()
+            .workers(1)
+            .respawn_budget(0)
+            .max_retries(1)
+            .retry_backoff(Duration::ZERO)
+            .fault_plan(FaultPlan::seeded(1).with_worker_panic(1.0))
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let err = engine.bootstrap_batch(&cts, &lut).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TfheError::WorkerPanicked { .. } | TfheError::EngineShutDown
+            ),
+            "got {err:?}"
+        );
+        // The pool is dead; later submissions fail fast.
+        while engine.alive_workers() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(engine.health(), EngineHealth::Failed);
+        assert_eq!(
+            engine.bootstrap_batch(&cts, &lut).err(),
+            Some(TfheError::EngineShutDown)
+        );
+    }
+
+    #[test]
+    fn output_check_failures_exhaust_into_an_error() {
+        let (ck, sk, mut rng) = setup(712);
+        let lut = Lut::identity(sk.params().poly_size, 4);
+        let cts = vec![ck.encrypt(2, &mut rng)];
+        // A check that rejects everything: retries burn out, the caller
+        // gets OutputCheckFailed, and the pool stays healthy.
+        let engine = BootstrapEngine::builder()
+            .workers(1)
+            .max_retries(2)
+            .retry_backoff(Duration::ZERO)
+            .output_check(|_, _| false)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        assert_eq!(
+            engine.bootstrap_batch(&cts, &lut).err(),
+            Some(TfheError::OutputCheckFailed { index: 0 })
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.check_failures, 3, "initial attempt + 2 retries");
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.health, EngineHealth::Healthy);
+    }
+
+    #[test]
+    fn noise_adaptive_retries_are_bounded() {
+        let (_, sk, _) = setup(713);
+        let b = BootstrapEngine::builder().noise_adaptive_retries(sk.params());
+        let engine = b.workers(1).build(sk).unwrap();
+        assert!((1..=8).contains(&engine.max_retries));
     }
 }

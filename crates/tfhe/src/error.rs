@@ -77,6 +77,28 @@ pub enum TfheError {
     /// panicked or the engine is mid-drop); the submitted batch was not
     /// processed.
     EngineShutDown,
+    /// A worker panicked while executing a job. The engine retries these
+    /// automatically; callers see the variant only once the retry budget
+    /// is exhausted (or from the per-call parallel batch path, which has
+    /// no retry loop).
+    WorkerPanicked {
+        /// Index of the worker thread that panicked.
+        worker: usize,
+    },
+    /// A job exceeded the engine's watchdog timeout on every allowed
+    /// attempt — the chunk is presumed wedged beyond recovery.
+    JobTimedOut {
+        /// Batch-relative index of the first ciphertext in the chunk.
+        chunk_start: usize,
+        /// Attempts made (initial dispatch plus retries).
+        attempts: u32,
+    },
+    /// A bootstrap output failed the engine's output sanity check on
+    /// every allowed attempt.
+    OutputCheckFailed {
+        /// Batch-relative index of the offending ciphertext.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for TfheError {
@@ -127,6 +149,24 @@ impl std::fmt::Display for TfheError {
             }
             Self::EngineShutDown => {
                 write!(f, "bootstrap engine worker pool has shut down")
+            }
+            Self::WorkerPanicked { worker } => {
+                write!(
+                    f,
+                    "bootstrap worker {worker} panicked while executing a job"
+                )
+            }
+            Self::JobTimedOut {
+                chunk_start,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "job for chunk starting at {chunk_start} timed out after {attempts} attempts"
+                )
+            }
+            Self::OutputCheckFailed { index } => {
+                write!(f, "bootstrap output {index} failed the output sanity check")
             }
         }
     }

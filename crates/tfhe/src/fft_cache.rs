@@ -12,6 +12,12 @@
 //! Reads (the steady state) take only the `RwLock` read lock; the write
 //! lock is taken once per distinct polynomial size for the lifetime of
 //! the process.
+//!
+//! The caches recover from lock poisoning: a thread that panics while
+//! holding a cache lock (e.g. an injected chaos fault landing inside a
+//! builder) must not take the process-global cache down with it. Cached
+//! values are insert-only `Arc`s, so the worst a poisoned write can leave
+//! behind is a missing entry — safe to rebuild.
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -25,10 +31,18 @@ static NTT_CACHE: Cache<NegacyclicNtt> = OnceLock::new();
 
 fn get_or_build<T>(cache: &Cache<T>, n: usize, build: impl FnOnce(usize) -> T) -> Arc<T> {
     let lock = cache.get_or_init(|| RwLock::new(HashMap::new()));
-    if let Some(engine) = lock.read().expect("transform cache poisoned").get(&n) {
+    let read = lock.read().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    });
+    if let Some(engine) = read.get(&n) {
         return Arc::clone(engine);
     }
-    let mut map = lock.write().expect("transform cache poisoned");
+    drop(read);
+    let mut map = lock.write().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    });
     // Double-checked: another thread may have built it between our read
     // and write lock acquisitions.
     Arc::clone(map.entry(n).or_insert_with(|| Arc::new(build(n))))
@@ -71,6 +85,28 @@ mod tests {
         let a = ntt_for(64);
         let b = ntt_for(64);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        // Warm an entry, then poison the lock by panicking while holding
+        // the write guard — the cache must keep serving (and keep its
+        // existing entries) instead of propagating the poison forever.
+        let before = fft_for(64);
+        let poison = std::thread::spawn(|| {
+            let lock = FFT_CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+            let _guard = lock.write().unwrap_or_else(|p| p.into_inner());
+            panic!("poison the transform cache on purpose");
+        })
+        .join();
+        assert!(poison.is_err(), "the poisoning thread must have panicked");
+        let after = fft_for(64);
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "recovered cache must still hold the pre-poison entry"
+        );
+        // New sizes still build after recovery.
+        assert_eq!(fft_for(256).poly_len(), 256);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! - a pluggable polynomial-multiplication backend ([`MulBackend`]): the
 //!   FFT path the hardware accelerates, or the exact integer path used as
 //!   a correctness oracle;
-//! - noise utilities ([`noise`]) that measure and predict ciphertext error.
+//! - noise utilities ([`noise`]) that measure and predict ciphertext error;
+//! - a persistent, self-healing [`BootstrapEngine`] (watchdog, retry with
+//!   backoff, panic isolation with bounded respawn, degraded-mode
+//!   serving) plus deterministic seeded fault injection ([`faults`]) for
+//!   chaos testing it.
 //!
 //! # Quickstart
 //!
@@ -41,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod batch;
 mod bootstrap;
@@ -48,6 +53,7 @@ mod bootstrap_key;
 mod engine;
 mod error;
 mod external_product;
+pub mod faults;
 mod fft_cache;
 mod ggsw;
 mod glwe;
@@ -63,9 +69,13 @@ mod server;
 
 pub use bootstrap::{blind_rotate, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
-pub use engine::{BootstrapEngine, BootstrapEngineBuilder, EngineStats, JobSpan};
+pub use engine::{
+    BootstrapEngine, BootstrapEngineBuilder, EngineHealth, EngineStats, FaultEvent, FaultEventKind,
+    JobSpan, OutputCheck,
+};
 pub use error::TfheError;
 pub use external_product::{cmux, external_product, ExternalProductEngine};
+pub use faults::{FaultInjector, FaultPlan, FaultSite};
 pub use ggsw::{FourierGgsw, GgswCiphertext};
 pub use glwe::GlweCiphertext;
 pub use keys::{ClientKey, GlweSecretKey, LweSecretKey};

@@ -74,10 +74,12 @@ pub mod thread {
 pub mod channel {
     //! An MPMC FIFO channel with the crossbeam 0.8 API surface used by
     //! this repository: [`unbounded`], [`bounded`], cloneable [`Sender`] /
-    //! [`Receiver`], blocking `send` / `recv`, and `try_recv`.
+    //! [`Receiver`], blocking `send` / `recv`, `recv_timeout`, and
+    //! `try_recv`.
 
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
@@ -119,6 +121,15 @@ pub mod channel {
     pub enum TryRecvError {
         /// Channel currently empty (senders still connected).
         Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout (senders still connected).
+        Timeout,
         /// Channel empty and all senders dropped.
         Disconnected,
     }
@@ -208,6 +219,34 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.shared.not_empty.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Blocking receive with a deadline: `Err(Timeout)` if nothing
+        /// arrives within `timeout`, `Err(Disconnected)` once the channel
+        /// is empty and all senders are gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel lock");
+                st = guard;
             }
         }
 
