@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -439,12 +440,12 @@ pub fn table6_report() -> String {
         let paper_cpu = TABLE_VI_CPU_SECONDS
             .iter()
             .find(|&&(n, _)| n == *name)
-            .unwrap()
+            .expect("workload missing from TABLE_VI_CPU_SECONDS")
             .1;
         let paper_m = TABLE_VI_MORPHLING_PAPER
             .iter()
             .find(|&&(n, _)| n == *name)
-            .unwrap()
+            .expect("workload missing from TABLE_VI_MORPHLING_PAPER")
             .1;
         let _ = writeln!(
             s,
@@ -530,19 +531,19 @@ pub fn summary_report() -> String {
         .throughput_bs_per_s();
     let cpu = baselines_for("I")
         .find(|r| r.platform == "CPU")
-        .unwrap()
+        .expect("CPU baseline missing for set I")
         .throughput_bs_s;
     let nufhe = baselines_for("II")
         .find(|r| r.system == "NuFHE")
-        .unwrap()
+        .expect("NuFHE baseline missing for set II")
         .throughput_bs_s;
     let matcha = baselines_for("I")
         .find(|r| r.system == "MATCHA")
-        .unwrap()
+        .expect("MATCHA baseline missing for set I")
         .throughput_bs_s;
     let strix = baselines_for("I")
         .find(|r| r.system == "Strix")
-        .unwrap()
+        .expect("Strix baseline missing for set I")
         .throughput_bs_s;
     let mut s = String::new();
     let _ = writeln!(s, "Headline claims (abstract)            ours        paper");

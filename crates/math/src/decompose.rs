@@ -105,8 +105,21 @@ impl<T: TorusScalar> SignedDecomposer<T> {
     /// Decompose a single torus element into `level` balanced digits,
     /// most-significant first (digit `i` carries weight `q/β^(i+1)`).
     pub fn decompose_scalar(&self, x: T) -> Vec<i64> {
+        let mut digits = vec![0i64; self.params.level];
+        self.decompose_scalar_into(x, &mut digits);
+        digits
+    }
+
+    /// [`decompose_scalar`](Self::decompose_scalar) into a caller-owned
+    /// digit buffer — the allocation-free core the hot path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits.len() != level`.
+    pub fn decompose_scalar_into(&self, x: T, digits: &mut [i64]) {
         let b = self.params.base_log;
         let l = self.params.level;
+        assert_eq!(digits.len(), l, "digit buffer length must equal the level");
         let total = b * l as u32;
         // Round to the closest multiple of q / β^l (round-half-up), then
         // take the top `total` bits as an unsigned integer.
@@ -129,7 +142,6 @@ impl<T: TorusScalar> SignedDecomposer<T> {
         // carry propagation, then reversed to most-significant first.
         let beta = 1u64 << b;
         let half_beta = beta >> 1;
-        let mut digits = vec![0i64; l];
         let mut carry: u64 = 0;
         let mut rest = rounded;
         for i in (0..l).rev() {
@@ -148,7 +160,6 @@ impl<T: TorusScalar> SignedDecomposer<T> {
         }
         // A final carry out of the most significant digit corresponds to a
         // full wrap of the torus (adds q), which is 0 mod q — drop it.
-        digits
     }
 
     /// Recompose digits back to the torus: `Σ_i d_i · q/β^(i+1)`.
@@ -170,16 +181,34 @@ impl<T: TorusScalar> SignedDecomposer<T> {
     /// digit-polynomials, most-significant level first — exactly the stream
     /// the paper's decomposition unit feeds to the pipelined FFT.
     pub fn decompose_poly(&self, p: &Polynomial<T>) -> Vec<Polynomial<i64>> {
-        let n = p.len();
+        let mut out = vec![Polynomial::zero(p.len()); self.params.level];
+        self.decompose_poly_into(p, &mut out);
+        out
+    }
+
+    /// [`decompose_poly`](Self::decompose_poly) into caller-owned digit
+    /// polynomials, bit-identical and allocation-free — the decomposition
+    /// unit of the blind-rotation hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != level` or any digit polynomial's size
+    /// differs from `p.len()`.
+    pub fn decompose_poly_into(&self, p: &Polynomial<T>, out: &mut [Polynomial<i64>]) {
         let l = self.params.level;
-        let mut out: Vec<Vec<i64>> = vec![vec![0i64; n]; l];
+        assert_eq!(out.len(), l, "digit polynomial count must equal the level");
+        for dp in out.iter_mut() {
+            assert_eq!(dp.len(), p.len(), "digit polynomial size mismatch");
+        }
+        // `base_log ≥ 1` and `total_bits ≤ 64` bound the level by 64, so a
+        // stack buffer covers every valid decomposer.
+        let mut digits = [0i64; 64];
         for (j, &c) in p.iter().enumerate() {
-            let digits = self.decompose_scalar(c);
-            for (i, &d) in digits.iter().enumerate() {
-                out[i][j] = d;
+            self.decompose_scalar_into(c, &mut digits[..l]);
+            for (dp, &d) in out.iter_mut().zip(&digits[..l]) {
+                dp[j] = d;
             }
         }
-        out.into_iter().map(Polynomial::from_coeffs).collect()
     }
 
     /// The worst-case absolute rounding error of the decomposition, as a
@@ -284,6 +313,30 @@ mod tests {
             let err = torus_distance(x.to_f64(), back.to_f64());
             assert!(err <= bound, "i={i} err={err}");
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let dec = SignedDecomposer::<Torus32>::new(DecompParams::new(6, 3));
+        let p = Polynomial::from_fn(16, |j| {
+            Torus32::from_raw((j as u32).wrapping_mul(0x9E37_79B9))
+        });
+        let mut out = vec![Polynomial::zero(16); 3];
+        dec.decompose_poly_into(&p, &mut out);
+        assert_eq!(dec.decompose_poly(&p), out);
+        let x = Torus32::from_raw(0xDEAD_BEEF);
+        let mut digits = [0i64; 3];
+        dec.decompose_scalar_into(x, &mut digits);
+        assert_eq!(digits.to_vec(), dec.decompose_scalar(x));
+    }
+
+    #[test]
+    #[should_panic(expected = "count must equal")]
+    fn poly_into_rejects_wrong_level_count() {
+        let dec = SignedDecomposer::<Torus32>::new(DecompParams::new(6, 3));
+        let p = Polynomial::<Torus32>::zero(8);
+        let mut out = vec![Polynomial::zero(8); 2];
+        dec.decompose_poly_into(&p, &mut out);
     }
 
     #[test]

@@ -125,13 +125,26 @@ where
     /// Private-A1 buffer (§V-C): a shifted read plus conditional negation.
     #[must_use]
     pub fn monomial_mul(&self, power: i64) -> Self {
+        let mut out = Self::zero(self.len());
+        self.monomial_mul_into(power, &mut out);
+        out
+    }
+
+    /// [`monomial_mul`](Self::monomial_mul) into a caller-owned
+    /// polynomial — every output coefficient is overwritten, so `out`
+    /// needs no prior clearing. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn monomial_mul_into(&self, power: i64, out: &mut Self) {
+        assert_eq!(out.len(), self.len(), "output polynomial size mismatch");
         let n = self.len() as i64;
         let two_n = 2 * n;
         let a = power.rem_euclid(two_n);
         let (shift, negate_all) = if a < n { (a, false) } else { (a - n, true) };
         let shift = shift as usize;
         let n = n as usize;
-        let mut out = vec![T::default(); n];
         for j in 0..n {
             // out[j + shift] = coeffs[j], wrapping with sign flip.
             let (dst, wrapped) = if j + shift < n {
@@ -141,9 +154,8 @@ where
             };
             let v = self.coeffs[j];
             let v = if wrapped ^ negate_all { -v } else { v };
-            out[dst] = v;
+            out.coeffs[dst] = v;
         }
-        Self { coeffs: out }
     }
 
     /// `X^power * self - self`: the rotate-and-subtract producing the
@@ -153,14 +165,26 @@ where
     where
         T: Sub<Output = T>,
     {
-        let rotated = self.monomial_mul(power);
-        let coeffs = rotated
-            .coeffs
-            .iter()
-            .zip(&self.coeffs)
-            .map(|(&r, &s)| r - s)
-            .collect();
-        Self { coeffs }
+        let mut out = Self::zero(self.len());
+        self.monomial_mul_minus_one_into(power, &mut out);
+        out
+    }
+
+    /// [`monomial_mul_minus_one`](Self::monomial_mul_minus_one) into a
+    /// caller-owned polynomial — the fused rotate-subtract the hardware's
+    /// double-pointer read performs, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn monomial_mul_minus_one_into(&self, power: i64, out: &mut Self)
+    where
+        T: Sub<Output = T>,
+    {
+        self.monomial_mul_into(power, out);
+        for (o, &s) in out.coeffs.iter_mut().zip(&self.coeffs) {
+            *o = *o - s;
+        }
     }
 }
 
@@ -358,6 +382,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn monomial_mul_into_overwrites_dirty_buffers() {
+        let p = poly_i64(&[1, 2, 3, 4]);
+        let mut out = poly_i64(&[9, 9, 9, 9]);
+        p.monomial_mul_into(5, &mut out);
+        assert_eq!(out, p.monomial_mul(5));
+        p.monomial_mul_minus_one_into(3, &mut out);
+        assert_eq!(out, p.monomial_mul_minus_one(3));
     }
 
     #[test]

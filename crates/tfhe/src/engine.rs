@@ -97,6 +97,7 @@ use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
 use crate::params::TfheParams;
 use crate::server::ServerKey;
+use crate::workspace::BootstrapWorkspace;
 
 /// Liveness-check period for the submit loop when no watchdog timeout is
 /// configured: often enough that a dead pool is detected promptly, rare
@@ -223,7 +224,10 @@ pub struct EngineStats {
 impl EngineStats {
     /// Mean wall time of one bootstrap on one core, if any completed.
     pub fn mean_bootstrap_time(&self) -> Option<Duration> {
-        (self.bootstraps > 0).then(|| self.busy / self.bootstraps.max(1) as u32)
+        // The count is u64: dividing through f64 avoids the truncating
+        // `as u32` cast, which would silently shrink the divisor (and
+        // inflate the mean) on any long-lived engine past 2³² bootstraps.
+        (self.bootstraps > 0).then(|| self.busy.div_f64(self.bootstraps as f64))
     }
 
     /// Single-core bootstrap rate (bootstraps per busy-second).
@@ -330,8 +334,13 @@ struct WorkerShared {
 
 /// Execute one job's bootstraps, with fault-injection hooks. Runs under
 /// `catch_unwind`: an (injected or organic) panic unwinds out of here and
-/// is handled by the caller.
-fn run_job(shared: &WorkerShared, job: &Job) -> Result<Vec<LweCiphertext>, TfheError> {
+/// is handled by the caller. `ws` is the worker's long-lived
+/// [`BootstrapWorkspace`], so a warm worker bootstraps allocation-free.
+fn run_job(
+    shared: &WorkerShared,
+    job: &Job,
+    ws: &mut BootstrapWorkspace,
+) -> Result<Vec<LweCiphertext>, TfheError> {
     let injector = &shared.injector;
     let mut outs = Vec::with_capacity(job.range.len());
     for i in job.range.clone() {
@@ -349,7 +358,9 @@ fn run_job(shared: &WorkerShared, job: &Job) -> Result<Vec<LweCiphertext>, TfheE
             Some(sel) => &job.luts[sel[i]],
             None => &job.luts[0],
         };
-        let mut out = shared.server.try_programmable_bootstrap(&job.cts[i], lut)?;
+        let mut out = shared
+            .server
+            .try_programmable_bootstrap_with(&job.cts[i], lut, ws)?;
         if injector.fires(FaultSite::CorruptOutput, key, job.attempt) {
             out = corrupt_ciphertext(&out);
         }
@@ -366,10 +377,15 @@ enum WorkerExit {
     Panicked,
 }
 
-fn worker_loop(worker: usize, shared: &WorkerShared, rx: &Receiver<Job>) -> WorkerExit {
+fn worker_loop(
+    worker: usize,
+    shared: &WorkerShared,
+    rx: &Receiver<Job>,
+    ws: &mut BootstrapWorkspace,
+) -> WorkerExit {
     while let Ok(job) = rx.recv() {
         let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job, ws)));
         let dur = t0.elapsed();
         let counters = &shared.counters;
         counters
@@ -421,8 +437,11 @@ fn worker_loop(worker: usize, shared: &WorkerShared, rx: &Receiver<Job>) -> Work
 fn worker_thread(worker: usize, shared: WorkerShared, rx: Receiver<Job>, respawn_budget: u32) {
     let _alive = AliveGuard(Arc::clone(&shared.counters));
     let mut respawns_left = respawn_budget;
+    // One workspace for the worker's whole lifetime: after the first job
+    // warms it, every later bootstrap runs allocation-free.
+    let mut ws = shared.server.workspace();
     loop {
-        match worker_loop(worker, &shared, &rx) {
+        match worker_loop(worker, &shared, &rx, &mut ws) {
             WorkerExit::ChannelClosed => break,
             WorkerExit::Panicked => {
                 if respawns_left == 0 {
@@ -438,6 +457,9 @@ fn worker_thread(worker: usize, shared: WorkerShared, rx: Receiver<Job>, respawn
                 shared
                     .counters
                     .record(shared.epoch, Some(worker), FaultEventKind::WorkerRespawn);
+                // The panic may have left the workspace mid-operation;
+                // rebuild it so the respawned loop starts from clean state.
+                ws = shared.server.workspace();
             }
         }
     }
@@ -1341,6 +1363,33 @@ mod tests {
         assert_eq!(stats.check_failures, 3, "initial attempt + 2 retries");
         assert_eq!(stats.retries, 2);
         assert_eq!(stats.health, EngineHealth::Healthy);
+    }
+
+    #[test]
+    fn mean_bootstrap_time_survives_counts_beyond_u32() {
+        assert_eq!(EngineStats::default().mean_bootstrap_time(), None);
+
+        let small = EngineStats {
+            bootstraps: 4,
+            busy: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert_eq!(
+            small.mean_bootstrap_time(),
+            Some(Duration::from_millis(500))
+        );
+
+        // 6e9 bootstraps over 600 s of busy time: mean = 100 ns. The old
+        // `busy / (bootstraps as u32)` truncated the divisor to
+        // 6e9 mod 2³² ≈ 1.7e9 and reported ~353 ns instead.
+        let huge = EngineStats {
+            bootstraps: 6_000_000_000,
+            busy: Duration::from_secs(600),
+            ..Default::default()
+        };
+        let mean = huge.mean_bootstrap_time().unwrap();
+        let err_ns = (mean.as_nanos() as i128 - 100).abs();
+        assert!(err_ns <= 1, "mean {mean:?} should be ~100ns");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use morphling_transform::{NegacyclicFft, Spectrum};
 use crate::ggsw::{FourierGgsw, GgswCiphertext};
 use crate::glwe::GlweCiphertext;
 use crate::params::TfheParams;
+use crate::workspace::BootstrapWorkspace;
 
 /// Transform-domain external-product engine (the software model of one
 /// XPU's datapath).
@@ -148,6 +149,115 @@ impl ExternalProductEngine {
         a_tilde: i64,
     ) -> GlweCiphertext {
         acc.add(&self.external_product(bsk_i, &acc.monomial_mul_minus_one(a_tilde)))
+    }
+
+    /// A [`BootstrapWorkspace`] sized for this engine's transform and
+    /// gadget, serving accumulators of GLWE dimension `glwe_dim`.
+    pub fn workspace(&self, glwe_dim: usize) -> BootstrapWorkspace {
+        BootstrapWorkspace::with_shape(
+            glwe_dim,
+            self.fft.poly_len(),
+            self.decomposer.params().level(),
+        )
+    }
+
+    /// [`rotate_cmux`](Self::rotate_cmux) in place: updates `acc` through
+    /// caller-owned workspace buffers and, once `ws` is warm, performs no
+    /// heap allocation. Bit-identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bsk_i`, `acc`, and `ws` disagree on shape.
+    pub fn rotate_cmux_into(
+        &self,
+        bsk_i: &FourierGgsw,
+        acc: &mut GlweCiphertext,
+        a_tilde: i64,
+        ws: &mut BootstrapWorkspace,
+    ) {
+        assert_eq!(bsk_i.glwe_dim(), acc.dim(), "GLWE dimension mismatch");
+        assert_eq!(
+            bsk_i.poly_size(),
+            acc.poly_size(),
+            "polynomial size mismatch"
+        );
+        assert!(
+            ws.fits(acc.dim(), acc.poly_size()),
+            "workspace shape does not match the accumulator"
+        );
+        acc.monomial_mul_minus_one_into(a_tilde, &mut ws.lambda);
+        self.external_product_buffers(bsk_i, ws);
+        acc.add_assign_components(&ws.product);
+    }
+
+    /// `ggsw ⊡ ws.lambda` into `ws.product`, staging everything in the
+    /// workspace. The dataflow matches [`external_product`]
+    /// (Self::external_product) exactly — same decomposition, same
+    /// merge-split pairing, same accumulation order — so the results are
+    /// bit-identical; only the storage is caller-owned.
+    fn external_product_buffers(&self, ggsw: &FourierGgsw, ws: &mut BootstrapWorkspace) {
+        let l = self.decomposer.params().level();
+        let lambda = &ws.lambda;
+        let digit_polys = &mut ws.digit_polys[..];
+        let digit_spectra = &mut ws.digit_spectra[..];
+        let acc_spectra = &mut ws.acc_spectra[..];
+        let product = &mut ws.product[..];
+        let scratch = &mut ws.scratch;
+        assert_eq!(digit_polys.len(), ggsw.row_count(), "gadget level mismatch");
+
+        // Decompose every component of Λ into the digit rows (eq. (1)).
+        for (comp, rows) in lambda.components().zip(digit_polys.chunks_mut(l)) {
+            self.decomposer.decompose_poly_into(comp, rows);
+        }
+
+        // Forward transforms — two digit rows per FFT pass when the
+        // merge-split path is on (MS-FFT, §V-A.3).
+        if self.merge_split {
+            let mut polys = digit_polys.chunks_exact(2);
+            let mut specs = digit_spectra.chunks_exact_mut(2);
+            for (pair, out) in (&mut polys).zip(&mut specs) {
+                let (s0, s1) = out.split_at_mut(1);
+                self.fft
+                    .forward_pair_int_into(&pair[0], &pair[1], &mut s0[0], &mut s1[0], scratch);
+            }
+            if let ([last], [out]) = (polys.remainder(), specs.into_remainder()) {
+                self.fft.forward_int_into(last, out);
+            }
+        } else {
+            for (p, s) in digit_polys.iter().zip(digit_spectra.iter_mut()) {
+                self.fft.forward_int_into(p, s);
+            }
+        }
+
+        // ACC-output-stationary accumulation: clear POLY-ACC-REG, then
+        // stream every row across all k+1 output lanes.
+        for s in acc_spectra.iter_mut() {
+            s.set_zero();
+        }
+        for (r, digit_spec) in digit_spectra.iter().enumerate() {
+            let row = ggsw.row(r);
+            for (u, acc_u) in acc_spectra.iter_mut().enumerate() {
+                acc_u.mul_acc(digit_spec, &row[u]);
+            }
+        }
+
+        // One inverse transform per output component, again paired.
+        if self.merge_split {
+            let mut specs = acc_spectra.chunks_exact(2);
+            let mut outs = product.chunks_exact_mut(2);
+            for (pair, out) in (&mut specs).zip(&mut outs) {
+                let (p0, p1) = out.split_at_mut(1);
+                self.fft
+                    .inverse_pair_torus_into(&pair[0], &pair[1], &mut p0[0], &mut p1[0], scratch);
+            }
+            if let ([last], [out]) = (specs.remainder(), outs.into_remainder()) {
+                self.fft.inverse_torus_into(last, out, scratch);
+            }
+        } else {
+            for (s, p) in acc_spectra.iter().zip(product.iter_mut()) {
+                self.fft.inverse_torus_into(s, p, scratch);
+            }
+        }
     }
 }
 
@@ -376,6 +486,45 @@ mod tests {
                 assert_eq!(phase[j].decode(4), want[j].decode(4), "bit={bit} j={j}");
             }
         }
+    }
+
+    #[test]
+    fn rotate_cmux_into_is_bit_identical_to_allocating_path() {
+        // Chained rotations, both merge-split settings, k = 1 and k = 2:
+        // the workspace path must reproduce the allocating path bit for
+        // bit, not merely up to noise.
+        for set in [ParamSet::Test, ParamSet::TestMedium] {
+            let params = set.params();
+            let mut rng = StdRng::seed_from_u64(42);
+            let key = GlweSecretKey::generate(params.glwe_dim, params.poly_size, &mut rng);
+            let m = coarse_msg(params.poly_size, 11);
+            let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
+            for ms in [true, false] {
+                let engine = ExternalProductEngine::new(&params).with_merge_split(ms);
+                let ggsw =
+                    GgswCiphertext::encrypt(1, &key, &params, &mut rng).to_fourier(engine.fft());
+                let mut ws = engine.workspace(params.glwe_dim);
+                let mut acc = ct.clone();
+                for a_tilde in [0i64, 5, 37, 211] {
+                    let want = engine.rotate_cmux(&ggsw, &acc, a_tilde);
+                    engine.rotate_cmux_into(&ggsw, &mut acc, a_tilde, &mut ws);
+                    assert_eq!(acc, want, "set={set:?} ms={ms} a_tilde={a_tilde}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace shape")]
+    fn rotate_cmux_into_rejects_mismatched_workspace() {
+        let params = ParamSet::Test.params();
+        let mut rng = StdRng::seed_from_u64(43);
+        let key = GlweSecretKey::generate(params.glwe_dim, params.poly_size, &mut rng);
+        let engine = ExternalProductEngine::new(&params);
+        let ggsw = GgswCiphertext::encrypt(1, &key, &params, &mut rng).to_fourier(engine.fft());
+        let mut acc = GlweCiphertext::zero(params.glwe_dim, params.poly_size);
+        let mut ws = engine.workspace(params.glwe_dim + 1);
+        engine.rotate_cmux_into(&ggsw, &mut acc, 3, &mut ws);
     }
 
     #[test]

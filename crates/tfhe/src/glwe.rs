@@ -97,6 +97,24 @@ impl GlweCiphertext {
         self.masks.iter().chain(std::iter::once(&self.body))
     }
 
+    /// Mutable view of the `k+1` components in `A_1, …, A_k, B` order.
+    pub(crate) fn components_mut(&mut self) -> impl Iterator<Item = &mut Polynomial<Torus32>> {
+        self.masks.iter_mut().chain(std::iter::once(&mut self.body))
+    }
+
+    /// Add `comps` (in `A_1, …, A_k, B` order) into this ciphertext —
+    /// the final `+ ACC` of Algorithm 1 line 4, done in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comps.len() != k + 1`.
+    pub(crate) fn add_assign_components(&mut self, comps: &[Polynomial<Torus32>]) {
+        assert_eq!(comps.len(), self.dim() + 1, "component count mismatch");
+        for (dst, src) in self.components_mut().zip(comps) {
+            *dst += src;
+        }
+    }
+
     /// Build from `k+1` components in `A_1, …, A_k, B` order.
     ///
     /// # Panics
@@ -154,13 +172,21 @@ impl GlweCiphertext {
     /// line 4).
     #[must_use]
     pub fn monomial_mul_minus_one(&self, power: i64) -> Self {
-        Self {
-            masks: self
-                .masks
-                .iter()
-                .map(|a| a.monomial_mul_minus_one(power))
-                .collect(),
-            body: self.body.monomial_mul_minus_one(power),
+        let mut out = Self::zero(self.dim(), self.poly_size());
+        self.monomial_mul_minus_one_into(power, &mut out);
+        out
+    }
+
+    /// [`monomial_mul_minus_one`](Self::monomial_mul_minus_one) into a
+    /// caller-owned ciphertext; every coefficient of `out` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has a different shape than `self`.
+    pub fn monomial_mul_minus_one_into(&self, power: i64, out: &mut Self) {
+        assert_eq!(out.dim(), self.dim(), "GLWE dimension mismatch");
+        for (src, dst) in self.components().zip(out.components_mut()) {
+            src.monomial_mul_minus_one_into(power, dst);
         }
     }
 }
@@ -219,6 +245,32 @@ mod tests {
         for a in [0i64, 1, 31, 32, 45, 63] {
             assert_eq!(key.phase(&ct.monomial_mul(a)), m.monomial_mul(a), "a={a}");
         }
+    }
+
+    #[test]
+    fn monomial_mul_minus_one_into_overwrites_dirty_buffer() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let key = GlweSecretKey::generate(2, 32, &mut rng);
+        let ct = GlweCiphertext::encrypt(&msg(32, 13), &key, 0.0, &mut rng);
+        // Start from garbage so any coefficient the in-place path skips
+        // would show up as a mismatch.
+        let mut out = GlweCiphertext::trivial(msg(32, 17), 2);
+        for power in [0i64, 1, 31, 32, 63, 64, 100] {
+            ct.monomial_mul_minus_one_into(power, &mut out);
+            assert_eq!(out, ct.monomial_mul_minus_one(power), "power={power}");
+        }
+    }
+
+    #[test]
+    fn add_assign_components_matches_add() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let key = GlweSecretKey::generate(2, 32, &mut rng);
+        let a = GlweCiphertext::encrypt(&msg(32, 3), &key, 0.0, &mut rng);
+        let b = GlweCiphertext::encrypt(&msg(32, 5), &key, 0.0, &mut rng);
+        let comps: Vec<_> = b.components().cloned().collect();
+        let mut sum = a.clone();
+        sum.add_assign_components(&comps);
+        assert_eq!(sum, a.add(&b));
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub mod ops;
 mod params;
 pub mod radix;
 mod server;
+mod workspace;
 
-pub use bootstrap::{blind_rotate, modulus_switch, sample_extract};
+pub use bootstrap::{blind_rotate, blind_rotate_assign, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
 pub use engine::{
     BootstrapEngine, BootstrapEngineBuilder, EngineHealth, EngineStats, FaultEvent, FaultEventKind,
@@ -84,3 +85,4 @@ pub use lut::Lut;
 pub use lwe::LweCiphertext;
 pub use params::{ParamSet, TfheParams, ALL_PAPER_SETS};
 pub use server::{MulBackend, ServerKey, ServerKeyBuilder};
+pub use workspace::BootstrapWorkspace;

@@ -5,7 +5,7 @@ use morphling_math::{Torus32, TorusScalar};
 use rand::Rng;
 
 use crate::bootstrap::{
-    blind_rotate, blind_rotate_exact, blind_rotate_ntt, initial_accumulator, modulus_switch,
+    blind_rotate_assign, blind_rotate_exact, blind_rotate_ntt, initial_accumulator, modulus_switch,
     sample_extract,
 };
 use crate::bootstrap_key::BootstrapKey;
@@ -16,6 +16,7 @@ use crate::ksk::KeySwitchKey;
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
 use crate::params::TfheParams;
+use crate::workspace::BootstrapWorkspace;
 
 /// Which polynomial-multiplication backend the blind rotation uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -200,7 +201,33 @@ impl ServerKey {
         ct: &LweCiphertext,
         lut: &Lut,
     ) -> Result<LweCiphertext, TfheError> {
-        let extracted = self.try_programmable_bootstrap_no_ks(ct, lut)?;
+        let mut ws = self.workspace();
+        self.try_programmable_bootstrap_with(ct, lut, &mut ws)
+    }
+
+    /// A [`BootstrapWorkspace`] sized for this key — allocate once, then
+    /// pass to [`try_programmable_bootstrap_with`]
+    /// (Self::try_programmable_bootstrap_with) for allocation-free
+    /// bootstraps.
+    pub fn workspace(&self) -> BootstrapWorkspace {
+        self.engine.workspace(self.params.glwe_dim)
+    }
+
+    /// [`try_programmable_bootstrap`](Self::try_programmable_bootstrap)
+    /// through a caller-owned workspace: on the FFT backends a warm `ws`
+    /// makes the blind rotation allocation-free. Results are bit-identical
+    /// to the plain method.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_programmable_bootstrap`](Self::try_programmable_bootstrap).
+    pub fn try_programmable_bootstrap_with(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        ws: &mut BootstrapWorkspace,
+    ) -> Result<LweCiphertext, TfheError> {
+        let extracted = self.try_programmable_bootstrap_no_ks_with(ct, lut, ws)?;
         self.ksk.try_key_switch(&extracted)
     }
 
@@ -233,6 +260,24 @@ impl ServerKey {
         ct: &LweCiphertext,
         lut: &Lut,
     ) -> Result<LweCiphertext, TfheError> {
+        let mut ws = self.workspace();
+        self.try_programmable_bootstrap_no_ks_with(ct, lut, &mut ws)
+    }
+
+    /// [`try_programmable_bootstrap_no_ks`]
+    /// (Self::try_programmable_bootstrap_no_ks) through a caller-owned
+    /// workspace (see
+    /// [`try_programmable_bootstrap_with`](Self::try_programmable_bootstrap_with)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_programmable_bootstrap`](Self::try_programmable_bootstrap).
+    pub fn try_programmable_bootstrap_no_ks_with(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        ws: &mut BootstrapWorkspace,
+    ) -> Result<LweCiphertext, TfheError> {
         if ct.dim() != self.params.lwe_dim {
             return Err(TfheError::LweDimensionMismatch {
                 expected: self.params.lwe_dim,
@@ -247,18 +292,21 @@ impl ServerKey {
         }
         // MS: rescale the ciphertext to exponents mod 2N.
         let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
-        // BR: n external products starting from X^(−b̃)·TP.
-        let acc0 = initial_accumulator(lut.polynomial(), self.params.glwe_dim, b_tilde);
-        let acc = match self.backend {
+        // BR: n external products starting from X^(−b̃)·TP, updating the
+        // accumulator in place through the workspace on the FFT backends.
+        let mut acc = initial_accumulator(lut.polynomial(), self.params.glwe_dim, b_tilde);
+        match self.backend {
             MulBackend::Fft | MulBackend::FftPlain => {
-                blind_rotate(&self.engine, &self.bsk, acc0, &mask)
+                blind_rotate_assign(&self.engine, &self.bsk, &mut acc, &mask, ws);
             }
             MulBackend::Ntt => {
                 let ntt = crate::fft_cache::ntt_for(self.params.poly_size);
-                blind_rotate_ntt(&self.params, &self.bsk, acc0, &mask, &ntt)
+                acc = blind_rotate_ntt(&self.params, &self.bsk, acc, &mask, &ntt);
             }
-            MulBackend::Exact => blind_rotate_exact(&self.params, &self.bsk, acc0, &mask),
-        };
+            MulBackend::Exact => {
+                acc = blind_rotate_exact(&self.params, &self.bsk, acc, &mask);
+            }
+        }
         // SE: constant coefficient as an LWE sample.
         Ok(sample_extract(&acc))
     }
@@ -420,6 +468,23 @@ mod tests {
             let a = ck.encrypt_bool(x, &mut rng);
             let b = ck.encrypt_bool(y, &mut rng);
             assert_eq!(ck.decrypt_bool(&sk.mux(&cc, &a, &b)), if c { x } else { y });
+        }
+    }
+
+    #[test]
+    fn workspace_bootstrap_is_bit_identical_to_plain_bootstrap() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let lut = Lut::from_fn(sk.params().poly_size, 4, |m| (m + 1) % 4);
+        let mut ws = sk.workspace();
+        for m in 0..4 {
+            let ct = ck.encrypt(m, &mut rng);
+            let plain = sk.try_programmable_bootstrap(&ct, &lut).unwrap();
+            // Reuse the same workspace across all messages — state left
+            // over from one bootstrap must not leak into the next.
+            let with_ws = sk
+                .try_programmable_bootstrap_with(&ct, &lut, &mut ws)
+                .unwrap();
+            assert_eq!(with_ws, plain, "m={m}");
         }
     }
 

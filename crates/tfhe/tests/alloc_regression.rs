@@ -1,0 +1,80 @@
+//! Allocation regression: the steady-state workspace blind rotation must
+//! never touch the heap — the software guarantee matching the paper's
+//! design point of keeping ACC, the digit stream, and POLY-ACC-REG
+//! resident in on-chip buffers for the entire bootstrap.
+//!
+//! This file installs a counting global allocator, so it must stay a
+//! single-test binary: any concurrent test in the same process would
+//! pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use morphling_math::{Polynomial, Torus32, TorusScalar};
+use morphling_tfhe::{
+    blind_rotate_assign, BootstrapKey, ClientKey, ExternalProductEngine, ParamSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every allocation and reallocation in the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_workspace_blind_rotation_is_allocation_free() {
+    let params = ParamSet::Test.params();
+    let mut rng = StdRng::seed_from_u64(90);
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let bsk = BootstrapKey::generate(&ck, &mut rng);
+    let engine = ExternalProductEngine::new(&params);
+    let tp = Polynomial::from_fn(params.poly_size, |j| Torus32::encode((j % 4) as u64, 8));
+    let mask: Vec<u64> = (1..=params.lwe_dim as u64)
+        .map(|i| (i * 37) % params.two_n())
+        .collect();
+
+    let mut acc = morphling_tfhe::GlweCiphertext::trivial(tp, params.glwe_dim);
+    let mut ws = engine.workspace(params.glwe_dim);
+
+    // One warm-up rotation grows the FFT scratch to its steady-state
+    // capacity; nothing after it may allocate.
+    blind_rotate_assign(&engine, &bsk, &mut acc, &mask, &mut ws);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        blind_rotate_assign(&engine, &bsk, &mut acc, &mask, &mut ws);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state blind rotation allocated {} time(s)",
+        after - before
+    );
+
+    // The accumulator still decrypts to *something* sane (phases on the
+    // torus): the zero-allocation loop did real work, not a no-op.
+    let phase = ck.glwe_key().phase(&acc);
+    assert_eq!(phase.len(), params.poly_size);
+    let _ = phase[0].to_f64_signed();
+}

@@ -75,15 +75,13 @@ impl FftPlan {
     }
 
     /// Transform size.
+    ///
+    /// No `is_empty` companion: the constructor rejects `n == 0`, so a
+    /// plan is never empty and the method could only ever lie.
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.n
-    }
-
-    /// Whether the plan size is zero (never true; for API completeness).
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.n == 0
     }
 
     /// In-place forward FFT.

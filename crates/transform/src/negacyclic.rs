@@ -80,17 +80,31 @@ impl NegacyclicFft {
     ///
     /// Panics if `coeffs.len() != N`.
     pub fn forward_real(&self, coeffs: &[f64]) -> Spectrum {
+        let mut out = Spectrum::zero(self.n);
+        self.forward_real_into(coeffs, &mut out);
+        out
+    }
+
+    /// [`forward_real`](Self::forward_real) into a caller-owned spectrum,
+    /// bit-identical and allocation-free: the fold/twist writes straight
+    /// into the output points and the FFT runs in place there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N` or the output spectrum size differs.
+    pub fn forward_real_into(&self, coeffs: &[f64], out: &mut Spectrum) {
         assert_eq!(
             coeffs.len(),
             self.n,
             "coefficient count must equal the engine size"
         );
+        assert_eq!(out.poly_len(), self.n, "output spectrum size mismatch");
         let half = self.n / 2;
-        let mut buf: Vec<Complex64> = (0..half)
-            .map(|j| Complex64::new(coeffs[j], -coeffs[j + half]) * self.twist_half[j])
-            .collect();
-        self.half_plan.forward(&mut buf);
-        Spectrum::from_values(buf)
+        let vals = out.values_mut();
+        for j in 0..half {
+            vals[j] = Complex64::new(coeffs[j], -coeffs[j + half]) * self.twist_half[j];
+        }
+        self.half_plan.forward(vals);
     }
 
     /// Inverse transform back to real coefficients (unrounded `f64`).
@@ -118,28 +132,105 @@ impl NegacyclicFft {
 
     /// Forward transform of an integer (digit) polynomial.
     pub fn forward_int(&self, p: &Polynomial<i64>) -> Spectrum {
-        let coeffs: Vec<f64> = p.iter().map(|&d| d as f64).collect();
-        self.forward_real(&coeffs)
+        let mut out = Spectrum::zero(self.n);
+        self.forward_int_into(p, &mut out);
+        out
+    }
+
+    /// [`forward_int`](Self::forward_int) into a caller-owned spectrum —
+    /// the integer digits are widened to `f64` on the fly, with no staging
+    /// buffer at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != N` or the output spectrum size differs.
+    pub fn forward_int_into(&self, p: &Polynomial<i64>, out: &mut Spectrum) {
+        assert_eq!(
+            p.len(),
+            self.n,
+            "polynomial size must equal the engine size"
+        );
+        assert_eq!(out.poly_len(), self.n, "output spectrum size mismatch");
+        let half = self.n / 2;
+        let c = p.coeffs();
+        let vals = out.values_mut();
+        for j in 0..half {
+            vals[j] = Complex64::new(c[j] as f64, -(c[j + half] as f64)) * self.twist_half[j];
+        }
+        self.half_plan.forward(vals);
     }
 
     /// Forward transform of a torus polynomial, using the centered signed
     /// representative of each coefficient (the standard TFHE convention —
     /// keeping magnitudes ≤ q/2 preserves f64 precision).
     pub fn forward_torus(&self, p: &Polynomial<Torus32>) -> Spectrum {
-        let coeffs: Vec<f64> = p.iter().map(|&c| c.to_signed() as f64).collect();
-        self.forward_real(&coeffs)
+        let mut out = Spectrum::zero(self.n);
+        self.forward_torus_into(p, &mut out);
+        out
+    }
+
+    /// [`forward_torus`](Self::forward_torus) into a caller-owned
+    /// spectrum, staging-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != N` or the output spectrum size differs.
+    pub fn forward_torus_into(&self, p: &Polynomial<Torus32>, out: &mut Spectrum) {
+        assert_eq!(
+            p.len(),
+            self.n,
+            "polynomial size must equal the engine size"
+        );
+        assert_eq!(out.poly_len(), self.n, "output spectrum size mismatch");
+        let half = self.n / 2;
+        let c = p.coeffs();
+        let vals = out.values_mut();
+        for j in 0..half {
+            vals[j] = Complex64::new(c[j].to_signed() as f64, -(c[j + half].to_signed() as f64))
+                * self.twist_half[j];
+        }
+        self.half_plan.forward(vals);
     }
 
     /// Inverse transform, rounding each coefficient to the nearest integer
     /// and wrapping into the 32-bit torus.
     pub fn inverse_torus(&self, spectrum: &Spectrum) -> Polynomial<Torus32> {
-        let reals = self.inverse_real(spectrum);
-        Polynomial::from_coeffs(
-            reals
-                .into_iter()
-                .map(|v| Torus32::from_raw(round_wrap_u32(v)))
-                .collect(),
-        )
+        let mut out = Polynomial::zero(self.n);
+        let mut scratch = Vec::new();
+        self.inverse_torus_into(spectrum, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`inverse_torus`](Self::inverse_torus) into a caller-owned
+    /// polynomial. `scratch` is resized to `N/2` points and reused across
+    /// calls — after the first call it never reallocates (the software
+    /// Coef buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum or output polynomial size differs from the
+    /// engine size.
+    pub fn inverse_torus_into(
+        &self,
+        spectrum: &Spectrum,
+        out: &mut Polynomial<Torus32>,
+        scratch: &mut Vec<Complex64>,
+    ) {
+        assert_eq!(
+            spectrum.poly_len(),
+            self.n,
+            "spectrum size must equal the engine size"
+        );
+        assert_eq!(out.len(), self.n, "output polynomial size mismatch");
+        let half = self.n / 2;
+        scratch.clear();
+        scratch.extend_from_slice(spectrum.values());
+        self.half_plan.inverse(scratch);
+        for j in 0..half {
+            let u = scratch[j] * self.untwist_half[j];
+            out[j] = Torus32::from_raw(round_wrap_u32(u.re));
+            out[j + half] = Torus32::from_raw(round_wrap_u32(-u.im));
+        }
     }
 
     /// **Merge-split forward**: transform *two* real polynomials with one
@@ -182,9 +273,57 @@ impl NegacyclicFft {
         p: &Polynomial<i64>,
         q: &Polynomial<i64>,
     ) -> (Spectrum, Spectrum) {
-        let pc: Vec<f64> = p.iter().map(|&d| d as f64).collect();
-        let qc: Vec<f64> = q.iter().map(|&d| d as f64).collect();
-        self.forward_pair_real(&pc, &qc)
+        let mut out_p = Spectrum::zero(self.n);
+        let mut out_q = Spectrum::zero(self.n);
+        let mut scratch = Vec::new();
+        self.forward_pair_int_into(p, q, &mut out_p, &mut out_q, &mut scratch);
+        (out_p, out_q)
+    }
+
+    /// [`forward_pair_int`](Self::forward_pair_int) into caller-owned
+    /// spectra. `scratch` holds the merged `N`-point complex sequence and
+    /// is reused across calls — allocation-free once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input or output size differs from the engine size.
+    pub fn forward_pair_int_into(
+        &self,
+        p: &Polynomial<i64>,
+        q: &Polynomial<i64>,
+        out_p: &mut Spectrum,
+        out_q: &mut Spectrum,
+        scratch: &mut Vec<Complex64>,
+    ) {
+        assert_eq!(p.len(), self.n, "first polynomial size mismatch");
+        assert_eq!(q.len(), self.n, "second polynomial size mismatch");
+        assert_eq!(
+            out_p.poly_len(),
+            self.n,
+            "first output spectrum size mismatch"
+        );
+        assert_eq!(
+            out_q.poly_len(),
+            self.n,
+            "second output spectrum size mismatch"
+        );
+        // Merge: r_j = (p_j + i q_j) ζ^j, evaluate at all odd 2N-th roots.
+        let (pc, qc) = (p.coeffs(), q.coeffs());
+        scratch.clear();
+        scratch.extend(
+            (0..self.n).map(|j| Complex64::new(pc[j] as f64, qc[j] as f64) * self.twist_full[j]),
+        );
+        self.full_plan.forward(scratch);
+        // Split: same conjugate-symmetry separation as forward_pair_real.
+        let half = self.n / 2;
+        let (ps, qs) = (out_p.values_mut(), out_q.values_mut());
+        for m2 in 0..half {
+            let m = 2 * m2;
+            let r = scratch[m];
+            let rc = scratch[self.n - 1 - m].conj();
+            ps[m2] = (r + rc).scale(0.5);
+            qs[m2] = (r - rc).mul_i().scale(-0.5);
+        }
     }
 
     /// **Merge-split inverse**: reconstruct two real polynomials from their
@@ -222,15 +361,51 @@ impl NegacyclicFft {
         ps: &Spectrum,
         qs: &Spectrum,
     ) -> (Polynomial<Torus32>, Polynomial<Torus32>) {
-        let (p, q) = self.inverse_pair_real(ps, qs);
-        let wrap = |v: Vec<f64>| {
-            Polynomial::from_coeffs(
-                v.into_iter()
-                    .map(|x| Torus32::from_raw(round_wrap_u32(x)))
-                    .collect(),
-            )
-        };
-        (wrap(p), wrap(q))
+        let mut out_p = Polynomial::zero(self.n);
+        let mut out_q = Polynomial::zero(self.n);
+        let mut scratch = Vec::new();
+        self.inverse_pair_torus_into(ps, qs, &mut out_p, &mut out_q, &mut scratch);
+        (out_p, out_q)
+    }
+
+    /// [`inverse_pair_torus`](Self::inverse_pair_torus) into caller-owned
+    /// polynomials, reusing `scratch` for the `N`-point inverse FFT —
+    /// allocation-free once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spectrum or output size differs from the engine size.
+    pub fn inverse_pair_torus_into(
+        &self,
+        ps: &Spectrum,
+        qs: &Spectrum,
+        out_p: &mut Polynomial<Torus32>,
+        out_q: &mut Polynomial<Torus32>,
+        scratch: &mut Vec<Complex64>,
+    ) {
+        assert_eq!(ps.poly_len(), self.n, "first spectrum size mismatch");
+        assert_eq!(qs.poly_len(), self.n, "second spectrum size mismatch");
+        assert_eq!(out_p.len(), self.n, "first output polynomial size mismatch");
+        assert_eq!(
+            out_q.len(),
+            self.n,
+            "second output polynomial size mismatch"
+        );
+        scratch.clear();
+        scratch.extend((0..self.n).map(|m| {
+            if m % 2 == 0 {
+                ps.values()[m / 2] + qs.values()[m / 2].mul_i()
+            } else {
+                let k = (self.n - 1 - m) / 2;
+                ps.values()[k].conj() + qs.values()[k].conj().mul_i()
+            }
+        }));
+        self.full_plan.inverse(scratch);
+        for j in 0..self.n {
+            let u = scratch[j] * self.untwist_full[j];
+            out_p[j] = Torus32::from_raw(round_wrap_u32(u.re));
+            out_q[j] = Torus32::from_raw(round_wrap_u32(u.im));
+        }
     }
 
     /// Convenience: full negacyclic product `digits(X) · t(X)` through the
@@ -314,6 +489,38 @@ mod tests {
             assert!((p[j] - p2[j]).abs() < 1e-6);
             assert!((q[j] - q2[j]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_apis() {
+        let n = 64;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(15);
+        let p = Polynomial::from_fn(n, |_| rng.gen_range(-64i64..64));
+        let q = Polynomial::from_fn(n, |_| rng.gen_range(-64i64..64));
+        let t = Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen()));
+        let mut scratch = Vec::new();
+
+        // Deliberately dirty output buffers: _into must fully overwrite.
+        let mut spec = fft.forward_int(&q);
+        fft.forward_int_into(&p, &mut spec);
+        assert_eq!(spec, fft.forward_int(&p));
+
+        let mut tspec = Spectrum::zero(n);
+        fft.forward_torus_into(&t, &mut tspec);
+        assert_eq!(tspec, fft.forward_torus(&t));
+
+        let (mut sp, mut sq) = (Spectrum::zero(n), Spectrum::zero(n));
+        fft.forward_pair_int_into(&p, &q, &mut sp, &mut sq, &mut scratch);
+        assert_eq!((sp.clone(), sq.clone()), fft.forward_pair_int(&p, &q));
+
+        let mut out = Polynomial::zero(n);
+        fft.inverse_torus_into(&tspec, &mut out, &mut scratch);
+        assert_eq!(out, fft.inverse_torus(&tspec));
+
+        let (mut op, mut oq) = (Polynomial::zero(n), Polynomial::zero(n));
+        fft.inverse_pair_torus_into(&sp, &sq, &mut op, &mut oq, &mut scratch);
+        assert_eq!((op, oq), fft.inverse_pair_torus(&sp, &sq));
     }
 
     #[test]

@@ -60,6 +60,12 @@ impl Spectrum {
         self.values.len() * 2
     }
 
+    /// Reset every point to zero in place — how POLY-ACC-REG is cleared
+    /// between accumulations, without reallocating the register file.
+    pub fn set_zero(&mut self) {
+        self.values.fill(Complex64::ZERO);
+    }
+
     /// Pointwise product — polynomial multiplication in the transform
     /// domain (one VPE pass over the `N/2` elements).
     #[must_use]

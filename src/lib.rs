@@ -51,8 +51,8 @@ pub mod prelude {
     pub use morphling_core::faults::SimFaultPlan;
     pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
     pub use morphling_tfhe::{
-        BootstrapEngine, BootstrapEngineBuilder, ClientKey, EngineHealth, EngineStats, FaultPlan,
-        Lut, LweCiphertext, MulBackend, ParamSet, ServerKey, ServerKeyBuilder, TfheError,
-        TfheParams,
+        BootstrapEngine, BootstrapEngineBuilder, BootstrapWorkspace, ClientKey, EngineHealth,
+        EngineStats, FaultPlan, Lut, LweCiphertext, MulBackend, ParamSet, ServerKey,
+        ServerKeyBuilder, TfheError, TfheParams,
     };
 }
