@@ -3,7 +3,7 @@
 //! between layers, one programmable bootstrap per activation.
 
 use morphling_math::{Torus32, TorusScalar};
-use morphling_tfhe::{ops, BootstrapEngine, Lut, LweCiphertext, ServerKey, TfheError};
+use morphling_tfhe::{ops, BatchRequest, Bootstrapper, Lut, LweCiphertext, ServerKey, TfheError};
 
 /// A tiny quantized MLP: 2 inputs → `H` hidden ReLU neurons → binary
 /// decision. All weights are small non-negative integers and the value
@@ -100,17 +100,19 @@ impl<'a> EncryptedMlp<'a> {
     }
 
     /// [`infer`](Self::infer) with all hidden-layer ReLU bootstraps
-    /// submitted to a [`BootstrapEngine`] as one batch — the wave shape
-    /// Morphling's scheduler feeds its cores. The engine must wrap a
-    /// server key derived from the same client key as `self`. Results are
+    /// submitted to any [`Bootstrapper`] backend as one batch — the wave
+    /// shape Morphling's scheduler feeds its cores. Works identically
+    /// over a [`ServerKey`], a `ParallelServerKey`, a `BootstrapEngine`
+    /// pool, or a `Dispatcher`; the backend must wrap a server key
+    /// derived from the same client key as `self`. Results are
     /// bit-identical to [`infer`](Self::infer).
     ///
     /// # Errors
     ///
-    /// Propagates any [`TfheError`] from the engine.
-    pub fn infer_batched(
+    /// Propagates any [`TfheError`] from the backend.
+    pub fn infer_batched<B: Bootstrapper + ?Sized>(
         &self,
-        engine: &BootstrapEngine,
+        backend: &B,
         model: &MlpModel,
         x0: &LweCiphertext,
         x1: &LweCiphertext,
@@ -126,8 +128,8 @@ impl<'a> EncryptedMlp<'a> {
             .iter()
             .map(|&(w0, w1, b)| ops::affine(&inputs, &[w0, w1], Torus32::encode(b, 2 * p)))
             .collect();
-        // ...then one wave of ReLU bootstraps through the pool.
-        let activations = engine.bootstrap_batch(&sums, &relu)?;
+        // ...then one wave of ReLU bootstraps through the backend.
+        let activations = backend.try_bootstrap_batch(&BatchRequest::shared(sums, relu))?;
         let acc = activations
             .iter()
             .zip(&model.output)

@@ -3,7 +3,9 @@
 //! bootstrap, and leaf selection is one more (Concrete-ML's oblivious
 //! evaluation, shrunk to demo size).
 
-use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, LweCiphertext, ServerKey, TfheError};
+use morphling_tfhe::{
+    BatchRequest, Bootstrapper, ClientKey, Lut, LweCiphertext, ServerKey, TfheError,
+};
 
 /// A depth-2 binary decision tree over small integer features.
 ///
@@ -78,31 +80,32 @@ impl<'a> EncryptedTreeEvaluator<'a> {
     }
 
     /// [`classify`](Self::classify) with the three oblivious comparisons
-    /// submitted to a [`BootstrapEngine`] as one multi-LUT wave (each
-    /// comparison tests a different threshold, so each ciphertext routes
-    /// to its own LUT). The engine must wrap a server key derived from
-    /// the same client key as `self`. Results are bit-identical to
+    /// submitted to any [`Bootstrapper`] backend as one multi-LUT wave
+    /// (each comparison tests a different threshold, so each ciphertext
+    /// routes to its own LUT). The backend must wrap a server key derived
+    /// from the same client key as `self`. Results are bit-identical to
     /// [`classify`](Self::classify).
     ///
     /// # Errors
     ///
-    /// Propagates any [`TfheError`] from the engine.
-    pub fn classify_batched(
+    /// Propagates any [`TfheError`] from the backend.
+    pub fn classify_batched<B: Bootstrapper + ?Sized>(
         &self,
-        engine: &BootstrapEngine,
+        backend: &B,
         tree: &DecisionTree,
         features: &[LweCiphertext],
     ) -> Result<LweCiphertext, TfheError> {
         let p = self.server.params().plaintext_modulus;
         let n_poly = self.server.params().poly_size;
         let ge = |threshold: u64| Lut::from_fn(n_poly, p, move |x| u64::from(x >= threshold));
-        let luts = [ge(tree.root.1), ge(tree.left.1), ge(tree.right.1)];
-        let cts = [
+        let luts = vec![ge(tree.root.1), ge(tree.left.1), ge(tree.right.1)];
+        let cts = vec![
             features[tree.root.0].clone(),
             features[tree.left.0].clone(),
             features[tree.right.0].clone(),
         ];
-        let decisions = engine.bootstrap_batch_multi(&cts, &luts, &[0, 1, 2])?;
+        let req = BatchRequest::per_item(cts, luts, vec![0, 1, 2])?;
+        let decisions = backend.try_bootstrap_batch(&req)?;
         let (d0, d1, d2) = (&decisions[0], &decisions[1], &decisions[2]);
         let index = d0.scalar_mul(4).add(&d1.scalar_mul(2)).add(d2);
         let leaves = tree.leaves;
@@ -162,7 +165,7 @@ mod tests {
         let params = ParamSet::TestMedium.params();
         let ck = ClientKey::generate(params, &mut rng);
         let sk = std::sync::Arc::new(ServerKey::new(&ck, &mut rng));
-        let engine = BootstrapEngine::builder()
+        let engine = morphling_tfhe::BootstrapEngine::builder()
             .workers(3)
             .build(std::sync::Arc::clone(&sk))
             .unwrap();

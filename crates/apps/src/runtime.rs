@@ -1,10 +1,16 @@
 //! Execution-time estimation for Table VI: applications mapped onto the
-//! Morphling simulator versus a calibrated multi-core CPU baseline.
+//! Morphling simulator versus a calibrated multi-core CPU baseline —
+//! plus the [`InferenceDriver`], a wave-batching serving front-end that
+//! runs the functional demos through any [`Bootstrapper`] backend.
 
+use crate::functional::{DecisionTree, MlpModel};
 use morphling_core::sched::Workload;
 use morphling_core::sim::Simulator;
 use morphling_core::ArchConfig;
-use morphling_tfhe::{ParamSet, TfheParams};
+use morphling_math::{Torus32, TorusScalar};
+use morphling_tfhe::{
+    ops, BatchRequest, Bootstrapper, Lut, LweCiphertext, ParamSet, ServerKey, TfheError, TfheParams,
+};
 
 /// CPU baseline model: a 64-core Xeon Gold 6226R running Concrete (the
 /// paper's Table VI testbed). Per-core bootstrap throughput comes from the
@@ -153,6 +159,147 @@ pub fn estimate(workload: &Workload, runtime: &AppRuntime) -> Estimate {
     }
 }
 
+/// A wave-batching serving driver: runs the functional demo models over
+/// *many* encrypted inputs at once, flattening each dependency level's
+/// bootstraps across requests into one [`BatchRequest`] wave — the
+/// software analogue of how Morphling's SW scheduler merges independent
+/// inferences to keep the cores saturated (§V).
+///
+/// Generic over any [`Bootstrapper`] backend: a bare
+/// [`ServerKey`](morphling_tfhe::ServerKey) (sequential reference), a
+/// [`ParallelServerKey`](morphling_tfhe::ParallelServerKey), a
+/// [`BootstrapEngine`](morphling_tfhe::BootstrapEngine) pool, or a
+/// [`Dispatcher`](morphling_tfhe::Dispatcher). All paths produce
+/// bit-identical ciphertexts.
+#[derive(Debug)]
+pub struct InferenceDriver<'a, B: Bootstrapper + ?Sized> {
+    server: &'a ServerKey,
+    backend: &'a B,
+}
+
+impl<'a, B: Bootstrapper + ?Sized> InferenceDriver<'a, B> {
+    /// Pair the key material (for parameters and the leveled layers) with
+    /// the batch-bootstrap backend. The backend must wrap a server key
+    /// derived from the same client key.
+    pub fn new(server: &'a ServerKey, backend: &'a B) -> Self {
+        Self { server, backend }
+    }
+
+    /// The server key the leveled layers run on.
+    pub fn server(&self) -> &ServerKey {
+        self.server
+    }
+
+    /// Run one MLP inference per `(x0, x1)` input pair, batching each of
+    /// the model's two bootstrap levels across *all* pairs: first one
+    /// wave of `pairs.len() × hidden` ReLU activations, then one wave of
+    /// `pairs.len()` threshold decisions. Outputs line up with `pairs`
+    /// and are bit-identical to
+    /// [`EncryptedMlp::infer`](crate::functional::EncryptedMlp::infer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the backend.
+    pub fn infer_mlp_wave(
+        &self,
+        model: &MlpModel,
+        pairs: &[(LweCiphertext, LweCiphertext)],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let shift = model.relu_shift;
+        let relu = Lut::from_fn(n_poly, p, move |s| s.saturating_sub(shift));
+        // Level 1: every hidden-neuron affine sum of every request, one wave.
+        let sums: Vec<LweCiphertext> = pairs
+            .iter()
+            .flat_map(|(x0, x1)| {
+                let inputs = [x0.clone(), x1.clone()];
+                model
+                    .hidden
+                    .iter()
+                    .map(move |&(w0, w1, b)| {
+                        ops::affine(&inputs, &[w0, w1], Torus32::encode(b, 2 * p))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let activations = self
+            .backend
+            .try_bootstrap_batch(&BatchRequest::shared(sums, relu))?;
+        // Leveled output layer per request.
+        let accs: Vec<LweCiphertext> = activations
+            .chunks(model.hidden.len())
+            .map(|acts| {
+                acts.iter()
+                    .zip(&model.output)
+                    .map(|(a, &v)| a.scalar_mul(v))
+                    .reduce(|acc, term| acc.add(&term))
+                    .expect("at least one hidden neuron")
+            })
+            .collect();
+        // Level 2: every threshold decision, one wave.
+        let threshold = model.threshold;
+        let decide = Lut::from_fn(n_poly, p, move |s| u64::from(s >= threshold));
+        self.backend
+            .try_bootstrap_batch(&BatchRequest::shared(accs, decide))
+    }
+
+    /// Classify one feature vector per entry of `feature_sets`, batching
+    /// the three oblivious node comparisons of *all* requests into one
+    /// per-item-LUT wave and the leaf lookups into a second. Outputs line
+    /// up with `feature_sets` and are bit-identical to
+    /// [`EncryptedTreeEvaluator::classify`](crate::functional::EncryptedTreeEvaluator::classify).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the backend.
+    pub fn classify_tree_wave(
+        &self,
+        tree: &DecisionTree,
+        feature_sets: &[Vec<LweCiphertext>],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        if feature_sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let ge = |threshold: u64| Lut::from_fn(n_poly, p, move |x| u64::from(x >= threshold));
+        let luts = vec![ge(tree.root.1), ge(tree.left.1), ge(tree.right.1)];
+        let cts: Vec<LweCiphertext> = feature_sets
+            .iter()
+            .flat_map(|f| {
+                [
+                    f[tree.root.0].clone(),
+                    f[tree.left.0].clone(),
+                    f[tree.right.0].clone(),
+                ]
+            })
+            .collect();
+        let lut_of: Vec<usize> = (0..feature_sets.len()).flat_map(|_| [0, 1, 2]).collect();
+        let decisions = self
+            .backend
+            .try_bootstrap_batch(&BatchRequest::per_item(cts, luts, lut_of)?)?;
+        // Leveled index packing per request, then one wave of leaf lookups.
+        let indices: Vec<LweCiphertext> = decisions
+            .chunks(3)
+            .map(|d| d[0].scalar_mul(4).add(&d[1].scalar_mul(2)).add(&d[2]))
+            .collect();
+        let leaves = tree.leaves;
+        let leaf_lut = Lut::from_fn(n_poly, p, move |idx| {
+            let d0 = (idx >> 2) & 1;
+            let d1 = (idx >> 1) & 1;
+            let d2 = idx & 1;
+            let taken = if d0 == 1 { d2 } else { d1 };
+            leaves[(2 * d0 + taken) as usize]
+        });
+        self.backend
+            .try_bootstrap_batch(&BatchRequest::shared(indices, leaf_lut))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +351,57 @@ mod tests {
         let rt = AppRuntime::paper_default();
         assert!(estimate(&deep_cnn(20).workload(), &rt).morphling_seconds < 1.0);
         assert!(estimate(&deep_cnn(50).workload(), &rt).morphling_seconds < 1.0);
+    }
+
+    #[test]
+    fn inference_driver_waves_match_sequential_paths() {
+        use crate::functional::{EncryptedMlp, EncryptedTreeEvaluator};
+        use morphling_tfhe::{ClientKey, Dispatcher};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(204);
+        let params = ParamSet::TestMedium.params().with_plaintext_modulus(16);
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        // Wave through a Dispatcher (coalescing front-end over the key)...
+        let dispatcher = Dispatcher::builder()
+            .max_batch_size(16)
+            .build(Arc::clone(&sk));
+        let driver = InferenceDriver::new(&sk, &dispatcher);
+
+        let model = MlpModel::demo();
+        let mlp = EncryptedMlp::new(&sk);
+        let pairs: Vec<_> = [(0u64, 0u64), (1, 3), (3, 3)]
+            .iter()
+            .map(|&(x0, x1)| (ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)))
+            .collect();
+        let outs = driver.infer_mlp_wave(&model, &pairs).unwrap();
+        assert_eq!(outs.len(), pairs.len());
+        for (out, (c0, c1)) in outs.iter().zip(&pairs) {
+            assert_eq!(*out, mlp.infer(&model, c0, c1));
+        }
+
+        // ...and a tree wave straight through the bare server key.
+        let driver_seq = InferenceDriver::new(&sk, &*sk);
+        let tree = DecisionTree {
+            root: (0, 4),
+            left: (1, 2),
+            right: (1, 6),
+            leaves: [0, 1, 2, 3],
+        };
+        let eval = EncryptedTreeEvaluator::new(&sk);
+        let feats: Vec<Vec<_>> = [(0u64, 7u64), (5, 1)]
+            .iter()
+            .map(|&(x0, x1)| vec![ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)])
+            .collect();
+        let outs = driver_seq.classify_tree_wave(&tree, &feats).unwrap();
+        for (out, f) in outs.iter().zip(&feats) {
+            assert_eq!(*out, eval.classify(&tree, f));
+        }
+        // Empty waves are no-ops.
+        assert!(driver_seq.infer_mlp_wave(&model, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Latency under load for the dynamic-batching [`Dispatcher`] — the
+//! software analogue of the paper's §V claim that batch formation is what
+//! turns per-bootstrap latency into throughput.
+//!
+//! Closed-loop submitter threads (each submits one request, waits for its
+//! result, repeats) drive a `Dispatcher` over a warm [`BootstrapEngine`]
+//! pool, sweeping **offered load** (submitter count) × **linger budget**
+//! × **micro-batch cap**. `max_batch_size = 1` is the no-batching
+//! baseline: every request executes alone, serialized through the
+//! batcher, exactly like a naive request-per-call server. The batched
+//! configurations coalesce concurrent submitters into engine-wide waves.
+//!
+//! Writes `BENCH_dispatch.json` (CI validates and archives it):
+//!
+//! - `speedup`: best batched-vs-unbatched throughput ratio at the same
+//!   offered load;
+//! - `parallelism`: the cores this host exposes — on a single-core
+//!   runner both configurations serialize and the speedup is ~1, so CI
+//!   only enforces the ≥2x bar when `parallelism >= 4`;
+//! - per-scenario entries with throughput, p50/p95/p99 queue+execute
+//!   latency, mean batch size, and the p99 bound (`max_linger` + the
+//!   slowest batch execution) the dispatcher is expected to respect.
+//!
+//! Smoke mode (`DISPATCH_BENCH_SMOKE=1`) shrinks the request counts so
+//! CI finishes in seconds; the sweep shape is unchanged.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use morphling_tfhe::{
+    BootstrapEngine, ClientKey, Dispatcher, DispatcherStats, Lut, LweCiphertext, ParamSet,
+    ServerKey,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct ScenarioResult {
+    label: String,
+    submitters: usize,
+    max_batch: usize,
+    linger: Duration,
+    requests: u64,
+    throughput_bs: f64,
+    stats: DispatcherStats,
+    /// Slowest single batch execution observed (for the p99 bound).
+    max_exec: Duration,
+}
+
+/// Drive one dispatcher configuration with closed-loop submitters and
+/// return its measured throughput + latency profile.
+fn run_scenario(
+    engine: &Arc<BootstrapEngine>,
+    cts: &[LweCiphertext],
+    lut: &Arc<Lut>,
+    submitters: usize,
+    per_submitter: usize,
+    max_batch: usize,
+    linger: Duration,
+) -> ScenarioResult {
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(max_batch)
+        .max_linger(linger)
+        .queue_capacity(1024)
+        .build(Arc::clone(engine));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..submitters {
+            let dispatcher = &dispatcher;
+            let ct = cts[t % cts.len()].clone();
+            let lut = Arc::clone(lut);
+            s.spawn(move || {
+                for _ in 0..per_submitter {
+                    let ticket = dispatcher
+                        .submit(ct.clone(), Arc::clone(&lut), None)
+                        .expect("queue has room");
+                    let _ = ticket.wait().expect("request completes");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let requests = (submitters * per_submitter) as u64;
+    let max_exec = dispatcher
+        .spans()
+        .iter()
+        .map(|s| s.exec)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let stats = dispatcher.stats();
+    assert_eq!(stats.completed, requests, "closed loop loses nothing");
+    ScenarioResult {
+        label: format!(
+            "load{submitters}_batch{max_batch}_linger{}us",
+            linger.as_micros()
+        ),
+        submitters,
+        max_batch,
+        linger,
+        requests,
+        throughput_bs: requests as f64 / elapsed,
+        stats,
+        max_exec,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("DISPATCH_BENCH_SMOKE").is_ok();
+    let per_submitter = if smoke { 4 } else { 16 };
+    let parallelism = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let workers = parallelism.clamp(1, 8);
+
+    let mut rng = StdRng::seed_from_u64(4321);
+    let params = ParamSet::Test.params();
+    let p = params.plaintext_modulus;
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = Arc::new(ServerKey::builder().build(&ck, &mut rng));
+    let lut = Arc::new(Lut::identity(params.poly_size, p));
+    let engine = Arc::new(
+        BootstrapEngine::builder()
+            .workers(workers)
+            .build(Arc::clone(&sk))
+            .expect("nonzero workers"),
+    );
+    let cts: Vec<LweCiphertext> = (0..8).map(|i| ck.encrypt(i % p, &mut rng)).collect();
+    // Warm the pool (first-touch transform tables, thread wake-up).
+    let _ = run_scenario(&engine, &cts, &lut, 2, 2, 2, Duration::from_micros(200));
+
+    let loads = [2usize, 8];
+    let lingers = [Duration::from_micros(500), Duration::from_millis(2)];
+    let batched_cap = 32usize;
+
+    let mut entries = Vec::new();
+    let mut speedup = 0.0f64;
+    for &load in &loads {
+        // Baseline: no batching, no linger — a request-per-call server.
+        let base = run_scenario(&engine, &cts, &lut, load, per_submitter, 1, Duration::ZERO);
+        println!(
+            "{}: {:.1} BS/s, p50 {:?}, p99 {:?}, mean batch {:.2}",
+            base.label,
+            base.throughput_bs,
+            base.stats.p50_latency,
+            base.stats.p99_latency,
+            base.stats.mean_batch_size
+        );
+        let base_tput = base.throughput_bs;
+        entries.push(base);
+        for &linger in &lingers {
+            let r = run_scenario(
+                &engine,
+                &cts,
+                &lut,
+                load,
+                per_submitter,
+                batched_cap,
+                linger,
+            );
+            // The dispatcher's latency contract: a request waits at most
+            // one linger window plus the batch it lands in.
+            let bound = linger + r.max_exec + Duration::from_millis(if smoke { 50 } else { 20 });
+            println!(
+                "{}: {:.1} BS/s, p50 {:?}, p99 {:?}, mean batch {:.2} (p99 bound {:?})",
+                r.label,
+                r.throughput_bs,
+                r.stats.p50_latency,
+                r.stats.p99_latency,
+                r.stats.mean_batch_size,
+                bound
+            );
+            assert!(
+                r.stats.p99_latency <= bound,
+                "{}: p99 {:?} exceeds linger + slowest batch ({:?})",
+                r.label,
+                r.stats.p99_latency,
+                bound
+            );
+            speedup = speedup.max(r.throughput_bs / base_tput);
+            entries.push(r);
+        }
+    }
+
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"label\": \"{}\", \"submitters\": {}, \"max_batch\": {}, \
+                 \"linger_us\": {}, \"requests\": {}, \"throughput_bs\": {:.1}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+                 \"mean_batch_size\": {:.3}, \"batches\": {}, \"max_exec_us\": {}}}",
+                r.label,
+                r.submitters,
+                r.max_batch,
+                r.linger.as_micros(),
+                r.requests,
+                r.throughput_bs,
+                r.stats.p50_latency.as_micros(),
+                r.stats.p95_latency.as_micros(),
+                r.stats.p99_latency.as_micros(),
+                r.stats.mean_batch_size,
+                r.stats.batches,
+                r.max_exec.as_micros(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch_latency\",\n  \"parallelism\": {parallelism},\n  \
+         \"workers\": {workers},\n  \"smoke\": {smoke},\n  \"speedup\": {speedup:.3},\n  \
+         \"entries\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    println!("dispatch_latency: best batched speedup {speedup:.2}x at parallelism {parallelism}");
+    if let Err(e) = std::fs::write("BENCH_dispatch.json", json) {
+        eprintln!("could not write BENCH_dispatch.json: {e}");
+    }
+}

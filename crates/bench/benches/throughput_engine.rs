@@ -1,7 +1,8 @@
 //! Persistent-engine throughput: the [`BootstrapEngine`]'s warm worker
-//! pool against the per-call `batch_bootstrap_parallel` baseline (spawn +
-//! join every call) and the single-core sequential path, at batch sizes a
-//! streaming inference workload produces.
+//! pool against the per-call [`ParallelServerKey`] baseline (spawn + join
+//! every call) and the single-core sequential path, at batch sizes a
+//! streaming inference workload produces — all through the unified
+//! [`Bootstrapper`] batch API.
 //!
 //! The engine's win is the amortization Morphling gets for free in
 //! hardware: its 16 bootstrapping cores exist for the whole run, so only
@@ -10,9 +11,19 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, ParamSet, ServerKey};
+use morphling_tfhe::{
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Lut, LweCiphertext, ParallelServerKey,
+    ParamSet, ServerKey,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Shared-LUT batch through any [`Bootstrapper`] backend.
+fn bb(backend: &impl Bootstrapper, cts: &[LweCiphertext], lut: &Lut) -> Vec<LweCiphertext> {
+    backend
+        .try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone()))
+        .expect("valid batch")
+}
 
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(42);
@@ -32,6 +43,7 @@ fn bench(c: &mut Criterion) {
         .workers(workers)
         .build(Arc::clone(&sk))
         .expect("nonzero workers");
+    let spawn_per_call = ParallelServerKey::new(Arc::clone(&sk), workers).expect("threads");
 
     let mut g = c.benchmark_group("throughput_engine");
     g.sample_size(10);
@@ -41,22 +53,18 @@ fn bench(c: &mut Criterion) {
             .collect();
         // Warm both paths once so neither pays first-touch costs inside
         // the measurement.
-        let _ = engine.bootstrap_batch(&cts, &lut).expect("warm-up");
-        let _ = sk.batch_bootstrap_parallel(&cts, &lut, workers);
+        let _ = bb(&engine, &cts, &lut);
+        let _ = bb(&spawn_per_call, &cts, &lut);
 
         g.bench_with_input(BenchmarkId::new("engine", batch), &cts, |b, cts| {
-            b.iter(|| {
-                engine
-                    .bootstrap_batch(std::hint::black_box(cts), &lut)
-                    .expect("batch")
-            })
+            b.iter(|| bb(&engine, std::hint::black_box(cts), &lut))
         });
         g.bench_with_input(BenchmarkId::new("spawn_per_call", batch), &cts, |b, cts| {
-            b.iter(|| sk.batch_bootstrap_parallel(std::hint::black_box(cts), &lut, workers))
+            b.iter(|| bb(&spawn_per_call, std::hint::black_box(cts), &lut))
         });
         if batch <= 16 {
             g.bench_with_input(BenchmarkId::new("sequential", batch), &cts, |b, cts| {
-                b.iter(|| sk.batch_bootstrap(std::hint::black_box(cts), &lut))
+                b.iter(|| bb(&*sk, std::hint::black_box(cts), &lut))
             });
         }
     }

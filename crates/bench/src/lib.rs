@@ -18,7 +18,10 @@ use morphling_core::reference::{
 use morphling_core::sched::{HwScheduler, SwScheduler, Workload};
 use morphling_core::sim::Simulator;
 use morphling_core::{hwmodel, ArchConfig, ReuseMode};
-use morphling_tfhe::{BootstrapEngine, ClientKey, EngineStats, ParamSet, ServerKey, TfheParams};
+use morphling_tfhe::{
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, EngineStats, ParallelServerKey,
+    ParamSet, ServerKey, TfheParams,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,13 +68,17 @@ pub fn measure_cpu_bootstrap_parallel(set: ParamSet, batch: usize, threads: usiz
     let ck = ClientKey::generate(params.clone(), &mut rng);
     let sk = ServerKey::new(&ck, &mut rng);
     let lut = morphling_tfhe::Lut::identity(params.poly_size, p);
+    let psk = ParallelServerKey::new(std::sync::Arc::new(sk), threads).expect("nonzero threads");
     let cts: Vec<_> = (0..batch)
         .map(|i| ck.encrypt(i as u64 % p, &mut rng))
         .collect();
     // Warm-up one round.
-    let _ = sk.batch_bootstrap_parallel(&cts[..threads.min(batch)], &lut, threads);
+    let warm = BatchRequest::shared(cts[..threads.min(batch)].to_vec(), lut.clone());
+    let _ = psk.try_bootstrap_batch(&warm);
     let start = Instant::now();
-    let out = sk.batch_bootstrap_parallel(&cts, &lut, threads);
+    let out = psk
+        .try_bootstrap_batch(&BatchRequest::shared(cts, lut))
+        .expect("validated batch");
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(out.len(), batch);
     batch as f64 / elapsed
@@ -96,10 +103,13 @@ pub fn measure_engine_bootstrap(set: ParamSet, batch: usize, workers: usize) -> 
         .map(|i| ck.encrypt(i as u64 % p, &mut rng))
         .collect();
     // Warm-up one round (first-touch transform tables, thread wake-up).
-    let _ = engine.bootstrap_batch(&cts[..workers.min(batch).max(1)], &lut);
+    let warm = BatchRequest::shared(cts[..workers.min(batch).max(1)].to_vec(), lut.clone());
+    let _ = engine.try_bootstrap_batch(&warm);
     engine.reset_stats();
     let start = Instant::now();
-    let out = engine.bootstrap_batch(&cts, &lut).expect("validated batch");
+    let out = engine
+        .try_bootstrap_batch(&BatchRequest::shared(cts, lut))
+        .expect("validated batch");
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(out.len(), batch);
     (batch as f64 / elapsed, engine.stats())

@@ -18,7 +18,7 @@
 
 use std::fmt::Write as _;
 
-use morphling_tfhe::{FaultEvent, FaultEventKind, JobSpan};
+use morphling_tfhe::{DispatchSpan, FaultEvent, FaultEventKind, JobSpan};
 
 /// Why an instruction did not start the moment it became ready.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -312,6 +312,64 @@ impl ExecutionTrace {
         trace
     }
 
+    /// Append a [`Dispatcher`](morphling_tfhe::Dispatcher) request
+    /// journal: one `queue` track span per request (its time waiting for
+    /// a batch), one `execute` track span per micro-batch (deduplicated
+    /// by batch id), nanosecond stamps measured from the dispatcher's
+    /// epoch. Merge with an engine trace from the same run to see batch
+    /// formation sitting above the worker-pool timeline.
+    pub fn add_dispatch_spans(&mut self, spans: &[DispatchSpan]) {
+        if spans.is_empty() {
+            return;
+        }
+        let queue = self.track("Dispatcher", "queue");
+        let execute = self.track("Dispatcher", "execute");
+        let mut queued_ns = 0u64;
+        let mut exec_ns = 0u64;
+        let mut seen_batches: Vec<u64> = Vec::new();
+        for s in spans {
+            self.span_with_args(
+                queue,
+                &format!("req {}", s.id),
+                "dispatch",
+                s.enqueued.as_nanos() as u64,
+                (s.queued.as_nanos() as u64).max(1),
+                vec![("batch".into(), s.batch.to_string())],
+            );
+            queued_ns += s.queued.as_nanos() as u64;
+            if !seen_batches.contains(&s.batch) {
+                seen_batches.push(s.batch);
+                let size = spans.iter().filter(|o| o.batch == s.batch).count();
+                self.span_with_args(
+                    execute,
+                    &format!("batch {} x{}", s.batch, size),
+                    "dispatch",
+                    s.exec_start.as_nanos() as u64,
+                    (s.exec.as_nanos() as u64).max(1),
+                    vec![("requests".into(), size.to_string())],
+                );
+                exec_ns += s.exec.as_nanos() as u64;
+            }
+        }
+        self.set_counters(
+            "dispatcher",
+            UnitCounters {
+                instructions: spans.len() as u64,
+                busy: exec_ns,
+                stall: queued_ns,
+                engines: 1,
+            },
+        );
+    }
+
+    /// Build a trace holding just a dispatcher journal (nanosecond
+    /// stamps), ready to [`merge`](Self::merge) with engine traces.
+    pub fn from_dispatcher(spans: &[DispatchSpan]) -> Self {
+        let mut trace = ExecutionTrace::new(1e3);
+        trace.add_dispatch_spans(spans);
+        trace
+    }
+
     /// Serialize as Chrome trace-event JSON (the `traceEvents` array
     /// format), loadable in `chrome://tracing` and Perfetto. Counters are
     /// attached as instant metadata events so they survive the export.
@@ -510,6 +568,48 @@ mod tests {
         assert_eq!(pool.instructions, 2);
         assert_eq!(pool.busy, 90);
         assert_eq!(pool.engines, 2);
+    }
+
+    #[test]
+    fn dispatch_spans_become_queue_and_batch_tracks() {
+        use morphling_tfhe::DispatchSpan;
+        // Two requests coalesced into batch 0, one alone in batch 1.
+        let spans = vec![
+            DispatchSpan {
+                id: 1,
+                batch: 0,
+                enqueued: Duration::from_nanos(100),
+                queued: Duration::from_nanos(50),
+                exec_start: Duration::from_nanos(150),
+                exec: Duration::from_nanos(200),
+            },
+            DispatchSpan {
+                id: 2,
+                batch: 0,
+                enqueued: Duration::from_nanos(120),
+                queued: Duration::from_nanos(30),
+                exec_start: Duration::from_nanos(150),
+                exec: Duration::from_nanos(200),
+            },
+            DispatchSpan {
+                id: 3,
+                batch: 1,
+                enqueued: Duration::from_nanos(400),
+                queued: Duration::from_nanos(10),
+                exec_start: Duration::from_nanos(410),
+                exec: Duration::from_nanos(90),
+            },
+        ];
+        let trace = ExecutionTrace::from_dispatcher(&spans);
+        // 3 queue spans + 2 batch execution spans.
+        assert_eq!(trace.spans().len(), 5);
+        let d = trace.unit_counters("dispatcher").unwrap();
+        assert_eq!(d.instructions, 3);
+        assert_eq!(d.busy, 290);
+        assert_eq!(d.stall, 90);
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"Dispatcher\""));
+        assert!(json.contains("batch 0 x2"));
     }
 
     #[test]

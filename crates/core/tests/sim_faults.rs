@@ -15,7 +15,9 @@ use morphling_core::faults::{FaultPlan, SimFaultKind, SimFaultPlan};
 use morphling_core::sim::Simulator;
 use morphling_core::trace::ExecutionTrace;
 use morphling_core::ArchConfig;
-use morphling_tfhe::{BootstrapEngine, ClientKey, EngineHealth, Lut, ParamSet, ServerKey};
+use morphling_tfhe::{
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, EngineHealth, Lut, ParamSet, ServerKey,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -142,8 +144,9 @@ fn chaos_trace_roundtrips_to_disk() {
         .fault_plan(FaultPlan::seeded(0xABBA).with_worker_panic(0.25))
         .build(Arc::clone(&sk))
         .expect("spawn pool");
-    let out = engine.bootstrap_batch(&cts, &lut).expect("survive");
-    assert_eq!(out, sk.batch_bootstrap(&cts, &lut));
+    let req = BatchRequest::shared(cts, lut);
+    let out = engine.try_bootstrap_batch(&req).expect("survive");
+    assert_eq!(out, sk.try_bootstrap_batch(&req).expect("reference"));
     assert!(matches!(
         engine.health(),
         EngineHealth::Healthy | EngineHealth::Degraded

@@ -8,12 +8,19 @@
 //! disjoint `split_at_mut` slice of the output (no per-slot locks), and
 //! results come back in input order.
 //!
-//! These methods spawn and join their threads on **every call**. For a
-//! stream of batches, prefer [`BootstrapEngine`](crate::BootstrapEngine),
-//! which keeps a persistent worker pool warm and amortizes the setup;
-//! these remain as the zero-state baseline the engine is benchmarked
-//! against.
+//! These threads spawn and join on **every call**. For a stream of
+//! batches, prefer [`BootstrapEngine`](crate::BootstrapEngine), which
+//! keeps a persistent worker pool warm; for a stream of *individual
+//! requests*, the [`Dispatcher`](crate::dispatch::Dispatcher) forms the
+//! batches for you. This path remains as the zero-state baseline both are
+//! benchmarked against, reachable through
+//! [`ParallelServerKey`](crate::ParallelServerKey)'s
+//! [`Bootstrapper`](crate::Bootstrapper) impl.
+//!
+//! The positional `ServerKey::batch_bootstrap*` methods below are
+//! deprecated thin wrappers over that trait surface.
 
+use crate::bootstrapper::{BatchRequest, Bootstrapper};
 use crate::error::TfheError;
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
@@ -38,27 +45,143 @@ pub(crate) fn balanced_chunks(
     })
 }
 
+/// Run `n` items across `threads` scoped threads in balanced contiguous
+/// chunks, each thread writing its chunk through a disjoint
+/// `split_at_mut` view of the output.
+///
+/// `mk_state` runs once per thread (e.g. to build a per-thread
+/// [`BootstrapWorkspace`](crate::BootstrapWorkspace)); `run_item` maps an
+/// input index to its output through that state.
+///
+/// Every chunk's join handle is inspected individually, so a panic is
+/// attributed to the chunk (= worker) that actually raised it — this is
+/// where `WorkerPanicked { worker }` gets its real index. The first
+/// panicking chunk wins; absent panics, the earliest chunk's item error
+/// wins.
+pub(crate) fn run_chunked_scoped<S, MkS, F>(
+    n: usize,
+    threads: usize,
+    placeholder: LweCiphertext,
+    mk_state: MkS,
+    run_item: F,
+) -> Result<Vec<LweCiphertext>, TfheError>
+where
+    MkS: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> Result<LweCiphertext, TfheError> + Sync,
+{
+    let mut out = vec![placeholder; n];
+    let mk_state = &mk_state;
+    let run_item = &run_item;
+    let joined = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads.min(n));
+        let mut rest: &mut [LweCiphertext] = &mut out;
+        for range in balanced_chunks(n, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            handles.push(scope.spawn(move |_| -> Result<(), TfheError> {
+                let mut state = mk_state();
+                for (slot, i) in chunk.iter_mut().zip(range) {
+                    *slot = run_item(i, &mut state)?;
+                }
+                Ok(())
+            }));
+        }
+        // Join each chunk's handle individually: a panic surfaces as that
+        // handle's `Err`, carrying the chunk index with it instead of
+        // collapsing every failure onto chunk 0.
+        let mut first_panic: Option<usize> = None;
+        let mut first_error: Option<TfheError> = None;
+        for (chunk_idx, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(chunk_idx);
+                    }
+                }
+            }
+        }
+        match (first_panic, first_error) {
+            (Some(worker), _) => Err(TfheError::WorkerPanicked { worker }),
+            (None, Some(e)) => Err(e),
+            (None, None) => Ok(()),
+        }
+    });
+    match joined {
+        Ok(result) => result?,
+        // Unreachable in practice — every handle above is joined, so the
+        // scope itself cannot re-raise — but keep a safe fallback.
+        Err(_) => return Err(TfheError::WorkerPanicked { worker: 0 }),
+    }
+    Ok(out)
+}
+
+/// The scoped-thread batch bootstrap behind
+/// [`ParallelServerKey`](crate::ParallelServerKey) and the deprecated
+/// `batch_bootstrap_parallel` wrappers: validate once, then fan the
+/// request out over `threads` chunks with a per-thread workspace.
+pub(crate) fn bootstrap_scoped_parallel(
+    server: &ServerKey,
+    req: &BatchRequest,
+    threads: usize,
+) -> Result<Vec<LweCiphertext>, TfheError> {
+    if threads == 0 {
+        return Err(TfheError::ZeroThreads);
+    }
+    server.validate_request(req)?;
+    if req.is_empty() {
+        return Ok(Vec::new());
+    }
+    if threads == 1 || req.len() <= 1 {
+        // Inputs are pre-validated; run the sequential trait path.
+        return server.try_bootstrap_batch(req);
+    }
+    let placeholder =
+        LweCiphertext::trivial(morphling_math::Torus32::ZERO, server.params().lwe_dim);
+    run_chunked_scoped(
+        req.len(),
+        threads,
+        placeholder,
+        || server.workspace(),
+        |i, ws| server.try_programmable_bootstrap_with(&req.ciphertexts()[i], req.lut_for(i), ws),
+    )
+}
+
 impl ServerKey {
     /// Bootstrap a batch sequentially (the single-core CPU baseline).
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a `BatchRequest` and call `Bootstrapper::try_bootstrap_batch` on the \
+                `ServerKey` instead"
+    )]
     pub fn batch_bootstrap(&self, cts: &[LweCiphertext], lut: &Lut) -> Vec<LweCiphertext> {
-        cts.iter()
-            .map(|ct| self.programmable_bootstrap(ct, lut))
-            .collect()
+        match self.try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone())) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Fallible [`batch_bootstrap`](Self::batch_bootstrap).
+    /// Fallible sequential batch bootstrap.
     ///
     /// # Errors
     ///
     /// The first [`TfheError`] any element produces, in input order.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a `BatchRequest` and call `Bootstrapper::try_bootstrap_batch` on the \
+                `ServerKey` instead"
+    )]
     pub fn try_batch_bootstrap(
         &self,
         cts: &[LweCiphertext],
         lut: &Lut,
     ) -> Result<Vec<LweCiphertext>, TfheError> {
-        cts.iter()
-            .map(|ct| self.try_programmable_bootstrap(ct, lut))
-            .collect()
+        self.try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone()))
     }
 
     /// Bootstrap a batch on `threads` OS threads. Results are in input
@@ -66,93 +189,53 @@ impl ServerKey {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0` or on malformed inputs; use
-    /// [`try_batch_bootstrap_parallel`](Self::try_batch_bootstrap_parallel)
-    /// for a `Result`.
+    /// Panics if `threads == 0` or on malformed inputs.
+    #[deprecated(
+        since = "0.5.0",
+        note = "wrap the key in `ParallelServerKey` (or set `BatchRequest::threads`) and call \
+                `Bootstrapper::try_bootstrap_batch` instead"
+    )]
     pub fn batch_bootstrap_parallel(
         &self,
         cts: &[LweCiphertext],
         lut: &Lut,
         threads: usize,
     ) -> Vec<LweCiphertext> {
-        match self.try_batch_bootstrap_parallel(cts, lut, threads) {
+        let req = BatchRequest::shared(cts.to_vec(), lut.clone());
+        match bootstrap_scoped_parallel(self, &req, threads) {
             Ok(out) => out,
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Fallible
-    /// [`batch_bootstrap_parallel`](Self::batch_bootstrap_parallel).
-    ///
-    /// Inputs are validated up front; each scoped thread then writes its
-    /// contiguous chunk through a disjoint `split_at_mut` view of the
-    /// output buffer — ordered results with no locks on the write path.
+    /// Fallible parallel batch bootstrap.
     ///
     /// # Errors
     ///
     /// [`TfheError::ZeroThreads`] if `threads == 0`;
     /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
-    /// on malformed inputs; [`TfheError::WorkerPanicked`] if a scoped
-    /// worker thread panicked mid-batch (this per-call path has no retry
-    /// loop — use the [`BootstrapEngine`](crate::BootstrapEngine) for
-    /// self-healing execution).
+    /// on malformed inputs; [`TfheError::WorkerPanicked`] naming the chunk
+    /// whose scoped thread panicked mid-batch (this per-call path has no
+    /// retry loop — use the [`BootstrapEngine`](crate::BootstrapEngine)
+    /// for self-healing execution).
+    #[deprecated(
+        since = "0.5.0",
+        note = "wrap the key in `ParallelServerKey` (or set `BatchRequest::threads`) and call \
+                `Bootstrapper::try_bootstrap_batch` instead"
+    )]
     pub fn try_batch_bootstrap_parallel(
         &self,
         cts: &[LweCiphertext],
         lut: &Lut,
         threads: usize,
     ) -> Result<Vec<LweCiphertext>, TfheError> {
-        if threads == 0 {
-            return Err(TfheError::ZeroThreads);
-        }
-        self.validate_batch(cts, lut)?;
-        if threads == 1 || cts.len() <= 1 {
-            // Inputs are pre-validated: the infallible path cannot panic.
-            return Ok(self.batch_bootstrap(cts, lut));
-        }
-        let placeholder =
-            LweCiphertext::trivial(morphling_math::Torus32::ZERO, self.params().lwe_dim);
-        let mut out = vec![placeholder; cts.len()];
-        crossbeam::thread::scope(|scope| {
-            let mut rest: &mut [LweCiphertext] = &mut out;
-            for range in balanced_chunks(cts.len(), threads) {
-                let (chunk, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                let inputs = &cts[range];
-                scope.spawn(move |_| {
-                    for (slot, ct) in chunk.iter_mut().zip(inputs) {
-                        *slot = self.programmable_bootstrap(ct, lut);
-                    }
-                });
-            }
-        })
-        .map_err(|_| TfheError::WorkerPanicked { worker: 0 })?;
-        Ok(out)
-    }
-
-    /// Check every ciphertext's dimension and the LUT's polynomial size
-    /// against this key's parameters (shared by the per-call batch paths
-    /// and the [`BootstrapEngine`](crate::BootstrapEngine) submit path).
-    pub(crate) fn validate_batch(&self, cts: &[LweCiphertext], lut: &Lut) -> Result<(), TfheError> {
-        for ct in cts {
-            if ct.dim() != self.params().lwe_dim {
-                return Err(TfheError::LweDimensionMismatch {
-                    expected: self.params().lwe_dim,
-                    got: ct.dim(),
-                });
-            }
-        }
-        if lut.polynomial().len() != self.params().poly_size {
-            return Err(TfheError::LutSizeMismatch {
-                lut: lut.polynomial().len(),
-                poly_size: self.params().poly_size,
-            });
-        }
-        Ok(())
+        let req = BatchRequest::shared(cts.to_vec(), lut.clone());
+        bootstrap_scoped_parallel(self, &req, threads)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::keys::ClientKey;
@@ -174,6 +257,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn panics_are_attributed_to_the_real_chunk() {
+        // 8 items on 4 threads: chunks 0..2, 2..4, 4..6, 6..8. Panic in
+        // item 5 → chunk 2 — the regression the old code collapsed to
+        // `worker: 0`.
+        let placeholder = LweCiphertext::trivial(morphling_math::Torus32::ZERO, 4);
+        for (panic_at, want_chunk) in [(0usize, 0usize), (3, 1), (5, 2), (7, 3)] {
+            let got = run_chunked_scoped(
+                8,
+                4,
+                placeholder.clone(),
+                || (),
+                |i, ()| {
+                    assert!(i != panic_at, "injected panic at item {i}");
+                    Ok(placeholder.clone())
+                },
+            );
+            assert_eq!(
+                got.unwrap_err(),
+                TfheError::WorkerPanicked { worker: want_chunk },
+                "panic_at={panic_at}"
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_panicking_chunk_wins() {
+        let placeholder = LweCiphertext::trivial(morphling_math::Torus32::ZERO, 4);
+        let got = run_chunked_scoped(
+            8,
+            4,
+            placeholder.clone(),
+            || (),
+            |i, ()| {
+                assert!(i < 2, "everything past chunk 0 panics");
+                Ok(placeholder.clone())
+            },
+        );
+        assert_eq!(got.unwrap_err(), TfheError::WorkerPanicked { worker: 1 });
+    }
+
+    #[test]
+    fn item_errors_propagate_without_panic_attribution() {
+        let placeholder = LweCiphertext::trivial(morphling_math::Torus32::ZERO, 4);
+        let got = run_chunked_scoped(
+            6,
+            3,
+            placeholder.clone(),
+            || (),
+            |i, ()| {
+                if i == 4 {
+                    Err(TfheError::EngineShutDown)
+                } else {
+                    Ok(placeholder.clone())
+                }
+            },
+        );
+        assert_eq!(got.unwrap_err(), TfheError::EngineShutDown);
     }
 
     #[test]
@@ -239,5 +382,24 @@ mod tests {
         let sk = ServerKey::new(&ck, &mut rng);
         let lut = Lut::identity(params.poly_size, 4);
         let _ = sk.batch_bootstrap_parallel(&[], &lut, 0);
+    }
+
+    #[test]
+    fn deprecated_wrappers_delegate_to_the_trait_path() {
+        let mut rng = StdRng::seed_from_u64(605);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::from_fn(params.poly_size, 4, |m| (3 * m) % 4);
+        let cts: Vec<_> = (0..4).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let req = BatchRequest::shared(cts.clone(), lut.clone());
+        let want = sk.try_bootstrap_batch(&req).unwrap();
+        assert_eq!(sk.batch_bootstrap(&cts, &lut), want);
+        assert_eq!(sk.try_batch_bootstrap(&cts, &lut).unwrap(), want);
+        assert_eq!(sk.batch_bootstrap_parallel(&cts, &lut, 2), want);
+        assert_eq!(
+            sk.try_batch_bootstrap_parallel(&cts, &lut, 2).unwrap(),
+            want
+        );
     }
 }

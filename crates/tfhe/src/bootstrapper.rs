@@ -1,0 +1,551 @@
+//! The unified batch-bootstrap API surface: [`BatchRequest`] and the
+//! [`Bootstrapper`] trait.
+//!
+//! Four bootstrap backends grew up across this codebase — the sequential
+//! [`ServerKey`] loop, the per-call scoped-thread path, the persistent
+//! [`BootstrapEngine`](crate::BootstrapEngine) pool, and the
+//! dynamic-batching [`Dispatcher`](crate::dispatch::Dispatcher) — each
+//! with its own positional signature (`batch_bootstrap`,
+//! `batch_bootstrap_parallel`, `bootstrap_batch`, `bootstrap_batch_multi`,
+//! plus `try_*` twins). This module replaces that drift with one operator
+//! interface, the way single-kernel TFHE designs define one configurable
+//! entry point: callers describe *what* to bootstrap in a [`BatchRequest`]
+//! (ciphertexts, a shared or per-item LUT, an optional thread hint and
+//! deadline) and any [`Bootstrapper`] decides *how*.
+//!
+//! The legacy methods survive as `#[deprecated]` thin wrappers over this
+//! trait so downstream code keeps compiling, with warnings pointing here.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use morphling_tfhe::{BatchRequest, Bootstrapper, ClientKey, Lut, ParamSet, ServerKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let params = ParamSet::Test.params();
+//! let ck = ClientKey::generate(params.clone(), &mut rng);
+//! let sk = ServerKey::new(&ck, &mut rng);
+//! let lut = Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4);
+//! let cts: Vec<_> = (0..3).map(|m| ck.encrypt(m, &mut rng)).collect();
+//!
+//! let req = BatchRequest::shared(cts, lut);
+//! let out = sk.try_bootstrap_batch(&req).unwrap();
+//! assert_eq!(ck.decrypt(&out[0]), 1);
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::batch;
+use crate::error::TfheError;
+use crate::lut::Lut;
+use crate::lwe::LweCiphertext;
+use crate::server::ServerKey;
+
+/// A self-describing batch-bootstrap request: the one argument every
+/// [`Bootstrapper`] takes.
+///
+/// Built via [`BatchRequest::builder`] (the same consuming-builder idiom
+/// as [`BootstrapEngineBuilder`](crate::BootstrapEngineBuilder)), or the
+/// [`shared`](Self::shared) / [`per_item`](Self::per_item) shortcuts.
+/// Construction validates the LUT/selector shape once, so every backend
+/// can trust `lut_for` to be in range.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    cts: Vec<LweCiphertext>,
+    luts: Vec<Lut>,
+    lut_of: Option<Vec<usize>>,
+    threads: Option<usize>,
+    deadline: Option<Instant>,
+}
+
+impl BatchRequest {
+    /// Start building a request.
+    pub fn builder() -> BatchRequestBuilder {
+        BatchRequestBuilder::new()
+    }
+
+    /// Every ciphertext through the same `lut` — the common case, and
+    /// infallible (a single LUT needs no selectors).
+    pub fn shared(cts: Vec<LweCiphertext>, lut: Lut) -> Self {
+        Self {
+            cts,
+            luts: vec![lut],
+            lut_of: None,
+            threads: None,
+            deadline: None,
+        }
+    }
+
+    /// Ciphertext `i` through `luts[lut_of[i]]` — the shape mixed
+    /// workloads produce (e.g. a tree evaluator comparing against several
+    /// thresholds in one wave).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::LutSelectorLengthMismatch`] if
+    /// `lut_of.len() != cts.len()`, [`TfheError::LutIndexOutOfRange`] if a
+    /// selector references a missing LUT, [`TfheError::NoLutProvided`] if
+    /// `luts` is empty while ciphertexts are present.
+    pub fn per_item(
+        cts: Vec<LweCiphertext>,
+        luts: Vec<Lut>,
+        lut_of: Vec<usize>,
+    ) -> Result<Self, TfheError> {
+        Self::builder()
+            .ciphertexts(cts)
+            .luts(luts)
+            .selectors(lut_of)
+            .build()
+    }
+
+    /// The ciphertexts to bootstrap, in order.
+    pub fn ciphertexts(&self) -> &[LweCiphertext] {
+        &self.cts
+    }
+
+    /// The LUT table (one entry in the shared-LUT case).
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// Per-item LUT selectors, if this is a multi-LUT request.
+    pub fn selectors(&self) -> Option<&[usize]> {
+        self.lut_of.as_deref()
+    }
+
+    /// The LUT ciphertext `i` goes through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` — construction already guaranteed
+    /// every in-range selector resolves.
+    pub fn lut_for(&self, i: usize) -> &Lut {
+        match &self.lut_of {
+            Some(sel) => &self.luts[sel[i]],
+            None => &self.luts[0],
+        }
+    }
+
+    /// Thread-count hint for scoped-thread backends (advisory; pooled
+    /// backends size themselves at construction and ignore it).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Latest acceptable *start* time. Only deadline-aware backends (the
+    /// dispatcher) act on it; immediate backends start right away and
+    /// ignore it.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Number of ciphertexts in the batch.
+    pub fn len(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// Whether the batch is empty (every backend maps it to `Ok(vec![])`).
+    pub fn is_empty(&self) -> bool {
+        self.cts.is_empty()
+    }
+}
+
+/// Builder for [`BatchRequest`], mirroring
+/// [`BootstrapEngineBuilder`](crate::BootstrapEngineBuilder)'s consuming
+/// style.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRequestBuilder {
+    cts: Vec<LweCiphertext>,
+    luts: Vec<Lut>,
+    lut_of: Option<Vec<usize>>,
+    threads: Option<usize>,
+    deadline: Option<Instant>,
+}
+
+impl BatchRequestBuilder {
+    /// An empty request: no ciphertexts, no LUTs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ciphertexts to bootstrap, in order.
+    pub fn ciphertexts(mut self, cts: Vec<LweCiphertext>) -> Self {
+        self.cts = cts;
+        self
+    }
+
+    /// A single LUT shared by every ciphertext (replaces any previously
+    /// set LUT table).
+    pub fn lut(mut self, lut: Lut) -> Self {
+        self.luts = vec![lut];
+        self
+    }
+
+    /// A LUT table for per-item selection (pair with
+    /// [`selectors`](Self::selectors)).
+    pub fn luts(mut self, luts: Vec<Lut>) -> Self {
+        self.luts = luts;
+        self
+    }
+
+    /// Per-item LUT selectors: ciphertext `i` goes through
+    /// `luts[lut_of[i]]`.
+    pub fn selectors(mut self, lut_of: Vec<usize>) -> Self {
+        self.lut_of = Some(lut_of);
+        self
+    }
+
+    /// Thread-count hint for scoped-thread backends.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Latest acceptable start time (see [`BatchRequest::deadline`]).
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Validate the LUT/selector shape and produce the request.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::NoLutProvided`] if there are ciphertexts but no LUT;
+    /// [`TfheError::LutSelectorLengthMismatch`] if selectors are present
+    /// with the wrong length, or absent while more than one LUT was
+    /// supplied (ambiguous); [`TfheError::LutIndexOutOfRange`] if a
+    /// selector references a missing LUT.
+    pub fn build(self) -> Result<BatchRequest, TfheError> {
+        if !self.cts.is_empty() && self.luts.is_empty() {
+            return Err(TfheError::NoLutProvided);
+        }
+        match &self.lut_of {
+            Some(sel) => {
+                if sel.len() != self.cts.len() {
+                    return Err(TfheError::LutSelectorLengthMismatch {
+                        expected: self.cts.len(),
+                        got: sel.len(),
+                    });
+                }
+                for &s in sel {
+                    if s >= self.luts.len() {
+                        return Err(TfheError::LutIndexOutOfRange {
+                            index: s,
+                            luts: self.luts.len(),
+                        });
+                    }
+                }
+            }
+            None => {
+                if self.luts.len() > 1 {
+                    // More than one LUT with no selectors is ambiguous —
+                    // surfaced as a zero-length selector mismatch.
+                    return Err(TfheError::LutSelectorLengthMismatch {
+                        expected: self.cts.len(),
+                        got: 0,
+                    });
+                }
+            }
+        }
+        Ok(BatchRequest {
+            cts: self.cts,
+            luts: self.luts,
+            lut_of: self.lut_of,
+            threads: self.threads,
+            deadline: self.deadline,
+        })
+    }
+}
+
+/// The canonical batch-bootstrap entry point, implemented by every
+/// backend in the crate:
+///
+/// | backend | strategy |
+/// |---|---|
+/// | [`ServerKey`] | sequential, one reused workspace |
+/// | [`ParallelServerKey`] | per-call scoped threads, chunked |
+/// | [`BootstrapEngine`](crate::BootstrapEngine) | persistent self-healing pool |
+/// | [`Dispatcher`](crate::dispatch::Dispatcher) | dynamic micro-batching front-end |
+///
+/// All implementations return results in input order, bit-identical to
+/// the sequential [`ServerKey`] path, so backends are swappable anywhere
+/// that is generic over `B: Bootstrapper + ?Sized`.
+pub trait Bootstrapper {
+    /// Bootstrap every ciphertext in `req` through its LUT, in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`TfheError::LweDimensionMismatch`],
+    /// [`TfheError::LutSizeMismatch`], …) on malformed requests, plus
+    /// whatever execution errors the backend can produce (engine:
+    /// [`TfheError::WorkerPanicked`] / [`TfheError::JobTimedOut`];
+    /// dispatcher: [`TfheError::DeadlineExceeded`] /
+    /// [`TfheError::DispatcherShutDown`]; …).
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError>;
+}
+
+impl<B: Bootstrapper + ?Sized> Bootstrapper for &B {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        (**self).try_bootstrap_batch(req)
+    }
+}
+
+impl<B: Bootstrapper + ?Sized> Bootstrapper for Arc<B> {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        (**self).try_bootstrap_batch(req)
+    }
+}
+
+impl ServerKey {
+    /// Check every ciphertext and every LUT in `req` against this key's
+    /// parameters (shared by all backends).
+    pub(crate) fn validate_request(&self, req: &BatchRequest) -> Result<(), TfheError> {
+        for ct in req.ciphertexts() {
+            if ct.dim() != self.params().lwe_dim {
+                return Err(TfheError::LweDimensionMismatch {
+                    expected: self.params().lwe_dim,
+                    got: ct.dim(),
+                });
+            }
+        }
+        for lut in req.luts() {
+            if lut.polynomial().len() != self.params().poly_size {
+                return Err(TfheError::LutSizeMismatch {
+                    lut: lut.polynomial().len(),
+                    poly_size: self.params().poly_size,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The single-core CPU baseline: one bootstrap after another through a
+/// single reused [`BootstrapWorkspace`](crate::BootstrapWorkspace) — zero
+/// steady-state allocations, deterministic order.
+impl Bootstrapper for ServerKey {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        if req.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.validate_request(req)?;
+        let mut ws = self.workspace();
+        let mut out = Vec::with_capacity(req.len());
+        for (i, ct) in req.ciphertexts().iter().enumerate() {
+            out.push(self.try_programmable_bootstrap_with(ct, req.lut_for(i), &mut ws)?);
+        }
+        Ok(out)
+    }
+}
+
+/// The per-call scoped-thread backend: splits each request into
+/// contiguous chunks across `threads` OS threads (spawned and joined
+/// every call — for a stream of batches prefer the pooled
+/// [`BootstrapEngine`](crate::BootstrapEngine)).
+///
+/// A request's [`threads`](BatchRequest::threads) hint overrides the
+/// default set here.
+#[derive(Clone, Debug)]
+pub struct ParallelServerKey {
+    server: Arc<ServerKey>,
+    threads: usize,
+}
+
+impl ParallelServerKey {
+    /// Wrap `server` with a default thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::ZeroThreads`] if `threads == 0`.
+    pub fn new(server: Arc<ServerKey>, threads: usize) -> Result<Self, TfheError> {
+        if threads == 0 {
+            return Err(TfheError::ZeroThreads);
+        }
+        Ok(Self { server, threads })
+    }
+
+    /// The wrapped server key.
+    pub fn server(&self) -> &Arc<ServerKey> {
+        &self.server
+    }
+
+    /// The default thread count (overridable per request).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Bootstrapper for ParallelServerKey {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        let threads = req.threads().unwrap_or(self.threads);
+        batch::bootstrap_scoped_parallel(&self.server, req, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ClientKey;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (ClientKey, ServerKey, Lut, Vec<LweCiphertext>) {
+        let mut rng = StdRng::seed_from_u64(9000);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let lut = Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4);
+        let cts: Vec<_> = (0..5).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        (ck, sk, lut, cts)
+    }
+
+    #[test]
+    fn builder_validates_selector_length() {
+        let (_, _, lut, cts) = fixture();
+        let n = cts.len();
+        let err = BatchRequest::builder()
+            .ciphertexts(cts)
+            .luts(vec![lut.clone(), lut])
+            .selectors(vec![0])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TfheError::LutSelectorLengthMismatch {
+                expected: n,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_missing_lut_and_bad_index() {
+        let (_, _, lut, cts) = fixture();
+        let err = BatchRequest::builder()
+            .ciphertexts(cts.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TfheError::NoLutProvided);
+
+        let err = BatchRequest::per_item(cts.clone(), vec![lut.clone()], vec![0, 0, 0, 0, 7])
+            .unwrap_err();
+        assert_eq!(err, TfheError::LutIndexOutOfRange { index: 7, luts: 1 });
+
+        // Several LUTs with no selectors is ambiguous.
+        let err = BatchRequest::builder()
+            .ciphertexts(cts)
+            .luts(vec![lut.clone(), lut])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TfheError::LutSelectorLengthMismatch { got: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_request_needs_no_lut() {
+        let req = BatchRequest::builder().build().unwrap();
+        assert!(req.is_empty());
+        let (_, sk, _, _) = fixture();
+        assert_eq!(sk.try_bootstrap_batch(&req).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn server_key_backend_matches_plain_bootstrap() {
+        let (ck, sk, lut, cts) = fixture();
+        let req = BatchRequest::shared(cts.clone(), lut.clone());
+        let out = sk.try_bootstrap_batch(&req).unwrap();
+        assert_eq!(out.len(), cts.len());
+        for (i, (ct, o)) in cts.iter().zip(&out).enumerate() {
+            assert_eq!(o, &sk.programmable_bootstrap(ct, &lut), "i={i}");
+            assert_eq!(ck.decrypt(o), ((i as u64 % 4) + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn per_item_selects_the_right_lut() {
+        let (ck, sk, _, cts) = fixture();
+        let p = sk.params().clone();
+        let plus1 = Lut::from_fn(p.poly_size, 4, |m| (m + 1) % 4);
+        let double = Lut::from_fn(p.poly_size, 4, |m| (2 * m) % 4);
+        let sel = vec![0, 1, 0, 1, 0];
+        let req = BatchRequest::per_item(cts.clone(), vec![plus1, double], sel.clone()).unwrap();
+        let out = sk.try_bootstrap_batch(&req).unwrap();
+        for (i, o) in out.iter().enumerate() {
+            let m = i as u64 % 4;
+            let want = if sel[i] == 0 {
+                (m + 1) % 4
+            } else {
+                (2 * m) % 4
+            };
+            assert_eq!(ck.decrypt(o), want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn parallel_backend_matches_sequential_and_honors_hint() {
+        let (_, sk, lut, cts) = fixture();
+        let sk = Arc::new(sk);
+        let par = ParallelServerKey::new(Arc::clone(&sk), 3).unwrap();
+        let req = BatchRequest::shared(cts.clone(), lut.clone());
+        let want = sk.try_bootstrap_batch(&req).unwrap();
+        assert_eq!(par.try_bootstrap_batch(&req).unwrap(), want);
+
+        // A request-level hint of 1 thread must still agree.
+        let hinted = BatchRequest::builder()
+            .ciphertexts(cts)
+            .lut(lut)
+            .threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(par.try_bootstrap_batch(&hinted).unwrap(), want);
+
+        assert_eq!(
+            ParallelServerKey::new(sk, 0).unwrap_err(),
+            TfheError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn blanket_impls_forward() {
+        let (_, sk, lut, cts) = fixture();
+        let req = BatchRequest::shared(cts, lut);
+        let want = sk.try_bootstrap_batch(&req).unwrap();
+        let by_ref: &ServerKey = &sk;
+        assert_eq!(by_ref.try_bootstrap_batch(&req).unwrap(), want);
+        let arced: Arc<ServerKey> = Arc::new(sk);
+        assert_eq!(arced.try_bootstrap_batch(&req).unwrap(), want);
+        let dynamic: &dyn Bootstrapper = &arced;
+        assert_eq!(dynamic.try_bootstrap_batch(&req).unwrap(), want);
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let mut rng = StdRng::seed_from_u64(9001);
+        let (_, sk, lut, _) = fixture();
+        let mut small = ParamSet::Test.params();
+        small.lwe_dim = 8;
+        let other = ClientKey::generate(small, &mut rng);
+        let bad = other.encrypt(0, &mut rng);
+        let req = BatchRequest::shared(vec![bad], lut);
+        assert!(matches!(
+            sk.try_bootstrap_batch(&req),
+            Err(TfheError::LweDimensionMismatch { .. })
+        ));
+
+        let (_, _, _, cts) = fixture();
+        let wrong_lut = Lut::identity(64, 4);
+        let req = BatchRequest::shared(cts, wrong_lut);
+        assert!(matches!(
+            sk.try_bootstrap_batch(&req),
+            Err(TfheError::LutSizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,1103 @@
+//! Deadline-aware dynamic-batching dispatcher — the software analogue of
+//! Morphling's SW scheduler.
+//!
+//! The paper's throughput comes from two places: a fast datapath, and a
+//! scheduler that keeps 16 bootstrapping cores saturated with *large
+//! batches* formed from an incoming request stream (§V, with the batch
+//! size driven by HBM bandwidth). The [`BootstrapEngine`] is the fast
+//! datapath; this module is the batch-forming layer in front of it:
+//!
+//! - callers [`submit`](Dispatcher::submit) individual
+//!   `(ciphertext, LUT)` requests, each with an optional deadline, and
+//!   get back a [`Ticket`] to wait on;
+//! - a batcher thread coalesces queued requests into micro-batches under
+//!   a [`max_batch_size`](DispatcherBuilder::max_batch_size) /
+//!   [`max_linger`](DispatcherBuilder::max_linger) policy: a batch is
+//!   flushed as soon as it is full, or when its oldest member has waited
+//!   `max_linger`, whichever comes first — bounded latency at low load,
+//!   full batches at high load;
+//! - admission runs through a **bounded queue**:
+//!   [`try_submit`](Dispatcher::try_submit) rejects with
+//!   [`TfheError::QueueFull`] instead of queueing unboundedly
+//!   (backpressure), while [`submit`](Dispatcher::submit) blocks until
+//!   space frees up;
+//! - requests can be [cancelled](Ticket::cancel) while queued, and a
+//!   request whose deadline passes before its batch starts is dropped
+//!   with [`TfheError::DeadlineExceeded`] rather than doing late work;
+//! - [`shutdown`](Dispatcher::shutdown) (also run on `Drop`) closes
+//!   admission, **drains** everything already queued, then joins the
+//!   batcher — no request is silently lost;
+//! - every request's queue/execute timeline is journaled as a
+//!   [`DispatchSpan`] (rendered into the Chrome trace by
+//!   `morphling_core::trace`), and [`DispatcherStats`] exposes
+//!   p50/p95/p99 latency plus throughput.
+//!
+//! The backend is anything implementing [`Bootstrapper`], so the same
+//! dispatcher fronts a [`ServerKey`](crate::ServerKey), a
+//! [`ParallelServerKey`](crate::ParallelServerKey), or — the intended
+//! production shape — a [`BootstrapEngine`]. The dispatcher itself
+//! implements [`Bootstrapper`] too, so whole-batch callers and
+//! single-request callers share one service.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morphling_tfhe::{ClientKey, Dispatcher, Lut, ParamSet, ServerKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(11);
+//! let params = ParamSet::Test.params();
+//! let ck = ClientKey::generate(params.clone(), &mut rng);
+//! let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+//!
+//! let dispatcher = Dispatcher::builder().max_batch_size(8).build(sk);
+//! let lut = Arc::new(Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4));
+//! let ticket = dispatcher.submit(ck.encrypt(2, &mut rng), Arc::clone(&lut), None).unwrap();
+//! assert_eq!(ck.decrypt(&ticket.wait().unwrap()), 3);
+//! ```
+
+// Tighter than the crate-wide `warn`: serving code must never unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+
+use crate::bootstrapper::{BatchRequest, Bootstrapper};
+use crate::error::TfheError;
+use crate::lut::Lut;
+use crate::lwe::LweCiphertext;
+
+/// Default micro-batch cap: comfortably larger than the engine's per-chunk
+/// granularity so a full batch still fans out across the pool.
+const DEFAULT_MAX_BATCH: usize = 32;
+/// Default linger: long enough to coalesce a burst, short enough to stay
+/// invisible next to a bootstrap.
+const DEFAULT_MAX_LINGER: Duration = Duration::from_millis(2);
+/// Default admission-queue capacity.
+const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+/// A deadline-triggered flush starts this much before the deadline itself,
+/// so the request it is rescuing still starts in time despite condvar
+/// wake-up jitter.
+const DEADLINE_SLACK: Duration = Duration::from_micros(500);
+
+/// Ignore a poisoned lock: the dispatcher's shared state stays consistent
+/// across panics (counters are atomics; the queue is drained defensively).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One queued request.
+struct Pending {
+    id: u64,
+    ct: LweCiphertext,
+    lut: Arc<Lut>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    cancelled: Arc<AtomicBool>,
+    reply: Sender<Result<LweCiphertext, TfheError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    /// `false` once shutdown begins: admission closed, batcher draining.
+    open: bool,
+}
+
+#[derive(Default)]
+struct DispatchCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
+    /// First submission / last completion, ns since the epoch (`u64::MAX`
+    /// / `0` while unset) — the throughput window.
+    first_ns: AtomicU64,
+    last_ns: AtomicU64,
+    latencies: Mutex<Vec<u64>>,
+    spans: Mutex<Vec<DispatchSpan>>,
+}
+
+struct Shared {
+    cap: usize,
+    max_batch: usize,
+    max_linger: Duration,
+    epoch: Instant,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    counters: DispatchCounters,
+}
+
+impl Shared {
+    fn ns_since_epoch(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Deliver a terminal result to a request and bump the matching
+    /// counter. The reply channel holds one slot and sees one send ever,
+    /// so this never blocks; a dropped ticket just discards the send.
+    fn resolve(&self, p: Pending, result: Result<LweCiphertext, TfheError>) {
+        let counter = match &result {
+            Ok(_) => &self.counters.completed,
+            Err(TfheError::Cancelled) => &self.counters.cancelled,
+            Err(TfheError::DeadlineExceeded) => &self.counters.expired,
+            Err(_) => &self.counters.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if result.is_ok() {
+            self.counters
+                .last_ns
+                .fetch_max(self.ns_since_epoch(Instant::now()), Ordering::Relaxed);
+        }
+        let _ = p.reply.send(result);
+    }
+}
+
+/// Outcome ticket for one submitted request.
+///
+/// Hold it to [`wait`](Self::wait) for the result, poll with
+/// [`try_wait`](Self::try_wait), or [`cancel`](Self::cancel) the request.
+/// Dropping the ticket abandons the result (the request still executes
+/// unless cancelled first).
+pub struct Ticket {
+    id: u64,
+    cancelled: Arc<AtomicBool>,
+    reply: Receiver<Result<LweCiphertext, TfheError>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("id", &self.id)
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// The dispatcher-assigned request id (monotonic per dispatcher).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Request cancellation. Best-effort: a request still queued (or
+    /// picked but not yet executing) resolves to
+    /// [`TfheError::Cancelled`]; one already executing completes
+    /// normally.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the request resolves.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the request resolved to — [`TfheError::Cancelled`],
+    /// [`TfheError::DeadlineExceeded`], a backend error — or
+    /// [`TfheError::DispatcherShutDown`] if the batcher died without
+    /// resolving it.
+    pub fn wait(self) -> Result<LweCiphertext, TfheError> {
+        match self.reply.recv() {
+            Ok(result) => result,
+            Err(_) => Err(TfheError::DispatcherShutDown),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<LweCiphertext, TfheError>> {
+        match self.reply.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(TfheError::DispatcherShutDown)),
+        }
+    }
+}
+
+/// One request's life through the dispatcher, journaled for the Chrome
+/// trace. All instants are durations since the dispatcher's construction
+/// (its epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchSpan {
+    /// Request id (see [`Ticket::id`]).
+    pub id: u64,
+    /// Micro-batch this request executed in.
+    pub batch: u64,
+    /// When the request entered the queue.
+    pub enqueued: Duration,
+    /// Time spent queued (enqueue → batch execution start).
+    pub queued: Duration,
+    /// When the batch started executing.
+    pub exec_start: Duration,
+    /// Batch execution time.
+    pub exec: Duration,
+}
+
+/// Aggregate dispatcher metrics (see [`Dispatcher::stats`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DispatcherStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// `try_submit` rejections (queue full).
+    pub rejected: u64,
+    /// Requests cancelled before execution.
+    pub cancelled: u64,
+    /// Requests dropped because their deadline passed while queued.
+    pub expired: u64,
+    /// Requests that completed with a result.
+    pub completed: u64,
+    /// Requests that resolved to a backend error.
+    pub failed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests that entered a micro-batch (completed + failed).
+    pub batched: u64,
+    /// `batched / batches` — the dynamic-batching figure of merit.
+    pub mean_batch_size: f64,
+    /// Median end-to-end latency (enqueue → result) of completed requests.
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
+    /// Completed bootstraps per second over the first-submit → last-done
+    /// window.
+    pub throughput_bs: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted ns array.
+fn percentile(sorted: &[u64], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    Duration::from_nanos(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// Builder for [`Dispatcher`], mirroring
+/// [`BootstrapEngineBuilder`](crate::BootstrapEngineBuilder)'s consuming
+/// style. All knobs clamp to sane minimums, so `build` is infallible.
+#[derive(Clone, Debug)]
+pub struct DispatcherBuilder {
+    max_batch_size: usize,
+    max_linger: Duration,
+    queue_capacity: usize,
+}
+
+impl Default for DispatcherBuilder {
+    fn default() -> Self {
+        Self {
+            max_batch_size: DEFAULT_MAX_BATCH,
+            max_linger: DEFAULT_MAX_LINGER,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+impl DispatcherBuilder {
+    /// Defaults: batch up to 32, linger up to 2 ms, queue 1024 deep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flush a batch as soon as it reaches this many requests (the
+    /// paper's per-wave batch sizing; clamped to ≥ 1). `1` disables
+    /// coalescing — every request executes alone, the baseline the bench
+    /// compares against.
+    pub fn max_batch_size(mut self, n: usize) -> Self {
+        self.max_batch_size = n.max(1);
+        self
+    }
+
+    /// Flush a non-full batch once its oldest member has waited this
+    /// long — the latency bound a mostly-idle dispatcher adds.
+    pub fn max_linger(mut self, linger: Duration) -> Self {
+        self.max_linger = linger;
+        self
+    }
+
+    /// Admission-queue depth (clamped to ≥ 1). Beyond it, `try_submit`
+    /// rejects with [`TfheError::QueueFull`] and `submit` blocks.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Spawn the batcher thread over `backend` and start serving.
+    pub fn build<B>(self, backend: B) -> Dispatcher
+    where
+        B: Bootstrapper + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            cap: self.queue_capacity,
+            max_batch: self.max_batch_size,
+            max_linger: self.max_linger,
+            epoch: Instant::now(),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            counters: DispatchCounters {
+                first_ns: AtomicU64::new(u64::MAX),
+                ..DispatchCounters::default()
+            },
+        });
+        let backend: Arc<dyn Bootstrapper + Send + Sync> = Arc::new(backend);
+        let batcher_shared = Arc::clone(&shared);
+        let batcher = std::thread::spawn(move || batcher_loop(&batcher_shared, backend.as_ref()));
+        Dispatcher {
+            shared,
+            batcher: Some(batcher),
+            next_id: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The dynamic-batching front-end. See the [module docs](self).
+pub struct Dispatcher {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Dispatcher {
+    /// Configure batch sizing, linger, and queue depth before building.
+    pub fn builder() -> DispatcherBuilder {
+        DispatcherBuilder::new()
+    }
+
+    /// Wrap `backend` with default policy (batch ≤ 32, linger ≤ 2 ms,
+    /// queue 1024).
+    pub fn new<B>(backend: B) -> Self
+    where
+        B: Bootstrapper + Send + Sync + 'static,
+    {
+        Self::builder().build(backend)
+    }
+
+    /// Submit one request, blocking while the admission queue is full.
+    ///
+    /// `deadline` is the latest acceptable *execution start*: if the
+    /// batcher has not started the request's batch by then, the request
+    /// resolves to [`TfheError::DeadlineExceeded`] instead of running
+    /// late. A deadline sooner than the linger window flushes the batch
+    /// early.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::DispatcherShutDown`] after
+    /// [`shutdown`](Self::shutdown).
+    pub fn submit(
+        &self,
+        ct: LweCiphertext,
+        lut: Arc<Lut>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, TfheError> {
+        self.enqueue(ct, lut, deadline, true)
+    }
+
+    /// Non-blocking [`submit`](Self::submit): rejects with
+    /// [`TfheError::QueueFull`] instead of waiting — the backpressure
+    /// signal for callers that can shed or defer load.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::QueueFull`] at capacity,
+    /// [`TfheError::DispatcherShutDown`] after shutdown.
+    pub fn try_submit(
+        &self,
+        ct: LweCiphertext,
+        lut: Arc<Lut>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, TfheError> {
+        self.enqueue(ct, lut, deadline, false)
+    }
+
+    fn enqueue(
+        &self,
+        ct: LweCiphertext,
+        lut: Arc<Lut>,
+        deadline: Option<Instant>,
+        block: bool,
+    ) -> Result<Ticket, TfheError> {
+        let shared = &self.shared;
+        let mut st = lock(&shared.state);
+        loop {
+            if !st.open {
+                return Err(TfheError::DispatcherShutDown);
+            }
+            if st.queue.len() < shared.cap {
+                break;
+            }
+            if !block {
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(TfheError::QueueFull {
+                    capacity: shared.cap,
+                });
+            }
+            st = shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let enqueued = Instant::now();
+        st.queue.push_back(Pending {
+            id,
+            ct,
+            lut,
+            deadline,
+            enqueued,
+            cancelled: Arc::clone(&cancelled),
+            reply: reply_tx,
+        });
+        drop(st);
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .first_ns
+            .fetch_min(shared.ns_since_epoch(enqueued), Ordering::Relaxed);
+        shared.not_empty.notify_one();
+        Ok(Ticket {
+            id,
+            cancelled,
+            reply: reply_rx,
+        })
+    }
+
+    /// Aggregate metrics since construction.
+    pub fn stats(&self) -> DispatcherStats {
+        let c = &self.shared.counters;
+        let mut lats = lock(&c.latencies).clone();
+        lats.sort_unstable();
+        let batches = c.batches.load(Ordering::Relaxed);
+        let batched = c.batched.load(Ordering::Relaxed);
+        let completed = c.completed.load(Ordering::Relaxed);
+        let first = c.first_ns.load(Ordering::Relaxed);
+        let last = c.last_ns.load(Ordering::Relaxed);
+        let throughput_bs = if completed > 0 && last > first {
+            completed as f64 / ((last - first) as f64 / 1e9)
+        } else {
+            0.0
+        };
+        DispatcherStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            completed,
+            failed: c.failed.load(Ordering::Relaxed),
+            batches,
+            batched,
+            mean_batch_size: if batches > 0 {
+                batched as f64 / batches as f64
+            } else {
+                0.0
+            },
+            p50_latency: percentile(&lats, 0.50),
+            p95_latency: percentile(&lats, 0.95),
+            p99_latency: percentile(&lats, 0.99),
+            throughput_bs,
+        }
+    }
+
+    /// Snapshot of the per-request queue/execute journal.
+    pub fn spans(&self) -> Vec<DispatchSpan> {
+        lock(&self.shared.counters.spans).clone()
+    }
+
+    /// The instant request/span timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.shared.epoch
+    }
+
+    /// Admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.cap
+    }
+
+    /// Batch-size cap.
+    pub fn max_batch_size(&self) -> usize {
+        self.shared.max_batch
+    }
+
+    /// Linger bound.
+    pub fn max_linger(&self) -> Duration {
+        self.shared.max_linger
+    }
+
+    /// Graceful shutdown: close admission, **drain** every request
+    /// already queued (each resolves normally), then join the batcher.
+    /// Idempotent; also run by `Drop`. Later submissions fail with
+    /// [`TfheError::DispatcherShutDown`].
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.open = false;
+        }
+        // Wake the batcher (to notice the close) and any blocked
+        // submitters (to fail fast).
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("max_batch_size", &self.shared.max_batch)
+            .field("max_linger", &self.shared.max_linger)
+            .field("queue_capacity", &self.shared.cap)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Whole-batch callers can treat the dispatcher as just another backend:
+/// the request is split into individual submissions (sharing the
+/// request's deadline), which the batcher is free to coalesce with
+/// traffic from other callers — cross-request batching, the paper's
+/// SW-scheduler behavior. Results come back in input order.
+impl Bootstrapper for Dispatcher {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        if req.is_empty() {
+            return Ok(Vec::new());
+        }
+        let luts: Vec<Arc<Lut>> = req.luts().iter().cloned().map(Arc::new).collect();
+        let mut tickets = Vec::with_capacity(req.len());
+        for (i, ct) in req.ciphertexts().iter().enumerate() {
+            let lut = match req.selectors() {
+                Some(sel) => &luts[sel[i]],
+                None => &luts[0],
+            };
+            tickets.push(self.submit(ct.clone(), Arc::clone(lut), req.deadline())?);
+        }
+        let mut out = Vec::with_capacity(tickets.len());
+        let mut first_err: Option<TfheError> = None;
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(ct) => out.push(ct),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+/// Pop the next live request, blocking until one arrives or shutdown
+/// completes the drain. Cancelled / expired requests are resolved on the
+/// spot and skipped.
+fn take_first(shared: &Shared) -> Option<Pending> {
+    let mut st = lock(&shared.state);
+    loop {
+        while let Some(p) = st.queue.pop_front() {
+            shared.not_full.notify_all();
+            if p.cancelled.load(Ordering::SeqCst) {
+                shared.resolve(p, Err(TfheError::Cancelled));
+                continue;
+            }
+            if p.deadline.is_some_and(|d| d <= Instant::now()) {
+                shared.resolve(p, Err(TfheError::DeadlineExceeded));
+                continue;
+            }
+            return Some(p);
+        }
+        if !st.open {
+            return None;
+        }
+        st = shared
+            .not_empty
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Grow `batch` (seeded with one request) until it is full, the linger
+/// window of its oldest member closes, a member's deadline forces an
+/// early flush, or shutdown ends the wait.
+fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
+    let flush_for = |p: &Pending| -> Option<Instant> {
+        p.deadline
+            .map(|d| d.checked_sub(DEADLINE_SLACK).unwrap_or(d))
+    };
+    let mut flush_at = batch[0].enqueued + shared.max_linger;
+    if let Some(d) = flush_for(&batch[0]) {
+        flush_at = flush_at.min(d);
+    }
+    if shared.max_batch <= 1 {
+        return;
+    }
+    let mut st = lock(&shared.state);
+    loop {
+        while batch.len() < shared.max_batch {
+            let Some(p) = st.queue.pop_front() else {
+                break;
+            };
+            shared.not_full.notify_all();
+            if p.cancelled.load(Ordering::SeqCst) {
+                shared.resolve(p, Err(TfheError::Cancelled));
+                continue;
+            }
+            if p.deadline.is_some_and(|d| d <= Instant::now()) {
+                shared.resolve(p, Err(TfheError::DeadlineExceeded));
+                continue;
+            }
+            if let Some(d) = flush_for(&p) {
+                flush_at = flush_at.min(d);
+            }
+            batch.push(p);
+        }
+        if batch.len() >= shared.max_batch || !st.open {
+            return;
+        }
+        let now = Instant::now();
+        let Some(wait) = flush_at
+            .checked_duration_since(now)
+            .filter(|w| !w.is_zero())
+        else {
+            return;
+        };
+        let (guard, _timed_out) = shared
+            .not_empty
+            .wait_timeout(st, wait)
+            .unwrap_or_else(PoisonError::into_inner);
+        st = guard;
+    }
+}
+
+/// Execute one formed micro-batch: a last cancellation/deadline sweep,
+/// LUT deduplication by `Arc` identity, one backend call, then result
+/// distribution and journaling. If a multi-request batch fails as a
+/// whole, each member is retried alone so one malformed request cannot
+/// poison its batch-mates.
+fn execute_batch(shared: &Shared, backend: &dyn Bootstrapper, batch: Vec<Pending>) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.cancelled.load(Ordering::SeqCst) {
+            shared.resolve(p, Err(TfheError::Cancelled));
+        } else if p.deadline.is_some_and(|d| d <= now) {
+            shared.resolve(p, Err(TfheError::DeadlineExceeded));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let batch_id = shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .batched
+        .fetch_add(live.len() as u64, Ordering::Relaxed);
+    let exec_start = Instant::now();
+    match run_as_batch(backend, &live) {
+        Ok(outs) => distribute(shared, batch_id, exec_start, live, outs),
+        Err(_) if live.len() > 1 => {
+            // Poison-pill isolation: retry each member alone so only the
+            // malformed (or genuinely failing) requests see the error.
+            for p in live {
+                match run_as_batch(backend, std::slice::from_ref(&p)) {
+                    Ok(mut outs) if outs.len() == 1 => {
+                        let out = outs.remove(0);
+                        distribute(shared, batch_id, exec_start, vec![p], vec![out]);
+                    }
+                    Ok(_) => shared.resolve(p, Err(TfheError::DispatcherShutDown)),
+                    Err(e) => shared.resolve(p, Err(e)),
+                }
+            }
+        }
+        Err(e) => {
+            for p in live {
+                shared.resolve(p, Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// Build a [`BatchRequest`] for `live` (deduplicating LUTs by `Arc`
+/// identity) and run it on the backend.
+fn run_as_batch(
+    backend: &dyn Bootstrapper,
+    live: &[Pending],
+) -> Result<Vec<LweCiphertext>, TfheError> {
+    let mut luts: Vec<Arc<Lut>> = Vec::new();
+    let mut selectors = Vec::with_capacity(live.len());
+    for p in live {
+        let idx = match luts.iter().position(|l| Arc::ptr_eq(l, &p.lut)) {
+            Some(idx) => idx,
+            None => {
+                luts.push(Arc::clone(&p.lut));
+                luts.len() - 1
+            }
+        };
+        selectors.push(idx);
+    }
+    let cts: Vec<LweCiphertext> = live.iter().map(|p| p.ct.clone()).collect();
+    let req = if luts.len() == 1 {
+        BatchRequest::shared(cts, (*luts[0]).clone())
+    } else {
+        BatchRequest::per_item(cts, luts.iter().map(|l| (**l).clone()).collect(), selectors)?
+    };
+    let outs = backend.try_bootstrap_batch(&req)?;
+    if outs.len() != live.len() {
+        // A backend returning the wrong shape is a contract violation;
+        // surface it as a dead-service error rather than misdelivering.
+        return Err(TfheError::DispatcherShutDown);
+    }
+    Ok(outs)
+}
+
+/// Hand each member its output and journal the batch's spans. The whole
+/// batch shares one execution window; each request's queue time runs from
+/// its own enqueue to that window's start.
+fn distribute(
+    shared: &Shared,
+    batch_id: u64,
+    exec_start: Instant,
+    live: Vec<Pending>,
+    outs: Vec<LweCiphertext>,
+) {
+    let exec_end = Instant::now();
+    let exec = exec_end.saturating_duration_since(exec_start);
+    {
+        let mut spans = lock(&shared.counters.spans);
+        let mut lats = lock(&shared.counters.latencies);
+        for p in &live {
+            lats.push(exec_end.saturating_duration_since(p.enqueued).as_nanos() as u64);
+            spans.push(DispatchSpan {
+                id: p.id,
+                batch: batch_id,
+                enqueued: p.enqueued.saturating_duration_since(shared.epoch),
+                queued: exec_start.saturating_duration_since(p.enqueued),
+                exec_start: exec_start.saturating_duration_since(shared.epoch),
+                exec,
+            });
+        }
+    }
+    for (p, out) in live.into_iter().zip(outs) {
+        shared.resolve(p, Ok(out));
+    }
+}
+
+fn batcher_loop(shared: &Shared, backend: &dyn Bootstrapper) {
+    while let Some(first) = take_first(shared) {
+        let mut batch = vec![first];
+        collect_linger(shared, &mut batch);
+        execute_batch(shared, backend, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ClientKey;
+    use crate::params::ParamSet;
+    use crate::server::ServerKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Echo backend: returns the inputs unchanged, recording each batch's
+    /// size and optionally blocking on a gate until released — the
+    /// deterministic scaffolding for batching/backpressure tests.
+    struct EchoBackend {
+        sizes: Mutex<Vec<usize>>,
+        started: Sender<()>,
+        gate: Receiver<()>,
+        gated: bool,
+    }
+
+    fn echo(gated: bool) -> (Arc<EchoBackend>, Receiver<()>, Sender<()>) {
+        let (started_tx, started_rx) = channel::unbounded();
+        let (gate_tx, gate_rx) = channel::unbounded();
+        (
+            Arc::new(EchoBackend {
+                sizes: Mutex::new(Vec::new()),
+                started: started_tx,
+                gate: gate_rx,
+                gated,
+            }),
+            started_rx,
+            gate_tx,
+        )
+    }
+
+    impl Bootstrapper for EchoBackend {
+        fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+            lock(&self.sizes).push(req.len());
+            let _ = self.started.send(());
+            if self.gated {
+                let _ = self.gate.recv();
+            }
+            Ok(req.ciphertexts().to_vec())
+        }
+    }
+
+    fn dummy_ct(tag: u64) -> LweCiphertext {
+        LweCiphertext::trivial(morphling_math::Torus32::from_raw(tag as u32), 4)
+    }
+
+    fn dummy_lut() -> Arc<Lut> {
+        Arc::new(Lut::identity(256, 4))
+    }
+
+    #[test]
+    fn coalesces_under_load_and_keeps_request_identity() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(50))
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        // First request gets picked up alone and blocks in the backend...
+        let t0 = d.submit(dummy_ct(0), Arc::clone(&lut), None).unwrap();
+        started.recv().unwrap();
+        // ...while seven more pile up behind it.
+        let tickets: Vec<Ticket> = (1..8)
+            .map(|i| d.submit(dummy_ct(i), Arc::clone(&lut), None).unwrap())
+            .collect();
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        assert_eq!(t0.wait().unwrap(), dummy_ct(0));
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap(), dummy_ct(i as u64 + 1), "i={i}");
+        }
+        // 8 requests in 3 batches: 1 (the lone first pick) + 4 + 3.
+        assert_eq!(lock(&backend.sizes).clone(), vec![1, 4, 3]);
+        let stats = d.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.batches, 3);
+        assert!((stats.mean_batch_size - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_submit_backpressures_at_capacity() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .queue_capacity(1)
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let t0 = d.submit(dummy_ct(0), Arc::clone(&lut), None).unwrap();
+        started.recv().unwrap(); // batcher is now wedged in the backend
+        let t1 = d.try_submit(dummy_ct(1), Arc::clone(&lut), None).unwrap();
+        let err = d
+            .try_submit(dummy_ct(2), Arc::clone(&lut), None)
+            .unwrap_err();
+        assert_eq!(err, TfheError::QueueFull { capacity: 1 });
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        assert!(t0.wait().is_ok());
+        assert!(t1.wait().is_ok());
+        let stats = d.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn cancellation_resolves_without_executing() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let t0 = d.submit(dummy_ct(0), Arc::clone(&lut), None).unwrap();
+        started.recv().unwrap();
+        let t1 = d.submit(dummy_ct(1), Arc::clone(&lut), None).unwrap();
+        assert!(t1.try_wait().is_none());
+        t1.cancel();
+        gate.send(()).unwrap();
+        assert!(t0.wait().is_ok());
+        assert_eq!(t1.wait().unwrap_err(), TfheError::Cancelled);
+        let stats = d.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+        // The cancelled request never reached the backend.
+        assert_eq!(lock(&backend.sizes).clone(), vec![1]);
+    }
+
+    #[test]
+    fn expired_deadline_drops_the_request() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let t0 = d.submit(dummy_ct(0), Arc::clone(&lut), None).unwrap();
+        started.recv().unwrap();
+        // Deadline already in the past by the time the batcher gets to it.
+        let past = Instant::now() - Duration::from_millis(5);
+        let t1 = d.submit(dummy_ct(1), Arc::clone(&lut), Some(past)).unwrap();
+        // A generous deadline sails through.
+        let future = Instant::now() + Duration::from_secs(60);
+        let t2 = d
+            .submit(dummy_ct(2), Arc::clone(&lut), Some(future))
+            .unwrap();
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        assert!(t0.wait().is_ok());
+        assert_eq!(t1.wait().unwrap_err(), TfheError::DeadlineExceeded);
+        assert!(t2.wait().is_ok());
+        assert_eq!(d.stats().expired, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let (backend, started, gate) = echo(true);
+        let mut d = Dispatcher::builder()
+            .max_batch_size(2)
+            .max_linger(Duration::from_secs(5))
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|i| d.submit(dummy_ct(i), Arc::clone(&lut), None).unwrap())
+            .collect();
+        started.recv().unwrap();
+        // Release the gate for every remaining batch, then shut down: the
+        // queue must drain, not drop.
+        for _ in 0..4 {
+            let _ = gate.send(());
+        }
+        d.shutdown();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap(), dummy_ct(i as u64), "i={i}");
+        }
+        assert_eq!(d.stats().completed, 5);
+        assert_eq!(
+            d.submit(dummy_ct(9), lut, None).unwrap_err(),
+            TfheError::DispatcherShutDown
+        );
+    }
+
+    #[test]
+    fn spans_cover_every_completed_request() {
+        let (backend, _started, _gate) = echo(false);
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(1))
+            .build(backend);
+        let lut = dummy_lut();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| d.submit(dummy_ct(i), Arc::clone(&lut), None).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let spans = d.spans();
+        assert_eq!(spans.len(), 6);
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+        for s in &spans {
+            assert!(s.exec_start >= s.enqueued, "{s:?}");
+        }
+        let stats = d.stats();
+        assert!(stats.p50_latency <= stats.p95_latency);
+        assert!(stats.p95_latency <= stats.p99_latency);
+        assert!(stats.throughput_bs > 0.0);
+    }
+
+    #[test]
+    fn real_backend_matches_direct_server_key_path() {
+        let mut rng = StdRng::seed_from_u64(777);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        let lut = Lut::from_fn(params.poly_size, 4, |m| (m + 3) % 4);
+        let cts: Vec<_> = (0..6).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let want = sk
+            .try_bootstrap_batch(&BatchRequest::shared(cts.clone(), lut.clone()))
+            .unwrap();
+
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(5))
+            .build(Arc::clone(&sk));
+        let alut = Arc::new(lut);
+        let tickets: Vec<Ticket> = cts
+            .iter()
+            .map(|ct| d.submit(ct.clone(), Arc::clone(&alut), None).unwrap())
+            .collect();
+        for (i, (t, w)) in tickets.into_iter().zip(&want).enumerate() {
+            assert_eq!(&t.wait().unwrap(), w, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dispatcher_is_a_bootstrapper() {
+        let mut rng = StdRng::seed_from_u64(778);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        let plus1 = Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4);
+        let double = Lut::from_fn(params.poly_size, 4, |m| (2 * m) % 4);
+        let cts: Vec<_> = (0..4).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let req = BatchRequest::per_item(cts, vec![plus1, double], vec![0, 1, 0, 1]).unwrap();
+        let want = sk.try_bootstrap_batch(&req).unwrap();
+        let d = Dispatcher::new(Arc::clone(&sk));
+        assert_eq!(d.try_bootstrap_batch(&req).unwrap(), want);
+    }
+
+    #[test]
+    fn malformed_request_cannot_poison_batch_mates() {
+        let mut rng = StdRng::seed_from_u64(779);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        let lut = Arc::new(Lut::identity(params.poly_size, 4));
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(100))
+            .build(Arc::clone(&sk));
+        // One good request and one with the wrong LWE dimension, lingering
+        // into the same micro-batch.
+        let good = d
+            .submit(ck.encrypt(1, &mut rng), Arc::clone(&lut), None)
+            .unwrap();
+        let bad = d.submit(dummy_ct(0), Arc::clone(&lut), None).unwrap();
+        assert_eq!(ck.decrypt(&good.wait().unwrap()), 1);
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            TfheError::LweDimensionMismatch { .. }
+        ));
+        let stats = d.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
+    }
+}

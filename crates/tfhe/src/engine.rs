@@ -2,11 +2,11 @@
 //! Morphling's always-resident bootstrapping cores, hardened for
 //! production serving.
 //!
-//! [`ServerKey::batch_bootstrap_parallel`] spawns a fresh set of OS
-//! threads for every call — fine for one large batch, wasteful for the
-//! steady stream of medium batches that inference workloads produce.
-//! [`BootstrapEngine`] instead spawns its worker pool **once** and feeds
-//! it through a channel:
+//! The scoped-thread path ([`ParallelServerKey`](crate::ParallelServerKey))
+//! spawns a fresh set of OS threads for every call — fine for one large
+//! batch, wasteful for the steady stream of medium batches that inference
+//! workloads produce. [`BootstrapEngine`] instead spawns its worker pool
+//! **once** and feeds it through a channel:
 //!
 //! - workers hold an `Arc<ServerKey>` and stay warm for the engine's
 //!   lifetime, sharing the process-global transform caches (one FFT per
@@ -64,7 +64,9 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, ParamSet, ServerKey};
+//! use morphling_tfhe::{
+//!     BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Lut, ParamSet, ServerKey,
+//! };
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
@@ -76,7 +78,7 @@
 //! let engine = BootstrapEngine::builder().workers(2).build(Arc::clone(&server)).unwrap();
 //! let lut = Lut::identity(params.poly_size, 4);
 //! let cts: Vec<_> = (0..4).map(|m| client.encrypt(m, &mut rng)).collect();
-//! let out = engine.bootstrap_batch(&cts, &lut).unwrap();
+//! let out = engine.try_bootstrap_batch(&BatchRequest::shared(cts, lut)).unwrap();
 //! for (m, ct) in out.iter().enumerate() {
 //!     assert_eq!(client.decrypt(ct), m as u64);
 //! }
@@ -91,6 +93,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 
+use crate::bootstrapper::{BatchRequest, Bootstrapper};
 use crate::error::TfheError;
 use crate::faults::{corrupt_ciphertext, fault_key, FaultInjector, FaultPlan, FaultSite};
 use crate::lut::Lut;
@@ -700,8 +703,6 @@ impl BootstrapEngine {
     }
 
     /// Bootstrap a batch, every ciphertext through the same `lut`.
-    /// Results are in input order and bit-identical to
-    /// [`ServerKey::batch_bootstrap`].
     ///
     /// # Errors
     ///
@@ -710,6 +711,11 @@ impl BootstrapEngine {
     /// died, and — only once the retry budget is exhausted —
     /// [`TfheError::WorkerPanicked`], [`TfheError::JobTimedOut`], or
     /// [`TfheError::OutputCheckFailed`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a `BatchRequest` and call `Bootstrapper::try_bootstrap_batch` on the \
+                engine instead"
+    )]
     pub fn bootstrap_batch(
         &self,
         cts: &[LweCiphertext],
@@ -724,10 +730,15 @@ impl BootstrapEngine {
     ///
     /// # Errors
     ///
-    /// As [`bootstrap_batch`](Self::bootstrap_batch), plus
-    /// [`TfheError::LutIndexOutOfRange`] if `lut_of` references a missing
-    /// LUT, and [`TfheError::LutSelectorLengthMismatch`] if
+    /// As the shared-LUT path, plus [`TfheError::LutIndexOutOfRange`] if
+    /// `lut_of` references a missing LUT, and
+    /// [`TfheError::LutSelectorLengthMismatch`] if
     /// `lut_of.len() != cts.len()`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a per-item `BatchRequest` (`BatchRequest::per_item`) and call \
+                `Bootstrapper::try_bootstrap_batch` on the engine instead"
+    )]
     pub fn bootstrap_batch_multi(
         &self,
         cts: &[LweCiphertext],
@@ -1060,6 +1071,22 @@ impl BootstrapEngine {
     }
 }
 
+/// The pooled backend: requests route through the persistent self-healing
+/// worker pool. [`BatchRequest::threads`] and
+/// [`BatchRequest::deadline`] are ignored — the pool was sized at
+/// construction and executes immediately (put a
+/// [`Dispatcher`](crate::dispatch::Dispatcher) in front for
+/// deadline-aware batching).
+impl Bootstrapper for BootstrapEngine {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        self.submit(
+            req.ciphertexts().to_vec(),
+            req.luts().to_vec(),
+            req.selectors().map(|s| s.to_vec()),
+        )
+    }
+}
+
 impl Drop for BootstrapEngine {
     fn drop(&mut self) {
         self.shutdown();
@@ -1073,6 +1100,30 @@ mod tests {
     use crate::params::ParamSet;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Route a shared-LUT batch through the trait surface (what the
+    /// deprecated `bootstrap_batch` wrapper delegates to).
+    fn bb(
+        b: &impl Bootstrapper,
+        cts: &[LweCiphertext],
+        lut: &Lut,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        b.try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone()))
+    }
+
+    /// Route a per-item-LUT batch through the trait surface.
+    fn bbm(
+        b: &impl Bootstrapper,
+        cts: &[LweCiphertext],
+        luts: &[Lut],
+        lut_of: &[usize],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        b.try_bootstrap_batch(&BatchRequest::per_item(
+            cts.to_vec(),
+            luts.to_vec(),
+            lut_of.to_vec(),
+        )?)
+    }
 
     fn setup(seed: u64) -> (ClientKey, Arc<ServerKey>, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1090,8 +1141,8 @@ mod tests {
             .workers(3)
             .build(Arc::clone(&sk))
             .unwrap();
-        let seq = sk.batch_bootstrap(&cts, &lut);
-        let eng = engine.bootstrap_batch(&cts, &lut).unwrap();
+        let seq = bb(&*sk, &cts, &lut).unwrap();
+        let eng = bb(&engine, &cts, &lut).unwrap();
         assert_eq!(seq, eng);
     }
 
@@ -1107,7 +1158,7 @@ mod tests {
             let cts: Vec<_> = (0..5)
                 .map(|m| ck.encrypt((m + round) % 4, &mut rng))
                 .collect();
-            let out = engine.bootstrap_batch(&cts, &lut).unwrap();
+            let out = bb(&engine, &cts, &lut).unwrap();
             for (m, ct) in out.iter().enumerate() {
                 assert_eq!(ck.decrypt(ct), (m as u64 + round) % 4, "round={round}");
             }
@@ -1137,7 +1188,7 @@ mod tests {
             .workers(2)
             .build(Arc::clone(&sk))
             .unwrap();
-        let out = engine.bootstrap_batch_multi(&cts, &luts, &lut_of).unwrap();
+        let out = bbm(&engine, &cts, &luts, &lut_of).unwrap();
         let expect = |m: u64, sel: usize| match sel {
             0 => m,
             1 => (m + 1) % 4,
@@ -1160,22 +1211,22 @@ mod tests {
 
         let wrong_dim = crate::lwe::LweCiphertext::trivial(morphling_math::Torus32::ZERO, 3);
         assert!(matches!(
-            engine.bootstrap_batch(&[wrong_dim], &good_lut),
+            bb(&engine, &[wrong_dim], &good_lut),
             Err(TfheError::LweDimensionMismatch { .. })
         ));
 
         let wrong_lut = Lut::identity(sk.params().poly_size * 2, 4);
         assert!(matches!(
-            engine.bootstrap_batch(&cts, &wrong_lut),
+            bb(&engine, &cts, &wrong_lut),
             Err(TfheError::LutSizeMismatch { .. })
         ));
 
         assert!(matches!(
-            engine.bootstrap_batch_multi(&cts, std::slice::from_ref(&good_lut), &[1]),
+            bbm(&engine, &cts, std::slice::from_ref(&good_lut), &[1]),
             Err(TfheError::LutIndexOutOfRange { index: 1, luts: 1 })
         ));
         assert!(matches!(
-            engine.bootstrap_batch_multi(&cts, &[good_lut], &[0, 0]),
+            bbm(&engine, &cts, &[good_lut], &[0, 0]),
             Err(TfheError::LutSelectorLengthMismatch {
                 expected: 1,
                 got: 2
@@ -1195,7 +1246,7 @@ mod tests {
         );
         let engine = BootstrapEngine::builder().workers(1).build(sk).unwrap();
         let lut = Lut::identity(engine.server().params().poly_size, 4);
-        assert_eq!(engine.bootstrap_batch(&[], &lut).unwrap(), Vec::new());
+        assert_eq!(bb(&engine, &[], &lut).unwrap(), Vec::new());
     }
 
     #[test]
@@ -1208,14 +1259,14 @@ mod tests {
         // Malformed submissions are rejected before dispatch.
         let wrong_lut = Lut::identity(sk.params().poly_size * 2, 4);
         let cts = vec![ck.encrypt(1, &mut rng)];
-        assert!(engine.bootstrap_batch(&cts, &wrong_lut).is_err());
+        assert!(bb(&engine, &cts, &wrong_lut).is_err());
         assert_eq!(engine.stats().batches, 0, "rejected batch was counted");
         // Empty batches never reach the pool either.
         let lut = Lut::identity(sk.params().poly_size, 4);
-        assert!(engine.bootstrap_batch(&[], &lut).is_ok());
+        assert!(bb(&engine, &[], &lut).is_ok());
         assert_eq!(engine.stats().batches, 0, "empty batch was counted");
         // A dispatched batch counts exactly once.
-        engine.bootstrap_batch(&cts, &lut).unwrap();
+        bb(&engine, &cts, &lut).unwrap();
         assert_eq!(engine.stats().batches, 1);
     }
 
@@ -1228,7 +1279,7 @@ mod tests {
             .unwrap();
         let lut = Lut::identity(sk.params().poly_size, 4);
         let cts = vec![ck.encrypt(1, &mut rng)];
-        engine.bootstrap_batch(&cts, &lut).unwrap();
+        bb(&engine, &cts, &lut).unwrap();
         assert_eq!(engine.alive_workers(), 2);
         assert_eq!(engine.health(), EngineHealth::Healthy);
         engine.shutdown();
@@ -1236,7 +1287,7 @@ mod tests {
         assert_eq!(engine.health(), EngineHealth::Failed);
         // Submitting to the dead pool errors instead of hanging.
         assert_eq!(
-            engine.bootstrap_batch(&cts, &lut).err(),
+            bb(&engine, &cts, &lut).err(),
             Some(TfheError::EngineShutDown)
         );
         assert_eq!(engine.stats().batches, 1, "failed submit was counted");
@@ -1254,7 +1305,7 @@ mod tests {
             .chunk_size(2)
             .build(Arc::clone(&sk))
             .unwrap();
-        engine.bootstrap_batch(&cts, &lut).unwrap();
+        bb(&engine, &cts, &lut).unwrap();
         let spans = engine.job_spans();
         assert_eq!(spans.len(), 3, "one span per 2-ciphertext chunk");
         assert_eq!(spans.iter().map(|s| s.bootstraps).sum::<usize>(), 6);
@@ -1277,8 +1328,8 @@ mod tests {
             .chunk_size(2)
             .build(Arc::clone(&sk))
             .unwrap();
-        let out = engine.bootstrap_batch(&cts, &lut).unwrap();
-        assert_eq!(out, sk.batch_bootstrap(&cts, &lut));
+        let out = bb(&engine, &cts, &lut).unwrap();
+        assert_eq!(out, bb(&*sk, &cts, &lut).unwrap());
     }
 
     #[test]
@@ -1294,8 +1345,8 @@ mod tests {
             .fault_plan(FaultPlan::seeded(4242).with_worker_panic(0.3))
             .build(Arc::clone(&sk))
             .unwrap();
-        let out = engine.bootstrap_batch(&cts, &lut).unwrap();
-        assert_eq!(out, sk.batch_bootstrap(&cts, &lut), "bit-identical");
+        let out = bb(&engine, &cts, &lut).unwrap();
+        assert_eq!(out, bb(&*sk, &cts, &lut).unwrap(), "bit-identical");
         let stats = engine.stats();
         assert!(stats.panics > 0, "seed 4242 must fire at rate 0.3");
         assert_eq!(stats.panics, stats.respawns, "every panic respawned");
@@ -1322,7 +1373,7 @@ mod tests {
             .fault_plan(FaultPlan::seeded(1).with_worker_panic(1.0))
             .build(Arc::clone(&sk))
             .unwrap();
-        let err = engine.bootstrap_batch(&cts, &lut).unwrap_err();
+        let err = bb(&engine, &cts, &lut).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -1336,7 +1387,7 @@ mod tests {
         }
         assert_eq!(engine.health(), EngineHealth::Failed);
         assert_eq!(
-            engine.bootstrap_batch(&cts, &lut).err(),
+            bb(&engine, &cts, &lut).err(),
             Some(TfheError::EngineShutDown)
         );
     }
@@ -1356,7 +1407,7 @@ mod tests {
             .build(Arc::clone(&sk))
             .unwrap();
         assert_eq!(
-            engine.bootstrap_batch(&cts, &lut).err(),
+            bb(&engine, &cts, &lut).err(),
             Some(TfheError::OutputCheckFailed { index: 0 })
         );
         let stats = engine.stats();

@@ -99,6 +99,24 @@ pub enum TfheError {
         /// Batch-relative index of the offending ciphertext.
         index: usize,
     },
+    /// A [`BatchRequest`](crate::BatchRequest) was built with ciphertexts
+    /// but no LUT at all — there is nothing to bootstrap through.
+    NoLutProvided,
+    /// The dispatcher's bounded admission queue is full; the request was
+    /// rejected without being enqueued (backpressure). Retry later or use
+    /// the blocking `submit` path.
+    QueueFull {
+        /// The queue's capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The request was cancelled via its ticket before execution started.
+    Cancelled,
+    /// The request's deadline passed while it was still queued; the
+    /// dispatcher dropped it instead of starting late work.
+    DeadlineExceeded,
+    /// The dispatcher has shut down (or its batcher thread died); the
+    /// request was not, and will not be, processed.
+    DispatcherShutDown,
 }
 
 impl std::fmt::Display for TfheError {
@@ -167,6 +185,19 @@ impl std::fmt::Display for TfheError {
             }
             Self::OutputCheckFailed { index } => {
                 write!(f, "bootstrap output {index} failed the output sanity check")
+            }
+            Self::NoLutProvided => {
+                write!(f, "batch request has ciphertexts but no LUT")
+            }
+            Self::QueueFull { capacity } => {
+                write!(f, "dispatcher queue full (capacity {capacity})")
+            }
+            Self::Cancelled => write!(f, "request cancelled before execution"),
+            Self::DeadlineExceeded => {
+                write!(f, "request deadline passed while still queued")
+            }
+            Self::DispatcherShutDown => {
+                write!(f, "dispatcher has shut down; request not processed")
             }
         }
     }

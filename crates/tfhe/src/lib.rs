@@ -23,7 +23,13 @@
 //! - a persistent, self-healing [`BootstrapEngine`] (watchdog, retry with
 //!   backoff, panic isolation with bounded respawn, degraded-mode
 //!   serving) plus deterministic seeded fault injection ([`faults`]) for
-//!   chaos testing it.
+//!   chaos testing it;
+//! - one batch-bootstrap entry point for all of the above: the
+//!   [`Bootstrapper`] trait over [`BatchRequest`], implemented by
+//!   [`ServerKey`] (sequential), [`ParallelServerKey`] (scoped threads),
+//!   [`BootstrapEngine`] (pooled), and the deadline-aware dynamic-batching
+//!   [`Dispatcher`](dispatch::Dispatcher) — the software analogue of the
+//!   paper's SW scheduler that keeps the cores fed with large batches.
 //!
 //! # Quickstart
 //!
@@ -50,6 +56,8 @@
 mod batch;
 mod bootstrap;
 mod bootstrap_key;
+mod bootstrapper;
+pub mod dispatch;
 mod engine;
 mod error;
 mod external_product;
@@ -70,6 +78,8 @@ mod workspace;
 
 pub use bootstrap::{blind_rotate, blind_rotate_assign, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
+pub use bootstrapper::{BatchRequest, BatchRequestBuilder, Bootstrapper, ParallelServerKey};
+pub use dispatch::{DispatchSpan, Dispatcher, DispatcherBuilder, DispatcherStats, Ticket};
 pub use engine::{
     BootstrapEngine, BootstrapEngineBuilder, EngineHealth, EngineStats, FaultEvent, FaultEventKind,
     JobSpan, OutputCheck,

@@ -5,7 +5,7 @@
 //! by the sanity check) and asserts the **survival contract**:
 //!
 //! - every returned output is bit-identical to the fault-free reference
-//!   ([`ServerKey::batch_bootstrap`]);
+//!   (the sequential [`Bootstrapper`] path on the bare [`ServerKey`]);
 //! - the engine ends the run `Healthy` or `Degraded`, never hung;
 //! - the fault counters and the event journal actually recorded the
 //!   injected faults (the run was a real chaos run, not a silent no-op);
@@ -19,7 +19,8 @@ use std::time::Duration;
 use morphling_math::TorusScalar;
 
 use morphling_tfhe::{
-    noise, BootstrapEngine, ClientKey, EngineHealth, FaultPlan, Lut, ParamSet, ServerKey, TfheError,
+    noise, BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, EngineHealth, FaultPlan, Lut,
+    LweCiphertext, ParamSet, ServerKey, TfheError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +30,15 @@ fn setup(seed: u64) -> (ClientKey, Arc<ServerKey>, StdRng) {
     let ck = ClientKey::generate(ParamSet::Test.params(), &mut rng);
     let sk = Arc::new(ServerKey::builder().build(&ck, &mut rng));
     (ck, sk, rng)
+}
+
+/// Shared-LUT batch through any [`Bootstrapper`] backend.
+fn bb(
+    backend: &impl Bootstrapper,
+    cts: &[LweCiphertext],
+    lut: &Lut,
+) -> Result<Vec<LweCiphertext>, TfheError> {
+    backend.try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone()))
 }
 
 fn batch(ck: &ClientKey, rng: &mut StdRng, n: usize) -> Vec<morphling_tfhe::LweCiphertext> {
@@ -43,7 +53,7 @@ fn chaos_worker_panics_survive_bit_identical() {
     let (ck, sk, mut rng) = setup(9001);
     let lut = Lut::identity(sk.params().poly_size, 4);
     let cts = batch(&ck, &mut rng, 16);
-    let reference = sk.batch_bootstrap(&cts, &lut);
+    let reference = bb(&*sk, &cts, &lut).expect("reference");
 
     let engine = BootstrapEngine::builder()
         .workers(3)
@@ -55,7 +65,7 @@ fn chaos_worker_panics_survive_bit_identical() {
         .build(Arc::clone(&sk))
         .expect("spawn pool");
 
-    let out = engine.bootstrap_batch(&cts, &lut).expect("survive panics");
+    let out = bb(&engine, &cts, &lut).expect("survive panics");
     assert_eq!(out, reference, "survivors must be bit-identical");
 
     let stats = engine.stats();
@@ -81,7 +91,7 @@ fn chaos_wedged_jobs_are_rescued_by_the_watchdog() {
     let (ck, sk, mut rng) = setup(9002);
     let lut = Lut::identity(sk.params().poly_size, 4);
     let cts = batch(&ck, &mut rng, 8);
-    let reference = sk.batch_bootstrap(&cts, &lut);
+    let reference = bb(&*sk, &cts, &lut).expect("reference");
 
     let engine = BootstrapEngine::builder()
         .workers(3)
@@ -93,7 +103,7 @@ fn chaos_wedged_jobs_are_rescued_by_the_watchdog() {
         .build(Arc::clone(&sk))
         .expect("spawn pool");
 
-    let out = engine.bootstrap_batch(&cts, &lut).expect("survive wedges");
+    let out = bb(&engine, &cts, &lut).expect("survive wedges");
     assert_eq!(out, reference, "survivors must be bit-identical");
 
     let stats = engine.stats();
@@ -112,7 +122,7 @@ fn chaos_corrupted_outputs_are_caught_by_the_sanity_check() {
     let (ck, sk, mut rng) = setup(9003);
     let lut = Lut::identity(sk.params().poly_size, 4);
     let cts = batch(&ck, &mut rng, 12);
-    let reference = sk.batch_bootstrap(&cts, &lut);
+    let reference = bb(&*sk, &cts, &lut).expect("reference");
 
     let check_ref = reference.clone();
     let engine = BootstrapEngine::builder()
@@ -125,9 +135,7 @@ fn chaos_corrupted_outputs_are_caught_by_the_sanity_check() {
         .build(Arc::clone(&sk))
         .expect("spawn pool");
 
-    let out = engine
-        .bootstrap_batch(&cts, &lut)
-        .expect("survive corruption");
+    let out = bb(&engine, &cts, &lut).expect("survive corruption");
     assert_eq!(out, reference, "only clean bits may be returned");
 
     let stats = engine.stats();
@@ -156,10 +164,10 @@ fn chaos_zero_rate_plan_is_a_noop() {
         .build(Arc::clone(&sk))
         .expect("spawn pool");
 
-    let a = plain.bootstrap_batch(&cts, &lut).expect("plain");
-    let b = chaos.bootstrap_batch(&cts, &lut).expect("zero-rate");
+    let a = bb(&plain, &cts, &lut).expect("plain");
+    let b = bb(&chaos, &cts, &lut).expect("zero-rate");
     assert_eq!(a, b, "zero-rate plan must not change a single bit");
-    assert_eq!(a, sk.batch_bootstrap(&cts, &lut));
+    assert_eq!(a, bb(&*sk, &cts, &lut).expect("reference"));
 
     let stats = chaos.stats();
     assert_eq!(
@@ -193,9 +201,7 @@ fn chaos_full_pool_death_errors_instead_of_hanging() {
         .build(Arc::clone(&sk))
         .expect("spawn pool");
 
-    let err = engine
-        .bootstrap_batch(&cts, &lut)
-        .expect_err("a fully dead pool cannot serve");
+    let err = bb(&engine, &cts, &lut).expect_err("a fully dead pool cannot serve");
     assert!(
         matches!(
             err,
@@ -210,7 +216,7 @@ fn chaos_full_pool_death_errors_instead_of_hanging() {
     }
     assert_eq!(engine.health(), EngineHealth::Failed);
     assert_eq!(
-        engine.bootstrap_batch(&cts, &lut).err(),
+        bb(&engine, &cts, &lut).err(),
         Some(TfheError::EngineShutDown)
     );
     let events = engine.fault_events();
@@ -228,13 +234,13 @@ fn chaos_shutdown_is_idempotent_and_terminal() {
         .workers(2)
         .build(Arc::clone(&sk))
         .expect("spawn pool");
-    engine.bootstrap_batch(&cts, &lut).expect("healthy batch");
+    bb(&engine, &cts, &lut).expect("healthy batch");
     engine.shutdown();
     engine.shutdown();
     engine.shutdown();
     assert_eq!(engine.health(), EngineHealth::Failed);
     assert_eq!(
-        engine.bootstrap_batch(&cts, &lut).err(),
+        bb(&engine, &cts, &lut).err(),
         Some(TfheError::EngineShutDown)
     );
 }

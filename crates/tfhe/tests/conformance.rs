@@ -1,0 +1,164 @@
+//! One conformance suite, four backends.
+//!
+//! Every [`Bootstrapper`] implementation — the sequential [`ServerKey`],
+//! the scoped-thread [`ParallelServerKey`], the persistent
+//! [`BootstrapEngine`] pool, and the dynamic-batching [`Dispatcher`] —
+//! must satisfy the same contract:
+//!
+//! - shared-LUT batches are **bit-identical** to the sequential
+//!   reference, element for element, in submission order;
+//! - per-item-LUT batches route ciphertext `i` through `luts[lut_of[i]]`
+//!   and stay bit-identical;
+//! - the empty batch is `Ok(vec![])`;
+//! - malformed inputs (foreign-key ciphertexts) surface as errors, never
+//!   panics or silent corruption.
+//!
+//! A backend that passes here is a drop-in replacement for any other.
+
+use std::sync::{Arc, OnceLock};
+
+use morphling_tfhe::{
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Dispatcher, Lut, LweCiphertext,
+    ParallelServerKey, ParamSet, ServerKey, TfheError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    client: ClientKey,
+    server: Arc<ServerKey>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC04F);
+        let client = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+        let server = Arc::new(ServerKey::builder().build(&client, &mut rng));
+        Fixture { client, server }
+    })
+}
+
+fn encrypt_batch(n: usize, seed: u64) -> Vec<LweCiphertext> {
+    let f = fixture();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|m| f.client.encrypt(m as u64 % 4, &mut rng))
+        .collect()
+}
+
+/// The full conformance contract, run against one backend.
+fn assert_conforms<B: Bootstrapper>(backend: &B, name: &str) {
+    let f = fixture();
+    let poly = f.server.params().poly_size;
+
+    // Shared-LUT parity with the sequential reference.
+    let lut = Lut::from_fn(poly, 4, |m| (3 * m + 1) % 4);
+    let cts = encrypt_batch(7, 0xA11CE);
+    let req = BatchRequest::shared(cts.clone(), lut.clone());
+    let want = f
+        .server
+        .try_bootstrap_batch(&req)
+        .expect("reference shared batch");
+    let got = backend
+        .try_bootstrap_batch(&req)
+        .unwrap_or_else(|e| panic!("{name}: shared batch failed: {e}"));
+    assert_eq!(
+        got, want,
+        "{name}: shared-LUT outputs must be bit-identical"
+    );
+
+    // Per-item-LUT parity: alternating identity / affine tables.
+    let luts = vec![Lut::identity(poly, 4), lut];
+    let lut_of: Vec<usize> = (0..cts.len()).map(|i| i % 2).collect();
+    let req = BatchRequest::per_item(cts, luts, lut_of).expect("valid per-item request");
+    let want = f
+        .server
+        .try_bootstrap_batch(&req)
+        .expect("reference per-item batch");
+    let got = backend
+        .try_bootstrap_batch(&req)
+        .unwrap_or_else(|e| panic!("{name}: per-item batch failed: {e}"));
+    assert_eq!(got, want, "{name}: per-item outputs must be bit-identical");
+
+    // The empty batch is a no-op, not an error.
+    let empty = BatchRequest::shared(Vec::new(), Lut::identity(poly, 4));
+    assert_eq!(
+        backend.try_bootstrap_batch(&empty),
+        Ok(Vec::new()),
+        "{name}: empty batch must be Ok(vec![])"
+    );
+
+    // Ciphertexts from a foreign key (wrong LWE dimension) must surface
+    // as an error — no panic, no silent garbage.
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    let foreign_ck = ClientKey::generate(ParamSet::TestMedium.params(), &mut rng);
+    let foreign = vec![foreign_ck.encrypt(1, &mut rng)];
+    let req = BatchRequest::shared(foreign, Lut::identity(poly, 4));
+    assert!(
+        backend.try_bootstrap_batch(&req).is_err(),
+        "{name}: foreign-key ciphertexts must be rejected"
+    );
+}
+
+#[test]
+fn server_key_conforms() {
+    assert_conforms(&*fixture().server, "ServerKey");
+}
+
+#[test]
+fn parallel_server_key_conforms() {
+    let psk = ParallelServerKey::new(Arc::clone(&fixture().server), 3).expect("nonzero threads");
+    assert_conforms(&psk, "ParallelServerKey");
+}
+
+#[test]
+fn bootstrap_engine_conforms() {
+    let engine = BootstrapEngine::builder()
+        .workers(2)
+        .chunk_size(2)
+        .build(Arc::clone(&fixture().server))
+        .expect("spawn pool");
+    assert_conforms(&engine, "BootstrapEngine");
+}
+
+#[test]
+fn dispatcher_conforms() {
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(4)
+        .max_linger(std::time::Duration::from_millis(1))
+        .build(Arc::clone(&fixture().server));
+    assert_conforms(&dispatcher, "Dispatcher");
+}
+
+/// Malformed requests are caught at construction, uniformly for every
+/// backend (the builder is the single validation point).
+#[test]
+fn builder_rejects_malformed_requests() {
+    let f = fixture();
+    let poly = f.server.params().poly_size;
+    let cts = encrypt_batch(3, 0x5EED);
+
+    // Ciphertexts but no LUT.
+    assert_eq!(
+        BatchRequest::builder()
+            .ciphertexts(cts.clone())
+            .build()
+            .err(),
+        Some(TfheError::NoLutProvided)
+    );
+    // Selector list of the wrong length.
+    assert!(matches!(
+        BatchRequest::per_item(
+            cts.clone(),
+            vec![Lut::identity(poly, 4), Lut::identity(poly, 4)],
+            vec![0, 1],
+        ),
+        Err(TfheError::LutSelectorLengthMismatch { .. })
+    ));
+    // Selector out of range.
+    assert!(matches!(
+        BatchRequest::per_item(cts, vec![Lut::identity(poly, 4)], vec![0, 0, 1]),
+        Err(TfheError::LutIndexOutOfRange { .. })
+    ));
+}

@@ -1,0 +1,274 @@
+//! Seeded chaos harness for the dynamic-batching [`Dispatcher`].
+//!
+//! Random interleavings of submissions, cancellations, and deadlines —
+//! over a fault-injected [`BootstrapEngine`] backend — must uphold the
+//! serving contract:
+//!
+//! - **no request is lost**: every ticket resolves (success, cancelled,
+//!   expired, or failed) and the counters account for every submission;
+//! - **no request is corrupted or reordered**: every success is
+//!   bit-identical to the sequential [`ServerKey`] reference for *that*
+//!   request;
+//! - **backpressure is loud**: a full queue surfaces as
+//!   [`TfheError::QueueFull`] on `try_submit`, never a silent drop.
+//!
+//! All seeds are fixed, so CI failures replay locally.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use morphling_tfhe::{
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Dispatcher, FaultPlan, Lut,
+    LweCiphertext, ParamSet, ServerKey, TfheError,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(seed: u64) -> (ClientKey, Arc<ServerKey>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ck = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+    let sk = Arc::new(ServerKey::builder().build(&ck, &mut rng));
+    (ck, sk, rng)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Normal,
+    Cancelled,
+    PastDeadline,
+}
+
+/// Random submit / cancel / deadline interleavings over a worker pool
+/// that panics 15% of the time (and self-heals). Every ticket must
+/// resolve, successes must be bit-identical to the sequential reference,
+/// and the dispatcher counters must add up to exactly the submissions.
+#[test]
+fn dispatch_chaos_accounts_for_every_request() {
+    let (ck, sk, mut rng) = setup(0xD15A);
+    let poly = sk.params().poly_size;
+    let lut = Arc::new(Lut::from_fn(poly, 4, |m| (m + 1) % 4));
+
+    let engine = BootstrapEngine::builder()
+        .workers(2)
+        .chunk_size(2)
+        .respawn_budget(256)
+        .max_retries(8)
+        .retry_backoff(Duration::from_micros(100))
+        .fault_plan(FaultPlan::seeded(0xFA57).with_worker_panic(0.15))
+        .build(Arc::clone(&sk))
+        .expect("spawn pool");
+
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(4)
+        .max_linger(Duration::from_millis(2))
+        .queue_capacity(64)
+        .build(engine);
+
+    let total = 40usize;
+    let mut tickets = Vec::with_capacity(total);
+    for i in 0..total {
+        let m = i as u64 % 4;
+        let ct = ck.encrypt(m, &mut rng);
+        let expected = sk.programmable_bootstrap(&ct, &lut);
+        let kind = match rng.gen_range(0..10u32) {
+            0 => Kind::Cancelled,
+            1 => Kind::PastDeadline,
+            _ => Kind::Normal,
+        };
+        let deadline = match kind {
+            // Already in the past: must expire, never execute late.
+            Kind::PastDeadline => Some(Instant::now() - Duration::from_millis(5)),
+            _ => None,
+        };
+        let ticket = dispatcher
+            .submit(ct, Arc::clone(&lut), deadline)
+            .expect("queue has room for the whole run");
+        if kind == Kind::Cancelled {
+            ticket.cancel();
+        }
+        tickets.push((kind, expected, ticket));
+        // Occasionally pause so batches form at varied sizes.
+        if rng.gen_range(0..4u32) == 0 {
+            std::thread::sleep(Duration::from_micros(rng.gen_range(0..400)));
+        }
+    }
+
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    let mut expired = 0u64;
+    let mut failed = 0u64;
+    for (kind, expected, ticket) in tickets {
+        match ticket.wait() {
+            Ok(out) => {
+                assert_eq!(
+                    out, expected,
+                    "a served request must be bit-identical to the reference"
+                );
+                assert_ne!(kind, Kind::PastDeadline, "expired work must not run");
+                completed += 1;
+            }
+            Err(TfheError::Cancelled) => {
+                assert_eq!(kind, Kind::Cancelled, "only cancelled requests may say so");
+                cancelled += 1;
+            }
+            Err(TfheError::DeadlineExceeded) => {
+                assert_eq!(kind, Kind::PastDeadline, "only stale requests may expire");
+                expired += 1;
+            }
+            Err(e) => {
+                // The fault-injected backend may exhaust retries; that is
+                // a loud failure, which the contract permits — losing the
+                // request silently is what it forbids.
+                assert_eq!(kind, Kind::Normal, "unexpected error {e} for {kind:?}");
+                failed += 1;
+            }
+        }
+    }
+
+    let stats = dispatcher.stats();
+    assert_eq!(stats.submitted, total as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(
+        stats.completed + stats.cancelled + stats.expired + stats.failed,
+        stats.submitted,
+        "every submission must be accounted for: {stats:?}"
+    );
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.cancelled, cancelled);
+    assert_eq!(stats.expired, expired);
+    assert_eq!(stats.failed, failed);
+    assert!(stats.batches > 0);
+    assert!(stats.mean_batch_size >= 1.0);
+    // The journal covers exactly the requests that reached a batch.
+    assert_eq!(dispatcher.spans().len() as u64, stats.batched);
+}
+
+/// A backend that blocks on a gate: lets the test wedge the batcher
+/// deterministically and fill the queue to the brim.
+struct GatedBackend {
+    inner: Arc<ServerKey>,
+    gate: Mutex<mpsc::Receiver<()>>,
+}
+
+impl Bootstrapper for GatedBackend {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.recv().map_err(|_| TfheError::EngineShutDown)?;
+        self.inner.try_bootstrap_batch(req)
+    }
+}
+
+/// Fill the bounded queue while the batcher is wedged in the backend:
+/// `try_submit` must report [`TfheError::QueueFull`] with the configured
+/// capacity, and once the gate opens every accepted request must still
+/// complete bit-identically.
+#[test]
+fn dispatch_chaos_backpressure_is_loud_and_lossless() {
+    let (ck, sk, mut rng) = setup(0xB10C);
+    let poly = sk.params().poly_size;
+    let lut = Arc::new(Lut::identity(poly, 4));
+    let (open, gate) = mpsc::channel();
+    let backend = GatedBackend {
+        inner: Arc::clone(&sk),
+        gate: Mutex::new(gate),
+    };
+
+    let capacity = 3usize;
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(1)
+        .max_linger(Duration::ZERO)
+        .queue_capacity(capacity)
+        .build(backend);
+
+    // First request is popped by the batcher and wedges in the backend.
+    let first_ct = ck.encrypt(1, &mut rng);
+    let first_expected = sk.programmable_bootstrap(&first_ct, &lut);
+    let first = dispatcher
+        .submit(first_ct, Arc::clone(&lut), None)
+        .expect("first submit");
+    // Wait until the batcher has actually taken it out of the queue.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while dispatcher.spans().is_empty() && first.try_wait().is_none() {
+        assert!(Instant::now() < deadline, "batcher never picked up work");
+        if dispatcher.stats().batches > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Now fill the queue to capacity behind the wedged batch...
+    let mut queued = Vec::new();
+    for m in 0..capacity as u64 {
+        let ct = ck.encrypt(m % 4, &mut rng);
+        let expected = sk.programmable_bootstrap(&ct, &lut);
+        let t = loop {
+            match dispatcher.try_submit(ct.clone(), Arc::clone(&lut), None) {
+                Ok(t) => break t,
+                // The batcher may still be between queue and gate; retry.
+                Err(TfheError::QueueFull { .. }) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        };
+        queued.push((expected, t));
+        if queued.len() == capacity {
+            break;
+        }
+    }
+
+    // ...and the next try_submit must refuse, loudly, with the capacity.
+    let overflow = dispatcher.try_submit(ck.encrypt(0, &mut rng), Arc::clone(&lut), None);
+    assert_eq!(
+        overflow.err(),
+        Some(TfheError::QueueFull { capacity }),
+        "a full queue must backpressure"
+    );
+
+    // Open the gate for every wedged + queued batch and drain.
+    for _ in 0..(capacity + 2) {
+        let _ = open.send(());
+    }
+    assert_eq!(
+        first.wait().expect("first request completes"),
+        first_expected
+    );
+    for (expected, t) in queued {
+        assert_eq!(t.wait().expect("queued request completes"), expected);
+    }
+    let stats = dispatcher.stats();
+    assert_eq!(stats.rejected, 1, "exactly one overflow was refused");
+    assert_eq!(stats.completed, capacity as u64 + 1);
+}
+
+/// Shutdown while requests are still queued: drain semantics — everything
+/// already accepted completes; nothing hangs.
+#[test]
+fn dispatch_chaos_shutdown_drains_without_loss() {
+    let (ck, sk, mut rng) = setup(0xD0E5);
+    let poly = sk.params().poly_size;
+    let lut = Arc::new(Lut::identity(poly, 4));
+    let mut dispatcher = Dispatcher::builder()
+        .max_batch_size(8)
+        .max_linger(Duration::from_millis(50))
+        .build(Arc::clone(&sk));
+
+    let tickets: Vec<_> = (0..6u64)
+        .map(|m| {
+            let ct = ck.encrypt(m % 4, &mut rng);
+            let expected = sk.programmable_bootstrap(&ct, &lut);
+            let t = dispatcher
+                .submit(ct, Arc::clone(&lut), None)
+                .expect("submit");
+            (expected, t)
+        })
+        .collect();
+    dispatcher.shutdown();
+    for (expected, t) in tickets {
+        assert_eq!(t.wait().expect("drained on shutdown"), expected);
+    }
+    // Post-shutdown submissions are refused, not hung.
+    assert_eq!(
+        dispatcher.submit(ck.encrypt(0, &mut rng), lut, None).err(),
+        Some(TfheError::DispatcherShutDown)
+    );
+}

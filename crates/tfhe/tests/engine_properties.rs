@@ -1,15 +1,25 @@
 //! Property tests for the persistent [`BootstrapEngine`]: across random
 //! batch sizes, worker counts, and chunkings, the engine must be
-//! **bit-identical** to the sequential `batch_bootstrap` path — same
-//! ciphertexts, not just same decryptions — and its statistics must add
-//! up exactly.
+//! **bit-identical** to the sequential [`Bootstrapper`] path on the bare
+//! [`ServerKey`] — same ciphertexts, not just same decryptions — and its
+//! statistics must add up exactly.
 
 use std::sync::{Arc, OnceLock};
 
-use morphling_tfhe::{BootstrapEngine, ClientKey, Lut, LweCiphertext, ParamSet, ServerKey};
+use morphling_tfhe::{
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Lut, LweCiphertext, ParallelServerKey,
+    ParamSet, ServerKey,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Shared-LUT batch through any [`Bootstrapper`] backend.
+fn bb(backend: &impl Bootstrapper, cts: &[LweCiphertext], lut: &Lut) -> Vec<LweCiphertext> {
+    backend
+        .try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone()))
+        .expect("valid batch")
+}
 
 /// Key material is expensive; generate once and share across all cases.
 struct Fixture {
@@ -53,8 +63,8 @@ proptest! {
             .chunk_size(chunk)
             .build(Arc::clone(&f.server))
             .expect("workers >= 1");
-        let seq = f.server.batch_bootstrap(&cts, &lut);
-        let eng = engine.bootstrap_batch(&cts, &lut).expect("valid batch");
+        let seq = bb(&*f.server, &cts, &lut);
+        let eng = bb(&engine, &cts, &lut);
         // Bit-identical, element for element — not merely decrypt-equal.
         prop_assert_eq!(seq, eng);
     }
@@ -74,8 +84,10 @@ proptest! {
         for (round, &size) in sizes.iter().enumerate() {
             let msgs: Vec<u64> = (0..size as u64).map(|i| (i + round as u64) % 4).collect();
             let cts = encrypt_batch(&msgs);
-            let eng = engine.bootstrap_batch(&cts, &lut).expect("valid batch");
-            let par = f.server.batch_bootstrap_parallel(&cts, &lut, workers.max(2));
+            let eng = bb(&engine, &cts, &lut);
+            let psk = ParallelServerKey::new(Arc::clone(&f.server), workers.max(2))
+                .expect("nonzero threads");
+            let par = bb(&psk, &cts, &lut);
             prop_assert_eq!(&eng, &par);
             expected_bootstraps += size as u64;
         }
@@ -100,7 +112,7 @@ fn stats_reset_zeroes_every_counter() {
         .build(Arc::clone(&f.server))
         .expect("workers");
     let cts = encrypt_batch(&[1, 2, 3]);
-    let _ = engine.bootstrap_batch(&cts, &lut).expect("valid batch");
+    let _ = bb(&engine, &cts, &lut);
     assert_eq!(engine.stats().bootstraps, 3);
     engine.reset_stats();
     let zeroed = engine.stats();

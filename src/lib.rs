@@ -42,17 +42,21 @@ pub use morphling_transform as transform;
 /// The types nearly every consumer touches, importable in one line:
 /// `use morphling_repro::prelude::*;`.
 ///
-/// Client/server key material, the persistent [`BootstrapEngine`] with
-/// its health/fault-plan surface, LUTs and ciphertexts, the paper's
-/// parameter sets, and the accelerator simulator. Deeper items
-/// (schedulers, radix integers, app models) stay behind their module
-/// paths.
+/// Client/server key material, the unified [`Bootstrapper`] batch API
+/// with its [`BatchRequest`] and every backend — sequential
+/// [`ServerKey`], scoped-thread [`ParallelServerKey`], the persistent
+/// [`BootstrapEngine`] with its health/fault-plan surface, and the
+/// deadline-aware dynamic-batching [`Dispatcher`] — plus LUTs and
+/// ciphertexts, the paper's parameter sets, and the accelerator
+/// simulator. Deeper items (schedulers, radix integers, app models)
+/// stay behind their module paths.
 pub mod prelude {
     pub use morphling_core::faults::SimFaultPlan;
     pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
     pub use morphling_tfhe::{
-        BootstrapEngine, BootstrapEngineBuilder, BootstrapWorkspace, ClientKey, EngineHealth,
-        EngineStats, FaultPlan, Lut, LweCiphertext, MulBackend, ParamSet, ServerKey,
-        ServerKeyBuilder, TfheError, TfheParams,
+        BatchRequest, BootstrapEngine, BootstrapEngineBuilder, BootstrapWorkspace, Bootstrapper,
+        ClientKey, Dispatcher, DispatcherStats, EngineHealth, EngineStats, FaultPlan, Lut,
+        LweCiphertext, MulBackend, ParallelServerKey, ParamSet, ServerKey, ServerKeyBuilder,
+        TfheError, TfheParams, Ticket,
     };
 }

@@ -42,15 +42,26 @@ fn bootstrap_round_trip_across_all_paths() {
     }
 
     // Engine path: the worker pool (each worker holds its own long-lived
-    // workspace) returns the same ciphertexts in order.
+    // workspace) returns the same ciphertexts in order, through the
+    // unified `Bootstrapper` batch API.
     let engine = BootstrapEngine::builder()
         .workers(2)
         .build(Arc::clone(&server))
         .expect("nonzero workers");
-    let pooled = engine.bootstrap_batch(&cts, &lut).expect("engine batch");
+    let req = BatchRequest::shared(cts.clone(), lut.clone());
+    let pooled = engine.try_bootstrap_batch(&req).expect("engine batch");
     assert_eq!(pooled, plain, "engine path diverged from plain path");
     assert_eq!(engine.stats().bootstraps, 4);
     assert!(engine.stats().mean_bootstrap_time().is_some());
+
+    // Dispatcher path: the dynamic-batching front-end coalesces the same
+    // requests and returns the same bits.
+    let dispatcher = Dispatcher::new(Arc::clone(&server));
+    let dispatched = dispatcher
+        .try_bootstrap_batch(&req)
+        .expect("dispatcher batch");
+    assert_eq!(dispatched, plain, "dispatcher path diverged");
+    assert_eq!(dispatcher.stats().completed, 4);
 }
 
 /// The accelerator model answers through the umbrella: a simulated
