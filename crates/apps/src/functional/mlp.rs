@@ -140,6 +140,54 @@ impl<'a> EncryptedMlp<'a> {
         let decide = Lut::from_fn(n_poly, p, move |s| u64::from(s >= threshold));
         self.server.try_programmable_bootstrap(&acc, &decide)
     }
+
+    /// Inference returning the class **and** a decision margin — how far
+    /// the output accumulator sits above the threshold, clamped to
+    /// `[0, 3]` — with both LUTs evaluated from *one* blind rotation of
+    /// the final accumulator via
+    /// [multi-value bootstrapping](ServerKey::try_programmable_bootstrap_many).
+    /// A second read of the same accumulator is free where a second
+    /// bootstrap used to be the price of the extra output.
+    ///
+    /// Both outputs decode exactly like their single-LUT counterparts
+    /// (the shared-rotation derivation adds bounded noise, absorbed by
+    /// the small output ranges).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the bootstrap.
+    pub fn infer_with_margin(
+        &self,
+        model: &MlpModel,
+        x0: &LweCiphertext,
+        x1: &LweCiphertext,
+    ) -> Result<(LweCiphertext, LweCiphertext), TfheError> {
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let shift = model.relu_shift;
+        let relu = Lut::from_fn(n_poly, p, move |s| s.saturating_sub(shift));
+        let inputs = [x0.clone(), x1.clone()];
+        let mut acc: Option<LweCiphertext> = None;
+        for (&(w0, w1, b), &v) in model.hidden.iter().zip(&model.output) {
+            let s = ops::affine(&inputs, &[w0, w1], Torus32::encode(b, 2 * p));
+            let a = self.server.try_programmable_bootstrap(&s, &relu)?;
+            let term = a.scalar_mul(v);
+            acc = Some(match acc {
+                Some(prev) => prev.add(&term),
+                None => term,
+            });
+        }
+        let acc = acc.expect("at least one hidden neuron");
+        let threshold = model.threshold;
+        let decide = Lut::from_fn(n_poly, p, move |s| u64::from(s >= threshold));
+        let margin = Lut::from_fn(n_poly, p, move |s| s.saturating_sub(threshold).min(3));
+        let mut outs = self
+            .server
+            .try_programmable_bootstrap_many(&acc, &[decide, margin])?;
+        let margin_ct = outs.pop().expect("two outputs for two LUTs");
+        let class_ct = outs.pop().expect("two outputs for two LUTs");
+        Ok((class_ct, margin_ct))
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +250,33 @@ mod tests {
         }
         // Two hidden ReLUs per inference go through the engine.
         assert_eq!(engine.stats().bootstraps, 4 * 2);
+    }
+
+    #[test]
+    fn margin_inference_decodes_class_and_distance() {
+        let mut rng = StdRng::seed_from_u64(206);
+        let params = ParamSet::TestMedium.params().with_plaintext_modulus(16);
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let mlp = EncryptedMlp::new(&sk);
+        let model = MlpModel::demo();
+        for (x0, x1) in [(0u64, 0u64), (1, 3), (3, 1), (3, 3)] {
+            let c0 = ck.encrypt(x0, &mut rng);
+            let c1 = ck.encrypt(x1, &mut rng);
+            let (class, margin) = mlp.infer_with_margin(&model, &c0, &c1).unwrap();
+            assert_eq!(
+                ck.decrypt(&class),
+                model.infer_clear(x0, x1),
+                "x0={x0} x1={x1}"
+            );
+            // Clear margin: accumulator distance above the threshold, ≤ 3.
+            let mut acc = 0u64;
+            for (&(w0, w1, b), &v) in model.hidden.iter().zip(&model.output) {
+                let s = (w0 as u64) * x0 + (w1 as u64) * x1 + b;
+                acc += (v as u64) * s.saturating_sub(model.relu_shift);
+            }
+            let expect = acc.saturating_sub(model.threshold).min(3);
+            assert_eq!(ck.decrypt(&margin), expect, "x0={x0} x1={x1}");
+        }
     }
 }

@@ -31,6 +31,23 @@ impl DecisionTree {
         let d1 = u64::from(features[child.0] >= child.1);
         self.leaves[(2 * d0 + d1) as usize]
     }
+
+    /// Distinct features the tree tests, each paired with the node tests
+    /// (0 = root, 1 = left, 2 = right) that read it, in first-appearance
+    /// order. This is the grouping multi-value bootstrapping exploits:
+    /// every test of one feature evaluates from a *single* blind rotation,
+    /// so a tree whose children share a feature costs `node_groups().len()`
+    /// rotations instead of three.
+    pub fn node_groups(&self) -> Vec<(usize, Vec<usize>)> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (node, &(feat, _)) in [self.root, self.left, self.right].iter().enumerate() {
+            match groups.iter_mut().find(|(f, _)| *f == feat) {
+                Some((_, nodes)) => nodes.push(node),
+                None => groups.push((feat, vec![node])),
+            }
+        }
+        groups
+    }
 }
 
 /// Evaluates [`DecisionTree`]s on encrypted features.
@@ -119,6 +136,58 @@ impl<'a> EncryptedTreeEvaluator<'a> {
         self.server.try_programmable_bootstrap(&index, &leaf_lut)
     }
 
+    /// [`classify`](Self::classify) with the node comparisons grouped by
+    /// feature into a **fanout** [`BatchRequest`]: every threshold test of
+    /// one feature evaluates from a single blind rotation via multi-value
+    /// bootstrapping ([`DecisionTree::node_groups`]). The demo-shaped tree
+    /// whose children share a feature costs 2 rotations instead of 3.
+    ///
+    /// Outputs decode identically to [`classify`](Self::classify) but are
+    /// *not* bit-identical: the shared-rotation derivation carries a small
+    /// (bounded) noise amplification, which the final leaf-lookup
+    /// bootstrap absorbs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the backend.
+    pub fn classify_multivalue<B: Bootstrapper + ?Sized>(
+        &self,
+        backend: &B,
+        tree: &DecisionTree,
+        features: &[LweCiphertext],
+    ) -> Result<LweCiphertext, TfheError> {
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let ge = |threshold: u64| Lut::from_fn(n_poly, p, move |x| u64::from(x >= threshold));
+        let luts = vec![ge(tree.root.1), ge(tree.left.1), ge(tree.right.1)];
+        let groups = tree.node_groups();
+        let cts: Vec<LweCiphertext> = groups.iter().map(|&(f, _)| features[f].clone()).collect();
+        let fanout: Vec<Vec<usize>> = groups.iter().map(|(_, nodes)| nodes.clone()).collect();
+        let outs = backend.try_bootstrap_batch(&BatchRequest::fanned_out(cts, luts, fanout)?)?;
+        // Un-flatten the group-major outputs back into node order.
+        let mut decisions: Vec<Option<LweCiphertext>> = vec![None; 3];
+        let mut outs = outs.into_iter();
+        for (_, nodes) in &groups {
+            for &node in nodes {
+                decisions[node] = outs.next();
+            }
+        }
+        let d: Vec<LweCiphertext> = decisions
+            .into_iter()
+            .map(|o| o.expect("backend returned one output per node test"))
+            .collect();
+        let index = d[0].scalar_mul(4).add(&d[1].scalar_mul(2)).add(&d[2]);
+        let leaves = tree.leaves;
+        let leaf_lut = Lut::from_fn(n_poly, p, move |idx| {
+            let d0 = (idx >> 2) & 1;
+            let d1 = (idx >> 1) & 1;
+            let d2 = idx & 1;
+            let taken = if d0 == 1 { d2 } else { d1 };
+            leaves[(2 * d0 + taken) as usize]
+        });
+        self.server.try_programmable_bootstrap(&index, &leaf_lut)
+    }
+
     /// Classify and decrypt (testing convenience; needs the client key).
     pub fn classify_and_decrypt(
         &self,
@@ -185,5 +254,56 @@ mod tests {
         }
         // The three oblivious comparisons per call went through the pool.
         assert_eq!(engine.stats().bootstraps, 4 * 3);
+    }
+
+    #[test]
+    fn node_groups_fold_shared_features() {
+        let shared = DecisionTree {
+            root: (0, 4),
+            left: (1, 2),
+            right: (1, 6),
+            leaves: [0, 1, 2, 3],
+        };
+        assert_eq!(shared.node_groups(), vec![(0, vec![0]), (1, vec![1, 2])]);
+        let disjoint = DecisionTree {
+            root: (0, 4),
+            left: (1, 2),
+            right: (2, 6),
+            leaves: [0, 1, 2, 3],
+        };
+        assert_eq!(disjoint.node_groups().len(), 3);
+    }
+
+    #[test]
+    fn multivalue_classification_decodes_like_sequential() {
+        let mut rng = StdRng::seed_from_u64(205);
+        let params = ParamSet::TestMedium.params();
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = std::sync::Arc::new(ServerKey::new(&ck, &mut rng));
+        let engine = morphling_tfhe::BootstrapEngine::builder()
+            .workers(2)
+            .build(std::sync::Arc::clone(&sk))
+            .unwrap();
+        let eval = EncryptedTreeEvaluator::new(&sk);
+        // Both children test feature 1 → two rotations per classification.
+        let tree = DecisionTree {
+            root: (0, 4),
+            left: (1, 2),
+            right: (1, 6),
+            leaves: [0, 1, 2, 3],
+        };
+        for (x0, x1) in [(0u64, 0u64), (3, 5), (4, 2), (7, 7)] {
+            let feats = vec![ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)];
+            let fused = eval.classify_multivalue(&engine, &tree, &feats).unwrap();
+            assert_eq!(
+                ck.decrypt(&fused),
+                tree.classify_clear(&[x0, x1]),
+                "x0={x0} x1={x1}"
+            );
+        }
+        // 2 rotations (not 3) per classification, still 3 extractions.
+        let stats = engine.stats();
+        assert_eq!(stats.bootstraps, 4 * 2);
+        assert_eq!(stats.extractions, 4 * 3);
     }
 }

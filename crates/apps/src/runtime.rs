@@ -298,6 +298,78 @@ impl<'a, B: Bootstrapper + ?Sized> InferenceDriver<'a, B> {
         self.backend
             .try_bootstrap_batch(&BatchRequest::shared(indices, leaf_lut))
     }
+
+    /// [`classify_tree_wave`](Self::classify_tree_wave) with the node
+    /// comparisons of every request grouped by feature into one **fanout**
+    /// wave: each distinct feature of each request blind-rotates once and
+    /// all of its threshold LUTs extract from that rotation
+    /// (multi-value bootstrapping; see
+    /// [`DecisionTree::node_groups`](crate::functional::DecisionTree::node_groups)).
+    /// A tree whose children share a feature spends `2·requests` rotations
+    /// on comparisons instead of `3·requests`.
+    ///
+    /// Outputs decode identically to
+    /// [`classify_tree_wave`](Self::classify_tree_wave) but are not
+    /// bit-identical (the shared-rotation derivation adds bounded noise
+    /// that the leaf-lookup wave absorbs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TfheError`] from the backend.
+    pub fn classify_tree_wave_fused(
+        &self,
+        tree: &DecisionTree,
+        feature_sets: &[Vec<LweCiphertext>],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        if feature_sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.server.params().plaintext_modulus;
+        let n_poly = self.server.params().poly_size;
+        let ge = |threshold: u64| Lut::from_fn(n_poly, p, move |x| u64::from(x >= threshold));
+        let luts = vec![ge(tree.root.1), ge(tree.left.1), ge(tree.right.1)];
+        let groups = tree.node_groups();
+        // One ciphertext per (request, distinct feature); its fanout list
+        // names every node test reading that feature.
+        let cts: Vec<LweCiphertext> = feature_sets
+            .iter()
+            .flat_map(|f| groups.iter().map(|&(feat, _)| f[feat].clone()))
+            .collect();
+        let fanout: Vec<Vec<usize>> = feature_sets
+            .iter()
+            .flat_map(|_| groups.iter().map(|(_, nodes)| nodes.clone()))
+            .collect();
+        let outs = self
+            .backend
+            .try_bootstrap_batch(&BatchRequest::fanned_out(cts, luts, fanout)?)?;
+        // Per request: three group-major outputs → node-order decisions →
+        // packed index. Then one wave of leaf lookups.
+        let mut outs = outs.into_iter();
+        let mut indices = Vec::with_capacity(feature_sets.len());
+        for _ in feature_sets {
+            let mut decisions: Vec<Option<LweCiphertext>> = vec![None; 3];
+            for (_, nodes) in &groups {
+                for &node in nodes {
+                    decisions[node] = outs.next();
+                }
+            }
+            let d: Vec<LweCiphertext> = decisions
+                .into_iter()
+                .map(|o| o.expect("backend returned one output per node test"))
+                .collect();
+            indices.push(d[0].scalar_mul(4).add(&d[1].scalar_mul(2)).add(&d[2]));
+        }
+        let leaves = tree.leaves;
+        let leaf_lut = Lut::from_fn(n_poly, p, move |idx| {
+            let d0 = (idx >> 2) & 1;
+            let d1 = (idx >> 1) & 1;
+            let d2 = idx & 1;
+            let taken = if d0 == 1 { d2 } else { d1 };
+            leaves[(2 * d0 + taken) as usize]
+        });
+        self.backend
+            .try_bootstrap_batch(&BatchRequest::shared(indices, leaf_lut))
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +474,59 @@ mod tests {
         }
         // Empty waves are no-ops.
         assert!(driver_seq.infer_mlp_wave(&model, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fused_tree_wave_decodes_like_sequential_with_fewer_rotations() {
+        use crate::functional::EncryptedTreeEvaluator;
+        use morphling_tfhe::{BootstrapEngine, ClientKey};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(207);
+        let params = ParamSet::TestMedium.params();
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        let engine = BootstrapEngine::builder()
+            .workers(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let driver = InferenceDriver::new(&sk, &engine);
+        // Both children test feature 1 → two comparison rotations per
+        // request instead of three.
+        let tree = DecisionTree {
+            root: (0, 4),
+            left: (1, 2),
+            right: (1, 6),
+            leaves: [0, 1, 2, 3],
+        };
+        let eval = EncryptedTreeEvaluator::new(&sk);
+        let inputs = [(0u64, 7u64), (5, 1), (4, 6), (7, 0)];
+        let feats: Vec<Vec<_>> = inputs
+            .iter()
+            .map(|&(x0, x1)| vec![ck.encrypt(x0, &mut rng), ck.encrypt(x1, &mut rng)])
+            .collect();
+        let outs = driver.classify_tree_wave_fused(&tree, &feats).unwrap();
+        assert_eq!(outs.len(), feats.len());
+        for ((out, f), &(x0, x1)) in outs.iter().zip(&feats).zip(&inputs) {
+            assert_eq!(
+                ck.decrypt(out),
+                tree.classify_clear(&[x0, x1]),
+                "x0={x0} x1={x1}"
+            );
+            assert_eq!(ck.decrypt(out), ck.decrypt(&eval.classify(&tree, f)));
+        }
+        // Comparison wave: 2 rotations / 3 extractions per request; leaf
+        // wave: 1 rotation = 1 extraction per request.
+        let stats = engine.stats();
+        assert_eq!(stats.bootstraps, 4 * 2 + 4);
+        assert_eq!(stats.extractions, 4 * 3 + 4);
+        // Empty fused waves are no-ops too.
+        assert!(driver
+            .classify_tree_wave_fused(&tree, &[])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

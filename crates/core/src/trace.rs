@@ -237,13 +237,23 @@ impl ExecutionTrace {
         }
         for s in spans {
             let track = trace.track("BootstrapEngine", &format!("worker-{}", s.worker));
+            // Multi-value jobs extract more outputs than they rotate; make
+            // that reuse visible in the span name (`job x2->x6`) and args.
+            let name = if s.extractions != s.bootstraps {
+                format!("job x{}->x{}", s.bootstraps, s.extractions)
+            } else {
+                format!("job x{}", s.bootstraps)
+            };
             trace.span_with_args(
                 track,
-                &format!("job x{}", s.bootstraps),
+                &name,
                 "engine",
                 s.start.as_nanos() as u64,
                 (s.dur.as_nanos() as u64).max(1),
-                vec![("bootstraps".into(), s.bootstraps.to_string())],
+                vec![
+                    ("bootstraps".into(), s.bootstraps.to_string()),
+                    ("extractions".into(), s.extractions.to_string()),
+                ],
             );
             busy_ns += s.dur.as_nanos() as u64;
             jobs += 1;
@@ -554,12 +564,14 @@ mod tests {
                 start: Duration::from_nanos(100),
                 dur: Duration::from_nanos(50),
                 bootstraps: 3,
+                extractions: 3,
             },
             JobSpan {
                 worker: 1,
                 start: Duration::from_nanos(120),
                 dur: Duration::from_nanos(40),
                 bootstraps: 2,
+                extractions: 6,
             },
         ];
         let trace = ExecutionTrace::from_engine_spans(&spans, 2);
@@ -568,6 +580,13 @@ mod tests {
         assert_eq!(pool.instructions, 2);
         assert_eq!(pool.busy, 90);
         assert_eq!(pool.engines, 2);
+        // Plain jobs render `job xN`; multi-value jobs expose the fan-out.
+        assert_eq!(trace.spans()[0].name, "job x3");
+        assert_eq!(trace.spans()[1].name, "job x2->x6");
+        assert!(trace.spans()[1]
+            .args
+            .iter()
+            .any(|(k, v)| k == "extractions" && v == "6"));
     }
 
     #[test]
@@ -619,6 +638,7 @@ mod tests {
             start: Duration::from_nanos(100),
             dur: Duration::from_nanos(50),
             bootstraps: 3,
+            extractions: 3,
         }];
         let events = vec![
             FaultEvent {

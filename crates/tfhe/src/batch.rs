@@ -6,7 +6,9 @@
 //! provides the per-call software equivalent: the batch is split into
 //! contiguous chunks, each scoped thread writes its chunk through a
 //! disjoint `split_at_mut` slice of the output (no per-slot locks), and
-//! results come back in input order.
+//! results come back in input order. Fanout (multi-value) requests slot
+//! in naturally: an input producing `k` outputs owns `k` consecutive
+//! output positions.
 //!
 //! These threads spawn and join on **every call**. For a stream of
 //! batches, prefer [`BootstrapEngine`](crate::BootstrapEngine), which
@@ -16,9 +18,6 @@
 //! benchmarked against, reachable through
 //! [`ParallelServerKey`](crate::ParallelServerKey)'s
 //! [`Bootstrapper`](crate::Bootstrapper) impl.
-//!
-//! The positional `ServerKey::batch_bootstrap*` methods below are
-//! deprecated thin wrappers over that trait surface.
 
 use crate::bootstrapper::{BatchRequest, Bootstrapper};
 use crate::error::TfheError;
@@ -45,21 +44,25 @@ pub(crate) fn balanced_chunks(
     })
 }
 
-/// Run `n` items across `threads` scoped threads in balanced contiguous
-/// chunks, each thread writing its chunk through a disjoint
-/// `split_at_mut` view of the output.
+/// Run `counts.len()` items across `threads` scoped threads in balanced
+/// contiguous chunks, each thread writing its chunk through a disjoint
+/// `split_at_mut` view of the flattened output. Item `i` owns
+/// `counts[i]` consecutive output slots — 1 for a plain bootstrap, `k`
+/// for a fanout input evaluated through `k` LUTs.
 ///
 /// `mk_state` runs once per thread (e.g. to build a per-thread
 /// [`BootstrapWorkspace`](crate::BootstrapWorkspace)); `run_item` maps an
-/// input index to its output through that state.
+/// input index to its `counts[i]` outputs through that state.
 ///
 /// Every chunk's join handle is inspected individually, so a panic is
 /// attributed to the chunk (= worker) that actually raised it — this is
 /// where `WorkerPanicked { worker }` gets its real index. The first
 /// panicking chunk wins; absent panics, the earliest chunk's item error
-/// wins.
+/// wins. An item returning the wrong number of outputs surfaces as
+/// [`TfheError::OutputCheckFailed`] naming the item — a silent mismatch
+/// would shear every later slot out of alignment.
 pub(crate) fn run_chunked_scoped<S, MkS, F>(
-    n: usize,
+    counts: &[usize],
     threads: usize,
     placeholder: LweCiphertext,
     mk_state: MkS,
@@ -67,21 +70,32 @@ pub(crate) fn run_chunked_scoped<S, MkS, F>(
 ) -> Result<Vec<LweCiphertext>, TfheError>
 where
     MkS: Fn() -> S + Sync,
-    F: Fn(usize, &mut S) -> Result<LweCiphertext, TfheError> + Sync,
+    F: Fn(usize, &mut S) -> Result<Vec<LweCiphertext>, TfheError> + Sync,
 {
-    let mut out = vec![placeholder; n];
+    let n = counts.len();
+    let total: usize = counts.iter().sum();
+    let mut out = vec![placeholder; total];
     let mk_state = &mk_state;
     let run_item = &run_item;
     let joined = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads.min(n));
         let mut rest: &mut [LweCiphertext] = &mut out;
         for range in balanced_chunks(n, threads) {
-            let (chunk, tail) = rest.split_at_mut(range.len());
+            let chunk_outputs: usize = counts[range.clone()].iter().sum();
+            let (chunk, tail) = rest.split_at_mut(chunk_outputs);
             rest = tail;
             handles.push(scope.spawn(move |_| -> Result<(), TfheError> {
                 let mut state = mk_state();
-                for (slot, i) in chunk.iter_mut().zip(range) {
-                    *slot = run_item(i, &mut state)?;
+                let mut offset = 0;
+                for i in range {
+                    let outputs = run_item(i, &mut state)?;
+                    if outputs.len() != counts[i] {
+                        return Err(TfheError::OutputCheckFailed { index: i });
+                    }
+                    for (slot, o) in chunk[offset..offset + counts[i]].iter_mut().zip(outputs) {
+                        *slot = o;
+                    }
+                    offset += counts[i];
                 }
                 Ok(())
             }));
@@ -122,9 +136,10 @@ where
 }
 
 /// The scoped-thread batch bootstrap behind
-/// [`ParallelServerKey`](crate::ParallelServerKey) and the deprecated
-/// `batch_bootstrap_parallel` wrappers: validate once, then fan the
-/// request out over `threads` chunks with a per-thread workspace.
+/// [`ParallelServerKey`](crate::ParallelServerKey): validate once, then
+/// fan the request out over `threads` chunks with a per-thread workspace.
+/// Fanout inputs run the multi-value path (one rotation, `k` extracted
+/// outputs) inside their owning thread.
 pub(crate) fn bootstrap_scoped_parallel(
     server: &ServerKey,
     req: &BatchRequest,
@@ -143,103 +158,35 @@ pub(crate) fn bootstrap_scoped_parallel(
     }
     let placeholder =
         LweCiphertext::trivial(morphling_math::Torus32::ZERO, server.params().lwe_dim);
+    let counts: Vec<usize> = (0..req.len()).map(|i| req.output_count(i)).collect();
     run_chunked_scoped(
-        req.len(),
+        &counts,
         threads,
         placeholder,
         || server.workspace(),
-        |i, ws| server.try_programmable_bootstrap_with(&req.ciphertexts()[i], req.lut_for(i), ws),
+        |i, ws| {
+            let ct = &req.ciphertexts()[i];
+            match req.fanout() {
+                Some(_) => {
+                    let luts: Vec<&Lut> = req.luts_for(i);
+                    server.try_bootstrap_many_refs(ct, &luts, ws)
+                }
+                None => Ok(vec![server.try_programmable_bootstrap_with(
+                    ct,
+                    req.lut_for(i),
+                    ws,
+                )?]),
+            }
+        },
     )
 }
 
-impl ServerKey {
-    /// Bootstrap a batch sequentially (the single-core CPU baseline).
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a `BatchRequest` and call `Bootstrapper::try_bootstrap_batch` on the \
-                `ServerKey` instead"
-    )]
-    pub fn batch_bootstrap(&self, cts: &[LweCiphertext], lut: &Lut) -> Vec<LweCiphertext> {
-        match self.try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone())) {
-            Ok(out) => out,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible sequential batch bootstrap.
-    ///
-    /// # Errors
-    ///
-    /// The first [`TfheError`] any element produces, in input order.
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a `BatchRequest` and call `Bootstrapper::try_bootstrap_batch` on the \
-                `ServerKey` instead"
-    )]
-    pub fn try_batch_bootstrap(
-        &self,
-        cts: &[LweCiphertext],
-        lut: &Lut,
-    ) -> Result<Vec<LweCiphertext>, TfheError> {
-        self.try_bootstrap_batch(&BatchRequest::shared(cts.to_vec(), lut.clone()))
-    }
-
-    /// Bootstrap a batch on `threads` OS threads. Results are in input
-    /// order and identical to the sequential path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0` or on malformed inputs.
-    #[deprecated(
-        since = "0.5.0",
-        note = "wrap the key in `ParallelServerKey` (or set `BatchRequest::threads`) and call \
-                `Bootstrapper::try_bootstrap_batch` instead"
-    )]
-    pub fn batch_bootstrap_parallel(
-        &self,
-        cts: &[LweCiphertext],
-        lut: &Lut,
-        threads: usize,
-    ) -> Vec<LweCiphertext> {
-        let req = BatchRequest::shared(cts.to_vec(), lut.clone());
-        match bootstrap_scoped_parallel(self, &req, threads) {
-            Ok(out) => out,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible parallel batch bootstrap.
-    ///
-    /// # Errors
-    ///
-    /// [`TfheError::ZeroThreads`] if `threads == 0`;
-    /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
-    /// on malformed inputs; [`TfheError::WorkerPanicked`] naming the chunk
-    /// whose scoped thread panicked mid-batch (this per-call path has no
-    /// retry loop — use the [`BootstrapEngine`](crate::BootstrapEngine)
-    /// for self-healing execution).
-    #[deprecated(
-        since = "0.5.0",
-        note = "wrap the key in `ParallelServerKey` (or set `BatchRequest::threads`) and call \
-                `Bootstrapper::try_bootstrap_batch` instead"
-    )]
-    pub fn try_batch_bootstrap_parallel(
-        &self,
-        cts: &[LweCiphertext],
-        lut: &Lut,
-        threads: usize,
-    ) -> Result<Vec<LweCiphertext>, TfheError> {
-        let req = BatchRequest::shared(cts.to_vec(), lut.clone());
-        bootstrap_scoped_parallel(self, &req, threads)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::keys::ClientKey;
     use crate::params::ParamSet;
+    use morphling_math::Torus32;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -259,21 +206,24 @@ mod tests {
         }
     }
 
+    fn tagged(tag: u32) -> LweCiphertext {
+        LweCiphertext::trivial(Torus32::from_raw(tag), 4)
+    }
+
     #[test]
     fn panics_are_attributed_to_the_real_chunk() {
         // 8 items on 4 threads: chunks 0..2, 2..4, 4..6, 6..8. Panic in
         // item 5 → chunk 2 — the regression the old code collapsed to
         // `worker: 0`.
-        let placeholder = LweCiphertext::trivial(morphling_math::Torus32::ZERO, 4);
         for (panic_at, want_chunk) in [(0usize, 0usize), (3, 1), (5, 2), (7, 3)] {
             let got = run_chunked_scoped(
-                8,
+                &[1; 8],
                 4,
-                placeholder.clone(),
+                tagged(0),
                 || (),
                 |i, ()| {
                     assert!(i != panic_at, "injected panic at item {i}");
-                    Ok(placeholder.clone())
+                    Ok(vec![tagged(0)])
                 },
             );
             assert_eq!(
@@ -286,15 +236,14 @@ mod tests {
 
     #[test]
     fn earliest_panicking_chunk_wins() {
-        let placeholder = LweCiphertext::trivial(morphling_math::Torus32::ZERO, 4);
         let got = run_chunked_scoped(
-            8,
+            &[1; 8],
             4,
-            placeholder.clone(),
+            tagged(0),
             || (),
             |i, ()| {
                 assert!(i < 2, "everything past chunk 0 panics");
-                Ok(placeholder.clone())
+                Ok(vec![tagged(0)])
             },
         );
         assert_eq!(got.unwrap_err(), TfheError::WorkerPanicked { worker: 1 });
@@ -302,21 +251,55 @@ mod tests {
 
     #[test]
     fn item_errors_propagate_without_panic_attribution() {
-        let placeholder = LweCiphertext::trivial(morphling_math::Torus32::ZERO, 4);
         let got = run_chunked_scoped(
-            6,
+            &[1; 6],
             3,
-            placeholder.clone(),
+            tagged(0),
             || (),
             |i, ()| {
                 if i == 4 {
                     Err(TfheError::EngineShutDown)
                 } else {
-                    Ok(placeholder.clone())
+                    Ok(vec![tagged(0)])
                 }
             },
         );
         assert_eq!(got.unwrap_err(), TfheError::EngineShutDown);
+    }
+
+    #[test]
+    fn multi_output_items_land_in_flattened_order() {
+        // Counts [2, 1, 3, 1] on 2 threads: item i's k-th output carries
+        // the tag 10·i + k and must land at the flattened offset even
+        // though the chunk boundary falls mid-layout.
+        let counts = [2usize, 1, 3, 1];
+        let out = run_chunked_scoped(
+            &counts,
+            2,
+            tagged(99),
+            || (),
+            |i, ()| {
+                Ok((0..counts[i])
+                    .map(|k| tagged((10 * i + k) as u32))
+                    .collect())
+            },
+        )
+        .unwrap();
+        let tags: Vec<u32> = out.iter().map(|ct| ct.body().into_raw()).collect();
+        assert_eq!(tags, vec![0, 1, 10, 20, 21, 22, 30]);
+    }
+
+    #[test]
+    fn wrong_output_count_is_caught() {
+        let got = run_chunked_scoped(
+            &[1, 2, 1],
+            2,
+            tagged(0),
+            || (),
+            // Item 1 should produce two outputs but yields one.
+            |_i, ()| Ok(vec![tagged(0)]),
+        );
+        assert_eq!(got.unwrap_err(), TfheError::OutputCheckFailed { index: 1 });
     }
 
     #[test]
@@ -327,8 +310,9 @@ mod tests {
         let sk = ServerKey::new(&ck, &mut rng);
         let lut = Lut::from_fn(params.poly_size, 4, |m| (m + 2) % 4);
         let cts: Vec<_> = (0..8).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
-        let seq = sk.batch_bootstrap(&cts, &lut);
-        let par = sk.batch_bootstrap_parallel(&cts, &lut, 4);
+        let req = BatchRequest::shared(cts, lut);
+        let seq = sk.try_bootstrap_batch(&req).unwrap();
+        let par = bootstrap_scoped_parallel(&sk, &req, 4).unwrap();
         assert_eq!(seq.len(), par.len());
         for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
             assert_eq!(a, b, "i={i}");
@@ -345,8 +329,31 @@ mod tests {
         let lut = Lut::identity(params.poly_size, 4);
         // 7 items on 3 threads: chunks of 3/2/2.
         let cts: Vec<_> = (0..7).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
-        let par = sk.batch_bootstrap_parallel(&cts, &lut, 3);
-        assert_eq!(par, sk.batch_bootstrap(&cts, &lut));
+        let req = BatchRequest::shared(cts, lut);
+        assert_eq!(
+            bootstrap_scoped_parallel(&sk, &req, 3).unwrap(),
+            sk.try_bootstrap_batch(&req).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_fanout_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(606);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let luts = vec![
+            Lut::identity(params.poly_size, 4),
+            Lut::from_fn(params.poly_size, 4, |m| (3 * m + 1) % 4),
+        ];
+        let cts: Vec<_> = (0..5).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        // Mixed fanout widths exercise the flattened-slot bookkeeping.
+        let map = vec![vec![0, 1], vec![1], vec![0, 1], vec![0], vec![1, 0]];
+        let req = BatchRequest::fanned_out(cts, luts, map).unwrap();
+        assert_eq!(req.output_len(), 8);
+        let seq = sk.try_bootstrap_batch(&req).unwrap();
+        let par = bootstrap_scoped_parallel(&sk, &req, 3).unwrap();
+        assert_eq!(seq, par);
     }
 
     #[test]
@@ -356,8 +363,8 @@ mod tests {
         let ck = ClientKey::generate(params.clone(), &mut rng);
         let sk = ServerKey::new(&ck, &mut rng);
         let lut = Lut::identity(params.poly_size, 4);
-        let cts = vec![ck.encrypt(1, &mut rng)];
-        assert_eq!(sk.batch_bootstrap_parallel(&cts, &lut, 1).len(), 1);
+        let req = BatchRequest::shared(vec![ck.encrypt(1, &mut rng)], lut);
+        assert_eq!(bootstrap_scoped_parallel(&sk, &req, 1).unwrap().len(), 1);
     }
 
     #[test]
@@ -367,39 +374,10 @@ mod tests {
         let ck = ClientKey::generate(params.clone(), &mut rng);
         let sk = ServerKey::new(&ck, &mut rng);
         let lut = Lut::identity(params.poly_size, 4);
+        let req = BatchRequest::shared(Vec::new(), lut);
         assert_eq!(
-            sk.try_batch_bootstrap_parallel(&[], &lut, 0),
+            bootstrap_scoped_parallel(&sk, &req, 0),
             Err(TfheError::ZeroThreads)
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one thread is required")]
-    fn zero_threads_panics_in_infallible_wrapper() {
-        let mut rng = StdRng::seed_from_u64(604);
-        let params = ParamSet::Test.params();
-        let ck = ClientKey::generate(params.clone(), &mut rng);
-        let sk = ServerKey::new(&ck, &mut rng);
-        let lut = Lut::identity(params.poly_size, 4);
-        let _ = sk.batch_bootstrap_parallel(&[], &lut, 0);
-    }
-
-    #[test]
-    fn deprecated_wrappers_delegate_to_the_trait_path() {
-        let mut rng = StdRng::seed_from_u64(605);
-        let params = ParamSet::Test.params();
-        let ck = ClientKey::generate(params.clone(), &mut rng);
-        let sk = ServerKey::new(&ck, &mut rng);
-        let lut = Lut::from_fn(params.poly_size, 4, |m| (3 * m) % 4);
-        let cts: Vec<_> = (0..4).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
-        let req = BatchRequest::shared(cts.clone(), lut.clone());
-        let want = sk.try_bootstrap_batch(&req).unwrap();
-        assert_eq!(sk.batch_bootstrap(&cts, &lut), want);
-        assert_eq!(sk.try_batch_bootstrap(&cts, &lut).unwrap(), want);
-        assert_eq!(sk.batch_bootstrap_parallel(&cts, &lut, 2), want);
-        assert_eq!(
-            sk.try_batch_bootstrap_parallel(&cts, &lut, 2).unwrap(),
-            want
         );
     }
 }

@@ -1,20 +1,23 @@
 //! The unified batch-bootstrap API surface: [`BatchRequest`] and the
 //! [`Bootstrapper`] trait.
 //!
-//! Four bootstrap backends grew up across this codebase — the sequential
-//! [`ServerKey`] loop, the per-call scoped-thread path, the persistent
+//! Four bootstrap backends share this one operator interface — the
+//! sequential [`ServerKey`] loop, the per-call scoped-thread
+//! [`ParallelServerKey`] path, the persistent
 //! [`BootstrapEngine`](crate::BootstrapEngine) pool, and the
-//! dynamic-batching [`Dispatcher`](crate::dispatch::Dispatcher) — each
-//! with its own positional signature (`batch_bootstrap`,
-//! `batch_bootstrap_parallel`, `bootstrap_batch`, `bootstrap_batch_multi`,
-//! plus `try_*` twins). This module replaces that drift with one operator
-//! interface, the way single-kernel TFHE designs define one configurable
-//! entry point: callers describe *what* to bootstrap in a [`BatchRequest`]
-//! (ciphertexts, a shared or per-item LUT, an optional thread hint and
-//! deadline) and any [`Bootstrapper`] decides *how*.
+//! dynamic-batching [`Dispatcher`](crate::dispatch::Dispatcher). Callers
+//! describe *what* to bootstrap in a [`BatchRequest`] (ciphertexts, how
+//! LUTs map onto them, an optional thread hint and deadline) and any
+//! [`Bootstrapper`] decides *how*, the way single-kernel TFHE designs
+//! define one configurable entry point.
 //!
-//! The legacy methods survive as `#[deprecated]` thin wrappers over this
-//! trait so downstream code keeps compiling, with warnings pointing here.
+//! Requests come in three shapes: a **shared** LUT for every ciphertext,
+//! **per-item** selectors (`lut_of[i]` names ciphertext `i`'s LUT), and a
+//! **fanout** map (`fanout[i]` names *several* LUTs for ciphertext `i`,
+//! all evaluated from one blind rotation via multi-value bootstrapping —
+//! see [`ServerKey::try_programmable_bootstrap_many`]). Fanout outputs are
+//! flattened in input order: first every output of ciphertext 0, then
+//! every output of ciphertext 1, and so on.
 //!
 //! # Quickstart
 //!
@@ -57,6 +60,7 @@ pub struct BatchRequest {
     cts: Vec<LweCiphertext>,
     luts: Vec<Lut>,
     lut_of: Option<Vec<usize>>,
+    fanout: Option<Vec<Vec<usize>>>,
     threads: Option<usize>,
     deadline: Option<Instant>,
 }
@@ -74,9 +78,48 @@ impl BatchRequest {
             cts,
             luts: vec![lut],
             lut_of: None,
+            fanout: None,
             threads: None,
             deadline: None,
         }
+    }
+
+    /// Every ciphertext through **all** of `luts` — the multi-value shape
+    /// (`k` outputs per input for one blind rotation each).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::NoLutProvided`] if `luts` is empty while ciphertexts
+    /// are present.
+    pub fn many(cts: Vec<LweCiphertext>, luts: Vec<Lut>) -> Result<Self, TfheError> {
+        let all: Vec<usize> = (0..luts.len()).collect();
+        let map = vec![all; cts.len()];
+        Self::builder()
+            .ciphertexts(cts)
+            .luts(luts)
+            .fanout(map)
+            .build()
+    }
+
+    /// Ciphertext `i` through every LUT in `fanout[i]` — the general
+    /// multi-value shape (e.g. a tree node comparing one feature against
+    /// several thresholds at once).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::FanoutLengthMismatch`], [`TfheError::EmptyFanout`],
+    /// [`TfheError::LutIndexOutOfRange`], or [`TfheError::NoLutProvided`]
+    /// on a malformed map.
+    pub fn fanned_out(
+        cts: Vec<LweCiphertext>,
+        luts: Vec<Lut>,
+        fanout: Vec<Vec<usize>>,
+    ) -> Result<Self, TfheError> {
+        Self::builder()
+            .ciphertexts(cts)
+            .luts(luts)
+            .fanout(fanout)
+            .build()
     }
 
     /// Ciphertext `i` through `luts[lut_of[i]]` — the shape mixed
@@ -114,6 +157,50 @@ impl BatchRequest {
     /// Per-item LUT selectors, if this is a multi-LUT request.
     pub fn selectors(&self) -> Option<&[usize]> {
         self.lut_of.as_deref()
+    }
+
+    /// The fanout map, if this is a multi-value request: `fanout()[i]`
+    /// lists the LUT indices ciphertext `i` is evaluated through.
+    pub fn fanout(&self) -> Option<&[Vec<usize>]> {
+        self.fanout.as_deref()
+    }
+
+    /// Number of output ciphertexts input `i` produces (1 unless this is
+    /// a fanout request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn output_count(&self, i: usize) -> usize {
+        match &self.fanout {
+            Some(map) => map[i].len(),
+            None => {
+                debug_assert!(i < self.cts.len());
+                1
+            }
+        }
+    }
+
+    /// Total number of output ciphertexts the request produces
+    /// (`Σ output_count(i)`; equals [`len`](Self::len) unless this is a
+    /// fanout request).
+    pub fn output_len(&self) -> usize {
+        match &self.fanout {
+            Some(map) => map.iter().map(Vec::len).sum(),
+            None => self.cts.len(),
+        }
+    }
+
+    /// The LUTs ciphertext `i` goes through, in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn luts_for(&self, i: usize) -> Vec<&Lut> {
+        match &self.fanout {
+            Some(map) => map[i].iter().map(|&j| &self.luts[j]).collect(),
+            None => vec![self.lut_for(i)],
+        }
     }
 
     /// The LUT ciphertext `i` goes through.
@@ -161,6 +248,7 @@ pub struct BatchRequestBuilder {
     cts: Vec<LweCiphertext>,
     luts: Vec<Lut>,
     lut_of: Option<Vec<usize>>,
+    fanout: Option<Vec<Vec<usize>>>,
     threads: Option<usize>,
     deadline: Option<Instant>,
 }
@@ -198,6 +286,15 @@ impl BatchRequestBuilder {
         self
     }
 
+    /// A fanout map: ciphertext `i` goes through **every** LUT in
+    /// `fanout[i]` (multi-value bootstrapping — one blind rotation per
+    /// input, one output per listed LUT). Mutually exclusive with
+    /// [`selectors`](Self::selectors).
+    pub fn fanout(mut self, fanout: Vec<Vec<usize>>) -> Self {
+        self.fanout = Some(fanout);
+        self
+    }
+
     /// Thread-count hint for scoped-thread backends.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
@@ -215,23 +312,32 @@ impl BatchRequestBuilder {
     /// # Errors
     ///
     /// [`TfheError::NoLutProvided`] if there are ciphertexts but no LUT;
+    /// [`TfheError::FanoutSelectorConflict`] if both selectors and a
+    /// fanout map were supplied; [`TfheError::FanoutLengthMismatch`] /
+    /// [`TfheError::EmptyFanout`] on a malformed fanout map;
     /// [`TfheError::LutSelectorLengthMismatch`] if selectors are present
     /// with the wrong length, or absent while more than one LUT was
     /// supplied (ambiguous); [`TfheError::LutIndexOutOfRange`] if a
-    /// selector references a missing LUT.
+    /// selector or fanout entry references a missing LUT.
     pub fn build(self) -> Result<BatchRequest, TfheError> {
         if !self.cts.is_empty() && self.luts.is_empty() {
             return Err(TfheError::NoLutProvided);
         }
-        match &self.lut_of {
-            Some(sel) => {
-                if sel.len() != self.cts.len() {
-                    return Err(TfheError::LutSelectorLengthMismatch {
-                        expected: self.cts.len(),
-                        got: sel.len(),
-                    });
+        if self.lut_of.is_some() && self.fanout.is_some() {
+            return Err(TfheError::FanoutSelectorConflict);
+        }
+        if let Some(map) = &self.fanout {
+            if map.len() != self.cts.len() {
+                return Err(TfheError::FanoutLengthMismatch {
+                    expected: self.cts.len(),
+                    got: map.len(),
+                });
+            }
+            for (input, list) in map.iter().enumerate() {
+                if list.is_empty() {
+                    return Err(TfheError::EmptyFanout { input });
                 }
-                for &s in sel {
+                for &s in list {
                     if s >= self.luts.len() {
                         return Err(TfheError::LutIndexOutOfRange {
                             index: s,
@@ -240,14 +346,33 @@ impl BatchRequestBuilder {
                     }
                 }
             }
-            None => {
-                if self.luts.len() > 1 {
-                    // More than one LUT with no selectors is ambiguous —
-                    // surfaced as a zero-length selector mismatch.
-                    return Err(TfheError::LutSelectorLengthMismatch {
-                        expected: self.cts.len(),
-                        got: 0,
-                    });
+        } else {
+            match &self.lut_of {
+                Some(sel) => {
+                    if sel.len() != self.cts.len() {
+                        return Err(TfheError::LutSelectorLengthMismatch {
+                            expected: self.cts.len(),
+                            got: sel.len(),
+                        });
+                    }
+                    for &s in sel {
+                        if s >= self.luts.len() {
+                            return Err(TfheError::LutIndexOutOfRange {
+                                index: s,
+                                luts: self.luts.len(),
+                            });
+                        }
+                    }
+                }
+                None => {
+                    if self.luts.len() > 1 {
+                        // More than one LUT with no selectors is ambiguous —
+                        // surfaced as a zero-length selector mismatch.
+                        return Err(TfheError::LutSelectorLengthMismatch {
+                            expected: self.cts.len(),
+                            got: 0,
+                        });
+                    }
                 }
             }
         }
@@ -255,6 +380,7 @@ impl BatchRequestBuilder {
             cts: self.cts,
             luts: self.luts,
             lut_of: self.lut_of,
+            fanout: self.fanout,
             threads: self.threads,
             deadline: self.deadline,
         })
@@ -335,9 +461,19 @@ impl Bootstrapper for ServerKey {
         }
         self.validate_request(req)?;
         let mut ws = self.workspace();
-        let mut out = Vec::with_capacity(req.len());
-        for (i, ct) in req.ciphertexts().iter().enumerate() {
-            out.push(self.try_programmable_bootstrap_with(ct, req.lut_for(i), &mut ws)?);
+        let mut out = Vec::with_capacity(req.output_len());
+        match req.fanout() {
+            Some(map) => {
+                for (ct, indices) in req.ciphertexts().iter().zip(map) {
+                    let luts: Vec<&Lut> = indices.iter().map(|&j| &req.luts()[j]).collect();
+                    out.extend(self.try_bootstrap_many_refs(ct, &luts, &mut ws)?);
+                }
+            }
+            None => {
+                for (i, ct) in req.ciphertexts().iter().enumerate() {
+                    out.push(self.try_programmable_bootstrap_with(ct, req.lut_for(i), &mut ws)?);
+                }
+            }
         }
         Ok(out)
     }
@@ -447,6 +583,68 @@ mod tests {
             err,
             TfheError::LutSelectorLengthMismatch { got: 0, .. }
         ));
+    }
+
+    #[test]
+    fn fanout_request_validates_shape() {
+        let (_, _, lut, cts) = fixture();
+        let n = cts.len();
+        let err = BatchRequest::builder()
+            .ciphertexts(cts.clone())
+            .luts(vec![lut.clone()])
+            .selectors(vec![0; n])
+            .fanout(vec![vec![0]; n])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TfheError::FanoutSelectorConflict);
+
+        let err =
+            BatchRequest::fanned_out(cts.clone(), vec![lut.clone()], vec![vec![0]; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TfheError::FanoutLengthMismatch {
+                expected: n,
+                got: 3
+            }
+        );
+
+        let mut map = vec![vec![0]; n];
+        map[2].clear();
+        let err = BatchRequest::fanned_out(cts.clone(), vec![lut.clone()], map).unwrap_err();
+        assert_eq!(err, TfheError::EmptyFanout { input: 2 });
+
+        let err = BatchRequest::fanned_out(cts, vec![lut], vec![vec![1]; n]).unwrap_err();
+        assert_eq!(err, TfheError::LutIndexOutOfRange { index: 1, luts: 1 });
+    }
+
+    #[test]
+    fn fanout_batch_matches_bootstrap_many_per_input() {
+        let (ck, sk, _, cts) = fixture();
+        let poly = sk.params().poly_size;
+        let luts = vec![
+            Lut::identity(poly, 4),
+            Lut::from_fn(poly, 4, |m| (m + 1) % 4),
+            Lut::from_fn(poly, 4, |m| (3 * m) % 4),
+        ];
+        let req = BatchRequest::many(cts.clone(), luts.clone()).unwrap();
+        assert_eq!(req.output_len(), cts.len() * luts.len());
+        assert_eq!(req.output_count(0), luts.len());
+        assert_eq!(req.luts_for(1).len(), luts.len());
+        let out = sk.try_bootstrap_batch(&req).unwrap();
+        assert_eq!(out.len(), cts.len() * luts.len());
+        let funcs: [fn(u64) -> u64; 3] = [|m| m, |m| (m + 1) % 4, |m| (3 * m) % 4];
+        for (i, ct) in cts.iter().enumerate() {
+            let want = sk.try_programmable_bootstrap_many(ct, &luts).unwrap();
+            assert_eq!(
+                &out[i * luts.len()..(i + 1) * luts.len()],
+                want.as_slice(),
+                "input {i}"
+            );
+            let m = i as u64 % 4;
+            for (j, f) in funcs.iter().enumerate() {
+                assert_eq!(ck.decrypt(&out[i * luts.len() + j]), f(m), "i={i} j={j}");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!
 //! - callers [`submit`](Dispatcher::submit) individual
 //!   `(ciphertext, LUT)` requests, each with an optional deadline, and
-//!   get back a [`Ticket`] to wait on;
+//!   get back a [`Ticket`] to wait on; a multi-value caller
+//!   [`submit_many`](Dispatcher::submit_many)s one ciphertext with
+//!   *several* LUTs and gets a [`MultiTicket`] — downstream the batcher
+//!   encodes such requests as a fanout [`BatchRequest`], so a
+//!   multi-value-capable backend pays one blind rotation for all of the
+//!   request's outputs;
 //! - a batcher thread coalesces queued requests into micro-batches under
 //!   a [`max_batch_size`](DispatcherBuilder::max_batch_size) /
 //!   [`max_linger`](DispatcherBuilder::max_linger) policy: a batch is
@@ -93,15 +98,18 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One queued request.
+/// One queued request: one input ciphertext through one or more LUTs
+/// (`luts.len()` outputs, in LUT order). Multi-LUT requests become fanout
+/// entries of the formed batch and cost a single blind rotation on a
+/// multi-value-capable backend.
 struct Pending {
     id: u64,
     ct: LweCiphertext,
-    lut: Arc<Lut>,
+    luts: Vec<Arc<Lut>>,
     deadline: Option<Instant>,
     enqueued: Instant,
     cancelled: Arc<AtomicBool>,
-    reply: Sender<Result<LweCiphertext, TfheError>>,
+    reply: Sender<Result<Vec<LweCiphertext>, TfheError>>,
 }
 
 struct QueueState {
@@ -147,7 +155,7 @@ impl Shared {
     /// Deliver a terminal result to a request and bump the matching
     /// counter. The reply channel holds one slot and sees one send ever,
     /// so this never blocks; a dropped ticket just discards the send.
-    fn resolve(&self, p: Pending, result: Result<LweCiphertext, TfheError>) {
+    fn resolve(&self, p: Pending, result: Result<Vec<LweCiphertext>, TfheError>) {
         let counter = match &result {
             Ok(_) => &self.counters.completed,
             Err(TfheError::Cancelled) => &self.counters.cancelled,
@@ -173,7 +181,7 @@ impl Shared {
 pub struct Ticket {
     id: u64,
     cancelled: Arc<AtomicBool>,
-    reply: Receiver<Result<LweCiphertext, TfheError>>,
+    reply: Receiver<Result<Vec<LweCiphertext>, TfheError>>,
 }
 
 impl std::fmt::Debug for Ticket {
@@ -209,13 +217,77 @@ impl Ticket {
     /// resolving it.
     pub fn wait(self) -> Result<LweCiphertext, TfheError> {
         match self.reply.recv() {
-            Ok(result) => result,
+            Ok(result) => single(result),
             Err(_) => Err(TfheError::DispatcherShutDown),
         }
     }
 
     /// Non-blocking poll: `None` while the request is still in flight.
     pub fn try_wait(&self) -> Option<Result<LweCiphertext, TfheError>> {
+        match self.reply.try_recv() {
+            Ok(result) => Some(single(result)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(TfheError::DispatcherShutDown)),
+        }
+    }
+}
+
+/// Unwrap a single-LUT request's resolution: exactly one output. A
+/// different shape is a backend contract violation, surfaced as the same
+/// dead-service error the batcher uses for malformed backend replies.
+fn single(result: Result<Vec<LweCiphertext>, TfheError>) -> Result<LweCiphertext, TfheError> {
+    let mut outs = result?;
+    match (outs.pop(), outs.is_empty()) {
+        (Some(out), true) => Ok(out),
+        _ => Err(TfheError::DispatcherShutDown),
+    }
+}
+
+/// Outcome ticket for a multi-LUT request
+/// ([`Dispatcher::submit_many`]): resolves to one output per submitted
+/// LUT, in LUT order.
+pub struct MultiTicket {
+    id: u64,
+    cancelled: Arc<AtomicBool>,
+    reply: Receiver<Result<Vec<LweCiphertext>, TfheError>>,
+}
+
+impl std::fmt::Debug for MultiTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiTicket")
+            .field("id", &self.id)
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiTicket {
+    /// The dispatcher-assigned request id (monotonic per dispatcher).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Request cancellation, with [`Ticket::cancel`]'s best-effort
+    /// semantics.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the request resolves; on success the outputs follow
+    /// the submitted LUT order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ticket::wait`].
+    pub fn wait(self) -> Result<Vec<LweCiphertext>, TfheError> {
+        match self.reply.recv() {
+            Ok(result) => result,
+            Err(_) => Err(TfheError::DispatcherShutDown),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Vec<LweCiphertext>, TfheError>> {
         match self.reply.try_recv() {
             Ok(result) => Some(result),
             Err(TryRecvError::Empty) => None,
@@ -405,7 +477,38 @@ impl Dispatcher {
         lut: Arc<Lut>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, TfheError> {
-        self.enqueue(ct, lut, deadline, true)
+        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], deadline, true)?;
+        Ok(Ticket {
+            id,
+            cancelled,
+            reply,
+        })
+    }
+
+    /// Submit one ciphertext to be evaluated through **several** LUTs —
+    /// one output per LUT, in order. The batcher encodes the request as a
+    /// fanout entry of its micro-batch, so a multi-value-capable backend
+    /// (any [`ServerKey`](crate::ServerKey)-derived path) produces all
+    /// the outputs from a *single* blind rotation. Blocks while the
+    /// admission queue is full, like [`submit`](Self::submit); the whole
+    /// request occupies one queue slot.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::NoLutProvided`] if `luts` is empty,
+    /// [`TfheError::DispatcherShutDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit_many(
+        &self,
+        ct: LweCiphertext,
+        luts: Vec<Arc<Lut>>,
+        deadline: Option<Instant>,
+    ) -> Result<MultiTicket, TfheError> {
+        let (id, cancelled, reply) = self.enqueue(ct, luts, deadline, true)?;
+        Ok(MultiTicket {
+            id,
+            cancelled,
+            reply,
+        })
     }
 
     /// Non-blocking [`submit`](Self::submit): rejects with
@@ -422,16 +525,32 @@ impl Dispatcher {
         lut: Arc<Lut>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, TfheError> {
-        self.enqueue(ct, lut, deadline, false)
+        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], deadline, false)?;
+        Ok(Ticket {
+            id,
+            cancelled,
+            reply,
+        })
     }
 
+    #[allow(clippy::type_complexity)]
     fn enqueue(
         &self,
         ct: LweCiphertext,
-        lut: Arc<Lut>,
+        luts: Vec<Arc<Lut>>,
         deadline: Option<Instant>,
         block: bool,
-    ) -> Result<Ticket, TfheError> {
+    ) -> Result<
+        (
+            u64,
+            Arc<AtomicBool>,
+            Receiver<Result<Vec<LweCiphertext>, TfheError>>,
+        ),
+        TfheError,
+    > {
+        if luts.is_empty() {
+            return Err(TfheError::NoLutProvided);
+        }
         let shared = &self.shared;
         let mut st = lock(&shared.state);
         loop {
@@ -459,7 +578,7 @@ impl Dispatcher {
         st.queue.push_back(Pending {
             id,
             ct,
-            lut,
+            luts,
             deadline,
             enqueued,
             cancelled: Arc::clone(&cancelled),
@@ -472,11 +591,7 @@ impl Dispatcher {
             .first_ns
             .fetch_min(shared.ns_since_epoch(enqueued), Ordering::Relaxed);
         shared.not_empty.notify_one();
-        Ok(Ticket {
-            id,
-            cancelled,
-            reply: reply_rx,
-        })
+        Ok((id, cancelled, reply_rx))
     }
 
     /// Aggregate metrics since construction.
@@ -587,6 +702,32 @@ impl Bootstrapper for Dispatcher {
             return Ok(Vec::new());
         }
         let luts: Vec<Arc<Lut>> = req.luts().iter().cloned().map(Arc::new).collect();
+        if let Some(map) = req.fanout() {
+            // Each fanout input becomes one multi-LUT submission, so the
+            // batcher keeps the input's LUTs together (one rotation per
+            // input downstream) while still coalescing across inputs.
+            let mut tickets = Vec::with_capacity(req.len());
+            for (ct, list) in req.ciphertexts().iter().zip(map) {
+                let picked: Vec<Arc<Lut>> = list.iter().map(|&j| Arc::clone(&luts[j])).collect();
+                tickets.push(self.submit_many(ct.clone(), picked, req.deadline())?);
+            }
+            let mut out = Vec::with_capacity(req.output_len());
+            let mut first_err: Option<TfheError> = None;
+            for ticket in tickets {
+                match ticket.wait() {
+                    Ok(item) => out.extend(item),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(out),
+            };
+        }
         let mut tickets = Vec::with_capacity(req.len());
         for (i, ct) in req.ciphertexts().iter().enumerate() {
             let lut = match req.selectors() {
@@ -728,9 +869,8 @@ fn execute_batch(shared: &Shared, backend: &dyn Bootstrapper, batch: Vec<Pending
             // malformed (or genuinely failing) requests see the error.
             for p in live {
                 match run_as_batch(backend, std::slice::from_ref(&p)) {
-                    Ok(mut outs) if outs.len() == 1 => {
-                        let out = outs.remove(0);
-                        distribute(shared, batch_id, exec_start, vec![p], vec![out]);
+                    Ok(outs) if outs.len() == p.luts.len() => {
+                        distribute(shared, batch_id, exec_start, vec![p], outs);
                     }
                     Ok(_) => shared.resolve(p, Err(TfheError::DispatcherShutDown)),
                     Err(e) => shared.resolve(p, Err(e)),
@@ -746,31 +886,46 @@ fn execute_batch(shared: &Shared, backend: &dyn Bootstrapper, batch: Vec<Pending
 }
 
 /// Build a [`BatchRequest`] for `live` (deduplicating LUTs by `Arc`
-/// identity) and run it on the backend.
+/// identity) and run it on the backend. Returns the flat output vector:
+/// pending `i` owns the next `live[i].luts.len()` outputs in order.
 fn run_as_batch(
     backend: &dyn Bootstrapper,
     live: &[Pending],
 ) -> Result<Vec<LweCiphertext>, TfheError> {
     let mut luts: Vec<Arc<Lut>> = Vec::new();
-    let mut selectors = Vec::with_capacity(live.len());
+    let mut lists: Vec<Vec<usize>> = Vec::with_capacity(live.len());
     for p in live {
-        let idx = match luts.iter().position(|l| Arc::ptr_eq(l, &p.lut)) {
-            Some(idx) => idx,
-            None => {
-                luts.push(Arc::clone(&p.lut));
-                luts.len() - 1
-            }
-        };
-        selectors.push(idx);
+        let mut list = Vec::with_capacity(p.luts.len());
+        for lut in &p.luts {
+            let idx = match luts.iter().position(|l| Arc::ptr_eq(l, lut)) {
+                Some(idx) => idx,
+                None => {
+                    luts.push(Arc::clone(lut));
+                    luts.len() - 1
+                }
+            };
+            list.push(idx);
+        }
+        lists.push(list);
     }
     let cts: Vec<LweCiphertext> = live.iter().map(|p| p.ct.clone()).collect();
-    let req = if luts.len() == 1 {
-        BatchRequest::shared(cts, (*luts[0]).clone())
+    let mut owned: Vec<Lut> = luts.iter().map(|l| (**l).clone()).collect();
+    let req = if lists.iter().any(|l| l.len() > 1) {
+        // At least one multi-LUT member: encode the whole batch as a
+        // fanout request so the backend can fuse rotations per input.
+        BatchRequest::fanned_out(cts, owned, lists)?
+    } else if owned.len() == 1 {
+        BatchRequest::shared(cts, owned.swap_remove(0))
     } else {
-        BatchRequest::per_item(cts, luts.iter().map(|l| (**l).clone()).collect(), selectors)?
+        let selectors: Vec<usize> = lists
+            .iter()
+            .map(|l| l.first().copied().unwrap_or(0))
+            .collect();
+        BatchRequest::per_item(cts, owned, selectors)?
     };
     let outs = backend.try_bootstrap_batch(&req)?;
-    if outs.len() != live.len() {
+    let expected: usize = live.iter().map(|p| p.luts.len()).sum();
+    if outs.len() != expected {
         // A backend returning the wrong shape is a contract violation;
         // surface it as a dead-service error rather than misdelivering.
         return Err(TfheError::DispatcherShutDown);
@@ -805,8 +960,12 @@ fn distribute(
             });
         }
     }
-    for (p, out) in live.into_iter().zip(outs) {
-        shared.resolve(p, Ok(out));
+    // Slice the flat outputs by each member's LUT count (single-LUT
+    // members take exactly one).
+    let mut outs = outs.into_iter();
+    for p in live {
+        let item: Vec<LweCiphertext> = outs.by_ref().take(p.luts.len()).collect();
+        shared.resolve(p, Ok(item));
     }
 }
 
@@ -859,7 +1018,12 @@ mod tests {
             if self.gated {
                 let _ = self.gate.recv();
             }
-            Ok(req.ciphertexts().to_vec())
+            // Echo each input once per output it owes (fanout-aware).
+            let mut out = Vec::with_capacity(req.output_len());
+            for (i, ct) in req.ciphertexts().iter().enumerate() {
+                out.extend(std::iter::repeat_with(|| ct.clone()).take(req.output_count(i)));
+            }
+            Ok(out)
         }
     }
 
@@ -1031,6 +1195,97 @@ mod tests {
         assert!(stats.p50_latency <= stats.p95_latency);
         assert!(stats.p95_latency <= stats.p99_latency);
         assert!(stats.throughput_bs > 0.0);
+    }
+
+    #[test]
+    fn submit_many_coalesces_with_singles() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(50))
+            .build(Arc::clone(&backend));
+        let lut_a = dummy_lut();
+        let lut_b = dummy_lut();
+        // Wedge the batcher on a lone single, then queue one multi-LUT
+        // and one single request: they must form ONE mixed batch.
+        let t0 = d.submit(dummy_ct(0), Arc::clone(&lut_a), None).unwrap();
+        started.recv().unwrap();
+        let many = d
+            .submit_many(
+                dummy_ct(1),
+                vec![Arc::clone(&lut_a), Arc::clone(&lut_b)],
+                None,
+            )
+            .unwrap();
+        let t2 = d.submit(dummy_ct(2), Arc::clone(&lut_b), None).unwrap();
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        assert_eq!(t0.wait().unwrap(), dummy_ct(0));
+        assert_eq!(many.wait().unwrap(), vec![dummy_ct(1), dummy_ct(1)]);
+        assert_eq!(t2.wait().unwrap(), dummy_ct(2));
+        // Two batches of (1 request) and (2 requests) — the multi-LUT
+        // member counts once toward batch size.
+        assert_eq!(lock(&backend.sizes).clone(), vec![1, 2]);
+        assert_eq!(d.stats().completed, 3);
+    }
+
+    #[test]
+    fn submit_many_requires_a_lut() {
+        let (backend, _started, _gate) = echo(false);
+        let d = Dispatcher::new(backend);
+        assert_eq!(
+            d.submit_many(dummy_ct(0), Vec::new(), None).unwrap_err(),
+            TfheError::NoLutProvided
+        );
+    }
+
+    #[test]
+    fn submit_many_matches_server_key_multi_value_path() {
+        let mut rng = StdRng::seed_from_u64(781);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        let luts = [
+            Lut::identity(params.poly_size, 4),
+            Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4),
+            Lut::from_fn(params.poly_size, 4, |m| (3 * m) % 4),
+        ];
+        let ct = ck.encrypt(2, &mut rng);
+        let want = sk.try_programmable_bootstrap_many(&ct, &luts).unwrap();
+
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(5))
+            .build(Arc::clone(&sk));
+        let arcs: Vec<Arc<Lut>> = luts.iter().cloned().map(Arc::new).collect();
+        let got = d.submit_many(ct, arcs, None).unwrap().wait().unwrap();
+        // Per-input derivation is independent of batch-mates, so the
+        // dispatched result is bit-identical to the direct fused call.
+        assert_eq!(got, want);
+        for (out, f) in got
+            .iter()
+            .zip([|m: u64| m, |m: u64| (m + 1) % 4, |m: u64| (3 * m) % 4])
+        {
+            assert_eq!(ck.decrypt(out), f(2));
+        }
+    }
+
+    #[test]
+    fn fanout_batch_requests_round_trip_through_the_dispatcher() {
+        let mut rng = StdRng::seed_from_u64(782);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+        let luts = vec![
+            Lut::identity(params.poly_size, 4),
+            Lut::from_fn(params.poly_size, 4, |m| (m + 2) % 4),
+        ];
+        let cts: Vec<_> = (0..3).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let req = BatchRequest::many(cts, luts).unwrap();
+        let want = sk.try_bootstrap_batch(&req).unwrap();
+        let d = Dispatcher::new(Arc::clone(&sk));
+        assert_eq!(d.try_bootstrap_batch(&req).unwrap(), want);
     }
 
     #[test]

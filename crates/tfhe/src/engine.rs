@@ -206,8 +206,15 @@ pub struct EngineStats {
     pub workers: usize,
     /// Batches submitted.
     pub batches: u64,
-    /// Bootstraps completed.
+    /// Bootstrap operations completed — one per input ciphertext. A
+    /// fanout input counts once no matter how many LUTs it fans out to:
+    /// this is the *blind rotation* denominator of the cost model.
     pub bootstraps: u64,
+    /// Sample extractions performed — one per produced output. Exceeds
+    /// `bootstraps` exactly when fanout batches amortize one rotation
+    /// across several LUTs; the `extractions / bootstraps` ratio is the
+    /// realized multi-value reuse factor.
+    pub extractions: u64,
     /// Total worker time spent executing jobs (summed across workers).
     pub busy: Duration,
     /// Serving state at snapshot time.
@@ -256,14 +263,19 @@ pub struct JobSpan {
     pub start: Duration,
     /// Time the worker spent inside the job.
     pub dur: Duration,
-    /// Bootstraps the job completed.
+    /// Bootstraps (input ciphertexts, = blind rotations) the job
+    /// completed.
     pub bootstraps: usize,
+    /// Sample extractions (outputs) the job produced; exceeds
+    /// `bootstraps` for fanout jobs.
+    pub extractions: usize,
 }
 
 #[derive(Default)]
 struct Counters {
     batches: AtomicU64,
     bootstraps: AtomicU64,
+    extractions: AtomicU64,
     busy_nanos: AtomicU64,
     panics: AtomicU64,
     respawns: AtomicU64,
@@ -318,6 +330,10 @@ struct Job {
     /// `lut_of[i]` selects the LUT for ciphertext `i`; `None` means all
     /// ciphertexts use `luts[0]`.
     lut_of: Option<Arc<Vec<usize>>>,
+    /// `fanout[i]` lists the LUT indices ciphertext `i` fans out to (one
+    /// output per index, multi-value bootstrapped from a single
+    /// rotation). Mutually exclusive with `lut_of`.
+    fanout: Option<Arc<Vec<Vec<usize>>>>,
     range: Range<usize>,
     reply: Sender<Chunk>,
 }
@@ -357,17 +373,37 @@ fn run_job(
         if injector.fires(FaultSite::WedgedJob, key, job.attempt) {
             std::thread::sleep(injector.plan().wedge);
         }
-        let lut = match &job.lut_of {
-            Some(sel) => &job.luts[sel[i]],
-            None => &job.luts[0],
-        };
-        let mut out = shared
-            .server
-            .try_programmable_bootstrap_with(&job.cts[i], lut, ws)?;
-        if injector.fires(FaultSite::CorruptOutput, key, job.attempt) {
-            out = corrupt_ciphertext(&out);
+        let corrupt = injector.fires(FaultSite::CorruptOutput, key, job.attempt);
+        match &job.fanout {
+            Some(map) => {
+                // Multi-value path: one rotation, map[i].len() outputs.
+                let luts: Vec<&Lut> = map[i].iter().map(|&j| &job.luts[j]).collect();
+                let item = shared
+                    .server
+                    .try_bootstrap_many_refs(&job.cts[i], &luts, ws)?;
+                outs.extend(item.into_iter().map(|out| {
+                    if corrupt {
+                        corrupt_ciphertext(&out)
+                    } else {
+                        out
+                    }
+                }));
+            }
+            None => {
+                let lut = match &job.lut_of {
+                    Some(sel) => &job.luts[sel[i]],
+                    None => &job.luts[0],
+                };
+                let mut out =
+                    shared
+                        .server
+                        .try_programmable_bootstrap_with(&job.cts[i], lut, ws)?;
+                if corrupt {
+                    out = corrupt_ciphertext(&out);
+                }
+                outs.push(out);
+            }
         }
-        outs.push(out);
     }
     Ok(outs)
 }
@@ -396,16 +432,24 @@ fn worker_loop(
             .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
         match outcome {
             Ok(result) => {
-                let done = result.as_ref().map_or(0, Vec::len);
+                // `bootstraps` counts input ciphertexts (blind rotations);
+                // `extractions` counts outputs. They differ only on
+                // fanout jobs, where one rotation feeds several LUTs.
+                let rotations = result.as_ref().map_or(0, |_| job.range.len());
+                let extracted = result.as_ref().map_or(0, Vec::len);
                 counters
                     .bootstraps
-                    .fetch_add(done as u64, Ordering::Relaxed);
+                    .fetch_add(rotations as u64, Ordering::Relaxed);
+                counters
+                    .extractions
+                    .fetch_add(extracted as u64, Ordering::Relaxed);
                 if let Ok(mut spans) = counters.spans.lock() {
                     spans.push(JobSpan {
                         worker,
                         start: t0.duration_since(shared.epoch),
                         dur,
-                        bootstraps: done,
+                        bootstraps: rotations,
+                        extractions: extracted,
                     });
                 }
                 // The submitter may have bailed early; a closed reply
@@ -702,66 +746,6 @@ impl BootstrapEngine {
         self.spawned
     }
 
-    /// Bootstrap a batch, every ciphertext through the same `lut`.
-    ///
-    /// # Errors
-    ///
-    /// [`TfheError::LweDimensionMismatch`] / [`TfheError::LutSizeMismatch`]
-    /// on malformed inputs, [`TfheError::EngineShutDown`] if the pool
-    /// died, and — only once the retry budget is exhausted —
-    /// [`TfheError::WorkerPanicked`], [`TfheError::JobTimedOut`], or
-    /// [`TfheError::OutputCheckFailed`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a `BatchRequest` and call `Bootstrapper::try_bootstrap_batch` on the \
-                engine instead"
-    )]
-    pub fn bootstrap_batch(
-        &self,
-        cts: &[LweCiphertext],
-        lut: &Lut,
-    ) -> Result<Vec<LweCiphertext>, TfheError> {
-        self.submit(cts.to_vec(), vec![lut.clone()], None)
-    }
-
-    /// Bootstrap a batch where ciphertext `i` goes through
-    /// `luts[lut_of[i]]` — the shape mixed workloads produce (e.g. a tree
-    /// evaluator comparing against several thresholds in one wave).
-    ///
-    /// # Errors
-    ///
-    /// As the shared-LUT path, plus [`TfheError::LutIndexOutOfRange`] if
-    /// `lut_of` references a missing LUT, and
-    /// [`TfheError::LutSelectorLengthMismatch`] if
-    /// `lut_of.len() != cts.len()`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a per-item `BatchRequest` (`BatchRequest::per_item`) and call \
-                `Bootstrapper::try_bootstrap_batch` on the engine instead"
-    )]
-    pub fn bootstrap_batch_multi(
-        &self,
-        cts: &[LweCiphertext],
-        luts: &[Lut],
-        lut_of: &[usize],
-    ) -> Result<Vec<LweCiphertext>, TfheError> {
-        if lut_of.len() != cts.len() {
-            return Err(TfheError::LutSelectorLengthMismatch {
-                expected: cts.len(),
-                got: lut_of.len(),
-            });
-        }
-        for &sel in lut_of {
-            if sel >= luts.len() {
-                return Err(TfheError::LutIndexOutOfRange {
-                    index: sel,
-                    luts: luts.len(),
-                });
-            }
-        }
-        self.submit(cts.to_vec(), luts.to_vec(), Some(lut_of.to_vec()))
-    }
-
     /// Totals since construction (or the last
     /// [`reset_stats`](Self::reset_stats)).
     pub fn stats(&self) -> EngineStats {
@@ -769,6 +753,7 @@ impl BootstrapEngine {
             workers: self.spawned,
             batches: self.counters.batches.load(Ordering::Relaxed),
             bootstraps: self.counters.bootstraps.load(Ordering::Relaxed),
+            extractions: self.counters.extractions.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.counters.busy_nanos.load(Ordering::Relaxed)),
             health: self.health(),
             panics: self.counters.panics.load(Ordering::Relaxed),
@@ -798,6 +783,7 @@ impl BootstrapEngine {
     pub fn reset_stats(&self) {
         self.counters.batches.store(0, Ordering::Relaxed);
         self.counters.bootstraps.store(0, Ordering::Relaxed);
+        self.counters.extractions.store(0, Ordering::Relaxed);
         self.counters.busy_nanos.store(0, Ordering::Relaxed);
         self.counters.panics.store(0, Ordering::Relaxed);
         self.counters.respawns.store(0, Ordering::Relaxed);
@@ -862,13 +848,15 @@ impl BootstrapEngine {
         }
     }
 
-    /// Index of the first output in `range` that the sanity check
-    /// rejects, if a check is installed.
-    fn rejected_output(&self, range: &Range<usize>, outs: &[LweCiphertext]) -> Option<usize> {
+    /// Flat index of the first output (counting from `out_start`) that
+    /// the sanity check rejects, if a check is installed. Indices are
+    /// batch-relative *output* positions — they diverge from ciphertext
+    /// indices on fanout batches.
+    fn rejected_output(&self, out_start: usize, outs: &[LweCiphertext]) -> Option<usize> {
         let check = self.output_check.as_ref()?;
         outs.iter()
             .enumerate()
-            .find_map(|(j, ct)| (!check(range.start + j, ct)).then_some(range.start + j))
+            .find_map(|(j, ct)| (!check(out_start + j, ct)).then_some(out_start + j))
     }
 
     fn submit(
@@ -876,6 +864,7 @@ impl BootstrapEngine {
         cts: Vec<LweCiphertext>,
         luts: Vec<Lut>,
         lut_of: Option<Vec<usize>>,
+        fanout: Option<Vec<Vec<usize>>>,
     ) -> Result<Vec<LweCiphertext>, TfheError> {
         let n = cts.len();
         if n == 0 {
@@ -909,9 +898,20 @@ impl BootstrapEngine {
             }
         }
 
+        // Flat output offset of each ciphertext (identity without fanout):
+        // the ordered-assembly and output-check index space.
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut total_outputs = 0usize;
+        for i in 0..n {
+            out_offsets.push(total_outputs);
+            total_outputs += fanout.as_ref().map_or(1, |m| m[i].len());
+        }
+        out_offsets.push(total_outputs);
+
         let cts = Arc::new(cts);
         let luts = Arc::new(luts);
         let lut_of = lut_of.map(Arc::new);
+        let fanout = fanout.map(Arc::new);
         let chunk = self.chunk_len(n);
         // Count only batches that actually reach the pool — rejected
         // submissions must not inflate the calibration denominator. The
@@ -937,6 +937,7 @@ impl BootstrapEngine {
                 cts: Arc::clone(&cts),
                 luts: Arc::clone(&luts),
                 lut_of: lut_of.clone(),
+                fanout: fanout.clone(),
                 range: ranges[slot].clone(),
                 reply: reply_tx.clone(),
             };
@@ -1003,7 +1004,9 @@ impl BootstrapEngine {
                     }
                     match reply.result {
                         Ok(outs) => {
-                            if let Some(index) = self.rejected_output(&ranges[slot], &outs) {
+                            if let Some(index) =
+                                self.rejected_output(out_offsets[ranges[slot].start], &outs)
+                            {
                                 self.counters.check_failures.fetch_add(1, Ordering::Relaxed);
                                 self.counters.record(
                                     self.epoch,
@@ -1066,7 +1069,7 @@ impl BootstrapEngine {
         // Ordered assembly: slots follow the ascending chunk plan, so
         // flattening restores input order exactly.
         let out: Vec<LweCiphertext> = slots.into_iter().flatten().flatten().collect();
-        debug_assert_eq!(out.len(), n);
+        debug_assert_eq!(out.len(), total_outputs);
         Ok(out)
     }
 }
@@ -1083,6 +1086,7 @@ impl Bootstrapper for BootstrapEngine {
             req.ciphertexts().to_vec(),
             req.luts().to_vec(),
             req.selectors().map(|s| s.to_vec()),
+            req.fanout().map(|m| m.to_vec()),
         )
     }
 }
@@ -1101,8 +1105,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Route a shared-LUT batch through the trait surface (what the
-    /// deprecated `bootstrap_batch` wrapper delegates to).
+    /// Route a shared-LUT batch through the trait surface.
     fn bb(
         b: &impl Bootstrapper,
         cts: &[LweCiphertext],
@@ -1197,6 +1200,58 @@ mod tests {
         for i in 0..msgs.len() {
             assert_eq!(ck.decrypt(&out[i]), expect(msgs[i], lut_of[i]), "i={i}");
         }
+    }
+
+    #[test]
+    fn fanout_batches_route_through_the_pool() {
+        let (ck, sk, mut rng) = setup(714);
+        let n = sk.params().poly_size;
+        let luts = vec![
+            Lut::identity(n, 4),
+            Lut::from_fn(n, 4, |m| (m + 1) % 4),
+            Lut::from_fn(n, 4, |m| 3 - m),
+        ];
+        let cts: Vec<_> = (0..5).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let req = BatchRequest::many(cts, luts).unwrap();
+        let engine = BootstrapEngine::builder()
+            .workers(2)
+            .chunk_size(2)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        let out = engine.try_bootstrap_batch(&req).unwrap();
+        // Same request through the sequential backend: chunking must not
+        // change results or their flattened order.
+        assert_eq!(out, sk.try_bootstrap_batch(&req).unwrap());
+        assert_eq!(out.len(), 15);
+        let stats = engine.stats();
+        assert_eq!(stats.bootstraps, 5, "one rotation per input");
+        assert_eq!(stats.extractions, 15, "one extraction per output");
+        let spans = engine.job_spans();
+        assert_eq!(spans.iter().map(|s| s.bootstraps).sum::<usize>(), 5);
+        assert_eq!(spans.iter().map(|s| s.extractions).sum::<usize>(), 15);
+    }
+
+    #[test]
+    fn fanout_output_check_sees_flat_output_indices() {
+        let (ck, sk, mut rng) = setup(715);
+        let n = sk.params().poly_size;
+        let luts = vec![Lut::identity(n, 4), Lut::from_fn(n, 4, |m| (m + 1) % 4)];
+        let cts: Vec<_> = (0..3).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        let req = BatchRequest::many(cts, luts).unwrap();
+        // Reject exactly flat output 3 (= input 1's second output): the
+        // surfaced index must be in output space, not ciphertext space.
+        let engine = BootstrapEngine::builder()
+            .workers(1)
+            .chunk_size(1)
+            .max_retries(1)
+            .retry_backoff(Duration::ZERO)
+            .output_check(|i, _| i != 3)
+            .build(Arc::clone(&sk))
+            .unwrap();
+        assert_eq!(
+            engine.try_bootstrap_batch(&req).err(),
+            Some(TfheError::OutputCheckFailed { index: 3 })
+        );
     }
 
     #[test]

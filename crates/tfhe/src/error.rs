@@ -73,6 +73,25 @@ pub enum TfheError {
         /// The selector slice length (`lut_of.len()`).
         got: usize,
     },
+    /// A fanout batch submission listed no LUTs at all for one of its
+    /// inputs — every input of a multi-LUT request must produce at least
+    /// one output.
+    EmptyFanout {
+        /// Index of the input whose LUT list is empty.
+        input: usize,
+    },
+    /// A fanout batch submission's outer list length disagrees with the
+    /// number of ciphertexts (`fanout` must name one LUT list per
+    /// ciphertext).
+    FanoutLengthMismatch {
+        /// The batch size (`cts.len()`).
+        expected: usize,
+        /// The fanout list length (`fanout.len()`).
+        got: usize,
+    },
+    /// A batch request supplied both per-item selectors (`lut_of`) and a
+    /// fanout map — the two addressing schemes are mutually exclusive.
+    FanoutSelectorConflict,
     /// The bootstrap engine's worker pool has shut down (a worker
     /// panicked or the engine is mid-drop); the submitted batch was not
     /// processed.
@@ -163,6 +182,21 @@ impl std::fmt::Display for TfheError {
                 write!(
                     f,
                     "LUT selector length mismatch: {expected} ciphertexts but {got} selectors"
+                )
+            }
+            Self::EmptyFanout { input } => {
+                write!(f, "fanout batch lists no LUTs for input {input}")
+            }
+            Self::FanoutLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "fanout length mismatch: {expected} ciphertexts but {got} fanout entries"
+                )
+            }
+            Self::FanoutSelectorConflict => {
+                write!(
+                    f,
+                    "batch request cannot mix per-item LUT selectors with a fanout map"
                 )
             }
             Self::EngineShutDown => {

@@ -16,6 +16,11 @@
 //! - [programmable bootstrapping](ServerKey::programmable_bootstrap) with
 //!   arbitrary lookup tables ([`Lut`]), and a bootstrapped
 //!   [boolean gate API](ServerKey::nand);
+//! - [multi-value bootstrapping](ServerKey::try_programmable_bootstrap_many)
+//!   — k LUTs of one input for a *single* blind rotation via the
+//!   common-factor plan ([`MultiLutPlan`]) — and
+//!   [tree bootstrapping](ServerKey::try_tree_bootstrap) chaining LUT
+//!   stages to evaluate wider-input functions;
 //! - a pluggable polynomial-multiplication backend ([`MulBackend`]): the
 //!   FFT path the hardware accelerates, or the exact integer path used as
 //!   a correctness oracle;
@@ -69,6 +74,7 @@ mod keys;
 mod ksk;
 mod lut;
 mod lwe;
+mod multivalue;
 pub mod noise;
 pub mod ops;
 mod params;
@@ -79,7 +85,9 @@ mod workspace;
 pub use bootstrap::{blind_rotate, blind_rotate_assign, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
 pub use bootstrapper::{BatchRequest, BatchRequestBuilder, Bootstrapper, ParallelServerKey};
-pub use dispatch::{DispatchSpan, Dispatcher, DispatcherBuilder, DispatcherStats, Ticket};
+pub use dispatch::{
+    DispatchSpan, Dispatcher, DispatcherBuilder, DispatcherStats, MultiTicket, Ticket,
+};
 pub use engine::{
     BootstrapEngine, BootstrapEngineBuilder, EngineHealth, EngineStats, FaultEvent, FaultEventKind,
     JobSpan, OutputCheck,
@@ -93,6 +101,7 @@ pub use keys::{ClientKey, GlweSecretKey, LweSecretKey};
 pub use ksk::KeySwitchKey;
 pub use lut::Lut;
 pub use lwe::LweCiphertext;
+pub use multivalue::MultiLutPlan;
 pub use params::{ParamSet, TfheParams, ALL_PAPER_SETS};
-pub use server::{MulBackend, ServerKey, ServerKeyBuilder};
+pub use server::{BootstrapOptions, MulBackend, ServerKey, ServerKeyBuilder};
 pub use workspace::BootstrapWorkspace;

@@ -1,7 +1,7 @@
 //! The server key: all public material and homomorphic operations,
 //! including programmable bootstrapping and bootstrapped boolean gates.
 
-use morphling_math::{Torus32, TorusScalar};
+use morphling_math::{Polynomial, Torus32, TorusScalar};
 use rand::Rng;
 
 use crate::bootstrap::{
@@ -11,10 +11,12 @@ use crate::bootstrap::{
 use crate::bootstrap_key::BootstrapKey;
 use crate::error::TfheError;
 use crate::external_product::ExternalProductEngine;
+use crate::glwe::GlweCiphertext;
 use crate::keys::ClientKey;
 use crate::ksk::KeySwitchKey;
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
+use crate::multivalue::MultiLutPlan;
 use crate::params::TfheParams;
 use crate::workspace::BootstrapWorkspace;
 
@@ -32,6 +34,66 @@ pub enum MulBackend {
     Ntt,
     /// Exact integer arithmetic (slow; correctness oracle).
     Exact,
+}
+
+/// Per-call knobs for [`ServerKey::bootstrap_with_options`] — the single
+/// entry point the `try_programmable_bootstrap{,_with,_no_ks,_no_ks_with}`
+/// family delegates to.
+///
+/// Defaults match `try_programmable_bootstrap`: key switch on, a fresh
+/// workspace allocated internally.
+///
+/// ```
+/// use morphling_tfhe::{BootstrapOptions, ClientKey, Lut, ParamSet, ServerKey};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let client = ClientKey::generate(ParamSet::Test.params(), &mut rng);
+/// let server = ServerKey::new(&client, &mut rng);
+/// let lut = Lut::identity(server.params().poly_size, 4);
+/// let ct = client.encrypt(2, &mut rng);
+/// let mut ws = server.workspace();
+/// let out = server
+///     .bootstrap_with_options(&ct, &lut, BootstrapOptions::new().workspace(&mut ws))
+///     .unwrap();
+/// assert_eq!(client.decrypt(&out), 2);
+/// ```
+#[derive(Debug)]
+#[must_use = "options do nothing until passed to bootstrap_with_options"]
+pub struct BootstrapOptions<'a> {
+    keyswitch: bool,
+    workspace: Option<&'a mut BootstrapWorkspace>,
+}
+
+impl Default for BootstrapOptions<'_> {
+    fn default() -> Self {
+        Self {
+            keyswitch: true,
+            workspace: None,
+        }
+    }
+}
+
+impl<'a> BootstrapOptions<'a> {
+    /// The defaults: key switch on, internal workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether to key-switch the extracted sample back to the small LWE
+    /// key (`false` leaves the result under the extracted `k·N` key).
+    pub fn keyswitch(mut self, on: bool) -> Self {
+        self.keyswitch = on;
+        self
+    }
+
+    /// Route the blind rotation through a caller-owned workspace; with a
+    /// warm workspace the FFT backends allocate nothing.
+    pub fn workspace(mut self, ws: &'a mut BootstrapWorkspace) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
 }
 
 /// Configures and derives a [`ServerKey`] — the one place where backend
@@ -201,8 +263,7 @@ impl ServerKey {
         ct: &LweCiphertext,
         lut: &Lut,
     ) -> Result<LweCiphertext, TfheError> {
-        let mut ws = self.workspace();
-        self.try_programmable_bootstrap_with(ct, lut, &mut ws)
+        self.bootstrap_with_options(ct, lut, BootstrapOptions::new())
     }
 
     /// A [`BootstrapWorkspace`] sized for this key — allocate once, then
@@ -227,8 +288,7 @@ impl ServerKey {
         lut: &Lut,
         ws: &mut BootstrapWorkspace,
     ) -> Result<LweCiphertext, TfheError> {
-        let extracted = self.try_programmable_bootstrap_no_ks_with(ct, lut, ws)?;
-        self.ksk.try_key_switch(&extracted)
+        self.bootstrap_with_options(ct, lut, BootstrapOptions::new().workspace(ws))
     }
 
     /// Programmable bootstrapping *without* the final key switch: the
@@ -260,8 +320,7 @@ impl ServerKey {
         ct: &LweCiphertext,
         lut: &Lut,
     ) -> Result<LweCiphertext, TfheError> {
-        let mut ws = self.workspace();
-        self.try_programmable_bootstrap_no_ks_with(ct, lut, &mut ws)
+        self.bootstrap_with_options(ct, lut, BootstrapOptions::new().keyswitch(false))
     }
 
     /// [`try_programmable_bootstrap_no_ks`]
@@ -278,6 +337,51 @@ impl ServerKey {
         lut: &Lut,
         ws: &mut BootstrapWorkspace,
     ) -> Result<LweCiphertext, TfheError> {
+        self.bootstrap_with_options(
+            ct,
+            lut,
+            BootstrapOptions::new().keyswitch(false).workspace(ws),
+        )
+    }
+
+    /// The configurable bootstrap every `try_programmable_bootstrap*`
+    /// variant delegates to: modulus switch, blind rotation, sample
+    /// extraction, and — per [`BootstrapOptions`] — the final key switch,
+    /// optionally through a caller-owned workspace.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::LweDimensionMismatch`] if `ct` is not under the small
+    /// LWE key; [`TfheError::LutSizeMismatch`] if `lut` was built for a
+    /// different polynomial size.
+    pub fn bootstrap_with_options(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        opts: BootstrapOptions<'_>,
+    ) -> Result<LweCiphertext, TfheError> {
+        self.validate_bootstrap_inputs(ct, lut)?;
+        // MS: rescale the ciphertext to exponents mod 2N.
+        let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
+        let extracted = match opts.workspace {
+            Some(ws) => {
+                let acc = self.rotate_accumulator(lut.polynomial(), &mask, b_tilde, ws);
+                sample_extract(&acc)
+            }
+            None => {
+                let mut ws = self.workspace();
+                let acc = self.rotate_accumulator(lut.polynomial(), &mask, b_tilde, &mut ws);
+                sample_extract(&acc)
+            }
+        };
+        if opts.keyswitch {
+            self.ksk.try_key_switch(&extracted)
+        } else {
+            Ok(extracted)
+        }
+    }
+
+    fn validate_bootstrap_inputs(&self, ct: &LweCiphertext, lut: &Lut) -> Result<(), TfheError> {
         if ct.dim() != self.params.lwe_dim {
             return Err(TfheError::LweDimensionMismatch {
                 expected: self.params.lwe_dim,
@@ -290,25 +394,306 @@ impl ServerKey {
                 poly_size: self.params.poly_size,
             });
         }
-        // MS: rescale the ciphertext to exponents mod 2N.
-        let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
-        // BR: n external products starting from X^(−b̃)·TP, updating the
-        // accumulator in place through the workspace on the FFT backends.
-        let mut acc = initial_accumulator(lut.polynomial(), self.params.glwe_dim, b_tilde);
+        Ok(())
+    }
+
+    /// BR: n external products starting from `X^(−b̃)·tp`, updating the
+    /// accumulator in place through the workspace on the FFT backends.
+    fn rotate_accumulator(
+        &self,
+        tp: &Polynomial<Torus32>,
+        mask: &[u64],
+        b_tilde: u64,
+        ws: &mut BootstrapWorkspace,
+    ) -> GlweCiphertext {
+        let mut acc = initial_accumulator(tp, self.params.glwe_dim, b_tilde);
         match self.backend {
             MulBackend::Fft | MulBackend::FftPlain => {
-                blind_rotate_assign(&self.engine, &self.bsk, &mut acc, &mask, ws);
+                blind_rotate_assign(&self.engine, &self.bsk, &mut acc, mask, ws);
             }
             MulBackend::Ntt => {
                 let ntt = crate::fft_cache::ntt_for(self.params.poly_size);
-                acc = blind_rotate_ntt(&self.params, &self.bsk, acc, &mask, &ntt);
+                acc = blind_rotate_ntt(&self.params, &self.bsk, acc, mask, &ntt);
             }
             MulBackend::Exact => {
-                acc = blind_rotate_exact(&self.params, &self.bsk, acc, &mask);
+                acc = blind_rotate_exact(&self.params, &self.bsk, acc, mask);
             }
         }
-        // SE: constant coefficient as an LWE sample.
-        Ok(sample_extract(&acc))
+        acc
+    }
+
+    /// Multi-value bootstrapping: evaluate `k` LUTs of the same input for
+    /// **one** blind rotation. The common factor of every test polynomial
+    /// is rotated once; each LUT's accumulator is then derived by a cheap
+    /// sparse product and sample-extracted (see [`MultiLutPlan`]).
+    ///
+    /// Outputs decode identically to `k` plain bootstraps but carry more
+    /// noise (amplified by [`MultiLutPlan::factor_weight`]); the
+    /// bit-identical-but-slow reference is
+    /// [`try_programmable_bootstrap_many_separate`]
+    /// (Self::try_programmable_bootstrap_many_separate). With `k = 1` this
+    /// is exactly [`try_programmable_bootstrap`]
+    /// (Self::try_programmable_bootstrap); LUTs that admit no common
+    /// factor fall back to one rotation per LUT.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::LweDimensionMismatch`] /
+    /// [`TfheError::LutSizeMismatch`] on malformed inputs.
+    pub fn try_programmable_bootstrap_many(
+        &self,
+        ct: &LweCiphertext,
+        luts: &[Lut],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        let mut ws = self.workspace();
+        self.try_programmable_bootstrap_many_with(ct, luts, &mut ws)
+    }
+
+    /// Infallible [`try_programmable_bootstrap_many`]
+    /// (Self::try_programmable_bootstrap_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or LUT-size mismatch.
+    pub fn programmable_bootstrap_many(
+        &self,
+        ct: &LweCiphertext,
+        luts: &[Lut],
+    ) -> Vec<LweCiphertext> {
+        match self.try_programmable_bootstrap_many(ct, luts) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`try_programmable_bootstrap_many`]
+    /// (Self::try_programmable_bootstrap_many) through a caller-owned
+    /// workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_programmable_bootstrap_many`]
+    /// (Self::try_programmable_bootstrap_many).
+    pub fn try_programmable_bootstrap_many_with(
+        &self,
+        ct: &LweCiphertext,
+        luts: &[Lut],
+        ws: &mut BootstrapWorkspace,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        let refs: Vec<&Lut> = luts.iter().collect();
+        self.try_bootstrap_many_refs(ct, &refs, ws)
+    }
+
+    /// The multi-value core shared by every backend: validate, plan, one
+    /// rotation, k derivations. Takes LUT references so fanout batches can
+    /// borrow from a shared LUT pool without cloning.
+    pub(crate) fn try_bootstrap_many_refs(
+        &self,
+        ct: &LweCiphertext,
+        luts: &[&Lut],
+        ws: &mut BootstrapWorkspace,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        for lut in luts {
+            self.validate_bootstrap_inputs(ct, lut)?;
+        }
+        match luts {
+            [] => Ok(Vec::new()),
+            // One LUT has nothing to amortize; the plain path keeps k = 1
+            // bit-identical to `try_programmable_bootstrap`.
+            [lut] => Ok(vec![self.bootstrap_with_options(
+                ct,
+                lut,
+                BootstrapOptions::new().workspace(ws),
+            )?]),
+            _ => match MultiLutPlan::build(luts.iter().copied()) {
+                Some(plan) => {
+                    let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
+                    let acc = self.rotate_accumulator(plan.common(), &mask, b_tilde, ws);
+                    (0..luts.len())
+                        .map(|i| {
+                            self.ksk
+                                .try_key_switch(&sample_extract(&plan.derive(i, &acc)))
+                        })
+                        .collect()
+                }
+                // No common power of two to extract (adversarial raw-torus
+                // LUTs): fall back to one rotation per LUT.
+                None => luts
+                    .iter()
+                    .map(|lut| {
+                        self.bootstrap_with_options(
+                            ct,
+                            lut,
+                            BootstrapOptions::new().workspace(&mut *ws),
+                        )
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// The deterministic reference for multi-value bootstrapping: the same
+    /// common-factor derivation as [`try_programmable_bootstrap_many`]
+    /// (Self::try_programmable_bootstrap_many), but paying one **full
+    /// blind rotation per LUT** instead of reusing a single rotation.
+    /// Because the rotation is deterministic, outputs are bit-identical to
+    /// the fused path — this is what tests and the `multivalue_bootstrap`
+    /// bench compare against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_programmable_bootstrap_many`]
+    /// (Self::try_programmable_bootstrap_many).
+    pub fn try_programmable_bootstrap_many_separate(
+        &self,
+        ct: &LweCiphertext,
+        luts: &[Lut],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        let refs: Vec<&Lut> = luts.iter().collect();
+        for lut in &refs {
+            self.validate_bootstrap_inputs(ct, lut)?;
+        }
+        let mut ws = self.workspace();
+        match refs.as_slice() {
+            [] => Ok(Vec::new()),
+            [lut] => Ok(vec![self.bootstrap_with_options(
+                ct,
+                lut,
+                BootstrapOptions::new().workspace(&mut ws),
+            )?]),
+            _ => match MultiLutPlan::build(refs.iter().copied()) {
+                Some(plan) => {
+                    let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
+                    (0..refs.len())
+                        .map(|i| {
+                            let acc =
+                                self.rotate_accumulator(plan.common(), &mask, b_tilde, &mut ws);
+                            self.ksk
+                                .try_key_switch(&sample_extract(&plan.derive(i, &acc)))
+                        })
+                        .collect()
+                }
+                None => refs
+                    .iter()
+                    .map(|lut| {
+                        self.bootstrap_with_options(
+                            ct,
+                            lut,
+                            BootstrapOptions::new().workspace(&mut ws),
+                        )
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Tree bootstrapping: evaluate `f(m_0, …, m_(d−1))` over `d`
+    /// encrypted digits in `Z_p` by chaining LUT stages. Stage 1
+    /// re-encodes digit `i` to `m_i · p^(d−1−i) / 2p^d` (one bootstrap
+    /// each); the re-encoded ciphertexts **sum** to a single ciphertext of
+    /// the combined index `Σ m_i · p^(d−1−i)` in `Z_(p^d)`; stage 2
+    /// bootstraps that index through a LUT of the full function table.
+    ///
+    /// Requires `p^d ≤ N/2` so the combined index keeps its padding bit.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::PlaintextModulusTooLarge`] if `p^d > N/2` (or
+    /// overflows); otherwise as [`try_programmable_bootstrap`]
+    /// (Self::try_programmable_bootstrap).
+    pub fn try_tree_bootstrap<F>(
+        &self,
+        cts: &[LweCiphertext],
+        f: F,
+    ) -> Result<LweCiphertext, TfheError>
+    where
+        F: Fn(&[u64]) -> u64,
+    {
+        let mut out = self.try_tree_bootstrap_many(cts, std::slice::from_ref(&f))?;
+        match out.pop() {
+            Some(ct) => Ok(ct),
+            // Unreachable: one function in, one ciphertext out.
+            None => Err(TfheError::NoLutProvided),
+        }
+    }
+
+    /// [`try_tree_bootstrap`](Self::try_tree_bootstrap) for several output
+    /// functions of the same inputs: the final stage runs them all through
+    /// one multi-value bootstrap of the shared combined index — `d`
+    /// rotations for the index plus **one** rotation for every output.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_tree_bootstrap`](Self::try_tree_bootstrap).
+    pub fn try_tree_bootstrap_many<F>(
+        &self,
+        cts: &[LweCiphertext],
+        funcs: &[F],
+    ) -> Result<Vec<LweCiphertext>, TfheError>
+    where
+        F: Fn(&[u64]) -> u64,
+    {
+        let p = self.params.plaintext_modulus;
+        let n = self.params.poly_size;
+        let d = cts.len();
+        // The combined index lives in Z_(p^d) and must keep the padding
+        // bit: p^d ≤ N/2.
+        let combined = p
+            .checked_pow(d as u32)
+            .filter(|&c| c as usize <= n / 2)
+            .ok_or(TfheError::PlaintextModulusTooLarge {
+                modulus: p.saturating_pow(d as u32),
+                poly_size: n,
+            })?;
+        if funcs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if cts.is_empty() {
+            // Zero inputs make every function a constant; a trivial
+            // encryption carries it with no noise at all.
+            return Ok(funcs
+                .iter()
+                .map(|f| {
+                    LweCiphertext::trivial(Torus32::encode(f(&[]) % p, 2 * p), self.params.lwe_dim)
+                })
+                .collect());
+        }
+        let mut ws = self.workspace();
+        // Stage 1: re-encode digit i onto the p^(d−1−i) rung of the
+        // combined torus grid; the outputs sum to the index ciphertext.
+        let mut index: Option<LweCiphertext> = None;
+        for (i, ct) in cts.iter().enumerate() {
+            let scale = combined / p.pow(i as u32 + 1); // p^(d−1−i)
+            let lut = Lut::try_from_torus_fn(n, p, |m| Torus32::encode(m * scale, 2 * combined))?;
+            let re =
+                self.bootstrap_with_options(ct, &lut, BootstrapOptions::new().workspace(&mut ws))?;
+            index = Some(match index {
+                Some(acc) => acc.add(&re),
+                None => re,
+            });
+        }
+        let index = match index {
+            Some(ct) => ct,
+            // Unreachable: cts is non-empty here.
+            None => return Ok(Vec::new()),
+        };
+        // Stage 2: every output function as a LUT over Z_(p^d), all
+        // evaluated from one rotation of the shared index.
+        let luts = funcs
+            .iter()
+            .map(|f| {
+                Lut::try_from_torus_fn(n, combined, |m| {
+                    let mut digits = vec![0u64; d];
+                    let mut rem = m;
+                    for slot in digits.iter_mut().rev() {
+                        *slot = rem % p;
+                        rem /= p;
+                    }
+                    Torus32::encode(f(&digits) % p, 2 * p)
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.try_programmable_bootstrap_many_with(&index, &luts, &mut ws)
     }
 
     /// A plain (identity-LUT) bootstrap: refreshes noise, keeps the
@@ -525,5 +910,88 @@ mod tests {
                 "bits={bits}"
             );
         }
+    }
+
+    #[test]
+    fn single_lut_bootstrap_many_is_bit_identical_to_plain() {
+        // The k = 1 property: `bootstrap_many(ct, [lut])` takes the plain
+        // path, so its one output is bit-for-bit the single-LUT bootstrap.
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let p = sk.params().plaintext_modulus;
+        let lut = Lut::from_fn(sk.params().poly_size, p, |m| (3 * m + 1) % p);
+        for m in 0..p {
+            let ct = ck.encrypt(m, &mut rng);
+            let many = sk
+                .try_programmable_bootstrap_many(&ct, std::slice::from_ref(&lut))
+                .unwrap();
+            assert_eq!(many.len(), 1);
+            assert_eq!(many[0], sk.try_programmable_bootstrap(&ct, &lut).unwrap());
+        }
+    }
+
+    #[test]
+    fn multi_value_bootstrap_matches_separate_rotations_and_decodes() {
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let p = sk.params().plaintext_modulus;
+        let n = sk.params().poly_size;
+        let luts = vec![
+            Lut::identity(n, p),
+            Lut::from_fn(n, p, |m| (3 * m + 1) % p),
+            Lut::from_fn(n, p, |m| m / 2),
+            Lut::from_fn(n, p, |m| u64::from(m >= 2)),
+        ];
+        for m in 0..p {
+            let ct = ck.encrypt(m, &mut rng);
+            let fused = sk.try_programmable_bootstrap_many(&ct, &luts).unwrap();
+            // Bit-identical to the deterministic k-rotation reference...
+            let separate = sk
+                .try_programmable_bootstrap_many_separate(&ct, &luts)
+                .unwrap();
+            assert_eq!(fused, separate, "m={m}");
+            // ...and decode-equal to k plain programmable bootstraps.
+            for (out, lut) in fused.iter().zip(&luts) {
+                let plain = sk.try_programmable_bootstrap(&ct, lut).unwrap();
+                assert_eq!(ck.decrypt(out), ck.decrypt(&plain), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_bootstrap_evaluates_two_digit_functions() {
+        // Test params: p = 4, N = 256 → p² = 16 ≤ 128, two digits fit.
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let p = sk.params().plaintext_modulus;
+        for m0 in 0..p {
+            for m1 in 0..p {
+                let cts = vec![ck.encrypt(m0, &mut rng), ck.encrypt(m1, &mut rng)];
+                let sum = sk
+                    .try_tree_bootstrap(&cts, |d: &[u64]| (d[0] + d[1]) % 4)
+                    .unwrap();
+                assert_eq!(ck.decrypt(&sum), (m0 + m1) % 4, "m0={m0} m1={m1}");
+                // Several outputs of the same digits share the stage-2
+                // rotation through the multi-value path.
+                type DigitFn = Box<dyn Fn(&[u64]) -> u64>;
+                let funcs: Vec<DigitFn> = vec![
+                    Box::new(|d: &[u64]| (d[0] + d[1]) % 4),
+                    Box::new(|d: &[u64]| d[0].max(d[1])),
+                    Box::new(|d: &[u64]| u64::from(d[0] == d[1])),
+                ];
+                let outs = sk.try_tree_bootstrap_many(&cts, &funcs).unwrap();
+                assert_eq!(ck.decrypt(&outs[0]), (m0 + m1) % 4);
+                assert_eq!(ck.decrypt(&outs[1]), m0.max(m1));
+                assert_eq!(ck.decrypt(&outs[2]), u64::from(m0 == m1));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_bootstrap_rejects_oversized_digit_counts() {
+        // p = 4, N = 256: four digits need p⁴ = 256 > N/2 = 128.
+        let (ck, sk, mut rng) = setup(MulBackend::Fft);
+        let cts: Vec<LweCiphertext> = (0..4).map(|m| ck.encrypt(m % 4, &mut rng)).collect();
+        assert!(matches!(
+            sk.try_tree_bootstrap(&cts, |d: &[u64]| d[0]),
+            Err(TfheError::PlaintextModulusTooLarge { .. })
+        ));
     }
 }

@@ -9,6 +9,9 @@
 //!   reference, element for element, in submission order;
 //! - per-item-LUT batches route ciphertext `i` through `luts[lut_of[i]]`
 //!   and stay bit-identical;
+//! - fanout batches (several LUTs per ciphertext, one blind rotation
+//!   each via multi-value bootstrapping) flatten outputs in input order
+//!   and stay bit-identical to the sequential reference;
 //! - the empty batch is `Ok(vec![])`;
 //! - malformed inputs (foreign-key ciphertexts) surface as errors, never
 //!   panics or silent corruption.
@@ -80,6 +83,29 @@ fn assert_conforms<B: Bootstrapper>(backend: &B, name: &str) {
         .try_bootstrap_batch(&req)
         .unwrap_or_else(|e| panic!("{name}: per-item batch failed: {e}"));
     assert_eq!(got, want, "{name}: per-item outputs must be bit-identical");
+
+    // Fanout parity: multi-value requests (several LUTs per ciphertext)
+    // flatten in input order and match the sequential reference exactly
+    // — the per-input derivation is deterministic, so every backend is
+    // bit-identical regardless of how it chunks the batch.
+    let cts = encrypt_batch(5, 0xFA11);
+    let luts = vec![
+        Lut::identity(poly, 4),
+        Lut::from_fn(poly, 4, |m| (3 * m + 1) % 4),
+        Lut::from_fn(poly, 4, |m| m / 2),
+    ];
+    let map = vec![vec![0, 1, 2], vec![1], vec![2, 0], vec![0], vec![1, 2]];
+    let req = BatchRequest::fanned_out(cts, luts, map).expect("valid fanout request");
+    assert_eq!(req.output_len(), 9);
+    let want = f
+        .server
+        .try_bootstrap_batch(&req)
+        .expect("reference fanout batch");
+    assert_eq!(want.len(), 9);
+    let got = backend
+        .try_bootstrap_batch(&req)
+        .unwrap_or_else(|e| panic!("{name}: fanout batch failed: {e}"));
+    assert_eq!(got, want, "{name}: fanout outputs must be bit-identical");
 
     // The empty batch is a no-op, not an error.
     let empty = BatchRequest::shared(Vec::new(), Lut::identity(poly, 4));
@@ -158,7 +184,34 @@ fn builder_rejects_malformed_requests() {
     ));
     // Selector out of range.
     assert!(matches!(
-        BatchRequest::per_item(cts, vec![Lut::identity(poly, 4)], vec![0, 0, 1]),
+        BatchRequest::per_item(cts.clone(), vec![Lut::identity(poly, 4)], vec![0, 0, 1]),
+        Err(TfheError::LutIndexOutOfRange { .. })
+    ));
+    // Fanout map of the wrong length.
+    assert!(matches!(
+        BatchRequest::fanned_out(
+            cts.clone(),
+            vec![Lut::identity(poly, 4)],
+            vec![vec![0], vec![0]],
+        ),
+        Err(TfheError::FanoutLengthMismatch { .. })
+    ));
+    // Empty fanout list: a ciphertext must map to at least one LUT.
+    assert!(matches!(
+        BatchRequest::fanned_out(
+            cts.clone(),
+            vec![Lut::identity(poly, 4)],
+            vec![vec![0], vec![], vec![0]],
+        ),
+        Err(TfheError::EmptyFanout { input: 1 })
+    ));
+    // Fanout index out of range.
+    assert!(matches!(
+        BatchRequest::fanned_out(
+            cts,
+            vec![Lut::identity(poly, 4)],
+            vec![vec![0], vec![1], vec![0]],
+        ),
         Err(TfheError::LutIndexOutOfRange { .. })
     ));
 }

@@ -46,17 +46,18 @@ pub use morphling_transform as transform;
 /// with its [`BatchRequest`] and every backend — sequential
 /// [`ServerKey`], scoped-thread [`ParallelServerKey`], the persistent
 /// [`BootstrapEngine`] with its health/fault-plan surface, and the
-/// deadline-aware dynamic-batching [`Dispatcher`] — plus LUTs and
-/// ciphertexts, the paper's parameter sets, and the accelerator
-/// simulator. Deeper items (schedulers, radix integers, app models)
-/// stay behind their module paths.
+/// deadline-aware dynamic-batching [`Dispatcher`] — plus the multi-value
+/// bootstrapping surface ([`BootstrapOptions`], [`MultiLutPlan`],
+/// [`MultiTicket`]), LUTs and ciphertexts, the paper's parameter sets,
+/// and the accelerator simulator. Deeper items (schedulers, radix
+/// integers, app models) stay behind their module paths.
 pub mod prelude {
     pub use morphling_core::faults::SimFaultPlan;
     pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
     pub use morphling_tfhe::{
-        BatchRequest, BootstrapEngine, BootstrapEngineBuilder, BootstrapWorkspace, Bootstrapper,
-        ClientKey, Dispatcher, DispatcherStats, EngineHealth, EngineStats, FaultPlan, Lut,
-        LweCiphertext, MulBackend, ParallelServerKey, ParamSet, ServerKey, ServerKeyBuilder,
-        TfheError, TfheParams, Ticket,
+        BatchRequest, BootstrapEngine, BootstrapEngineBuilder, BootstrapOptions,
+        BootstrapWorkspace, Bootstrapper, ClientKey, Dispatcher, DispatcherStats, EngineHealth,
+        EngineStats, FaultPlan, Lut, LweCiphertext, MulBackend, MultiLutPlan, MultiTicket,
+        ParallelServerKey, ParamSet, ServerKey, ServerKeyBuilder, TfheError, TfheParams, Ticket,
     };
 }
