@@ -1,0 +1,202 @@
+//! Batched SoA transforms vs per-polynomial transforms — the software
+//! VPE-array ablation.
+//!
+//! Three ways to compute the same `k` negacyclic products at the paper's
+//! N = 1024:
+//!
+//! - `scalar`: one allocating [`NegacyclicFft::mul_int_torus`] call per
+//!   polynomial — the pre-batching baseline;
+//! - `batched`: one allocating [`NegacyclicFft::mul_int_torus_batch`] call
+//!   over a planar [`PolyBatch`] — all lanes in lockstep;
+//! - `batched_ws`: the same lockstep kernels through warm caller-owned
+//!   buffers (`*_batch_into` + [`BatchScratch`]) — what the bootstrap hot
+//!   path uses.
+//!
+//! All three are bit-identical (asserted before timing). Besides the
+//! criterion group, each batch size is timed directly and the results land
+//! in `BENCH_transform.json` (CI validates and archives it) with the
+//! batched-over-scalar speedup at batch 8 as the headline number.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphling_math::{Polynomial, Torus32};
+use morphling_transform::{BatchScratch, NegacyclicFft, PolyBatch, SpectrumBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1024;
+const MAX_LANES: usize = 32;
+
+struct Fixture {
+    fft: NegacyclicFft,
+    digits: Vec<Polynomial<i64>>,
+    ts: Vec<Polynomial<Torus32>>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(2024);
+    // Paper set I/II digit range (β up to 2^6) against uniform torus polys.
+    let digits: Vec<Polynomial<i64>> = (0..MAX_LANES)
+        .map(|_| Polynomial::from_fn(N, |_| rng.gen_range(-32i64..32)))
+        .collect();
+    let ts: Vec<Polynomial<Torus32>> = (0..MAX_LANES)
+        .map(|_| Polynomial::from_fn(N, |_| Torus32::from_raw(rng.gen())))
+        .collect();
+    Fixture {
+        fft: NegacyclicFft::new(N),
+        digits,
+        ts,
+    }
+}
+
+/// Time `runs` evaluations of `op`, returning ns per evaluation.
+fn time_ns(mut op: impl FnMut(), runs: u32) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        op();
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(runs)
+}
+
+fn bench(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("transform_batch");
+    g.sample_size(10);
+
+    let mut entries = Vec::new();
+    let mut headline = 0.0f64;
+    for lanes in [1usize, 2, 4, 8, 16, 32] {
+        let ds = &f.digits[..lanes];
+        let ts = &f.ts[..lanes];
+        let dbatch = PolyBatch::from_polys(ds);
+        let tbatch = PolyBatch::from_polys(ts);
+
+        // Warm workspace buffers for the `_into` mode.
+        let mut dspec = SpectrumBatch::zero(N, lanes);
+        let mut tspec = SpectrumBatch::zero(N, lanes);
+        let mut prod = PolyBatch::<Torus32>::zero(N, lanes);
+        let mut scratch = BatchScratch::new();
+
+        // Hold all three modes to the bit-identity contract before timing.
+        let want: Vec<Polynomial<Torus32>> = ds
+            .iter()
+            .zip(ts)
+            .map(|(d, t)| f.fft.mul_int_torus(d, t))
+            .collect();
+        assert_eq!(
+            f.fft.mul_int_torus_batch(&dbatch, &tbatch).to_polys(),
+            want,
+            "lanes={lanes}: batched path must be bit-identical"
+        );
+        f.fft.forward_int_batch_into(&dbatch, &mut dspec);
+        f.fft.forward_torus_batch_into(&tbatch, &mut tspec);
+        dspec.pointwise_mul_assign(&tspec);
+        f.fft
+            .inverse_torus_batch_into(&dspec, &mut prod, &mut scratch);
+        assert_eq!(
+            prod.to_polys(),
+            want,
+            "lanes={lanes}: workspace path must be bit-identical"
+        );
+
+        g.bench_with_input(BenchmarkId::new("scalar", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                for (d, t) in ds.iter().zip(ts) {
+                    std::hint::black_box(f.fft.mul_int_torus(d, t));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    f.fft
+                        .mul_int_torus_batch(std::hint::black_box(&dbatch), &tbatch),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched_ws", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                f.fft
+                    .forward_int_batch_into(std::hint::black_box(&dbatch), &mut dspec);
+                f.fft.forward_torus_batch_into(&tbatch, &mut tspec);
+                dspec.pointwise_mul_assign(&tspec);
+                f.fft
+                    .inverse_torus_batch_into(&dspec, &mut prod, &mut scratch);
+                std::hint::black_box(&prod);
+            })
+        });
+
+        // Direct measurement for the JSON artifact; interleave the modes
+        // so machine-load drift hits all three alike.
+        let (runs, rounds) = (20u32, 5u32);
+        let (mut scalar_ns, mut batched_ns, mut ws_ns) = (0.0, 0.0, 0.0);
+        for _ in 0..rounds {
+            scalar_ns += time_ns(
+                || {
+                    for (d, t) in ds.iter().zip(ts) {
+                        std::hint::black_box(f.fft.mul_int_torus(d, t));
+                    }
+                },
+                runs,
+            );
+            batched_ns += time_ns(
+                || {
+                    std::hint::black_box(f.fft.mul_int_torus_batch(&dbatch, &tbatch));
+                },
+                runs,
+            );
+            ws_ns += time_ns(
+                || {
+                    f.fft.forward_int_batch_into(&dbatch, &mut dspec);
+                    f.fft.forward_torus_batch_into(&tbatch, &mut tspec);
+                    dspec.pointwise_mul_assign(&tspec);
+                    f.fft
+                        .inverse_torus_batch_into(&dspec, &mut prod, &mut scratch);
+                    std::hint::black_box(&prod);
+                },
+                runs,
+            );
+        }
+        let scalar_ns = scalar_ns / f64::from(rounds);
+        let batched_ns = batched_ns / f64::from(rounds);
+        let ws_ns = ws_ns / f64::from(rounds);
+        let per_poly = |total: f64| total / lanes as f64;
+        let speedup_batched = scalar_ns / batched_ns;
+        let speedup_ws = scalar_ns / ws_ns;
+        if lanes == 8 {
+            headline = speedup_batched.max(speedup_ws);
+        }
+        println!(
+            "transform_batch/lanes{lanes}: scalar {:.0} ns/poly, batched {:.0} ns/poly \
+             ({speedup_batched:.2}x), batched_ws {:.0} ns/poly ({speedup_ws:.2}x)",
+            per_poly(scalar_ns),
+            per_poly(batched_ns),
+            per_poly(ws_ns),
+        );
+        entries.push(format!(
+            "    {{\"lanes\": {lanes}, \"poly_size\": {N}, \"runs\": {}, \
+             \"scalar_ns_per_poly\": {:.1}, \
+             \"batched_ns_per_poly\": {:.1}, \
+             \"batched_ws_ns_per_poly\": {:.1}, \
+             \"speedup_batched\": {speedup_batched:.3}, \
+             \"speedup_batched_ws\": {speedup_ws:.3}}}",
+            runs * rounds,
+            per_poly(scalar_ns),
+            per_poly(batched_ns),
+            per_poly(ws_ns),
+        ));
+    }
+    g.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"transform_batch\",\n  \"batched_speedup_at_8\": {headline:.3},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_transform.json", json) {
+        eprintln!("could not write BENCH_transform.json: {e}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -348,12 +348,17 @@ pub struct DispatcherStats {
 }
 
 /// Nearest-rank percentile over an ascending-sorted ns array.
+///
+/// Uses the zero-based nearest-rank index `ceil((len − 1) · q)`, so the
+/// quantile is monotone in `q`, stays within `[min, max]`, is exact on
+/// singletons, and — unlike the naive `ceil(len · q)` rank — does not
+/// under-report on tiny samples (the p50 of `[a, b]` is `b`, not `a`).
 fn percentile(sorted: &[u64], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let rank = ((sorted.len() as f64) * q).ceil() as usize;
-    Duration::from_nanos(sorted[rank.clamp(1, sorted.len()) - 1])
+    let idx = (((sorted.len() - 1) as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    Duration::from_nanos(sorted[idx.min(sorted.len() - 1)])
 }
 
 /// Builder for [`Dispatcher`], mirroring
@@ -1354,5 +1359,65 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn percentile_pinned_definition_on_small_samples() {
+        // The regression this pins down: ceil(len·q) under-reported on tiny
+        // samples — the old code returned `a` for the median of [a, b].
+        assert_eq!(percentile(&[], 0.50), Duration::ZERO);
+        assert_eq!(percentile(&[7], 0.0), Duration::from_nanos(7));
+        assert_eq!(percentile(&[7], 0.50), Duration::from_nanos(7));
+        assert_eq!(percentile(&[7], 1.0), Duration::from_nanos(7));
+        assert_eq!(percentile(&[10, 20], 0.50), Duration::from_nanos(20));
+        assert_eq!(percentile(&[10, 20, 30], 0.50), Duration::from_nanos(20));
+        assert_eq!(percentile(&[10, 20], 0.0), Duration::from_nanos(10));
+        assert_eq!(percentile(&[10, 20], 1.0), Duration::from_nanos(20));
+        // p95/p99 of a small sample land on the max, never out of bounds.
+        assert_eq!(percentile(&[1, 2, 3], 0.99), Duration::from_nanos(3));
+    }
+
+    mod percentile_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn monotone_in_q_and_bounded(
+                xs in prop::collection::vec(0u64..1_000_000, 16),
+                len in 1usize..17,
+                q1 in 0.0f64..1.0,
+                q2 in 0.0f64..1.0,
+            ) {
+                let mut xs = xs;
+                xs.truncate(len);
+                xs.sort_unstable();
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                let p_lo = percentile(&xs, lo);
+                let p_hi = percentile(&xs, hi);
+                prop_assert!(p_lo <= p_hi, "percentile not monotone: q{lo} > q{hi}");
+                prop_assert!(p_lo >= Duration::from_nanos(xs[0]));
+                prop_assert!(p_hi <= Duration::from_nanos(*xs.last().unwrap()));
+            }
+
+            #[test]
+            fn exact_on_singletons(x in any::<u64>(), q in 0.0f64..1.0) {
+                prop_assert_eq!(percentile(&[x], q), Duration::from_nanos(x));
+            }
+
+            #[test]
+            fn extremes_hit_min_and_max(
+                xs in prop::collection::vec(0u64..1_000_000, 8),
+                len in 1usize..9,
+            ) {
+                let mut xs = xs;
+                xs.truncate(len);
+                xs.sort_unstable();
+                prop_assert_eq!(percentile(&xs, 0.0), Duration::from_nanos(xs[0]));
+                prop_assert_eq!(percentile(&xs, 1.0), Duration::from_nanos(*xs.last().unwrap()));
+            }
+        }
     }
 }

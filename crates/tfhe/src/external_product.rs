@@ -29,15 +29,18 @@ pub struct ExternalProductEngine {
     fft: NegacyclicFft,
     decomposer: SignedDecomposer<Torus32>,
     merge_split: bool,
+    batched: bool,
 }
 
 impl ExternalProductEngine {
-    /// Build an engine for `params`, with the merge-split FFT enabled.
+    /// Build an engine for `params`, with the merge-split FFT and the
+    /// batched (SoA) forward transform enabled.
     pub fn new(params: &TfheParams) -> Self {
         Self {
             fft: NegacyclicFft::new(params.poly_size),
             decomposer: SignedDecomposer::new(params.bsk_decomp),
             merge_split: true,
+            batched: true,
         }
     }
 
@@ -47,6 +50,27 @@ impl ExternalProductEngine {
     pub fn with_merge_split(mut self, enabled: bool) -> Self {
         self.merge_split = enabled;
         self
+    }
+
+    /// Enable or disable the batched SoA forward transform on the
+    /// workspace hot path (bit-identical either way; this exists for the
+    /// ablation benches and as an escape hatch).
+    #[must_use]
+    pub fn with_batched_transforms(mut self, enabled: bool) -> Self {
+        self.batched = enabled;
+        self
+    }
+
+    /// Whether the merge-split FFT is enabled.
+    #[inline]
+    pub fn merge_split(&self) -> bool {
+        self.merge_split
+    }
+
+    /// Whether the batched SoA forward transform is enabled.
+    #[inline]
+    pub fn batched_transforms(&self) -> bool {
+        self.batched
     }
 
     /// The FFT engine (shared with other components working at the same
@@ -196,22 +220,36 @@ impl ExternalProductEngine {
     /// merge-split pairing, same accumulation order — so the results are
     /// bit-identical; only the storage is caller-owned.
     fn external_product_buffers(&self, ggsw: &FourierGgsw, ws: &mut BootstrapWorkspace) {
+        assert_eq!(
+            ws.digit_polys.len(),
+            ggsw.row_count(),
+            "gadget level mismatch"
+        );
+        self.decompose_lambda(ws);
+        if self.batched {
+            self.forward_digits_batched(ws);
+        } else {
+            self.forward_digits_scalar(ws);
+        }
+        self.mac_and_inverse(ggsw, ws);
+    }
+
+    /// Stage 1: decompose every component of `ws.lambda` into the
+    /// `(k+1)·l_b` digit rows (eq. (1)).
+    pub(crate) fn decompose_lambda(&self, ws: &mut BootstrapWorkspace) {
         let l = self.decomposer.params().level();
         let lambda = &ws.lambda;
-        let digit_polys = &mut ws.digit_polys[..];
-        let digit_spectra = &mut ws.digit_spectra[..];
-        let acc_spectra = &mut ws.acc_spectra[..];
-        let product = &mut ws.product[..];
-        let scratch = &mut ws.scratch;
-        assert_eq!(digit_polys.len(), ggsw.row_count(), "gadget level mismatch");
-
-        // Decompose every component of Λ into the digit rows (eq. (1)).
-        for (comp, rows) in lambda.components().zip(digit_polys.chunks_mut(l)) {
+        for (comp, rows) in lambda.components().zip(ws.digit_polys.chunks_mut(l)) {
             self.decomposer.decompose_poly_into(comp, rows);
         }
+    }
 
-        // Forward transforms — two digit rows per FFT pass when the
-        // merge-split path is on (MS-FFT, §V-A.3).
+    /// Stage 2 (scalar): forward-transform the digit rows one (or, with
+    /// merge-split, two) at a time — the pre-batching reference schedule.
+    pub(crate) fn forward_digits_scalar(&self, ws: &mut BootstrapWorkspace) {
+        let digit_polys = &ws.digit_polys[..];
+        let digit_spectra = &mut ws.digit_spectra[..];
+        let scratch = &mut ws.scratch;
         if self.merge_split {
             let mut polys = digit_polys.chunks_exact(2);
             let mut specs = digit_spectra.chunks_exact_mut(2);
@@ -228,9 +266,49 @@ impl ExternalProductEngine {
                 self.fft.forward_int_into(p, s);
             }
         }
+    }
 
-        // ACC-output-stationary accumulation: clear POLY-ACC-REG, then
-        // stream every row across all k+1 output lanes.
+    /// Stage 2 (batched): pack the digit rows into the workspace's planar
+    /// [`PolyBatch`](morphling_transform::PolyBatch) and run one lockstep
+    /// SoA forward pass over all lanes — the software image of streaming
+    /// the whole digit set through the 2D VPE array at once. Bit-identical
+    /// to [`forward_digits_scalar`](Self::forward_digits_scalar): per lane
+    /// the batch kernels replay the scalar f64 operation sequence, and the
+    /// pair kernel reproduces the merge-split pairing schedule exactly.
+    pub(crate) fn forward_digits_batched(&self, ws: &mut BootstrapWorkspace) {
+        let rows = ws.digit_polys.len();
+        let n = self.fft.poly_len();
+        ws.digit_batch.reshape(n, rows);
+        ws.spectra_batch.reshape(n, rows);
+        for (lane, p) in ws.digit_polys.iter().enumerate() {
+            ws.digit_batch.load_lane(lane, p);
+        }
+        if self.merge_split {
+            self.fft.forward_pair_int_batch_into(
+                &ws.digit_batch,
+                &mut ws.spectra_batch,
+                &mut ws.batch_scratch,
+            );
+        } else {
+            self.fft
+                .forward_int_batch_into(&ws.digit_batch, &mut ws.spectra_batch);
+        }
+        for (lane, s) in ws.digit_spectra.iter_mut().enumerate() {
+            ws.spectra_batch.store_lane(lane, s);
+        }
+    }
+
+    /// Stage 3: ACC-output-stationary accumulation of `ws.digit_spectra`
+    /// against the GGSW rows, then one inverse transform per output
+    /// component (paired under merge-split), into `ws.product`.
+    pub(crate) fn mac_and_inverse(&self, ggsw: &FourierGgsw, ws: &mut BootstrapWorkspace) {
+        let digit_spectra = &ws.digit_spectra[..];
+        let acc_spectra = &mut ws.acc_spectra[..];
+        let product = &mut ws.product[..];
+        let scratch = &mut ws.scratch;
+
+        // Clear POLY-ACC-REG, then stream every row across all k+1 output
+        // lanes.
         for s in acc_spectra.iter_mut() {
             s.set_zero();
         }
@@ -490,9 +568,11 @@ mod tests {
 
     #[test]
     fn rotate_cmux_into_is_bit_identical_to_allocating_path() {
-        // Chained rotations, both merge-split settings, k = 1 and k = 2:
-        // the workspace path must reproduce the allocating path bit for
-        // bit, not merely up to noise.
+        // Chained rotations, every merge-split × batched-transform
+        // combination, k = 1 and k = 2: the workspace path must reproduce
+        // the allocating path bit for bit, not merely up to noise. The
+        // allocating `rotate_cmux` never touches the batch kernels, so
+        // batched = true here is also the SoA-vs-scalar identity check.
         for set in [ParamSet::Test, ParamSet::TestMedium] {
             let params = set.params();
             let mut rng = StdRng::seed_from_u64(42);
@@ -500,15 +580,22 @@ mod tests {
             let m = coarse_msg(params.poly_size, 11);
             let ct = GlweCiphertext::encrypt(&m, &key, params.glwe_noise_std, &mut rng);
             for ms in [true, false] {
-                let engine = ExternalProductEngine::new(&params).with_merge_split(ms);
-                let ggsw =
-                    GgswCiphertext::encrypt(1, &key, &params, &mut rng).to_fourier(engine.fft());
-                let mut ws = engine.workspace(params.glwe_dim);
-                let mut acc = ct.clone();
-                for a_tilde in [0i64, 5, 37, 211] {
-                    let want = engine.rotate_cmux(&ggsw, &acc, a_tilde);
-                    engine.rotate_cmux_into(&ggsw, &mut acc, a_tilde, &mut ws);
-                    assert_eq!(acc, want, "set={set:?} ms={ms} a_tilde={a_tilde}");
+                for batched in [true, false] {
+                    let engine = ExternalProductEngine::new(&params)
+                        .with_merge_split(ms)
+                        .with_batched_transforms(batched);
+                    let ggsw = GgswCiphertext::encrypt(1, &key, &params, &mut rng)
+                        .to_fourier(engine.fft());
+                    let mut ws = engine.workspace(params.glwe_dim);
+                    let mut acc = ct.clone();
+                    for a_tilde in [0i64, 5, 37, 211] {
+                        let want = engine.rotate_cmux(&ggsw, &acc, a_tilde);
+                        engine.rotate_cmux_into(&ggsw, &mut acc, a_tilde, &mut ws);
+                        assert_eq!(
+                            acc, want,
+                            "set={set:?} ms={ms} batched={batched} a_tilde={a_tilde}"
+                        );
+                    }
                 }
             }
         }

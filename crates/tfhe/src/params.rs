@@ -3,7 +3,7 @@
 //! The paper specifies `(N, n, k, l_b, λ)` per set and `l_k = 9` for the
 //! Fig 1 configuration. It does not publish decomposition bases or noise
 //! standard deviations; we take conventional values from the
-//! TFHE/Concrete lineage and record them here (see `DESIGN.md` §11).
+//! TFHE/Concrete lineage and record them here (see `DESIGN.md` §12).
 //! Latency/throughput experiments depend only on `(N, n, k, l_b, l_k)`;
 //! correctness tests depend on the rest and pass with these choices.
 
@@ -37,7 +37,7 @@ pub struct TfheParams {
     /// with these parameters. Sets IV and A use `l_b = 1`, which the paper
     /// evaluates for performance only; on a 32-bit torus their noise budget
     /// is too tight for dependable decryption, so correctness tests skip
-    /// them (see DESIGN.md §11).
+    /// them (see DESIGN.md §12).
     pub functional: bool,
 }
 

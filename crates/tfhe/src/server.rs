@@ -5,8 +5,8 @@ use morphling_math::{Polynomial, Torus32, TorusScalar};
 use rand::Rng;
 
 use crate::bootstrap::{
-    blind_rotate_assign, blind_rotate_exact, blind_rotate_ntt, initial_accumulator, modulus_switch,
-    sample_extract,
+    blind_rotate_assign, blind_rotate_assign_many, blind_rotate_exact, blind_rotate_ntt,
+    initial_accumulator, modulus_switch, sample_extract,
 };
 use crate::bootstrap_key::BootstrapKey;
 use crate::error::TfheError;
@@ -117,10 +117,12 @@ impl<'a> BootstrapOptions<'a> {
 pub struct ServerKeyBuilder {
     backend: MulBackend,
     merge_split: Option<bool>,
+    batched_transforms: Option<bool>,
 }
 
 impl ServerKeyBuilder {
-    /// Start from the defaults: FFT backend with merge-split enabled.
+    /// Start from the defaults: FFT backend with merge-split and batched
+    /// SoA transforms enabled.
     pub fn new() -> Self {
         Self::default()
     }
@@ -139,6 +141,15 @@ impl ServerKeyBuilder {
         self
     }
 
+    /// Force the batched SoA forward transform on or off for the FFT
+    /// backends (default on; results are bit-identical either way — this
+    /// is an ablation/escape-hatch knob, irrelevant for the exact
+    /// backends).
+    pub fn batched_transforms(mut self, enabled: bool) -> Self {
+        self.batched_transforms = Some(enabled);
+        self
+    }
+
     /// Generate BSK and KSK from the client key and assemble the server
     /// key.
     pub fn build<R: Rng + ?Sized>(self, client: &ClientKey, rng: &mut R) -> ServerKey {
@@ -153,7 +164,9 @@ impl ServerKeyBuilder {
         let merge_split = self
             .merge_split
             .unwrap_or(self.backend != MulBackend::FftPlain);
-        let engine = ExternalProductEngine::new(&params).with_merge_split(merge_split);
+        let engine = ExternalProductEngine::new(&params)
+            .with_merge_split(merge_split)
+            .with_batched_transforms(self.batched_transforms.unwrap_or(true));
         ServerKey {
             params,
             bsk,
@@ -420,6 +433,42 @@ impl ServerKey {
             }
         }
         acc
+    }
+
+    /// Bootstrap a wave of independent `(ciphertext, LUT)` items with the
+    /// blind rotations run in **lockstep**: at every CMUX step the active
+    /// items' digit polynomials go through one batched SoA forward
+    /// transform ([`blind_rotate_assign_many`]). Only valid for the FFT
+    /// backends; bit-identical to bootstrapping each item separately.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_programmable_bootstrap`](Self::try_programmable_bootstrap).
+    pub(crate) fn try_bootstrap_wave_lockstep(
+        &self,
+        items: &[(&LweCiphertext, &Lut)],
+        ws: &mut BootstrapWorkspace,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        debug_assert!(matches!(
+            self.backend,
+            MulBackend::Fft | MulBackend::FftPlain
+        ));
+        let mut accs = Vec::with_capacity(items.len());
+        let mut masks = Vec::with_capacity(items.len());
+        for (ct, lut) in items {
+            self.validate_bootstrap_inputs(ct, lut)?;
+            let (mask, b_tilde) = modulus_switch(ct, self.params.two_n());
+            accs.push(initial_accumulator(
+                lut.polynomial(),
+                self.params.glwe_dim,
+                b_tilde,
+            ));
+            masks.push(mask);
+        }
+        blind_rotate_assign_many(&self.engine, &self.bsk, &mut accs, &masks, ws);
+        accs.iter()
+            .map(|acc| self.ksk.try_key_switch(&sample_extract(acc)))
+            .collect()
     }
 
     /// Multi-value bootstrapping: evaluate `k` LUTs of the same input for

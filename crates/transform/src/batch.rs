@@ -1,0 +1,562 @@
+//! Structure-of-arrays batches: the software twin of the VPE array.
+//!
+//! Morphling's throughput comes from streaming *batches* of polynomials
+//! through a 2D-systolic array of vector processing elements in lockstep
+//! (§V-A): every cycle, each VPE lane advances one polynomial by one
+//! element. The software analogue is a planar ("SoA") layout where batch
+//! lanes — not coefficients — are the innermost, contiguous dimension:
+//!
+//! - [`PolyBatch`] stores `lanes` size-`N` polynomials coefficient-major,
+//!   `data[j * lanes + lane]`, so a kernel visiting coefficient `j` touches
+//!   all lanes as one contiguous run the compiler can auto-vectorize.
+//! - [`SpectrumBatch`] stores `lanes` negacyclic spectra as split-complex
+//!   planes (`re[m * lanes + lane]` / `im[m * lanes + lane]`) — the layout
+//!   every SIMD/GPU backend wants, and the one the batched FFT kernels of
+//!   [`FftPlan`](crate::FftPlan) run over.
+//! - [`BatchScratch`] is the reusable staging area (the software Coef
+//!   buffer) the `*_batch_into` entry points thread through, so a warm
+//!   caller performs no heap allocation.
+//!
+//! Batch lanes are fully independent: every batched kernel performs, per
+//! lane, exactly the same sequence of f64 operations as its scalar
+//! counterpart, so batched results are **bit-identical** to the scalar
+//! path at any batch size (asserted by the identity test suite).
+
+use morphling_math::{Complex64, Polynomial};
+
+use crate::spectrum::Spectrum;
+
+/// A batch of `lanes` equally-sized polynomials in planar (SoA) layout:
+/// coefficient `j` of lane `l` lives at `data[j * lanes + l]`.
+///
+/// A batch always holds at least one lane — the constructors panic on an
+/// empty batch, mirroring how the transform engines reject zero-size
+/// polynomials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolyBatch<T> {
+    n: usize,
+    lanes: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> PolyBatch<T> {
+    /// An all-default batch of `lanes` size-`n` polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `n == 0`.
+    pub fn zero(n: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "a polynomial batch needs at least one lane");
+        assert!(n > 0, "polynomial size must be nonzero");
+        Self {
+            n,
+            lanes,
+            data: vec![T::default(); n * lanes],
+        }
+    }
+
+    /// Pack a slice of polynomials into a batch (one lane each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys` is empty or the sizes disagree.
+    pub fn from_polys(polys: &[Polynomial<T>]) -> Self {
+        assert!(
+            !polys.is_empty(),
+            "a polynomial batch needs at least one lane"
+        );
+        let n = polys[0].len();
+        let mut batch = Self::zero(n, polys.len());
+        for (lane, p) in polys.iter().enumerate() {
+            batch.load_lane(lane, p);
+        }
+        batch
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes (polynomials) in the batch.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The flat planar storage, `data[j * lanes + lane]`.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat planar storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Coefficient `j` of lane `lane`.
+    #[inline]
+    pub fn coeff(&self, j: usize, lane: usize) -> T {
+        self.data[j * self.lanes + lane]
+    }
+
+    /// Set coefficient `j` of lane `lane`.
+    #[inline]
+    pub fn set_coeff(&mut self, j: usize, lane: usize, v: T) {
+        self.data[j * self.lanes + lane] = v;
+    }
+
+    /// Reshape in place, reusing the allocation where possible. Contents
+    /// afterwards are unspecified (every kernel fully overwrites its
+    /// output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `n == 0`.
+    pub fn reshape(&mut self, n: usize, lanes: usize) {
+        assert!(lanes > 0, "a polynomial batch needs at least one lane");
+        assert!(n > 0, "polynomial size must be nonzero");
+        self.n = n;
+        self.lanes = lanes;
+        self.data.resize(n * lanes, T::default());
+    }
+
+    /// Scatter one polynomial into lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len()` differs from the batch size or `lane` is out of
+    /// range.
+    pub fn load_lane(&mut self, lane: usize, p: &Polynomial<T>) {
+        assert_eq!(p.len(), self.n, "polynomial size must match the batch");
+        assert!(lane < self.lanes, "lane out of range");
+        for (j, &c) in p.coeffs().iter().enumerate() {
+            self.data[j * self.lanes + lane] = c;
+        }
+    }
+
+    /// Gather lane `lane` into a caller-owned polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the batch size or `lane` is out
+    /// of range.
+    pub fn store_lane(&self, lane: usize, out: &mut Polynomial<T>) {
+        assert_eq!(out.len(), self.n, "polynomial size must match the batch");
+        assert!(lane < self.lanes, "lane out of range");
+        for (j, c) in out.coeffs_mut().iter_mut().enumerate() {
+            *c = self.data[j * self.lanes + lane];
+        }
+    }
+
+    /// Unpack the whole batch into owned polynomials, lane order.
+    pub fn to_polys(&self) -> Vec<Polynomial<T>> {
+        (0..self.lanes)
+            .map(|lane| {
+                let mut p = Polynomial::zero(self.n);
+                self.store_lane(lane, &mut p);
+                p
+            })
+            .collect()
+    }
+}
+
+/// A batch of `lanes` negacyclic spectra (each `N/2` evaluation points) in
+/// split-complex planar layout: point `m` of lane `l` lives at
+/// `re[m * lanes + l]` / `im[m * lanes + l]`.
+///
+/// This is the transform-domain half of [`PolyBatch`]: what the batched
+/// VPE MAC loops and the batched FFT kernels operate on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpectrumBatch {
+    n: usize,
+    lanes: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl SpectrumBatch {
+    /// A zero batch of `lanes` spectra for size-`n` polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `n` is not a power of two ≥ 2.
+    pub fn zero(n: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "a spectrum batch needs at least one lane");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "polynomial size must be a power of two ≥ 2"
+        );
+        let points = n / 2;
+        Self {
+            n,
+            lanes,
+            re: vec![0.0; points * lanes],
+            im: vec![0.0; points * lanes],
+        }
+    }
+
+    /// Pack a slice of spectra into a batch (one lane each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectra` is empty or the sizes disagree.
+    pub fn from_spectra(spectra: &[Spectrum]) -> Self {
+        assert!(
+            !spectra.is_empty(),
+            "a spectrum batch needs at least one lane"
+        );
+        let mut batch = Self::zero(spectra[0].poly_len(), spectra.len());
+        for (lane, s) in spectra.iter().enumerate() {
+            batch.load_lane(lane, s);
+        }
+        batch
+    }
+
+    /// The polynomial size `N` these spectra represent.
+    #[inline]
+    pub fn poly_len(&self) -> usize {
+        self.n
+    }
+
+    /// Evaluation points per lane (`N/2`).
+    #[inline]
+    pub fn points(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Number of lanes (spectra) in the batch.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The real plane, `re[m * lanes + lane]`.
+    #[inline]
+    pub fn re(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// The imaginary plane, `im[m * lanes + lane]`.
+    #[inline]
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Both planes, mutably — what the batched FFT kernels run over.
+    #[inline]
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// Evaluation point `m` of lane `lane`.
+    #[inline]
+    pub fn point(&self, m: usize, lane: usize) -> Complex64 {
+        let i = m * self.lanes + lane;
+        Complex64::new(self.re[i], self.im[i])
+    }
+
+    /// Set evaluation point `m` of lane `lane`.
+    #[inline]
+    pub fn set_point(&mut self, m: usize, lane: usize, v: Complex64) {
+        let i = m * self.lanes + lane;
+        self.re[i] = v.re;
+        self.im[i] = v.im;
+    }
+
+    /// Reshape in place, reusing the allocations where possible. Contents
+    /// afterwards are unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `n` is not a power of two ≥ 2.
+    pub fn reshape(&mut self, n: usize, lanes: usize) {
+        assert!(lanes > 0, "a spectrum batch needs at least one lane");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "polynomial size must be a power of two ≥ 2"
+        );
+        self.n = n;
+        self.lanes = lanes;
+        self.re.resize(n / 2 * lanes, 0.0);
+        self.im.resize(n / 2 * lanes, 0.0);
+    }
+
+    /// Reset every point of every lane to zero — clearing the whole
+    /// POLY-ACC register file at once.
+    pub fn set_zero(&mut self) {
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+    }
+
+    /// Scatter one spectrum into lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes disagree or `lane` is out of range.
+    pub fn load_lane(&mut self, lane: usize, s: &Spectrum) {
+        assert_eq!(s.poly_len(), self.n, "spectrum size must match the batch");
+        assert!(lane < self.lanes, "lane out of range");
+        for (m, v) in s.values().iter().enumerate() {
+            self.re[m * self.lanes + lane] = v.re;
+            self.im[m * self.lanes + lane] = v.im;
+        }
+    }
+
+    /// Gather lane `lane` into a caller-owned spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes disagree or `lane` is out of range.
+    pub fn store_lane(&self, lane: usize, out: &mut Spectrum) {
+        assert_eq!(out.poly_len(), self.n, "spectrum size must match the batch");
+        assert!(lane < self.lanes, "lane out of range");
+        for (m, v) in out.values_mut().iter_mut().enumerate() {
+            *v = Complex64::new(
+                self.re[m * self.lanes + lane],
+                self.im[m * self.lanes + lane],
+            );
+        }
+    }
+
+    /// Unpack the whole batch into owned spectra, lane order.
+    pub fn to_spectra(&self) -> Vec<Spectrum> {
+        (0..self.lanes)
+            .map(|lane| {
+                let mut s = Spectrum::zero(self.n);
+                self.store_lane(lane, &mut s);
+                s
+            })
+            .collect()
+    }
+
+    /// Lane-lockstep fused multiply-accumulate: `self += a * b` pointwise,
+    /// per lane — the whole VPE column advancing one batch in one sweep.
+    /// Per lane this performs the exact operation sequence of
+    /// [`Spectrum::mul_acc`], so results are bit-identical to the scalar
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
+    pub fn mul_acc(&mut self, a: &Self, b: &Self) {
+        assert_eq!((self.n, self.lanes), (a.n, a.lanes), "batch shape mismatch");
+        assert_eq!((self.n, self.lanes), (b.n, b.lanes), "batch shape mismatch");
+        for i in 0..self.re.len() {
+            let (ar, ai) = (a.re[i], a.im[i]);
+            let (br, bi) = (b.re[i], b.im[i]);
+            self.re[i] += ar * br - ai * bi;
+            self.im[i] += ar * bi + ai * br;
+        }
+    }
+
+    /// Pointwise product with another batch, lane by lane, in place.
+    /// Per lane, the exact operation sequence of
+    /// [`Spectrum::pointwise_mul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
+    pub fn pointwise_mul_assign(&mut self, rhs: &Self) {
+        assert_eq!(
+            (self.n, self.lanes),
+            (rhs.n, rhs.lanes),
+            "batch shape mismatch"
+        );
+        for i in 0..self.re.len() {
+            let (ar, ai) = (self.re[i], self.im[i]);
+            let (br, bi) = (rhs.re[i], rhs.im[i]);
+            self.re[i] = ar * br - ai * bi;
+            self.im[i] = ar * bi + ai * br;
+        }
+    }
+
+    /// Accumulate `self[lane] * rhs` into a scalar spectrum:
+    /// `acc[m] += self.point(m, lane) * rhs[m]` — one VPE row's MAC against
+    /// a shared (BSK) spectrum, reading straight from the planar batch.
+    /// Identical operation sequence to [`Spectrum::mul_acc`] with the lane
+    /// unpacked first, so bit-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes disagree or `lane` is out of range.
+    pub fn mul_acc_lane_into(&self, lane: usize, rhs: &Spectrum, acc: &mut Spectrum) {
+        assert_eq!(rhs.poly_len(), self.n, "spectrum size must match the batch");
+        assert_eq!(
+            acc.poly_len(),
+            self.n,
+            "accumulator size must match the batch"
+        );
+        assert!(lane < self.lanes, "lane out of range");
+        let lanes = self.lanes;
+        for (m, (out, y)) in acc.values_mut().iter_mut().zip(rhs.values()).enumerate() {
+            let x = Complex64::new(self.re[m * lanes + lane], self.im[m * lanes + lane]);
+            *out += x * *y;
+        }
+    }
+}
+
+/// Reusable split-complex staging planes for the batched transform entry
+/// points — the software Coef buffer. Grows to the largest request seen
+/// and stays there; a warm scratch never reallocates.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch (grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Both planes resized to `len` elements. Contents are unspecified —
+    /// every kernel fully overwrites what it reads.
+    #[inline]
+    pub fn planes(&mut self, len: usize) -> (&mut [f64], &mut [f64]) {
+        if self.re.len() < len {
+            self.re.resize(len, 0.0);
+            self.im.resize(len, 0.0);
+        }
+        (&mut self.re[..len], &mut self.im[..len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_batch_layout_is_coefficient_major() {
+        let mut b = PolyBatch::<i64>::zero(4, 3);
+        b.set_coeff(2, 1, 7);
+        assert_eq!(b.data()[2 * 3 + 1], 7);
+        assert_eq!(b.coeff(2, 1), 7);
+    }
+
+    #[test]
+    fn poly_batch_roundtrips_through_lanes() {
+        let polys: Vec<Polynomial<i64>> = (0..3)
+            .map(|l| Polynomial::from_fn(8, |j| (l * 100 + j) as i64))
+            .collect();
+        let b = PolyBatch::from_polys(&polys);
+        assert_eq!(b.lanes(), 3);
+        assert_eq!(b.poly_len(), 8);
+        assert_eq!(b.to_polys(), polys);
+    }
+
+    #[test]
+    fn spectrum_batch_roundtrips_through_lanes() {
+        let spectra: Vec<Spectrum> = (0..2)
+            .map(|l| {
+                Spectrum::from_values(
+                    (0..4)
+                        .map(|m| Complex64::new((l * 10 + m) as f64, -(m as f64)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let b = SpectrumBatch::from_spectra(&spectra);
+        assert_eq!(b.lanes(), 2);
+        assert_eq!(b.points(), 4);
+        assert_eq!(b.to_spectra(), spectra);
+    }
+
+    #[test]
+    fn batched_mul_acc_matches_scalar_mul_acc() {
+        let mk = |seed: u64| {
+            Spectrum::from_values(
+                (0..8)
+                    .map(|m| {
+                        Complex64::new(
+                            ((m as u64 * 37 + seed) % 101) as f64 - 50.0,
+                            ((m as u64 * 53 + seed) % 97) as f64 - 48.0,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let a = [mk(1), mk(2), mk(3)];
+        let b = [mk(4), mk(5), mk(6)];
+        let ab = SpectrumBatch::from_spectra(&a);
+        let bb = SpectrumBatch::from_spectra(&b);
+        let mut acc = SpectrumBatch::zero(16, 3);
+        acc.mul_acc(&ab, &bb);
+        acc.mul_acc(&ab, &bb);
+        for lane in 0..3 {
+            let mut want = Spectrum::zero(16);
+            want.mul_acc(&a[lane], &b[lane]);
+            want.mul_acc(&a[lane], &b[lane]);
+            let mut got = Spectrum::zero(16);
+            acc.store_lane(lane, &mut got);
+            assert_eq!(got, want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_lane_into_matches_scalar() {
+        let xs: Vec<Spectrum> = (0..3)
+            .map(|l| {
+                Spectrum::from_values(
+                    (0..4)
+                        .map(|m| Complex64::new((l + m) as f64 + 0.25, (m as f64) - 1.5))
+                        .collect(),
+                )
+            })
+            .collect();
+        let rhs = Spectrum::from_values(
+            (0..4)
+                .map(|m| Complex64::new(1.0 - m as f64, 2.0 * m as f64))
+                .collect(),
+        );
+        let batch = SpectrumBatch::from_spectra(&xs);
+        for (lane, x) in xs.iter().enumerate() {
+            let mut got = Spectrum::zero(8);
+            batch.mul_acc_lane_into(lane, &rhs, &mut got);
+            let mut want = Spectrum::zero(8);
+            want.mul_acc(x, &rhs);
+            assert_eq!(got, want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_poly_batch_is_rejected() {
+        let _ = PolyBatch::<i64>::zero(8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_poly_slice_is_rejected() {
+        let _ = PolyBatch::<i64>::from_polys(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_spectrum_batch_is_rejected() {
+        let _ = SpectrumBatch::zero(8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must match")]
+    fn mismatched_lane_load_is_rejected() {
+        let mut b = PolyBatch::<i64>::zero(8, 2);
+        b.load_lane(0, &Polynomial::zero(16));
+    }
+
+    #[test]
+    fn scratch_planes_grow_and_stick() {
+        let mut s = BatchScratch::new();
+        {
+            let (re, im) = s.planes(16);
+            assert_eq!(re.len(), 16);
+            assert_eq!(im.len(), 16);
+        }
+        let (re, _) = s.planes(8);
+        assert_eq!(re.len(), 8);
+    }
+}

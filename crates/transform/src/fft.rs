@@ -110,11 +110,119 @@ impl FftPlan {
         }
     }
 
+    /// Batched in-place forward FFT over split-complex planes in planar
+    /// layout: point `p` of lane `l` lives at `re[p * lanes + l]` /
+    /// `im[p * lanes + l]`. All lanes advance through the butterfly
+    /// network in lockstep — the software analogue of the VPE array
+    /// streaming a batch through one pipelined FFT unit — and each lane
+    /// undergoes exactly the operation sequence of [`Self::forward`], so
+    /// per-lane results are **bit-identical** to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or either plane's length differs from
+    /// `n * lanes`.
+    pub fn forward_batch(&self, re: &mut [f64], im: &mut [f64], lanes: usize) {
+        self.check_batch(re, im, lanes);
+        self.permute_batch(re, im, lanes);
+        self.butterflies_batch(re, im, lanes, false);
+    }
+
+    /// Batched in-place inverse FFT (including the `1/n` scaling) over
+    /// split-complex planes; see [`Self::forward_batch`] for the layout
+    /// and the per-lane bit-identity contract with [`Self::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or either plane's length differs from
+    /// `n * lanes`.
+    pub fn inverse_batch(&self, re: &mut [f64], im: &mut [f64], lanes: usize) {
+        self.check_batch(re, im, lanes);
+        self.permute_batch(re, im, lanes);
+        self.butterflies_batch(re, im, lanes, true);
+        let scale = 1.0 / self.n as f64;
+        for v in re.iter_mut() {
+            *v *= scale;
+        }
+        for v in im.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    fn check_batch(&self, re: &[f64], im: &[f64], lanes: usize) {
+        assert!(lanes > 0, "batched FFT needs at least one lane");
+        assert_eq!(
+            re.len(),
+            self.n * lanes,
+            "real plane size does not match FFT plan × lanes"
+        );
+        assert_eq!(
+            im.len(),
+            self.n * lanes,
+            "imaginary plane size does not match FFT plan × lanes"
+        );
+    }
+
     fn permute(&self, data: &mut [Complex64]) {
         for i in 0..self.n {
             let j = self.bit_rev[i] as usize;
             if i < j {
                 data.swap(i, j);
+            }
+        }
+    }
+
+    fn permute_batch(&self, re: &mut [f64], im: &mut [f64], lanes: usize) {
+        for i in 0..self.n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                // Swap whole lane rows i and j (i < j, so split is clean).
+                let (lo_re, hi_re) = re.split_at_mut(j * lanes);
+                lo_re[i * lanes..i * lanes + lanes].swap_with_slice(&mut hi_re[..lanes]);
+                let (lo_im, hi_im) = im.split_at_mut(j * lanes);
+                lo_im[i * lanes..i * lanes + lanes].swap_with_slice(&mut hi_im[..lanes]);
+            }
+        }
+    }
+
+    fn butterflies_batch(&self, re: &mut [f64], im: &mut [f64], lanes: usize, inverse: bool) {
+        for (s, tw) in self.twiddles.iter().enumerate() {
+            let half = 1usize << s;
+            let block = half * 2;
+            let row = half * lanes;
+            // One split per block (not per butterfly): the upper/lower
+            // halves of a block are contiguous lane rows, so the k-loop
+            // walks four `chunks_exact_mut` streams with no bounds checks.
+            for (blk_re, blk_im) in re
+                .chunks_exact_mut(block * lanes)
+                .zip(im.chunks_exact_mut(block * lanes))
+            {
+                let (a_re, b_re) = blk_re.split_at_mut(row);
+                let (a_im, b_im) = blk_im.split_at_mut(row);
+                let rows = a_re
+                    .chunks_exact_mut(lanes)
+                    .zip(b_re.chunks_exact_mut(lanes))
+                    .zip(
+                        a_im.chunks_exact_mut(lanes)
+                            .zip(b_im.chunks_exact_mut(lanes)),
+                    );
+                for (k, ((a_re, b_re), (a_im, b_im))) in rows.enumerate() {
+                    let w = if inverse { tw[k].conj() } else { tw[k] };
+                    // Per lane: b' = b·w; a ← a + b'; b ← a − b' — the
+                    // exact f64 sequence of the scalar butterfly.
+                    for l in 0..lanes {
+                        let br = b_re[l];
+                        let bm = b_im[l];
+                        let tre = br * w.re - bm * w.im;
+                        let tim = br * w.im + bm * w.re;
+                        let ar = a_re[l];
+                        let am = a_im[l];
+                        a_re[l] = ar + tre;
+                        a_im[l] = am + tim;
+                        b_re[l] = ar - tre;
+                        b_im[l] = am - tim;
+                    }
+                }
             }
         }
     }
@@ -215,6 +323,77 @@ mod tests {
         let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
         let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
         assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    /// Split a lane out of planar storage back into complex form.
+    fn gather_lane(re: &[f64], im: &[f64], lanes: usize, lane: usize, n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|p| Complex64::new(re[p * lanes + lane], im[p * lanes + lane]))
+            .collect()
+    }
+
+    #[test]
+    fn batched_fft_is_bit_identical_to_scalar_per_lane() {
+        for n in [2usize, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            for lanes in [1usize, 2, 3, 5, 8] {
+                // Distinct data per lane, planar layout.
+                let mut re = vec![0.0f64; n * lanes];
+                let mut im = vec![0.0f64; n * lanes];
+                let mut scalars: Vec<Vec<Complex64>> = Vec::new();
+                for lane in 0..lanes {
+                    let data: Vec<Complex64> = (0..n)
+                        .map(|j| {
+                            Complex64::new(
+                                ((j * 31 + lane * 7) % 97) as f64 - 48.0,
+                                ((j * 17 + lane * 13) % 89) as f64 * 0.5 - 20.0,
+                            )
+                        })
+                        .collect();
+                    for (j, v) in data.iter().enumerate() {
+                        re[j * lanes + lane] = v.re;
+                        im[j * lanes + lane] = v.im;
+                    }
+                    scalars.push(data);
+                }
+                let mut fwd_re = re.clone();
+                let mut fwd_im = im.clone();
+                plan.forward_batch(&mut fwd_re, &mut fwd_im, lanes);
+                plan.inverse_batch(&mut re, &mut im, lanes);
+                for (lane, data) in scalars.iter().enumerate() {
+                    let mut fwd = data.clone();
+                    plan.forward(&mut fwd);
+                    assert_eq!(
+                        gather_lane(&fwd_re, &fwd_im, lanes, lane, n),
+                        fwd,
+                        "forward n={n} lanes={lanes} lane={lane}"
+                    );
+                    let mut inv = data.clone();
+                    plan.inverse(&mut inv);
+                    assert_eq!(
+                        gather_lane(&re, &im, lanes, lane, n),
+                        inv,
+                        "inverse n={n} lanes={lanes} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn batched_fft_rejects_zero_lanes() {
+        let plan = FftPlan::new(8);
+        plan.forward_batch(&mut [], &mut [], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn batched_fft_rejects_wrong_plane_size() {
+        let plan = FftPlan::new(8);
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        plan.forward_batch(&mut re, &mut im, 2);
     }
 
     #[test]

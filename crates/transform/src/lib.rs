@@ -18,6 +18,14 @@
 //! - [`Spectrum`]: transform-domain data (what Morphling keeps in
 //!   POLY-ACC-REG and the Private-A2 buffer), with the pointwise
 //!   multiply-accumulate the VPEs perform.
+//! - **Batched SoA transforms** ([`PolyBatch`], [`SpectrumBatch`],
+//!   [`BatchScratch`] and the `*_batch_into` entry points on
+//!   [`NegacyclicFft`]): planar, lane-innermost batches whose kernels run
+//!   every lane in lockstep — the software twin of the paper's 2D-systolic
+//!   VPE array (§V-A), and the layout SIMD/GPU backends want. Batch
+//!   outputs are bit-identical to the one-polynomial calls at any lane
+//!   count (per lane, the kernels replay the scalar f64 operation
+//!   sequence exactly).
 //! - [`pipeline::PipelinedFftModel`]: the cycle/occupancy model of the
 //!   hardware FFT unit used by the simulator.
 //!
@@ -34,11 +42,31 @@
 //! let exact = morphling_math::negacyclic::mul_int_torus32(&digits, &t);
 //! assert_eq!(product, exact);
 //! ```
+//!
+//! # Example: the same products as one lockstep batch
+//!
+//! ```
+//! use morphling_math::{Polynomial, Torus32};
+//! use morphling_transform::{NegacyclicFft, PolyBatch};
+//!
+//! let fft = NegacyclicFft::new(64);
+//! let digits: Vec<Polynomial<i64>> =
+//!     (0..4).map(|l| Polynomial::from_fn(64, |j| ((j + l) as i64 % 7) - 3)).collect();
+//! let ts: Vec<Polynomial<Torus32>> =
+//!     (0..4).map(|l| Polynomial::from_fn(64, |j| Torus32::from_raw(((j * (l + 1)) as u32) << 20))).collect();
+//! let prods = fft
+//!     .mul_int_torus_batch(&PolyBatch::from_polys(&digits), &PolyBatch::from_polys(&ts))
+//!     .to_polys();
+//! for lane in 0..4 {
+//!     assert_eq!(prods[lane], fft.mul_int_torus(&digits[lane], &ts[lane]));
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod batch;
 pub mod dft;
 mod fft;
 mod negacyclic;
@@ -46,6 +74,7 @@ pub mod ntt;
 pub mod pipeline;
 mod spectrum;
 
+pub use batch::{BatchScratch, PolyBatch, SpectrumBatch};
 pub use fft::FftPlan;
 pub use negacyclic::NegacyclicFft;
 pub use ntt::NegacyclicNtt;
@@ -61,4 +90,7 @@ const _: () = {
     assert_send_sync::<FftPlan>();
     assert_send_sync::<NegacyclicFft>();
     assert_send_sync::<NegacyclicNtt>();
+    assert_send_sync::<PolyBatch<i64>>();
+    assert_send_sync::<SpectrumBatch>();
+    assert_send_sync::<BatchScratch>();
 };

@@ -19,6 +19,7 @@
 
 use morphling_math::{Complex64, Polynomial, Torus32};
 
+use crate::batch::{BatchScratch, PolyBatch, SpectrumBatch};
 use crate::fft::FftPlan;
 use crate::spectrum::Spectrum;
 
@@ -420,13 +421,393 @@ impl NegacyclicFft {
         let b = self.forward_torus(t);
         self.inverse_torus(&a.pointwise_mul(&b))
     }
+
+    // --- Batched (SoA) entry points: the software VPE array ---
+    //
+    // Every batch kernel below performs, per lane, exactly the f64
+    // operation sequence of its scalar counterpart (same fold, same
+    // twist multiply, same FFT butterfly order), so batch outputs are
+    // bit-identical to the one-polynomial calls at any lane count.
+
+    /// Shared fold+twist for the batched folded forward path: per lane,
+    /// exactly `Complex64::new(c[j], -c[j+half]) * twist_half[j]`.
+    fn fold_twist_batch<T: Copy>(
+        &self,
+        data: &[T],
+        lanes: usize,
+        to_f64: impl Fn(T) -> f64,
+        re: &mut [f64],
+        im: &mut [f64],
+    ) {
+        let half = self.n / 2;
+        for j in 0..half {
+            let tw = self.twist_half[j];
+            let lo = &data[j * lanes..(j + 1) * lanes];
+            let hi = &data[(j + half) * lanes..(j + half + 1) * lanes];
+            let out_re = &mut re[j * lanes..(j + 1) * lanes];
+            let out_im = &mut im[j * lanes..(j + 1) * lanes];
+            for l in 0..lanes {
+                let a_re = to_f64(lo[l]);
+                let a_im = -to_f64(hi[l]);
+                out_re[l] = a_re * tw.re - a_im * tw.im;
+                out_im[l] = a_re * tw.im + a_im * tw.re;
+            }
+        }
+    }
+
+    fn check_batch_out(&self, in_n: usize, in_lanes: usize, out: &SpectrumBatch) {
+        assert_eq!(
+            in_n, self.n,
+            "batch polynomial size must equal the engine size"
+        );
+        assert_eq!(out.poly_len(), self.n, "output batch size mismatch");
+        assert_eq!(out.lanes(), in_lanes, "output batch lane count mismatch");
+    }
+
+    /// Batched [`forward_int`](Self::forward_int): all lanes advance
+    /// through the fold, twist, and FFT in lockstep.
+    pub fn forward_int_batch(&self, batch: &PolyBatch<i64>) -> SpectrumBatch {
+        let mut out = SpectrumBatch::zero(self.n, batch.lanes());
+        self.forward_int_batch_into(batch, &mut out);
+        out
+    }
+
+    /// [`forward_int_batch`](Self::forward_int_batch) into a caller-owned
+    /// spectrum batch, allocation-free. Each lane is bit-identical to
+    /// [`forward_int_into`](Self::forward_int_into) of that polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size or the output shape disagree with the
+    /// engine.
+    pub fn forward_int_batch_into(&self, batch: &PolyBatch<i64>, out: &mut SpectrumBatch) {
+        self.check_batch_out(batch.poly_len(), batch.lanes(), out);
+        let lanes = batch.lanes();
+        let (re, im) = out.planes_mut();
+        self.fold_twist_batch(batch.data(), lanes, |v| v as f64, re, im);
+        self.half_plan.forward_batch(re, im, lanes);
+    }
+
+    /// Batched [`forward_torus`](Self::forward_torus).
+    pub fn forward_torus_batch(&self, batch: &PolyBatch<Torus32>) -> SpectrumBatch {
+        let mut out = SpectrumBatch::zero(self.n, batch.lanes());
+        self.forward_torus_batch_into(batch, &mut out);
+        out
+    }
+
+    /// [`forward_torus_batch`](Self::forward_torus_batch) into a
+    /// caller-owned spectrum batch; per lane bit-identical to
+    /// [`forward_torus_into`](Self::forward_torus_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size or the output shape disagree with the
+    /// engine.
+    pub fn forward_torus_batch_into(&self, batch: &PolyBatch<Torus32>, out: &mut SpectrumBatch) {
+        self.check_batch_out(batch.poly_len(), batch.lanes(), out);
+        let lanes = batch.lanes();
+        let (re, im) = out.planes_mut();
+        self.fold_twist_batch(
+            batch.data(),
+            lanes,
+            |v: Torus32| v.to_signed() as f64,
+            re,
+            im,
+        );
+        self.half_plan.forward_batch(re, im, lanes);
+    }
+
+    /// Batched [`forward_real`](Self::forward_real) into a caller-owned
+    /// spectrum batch; per lane bit-identical to
+    /// [`forward_real_into`](Self::forward_real_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size or the output shape disagree with the
+    /// engine.
+    pub fn forward_real_batch_into(&self, batch: &PolyBatch<f64>, out: &mut SpectrumBatch) {
+        self.check_batch_out(batch.poly_len(), batch.lanes(), out);
+        let lanes = batch.lanes();
+        let (re, im) = out.planes_mut();
+        self.fold_twist_batch(batch.data(), lanes, |v| v, re, im);
+        self.half_plan.forward_batch(re, im, lanes);
+    }
+
+    /// Batched [`inverse_torus`](Self::inverse_torus).
+    pub fn inverse_torus_batch(&self, spec: &SpectrumBatch) -> PolyBatch<Torus32> {
+        let mut out = PolyBatch::zero(self.n, spec.lanes());
+        let mut scratch = BatchScratch::new();
+        self.inverse_torus_batch_into(spec, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`inverse_torus_batch`](Self::inverse_torus_batch) into a
+    /// caller-owned polynomial batch, reusing `scratch` — allocation-free
+    /// once warm. Per lane bit-identical to
+    /// [`inverse_torus_into`](Self::inverse_torus_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum batch or the output shape disagree with the
+    /// engine.
+    pub fn inverse_torus_batch_into(
+        &self,
+        spec: &SpectrumBatch,
+        out: &mut PolyBatch<Torus32>,
+        scratch: &mut BatchScratch,
+    ) {
+        assert_eq!(
+            spec.poly_len(),
+            self.n,
+            "spectrum batch size must equal the engine size"
+        );
+        assert_eq!(out.poly_len(), self.n, "output batch size mismatch");
+        assert_eq!(
+            out.lanes(),
+            spec.lanes(),
+            "output batch lane count mismatch"
+        );
+        let lanes = spec.lanes();
+        let half = self.n / 2;
+        let (re, im) = scratch.planes(half * lanes);
+        re.copy_from_slice(spec.re());
+        im.copy_from_slice(spec.im());
+        self.half_plan.inverse_batch(re, im, lanes);
+        let data = out.data_mut();
+        for j in 0..half {
+            let tw = self.untwist_half[j];
+            for l in 0..lanes {
+                let sr = re[j * lanes + l];
+                let si = im[j * lanes + l];
+                let u_re = sr * tw.re - si * tw.im;
+                let u_im = sr * tw.im + si * tw.re;
+                data[j * lanes + l] = Torus32::from_raw(round_wrap_u32(u_re));
+                data[(j + half) * lanes + l] = Torus32::from_raw(round_wrap_u32(-u_im));
+            }
+        }
+    }
+
+    /// Batched merge-split forward: lanes `(2t, 2t+1)` share one `N`-point
+    /// FFT pass exactly as [`forward_pair_int_into`]
+    /// (Self::forward_pair_int_into) pairs them; an odd trailing lane goes
+    /// through the folded path, mirroring the scalar
+    /// `chunks_exact(2)` + remainder schedule — so the whole batch is
+    /// bit-identical to the scalar merge-split loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size or the output shape disagree with the
+    /// engine.
+    pub fn forward_pair_int_batch_into(
+        &self,
+        batch: &PolyBatch<i64>,
+        out: &mut SpectrumBatch,
+        scratch: &mut BatchScratch,
+    ) {
+        self.check_batch_out(batch.poly_len(), batch.lanes(), out);
+        let lanes = batch.lanes();
+        let pairs = lanes / 2;
+        let half = self.n / 2;
+        let c = batch.data();
+        if pairs > 0 {
+            // Merge: r_j = (p_j + i q_j) ζ^j per pair, all pairs in lockstep.
+            let (sre, sim) = scratch.planes(self.n * pairs);
+            for j in 0..self.n {
+                let tw = self.twist_full[j];
+                let row = &c[j * lanes..(j + 1) * lanes];
+                let out_re = &mut sre[j * pairs..(j + 1) * pairs];
+                let out_im = &mut sim[j * pairs..(j + 1) * pairs];
+                for t in 0..pairs {
+                    let p = row[2 * t] as f64;
+                    let q = row[2 * t + 1] as f64;
+                    out_re[t] = p * tw.re - q * tw.im;
+                    out_im[t] = p * tw.im + q * tw.re;
+                }
+            }
+            self.full_plan.forward_batch(sre, sim, pairs);
+            // Split via conjugate symmetry, exactly as the scalar path.
+            let (ore, oim) = out.planes_mut();
+            for m2 in 0..half {
+                let m = 2 * m2;
+                for t in 0..pairs {
+                    let r_re = sre[m * pairs + t];
+                    let r_im = sim[m * pairs + t];
+                    let rc_re = sre[(self.n - 1 - m) * pairs + t];
+                    let rc_im = -sim[(self.n - 1 - m) * pairs + t];
+                    ore[m2 * lanes + 2 * t] = (r_re + rc_re) * 0.5;
+                    oim[m2 * lanes + 2 * t] = (r_im + rc_im) * 0.5;
+                    let d_re = r_re - rc_re;
+                    let d_im = r_im - rc_im;
+                    ore[m2 * lanes + 2 * t + 1] = (-d_im) * (-0.5);
+                    oim[m2 * lanes + 2 * t + 1] = d_re * (-0.5);
+                }
+            }
+        }
+        if lanes % 2 == 1 {
+            // Trailing lane: the folded N/2-point path, as the scalar
+            // remainder does.
+            let lane = lanes - 1;
+            let (sre, sim) = scratch.planes(half);
+            for j in 0..half {
+                let tw = self.twist_half[j];
+                let a_re = c[j * lanes + lane] as f64;
+                let a_im = -(c[(j + half) * lanes + lane] as f64);
+                sre[j] = a_re * tw.re - a_im * tw.im;
+                sim[j] = a_re * tw.im + a_im * tw.re;
+            }
+            self.half_plan.forward_batch(sre, sim, 1);
+            let (ore, oim) = out.planes_mut();
+            for m in 0..half {
+                ore[m * lanes + lane] = sre[m];
+                oim[m * lanes + lane] = sim[m];
+            }
+        }
+    }
+
+    /// Batched merge-split inverse with rounding: lane pairs `(2t, 2t+1)`
+    /// share one `N`-point inverse FFT exactly as
+    /// [`inverse_pair_torus_into`](Self::inverse_pair_torus_into) pairs
+    /// them; an odd trailing lane takes the folded path — bit-identical to
+    /// the scalar `chunks_exact(2)` + remainder schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum batch or the output shape disagree with the
+    /// engine.
+    pub fn inverse_pair_torus_batch_into(
+        &self,
+        spec: &SpectrumBatch,
+        out: &mut PolyBatch<Torus32>,
+        scratch: &mut BatchScratch,
+    ) {
+        assert_eq!(
+            spec.poly_len(),
+            self.n,
+            "spectrum batch size must equal the engine size"
+        );
+        assert_eq!(out.poly_len(), self.n, "output batch size mismatch");
+        assert_eq!(
+            out.lanes(),
+            spec.lanes(),
+            "output batch lane count mismatch"
+        );
+        let lanes = spec.lanes();
+        let pairs = lanes / 2;
+        let half = self.n / 2;
+        if pairs > 0 {
+            let (sre, sim) = scratch.planes(self.n * pairs);
+            let (pre, pim) = (spec.re(), spec.im());
+            // Merge the two spectra of each pair back into one N-point
+            // sequence (conjugate symmetry), all pairs in lockstep.
+            for m in 0..self.n {
+                let out_re = &mut sre[m * pairs..(m + 1) * pairs];
+                let out_im = &mut sim[m * pairs..(m + 1) * pairs];
+                if m % 2 == 0 {
+                    let k = m / 2;
+                    for t in 0..pairs {
+                        let p_re = pre[k * lanes + 2 * t];
+                        let p_im = pim[k * lanes + 2 * t];
+                        let q_re = pre[k * lanes + 2 * t + 1];
+                        let q_im = pim[k * lanes + 2 * t + 1];
+                        out_re[t] = p_re + (-q_im);
+                        out_im[t] = p_im + q_re;
+                    }
+                } else {
+                    let k = (self.n - 1 - m) / 2;
+                    for t in 0..pairs {
+                        let p_re = pre[k * lanes + 2 * t];
+                        let p_im = -pim[k * lanes + 2 * t];
+                        let q_re = pre[k * lanes + 2 * t + 1];
+                        let q_im = -pim[k * lanes + 2 * t + 1];
+                        out_re[t] = p_re + (-q_im);
+                        out_im[t] = p_im + q_re;
+                    }
+                }
+            }
+            self.full_plan.inverse_batch(sre, sim, pairs);
+            let data = out.data_mut();
+            for j in 0..self.n {
+                let tw = self.untwist_full[j];
+                for t in 0..pairs {
+                    let sr = sre[j * pairs + t];
+                    let si = sim[j * pairs + t];
+                    let u_re = sr * tw.re - si * tw.im;
+                    let u_im = sr * tw.im + si * tw.re;
+                    data[j * lanes + 2 * t] = Torus32::from_raw(round_wrap_u32(u_re));
+                    data[j * lanes + 2 * t + 1] = Torus32::from_raw(round_wrap_u32(u_im));
+                }
+            }
+        }
+        if lanes % 2 == 1 {
+            let lane = lanes - 1;
+            let (sre, sim) = scratch.planes(half);
+            for m in 0..half {
+                sre[m] = spec.re()[m * lanes + lane];
+                sim[m] = spec.im()[m * lanes + lane];
+            }
+            self.half_plan.inverse_batch(sre, sim, 1);
+            let data = out.data_mut();
+            for j in 0..half {
+                let tw = self.untwist_half[j];
+                let sr = sre[j];
+                let si = sim[j];
+                let u_re = sr * tw.re - si * tw.im;
+                let u_im = sr * tw.im + si * tw.re;
+                data[j * lanes + lane] = Torus32::from_raw(round_wrap_u32(u_re));
+                data[(j + half) * lanes + lane] = Torus32::from_raw(round_wrap_u32(-u_im));
+            }
+        }
+    }
+
+    /// Batched [`mul_int_torus`](Self::mul_int_torus): lane-wise negacyclic
+    /// products `digits[l](X) · ts[l](X)` through the transform domain,
+    /// all lanes in lockstep. Per lane bit-identical to the scalar call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shapes disagree with each other or the engine.
+    pub fn mul_int_torus_batch(
+        &self,
+        digits: &PolyBatch<i64>,
+        ts: &PolyBatch<Torus32>,
+    ) -> PolyBatch<Torus32> {
+        assert_eq!(digits.lanes(), ts.lanes(), "batch lane count mismatch");
+        let lanes = digits.lanes();
+        let mut a = SpectrumBatch::zero(self.n, lanes);
+        self.forward_int_batch_into(digits, &mut a);
+        let mut b = SpectrumBatch::zero(self.n, lanes);
+        self.forward_torus_batch_into(ts, &mut b);
+        a.pointwise_mul_assign(&b);
+        let mut out = PolyBatch::zero(self.n, lanes);
+        let mut scratch = BatchScratch::new();
+        self.inverse_torus_batch_into(&a, &mut out, &mut scratch);
+        out
+    }
 }
 
 /// Round an f64 to the nearest integer and wrap into `u32` (mod 2³²).
+///
+/// Magnitudes stay ≪ 2^63 for all supported parameter sets, so the fast
+/// cast through `i64` is exact and wrapping to `u32` reduces mod q. Rust
+/// float→int casts *saturate* rather than wrap, so a value at or beyond
+/// 2^63 must not take that path — it would silently collapse to
+/// `0xFFFF_FFFF` instead of its mod-2³² residue. Out-of-range values trip
+/// the `debug_assert` in debug builds and take an exact `rem_euclid`
+/// reduction in release builds (`%` on integer-valued f64 is exact).
 fn round_wrap_u32(v: f64) -> u32 {
-    // Magnitudes stay ≪ 2^63 for all supported parameter sets, so the cast
-    // through i64 is exact; wrapping to u32 reduces mod q.
-    v.round() as i64 as u32
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    const TWO_32: f64 = 4_294_967_296.0;
+    let r = v.round();
+    debug_assert!(
+        r.abs() < TWO_63,
+        "round_wrap_u32: |{r}| is outside the documented 2^63 magnitude bound"
+    );
+    if r.abs() < TWO_63 {
+        r as i64 as u32
+    } else {
+        // Checked fallback: exact mod-2^32 residue (NaN saturates to 0).
+        r.rem_euclid(TWO_32) as u32
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +947,202 @@ mod tests {
                 "n={n}"
             );
         }
+    }
+
+    #[test]
+    fn round_wrap_is_exact_for_large_in_range_values() {
+        // 2^35 + 7 ≡ 7 (mod 2^32): the fast path must wrap, not clamp.
+        assert_eq!(round_wrap_u32(34_359_738_375.0), 7);
+        assert_eq!(round_wrap_u32(-34_359_738_375.0), 0u32.wrapping_sub(7));
+        assert_eq!(round_wrap_u32(-1.25), 0xFFFF_FFFF);
+    }
+
+    // 2^63 + 5·2^11 is exactly representable (the f64 ULP at 2^63 is 2^11)
+    // and ≡ 10240 (mod 2^32). The old saturating cast returned 0xFFFF_FFFF.
+    const OUT_OF_RANGE: f64 = 9_223_372_036_854_775_808.0 + 10_240.0;
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn round_wrap_regression_out_of_range_wraps_exactly() {
+        assert_eq!(round_wrap_u32(OUT_OF_RANGE), 10_240);
+        assert_eq!(round_wrap_u32(-OUT_OF_RANGE), 0u32.wrapping_sub(10_240));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "magnitude bound")]
+    fn round_wrap_regression_out_of_range_asserts_in_debug() {
+        let _ = round_wrap_u32(OUT_OF_RANGE);
+    }
+
+    /// Scalar reference for the merge-split batch schedule: transform
+    /// pairs, fold the odd remainder — exactly what the external-product
+    /// hot loop does with `chunks_exact(2)`.
+    fn scalar_pair_forward(fft: &NegacyclicFft, polys: &[Polynomial<i64>]) -> Vec<Spectrum> {
+        let mut out = Vec::with_capacity(polys.len());
+        let mut chunks = polys.chunks_exact(2);
+        for pair in &mut chunks {
+            let (a, b) = fft.forward_pair_int(&pair[0], &pair[1]);
+            out.push(a);
+            out.push(b);
+        }
+        if let [last] = chunks.remainder() {
+            out.push(fft.forward_int(last));
+        }
+        out
+    }
+
+    fn scalar_pair_inverse(fft: &NegacyclicFft, specs: &[Spectrum]) -> Vec<Polynomial<Torus32>> {
+        let mut out = Vec::with_capacity(specs.len());
+        let mut chunks = specs.chunks_exact(2);
+        for pair in &mut chunks {
+            let (a, b) = fft.inverse_pair_torus(&pair[0], &pair[1]);
+            out.push(a);
+            out.push(b);
+        }
+        if let [last] = chunks.remainder() {
+            out.push(fft.inverse_torus(last));
+        }
+        out
+    }
+
+    #[test]
+    fn batch_transforms_are_bit_identical_to_scalar() {
+        let n = 64;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut scratch = BatchScratch::new();
+        for lanes in [1usize, 2, 3, 5, 8] {
+            let digits: Vec<Polynomial<i64>> = (0..lanes)
+                .map(|_| Polynomial::from_fn(n, |_| rng.gen_range(-64i64..64)))
+                .collect();
+            let torus: Vec<Polynomial<Torus32>> = (0..lanes)
+                .map(|_| Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen())))
+                .collect();
+            let db = PolyBatch::from_polys(&digits);
+            let tb = PolyBatch::from_polys(&torus);
+
+            // Folded forward, int and torus.
+            let fwd = fft.forward_int_batch(&db);
+            let tfwd = fft.forward_torus_batch(&tb);
+            for lane in 0..lanes {
+                let mut got = Spectrum::zero(n);
+                fwd.store_lane(lane, &mut got);
+                assert_eq!(
+                    got,
+                    fft.forward_int(&digits[lane]),
+                    "int lane {lane}/{lanes}"
+                );
+                tfwd.store_lane(lane, &mut got);
+                assert_eq!(
+                    got,
+                    fft.forward_torus(&torus[lane]),
+                    "torus lane {lane}/{lanes}"
+                );
+            }
+
+            // Real forward.
+            let reals: Vec<Vec<f64>> = digits
+                .iter()
+                .map(|p| p.coeffs().iter().map(|&c| c as f64 * 1.5).collect())
+                .collect();
+            let mut rb = PolyBatch::<f64>::zero(n, lanes);
+            for (lane, r) in reals.iter().enumerate() {
+                for (j, &v) in r.iter().enumerate() {
+                    rb.set_coeff(j, lane, v);
+                }
+            }
+            let mut rfwd = SpectrumBatch::zero(n, lanes);
+            fft.forward_real_batch_into(&rb, &mut rfwd);
+            for (lane, r) in reals.iter().enumerate() {
+                let mut got = Spectrum::zero(n);
+                rfwd.store_lane(lane, &mut got);
+                assert_eq!(got, fft.forward_real(r), "real lane {lane}/{lanes}");
+            }
+
+            // Folded inverse with rounding.
+            let mut inv = PolyBatch::<Torus32>::zero(n, lanes);
+            fft.inverse_torus_batch_into(&tfwd, &mut inv, &mut scratch);
+            let unpacked = inv.to_polys();
+            for (lane, got) in unpacked.iter().enumerate() {
+                let mut want_spec = Spectrum::zero(n);
+                tfwd.store_lane(lane, &mut want_spec);
+                assert_eq!(
+                    *got,
+                    fft.inverse_torus(&want_spec),
+                    "inverse lane {lane}/{lanes}"
+                );
+            }
+
+            // Merge-split pair forward: lane pairs + folded remainder.
+            let mut pfwd = SpectrumBatch::zero(n, lanes);
+            fft.forward_pair_int_batch_into(&db, &mut pfwd, &mut scratch);
+            let want = scalar_pair_forward(&fft, &digits);
+            for (lane, w) in want.iter().enumerate() {
+                let mut got = Spectrum::zero(n);
+                pfwd.store_lane(lane, &mut got);
+                assert_eq!(got, *w, "pair fwd lane {lane}/{lanes}");
+            }
+
+            // Merge-split pair inverse on realistic (product) spectra.
+            let prod_specs: Vec<Spectrum> = digits
+                .iter()
+                .zip(&torus)
+                .map(|(d, t)| fft.forward_int(d).pointwise_mul(&fft.forward_torus(t)))
+                .collect();
+            let pb = SpectrumBatch::from_spectra(&prod_specs);
+            let mut pinv = PolyBatch::<Torus32>::zero(n, lanes);
+            fft.inverse_pair_torus_batch_into(&pb, &mut pinv, &mut scratch);
+            let want = scalar_pair_inverse(&fft, &prod_specs);
+            assert_eq!(pinv.to_polys(), want, "pair inv lanes={lanes}");
+
+            // Full product convenience vs scalar and vs the exact oracle.
+            let prod = fft.mul_int_torus_batch(&db, &tb);
+            for (lane, p) in prod.to_polys().into_iter().enumerate() {
+                assert_eq!(
+                    p,
+                    fft.mul_int_torus(&digits[lane], &torus[lane]),
+                    "product lane {lane}/{lanes}"
+                );
+                assert_eq!(
+                    p,
+                    mul_int_torus32(&digits[lane], &torus[lane]),
+                    "oracle lane {lane}/{lanes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_entry_points_work_at_paper_size() {
+        let n = 1024;
+        let fft = NegacyclicFft::new(n);
+        let mut rng = StdRng::seed_from_u64(78);
+        let digits: Vec<Polynomial<i64>> = (0..8)
+            .map(|_| Polynomial::from_fn(n, |_| rng.gen_range(-32i64..32)))
+            .collect();
+        let torus: Vec<Polynomial<Torus32>> = (0..8)
+            .map(|_| Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen())))
+            .collect();
+        let prod = fft.mul_int_torus_batch(
+            &PolyBatch::from_polys(&digits),
+            &PolyBatch::from_polys(&torus),
+        );
+        for (lane, p) in prod.to_polys().into_iter().enumerate() {
+            assert_eq!(
+                p,
+                mul_int_torus32(&digits[lane], &torus[lane]),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal the engine size")]
+    fn batch_size_mismatch_is_rejected() {
+        let fft = NegacyclicFft::new(64);
+        let batch = PolyBatch::<i64>::zero(32, 2);
+        let _ = fft.forward_int_batch(&batch);
     }
 
     #[test]

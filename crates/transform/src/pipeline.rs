@@ -96,9 +96,16 @@ impl PipelinedFftModel {
     /// Cycles this unit is occupied transforming `polys` real polynomials
     /// (throughput term only; add [`Self::fill_latency`] once per dependent
     /// chain if modelling latency).
+    ///
+    /// A partial pass still occupies the unit for a whole pass —
+    /// ceil-division, so an odd poly count with merge-split rounds up and
+    /// zero polys cost zero cycles. Saturates instead of overflowing on
+    /// astronomically large counts.
     #[inline]
     pub fn occupancy_cycles(&self, polys: u64) -> u64 {
-        polys.div_ceil(self.polys_per_pass()) * self.pass_cycles()
+        polys
+            .div_ceil(self.polys_per_pass())
+            .saturating_mul(self.pass_cycles())
     }
 
     /// Real multiplications one pass performs, for op-count accounting:
@@ -136,6 +143,28 @@ mod tests {
         let fft = PipelinedFftModel::new(1024, true);
         assert_eq!(fft.occupancy_cycles(3), 2 * 64);
         assert_eq!(fft.occupancy_cycles(0), 0);
+    }
+
+    #[test]
+    fn occupancy_edge_cases_hold_ceil_semantics() {
+        let ms = PipelinedFftModel::new(1024, true);
+        // One polynomial still fills a whole merge-split pass.
+        assert_eq!(ms.occupancy_cycles(1), 64);
+        assert_eq!(ms.occupancy_cycles(2), 64);
+        // Without merge-split every poly is its own pass — no rounding.
+        let single = PipelinedFftModel::new(1024, false);
+        assert_eq!(single.occupancy_cycles(1), 64);
+        assert_eq!(single.occupancy_cycles(3), 3 * 64);
+        // Every odd count costs exactly one more pass than count − 1.
+        for polys in (1..32u64).step_by(2) {
+            assert_eq!(
+                ms.occupancy_cycles(polys),
+                ms.occupancy_cycles(polys + 1),
+                "odd count {polys} must round up to the next pass"
+            );
+        }
+        // Saturates instead of overflowing.
+        assert_eq!(ms.occupancy_cycles(u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Property-based tests: the FFT path must agree exactly with the integer
 //! oracle under realistic TFHE operand distributions.
 
-use morphling_math::negacyclic::mul_int_torus32;
+use morphling_math::negacyclic::{mul_int_torus32, mul_int_torus32_batch};
 use morphling_math::{Polynomial, Torus32};
-use morphling_transform::{NegacyclicFft, Spectrum};
+use morphling_transform::{BatchScratch, NegacyclicFft, PolyBatch, Spectrum, SpectrumBatch};
 use proptest::prelude::*;
 
 fn digit_poly(n: usize, half_beta: i64) -> impl Strategy<Value = Polynomial<i64>> {
@@ -87,5 +87,104 @@ proptest! {
             let expect = (d1[j] + d2[j]) as f64;
             prop_assert!((v - expect).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn batched_folded_transforms_are_bit_identical_per_lane(
+        all_ds in prop::collection::vec(digit_poly(128, 64), 8),
+        all_ts in prop::collection::vec(torus_poly(128), 8),
+        d_lanes in 1usize..9,
+        t_lanes in 1usize..9,
+    ) {
+        // Random batch sizes, including batch size 1: every lane of the
+        // batched folded forward/inverse must equal the scalar call bit
+        // for bit.
+        let ds = &all_ds[..d_lanes];
+        let ts = &all_ts[..t_lanes];
+        let n = 128;
+        let fft = NegacyclicFft::new(n);
+        let mut scratch = BatchScratch::new();
+        let fwd = fft.forward_int_batch(&PolyBatch::from_polys(ds));
+        for (lane, d) in ds.iter().enumerate() {
+            let mut got = Spectrum::zero(n);
+            fwd.store_lane(lane, &mut got);
+            prop_assert_eq!(got, fft.forward_int(d), "lane {}", lane);
+        }
+        let tfwd = fft.forward_torus_batch(&PolyBatch::from_polys(ts));
+        let mut inv = PolyBatch::<Torus32>::zero(n, ts.len());
+        fft.inverse_torus_batch_into(&tfwd, &mut inv, &mut scratch);
+        for (lane, (p, t)) in inv.to_polys().into_iter().zip(ts).enumerate() {
+            prop_assert_eq!(p, fft.inverse_torus(&fft.forward_torus(t)), "lane {}", lane);
+        }
+    }
+
+    #[test]
+    fn batched_pair_transforms_match_scalar_pairing_schedule(
+        all_ds in prop::collection::vec(digit_poly(64, 64), 7),
+        lanes in 1usize..8,
+        t in torus_poly(64),
+    ) {
+        // The batched merge-split path must reproduce the scalar
+        // chunks_exact(2)+remainder schedule exactly — including odd
+        // batch sizes, where the trailing lane folds.
+        let ds = &all_ds[..lanes];
+        let n = 64;
+        let fft = NegacyclicFft::new(n);
+        let mut scratch = BatchScratch::new();
+
+        let mut got = SpectrumBatch::zero(n, lanes);
+        fft.forward_pair_int_batch_into(&PolyBatch::from_polys(ds), &mut got, &mut scratch);
+        let mut want = Vec::new();
+        let mut chunks = ds.chunks_exact(2);
+        for pair in &mut chunks {
+            let (a, b) = fft.forward_pair_int(&pair[0], &pair[1]);
+            want.push(a);
+            want.push(b);
+        }
+        if let [last] = chunks.remainder() {
+            want.push(fft.forward_int(last));
+        }
+        for (lane, w) in want.iter().enumerate() {
+            let mut s = Spectrum::zero(n);
+            got.store_lane(lane, &mut s);
+            prop_assert_eq!(&s, w, "fwd lane {}", lane);
+        }
+
+        // Inverse side on realistic product spectra.
+        let tb = fft.forward_torus(&t);
+        let specs: Vec<Spectrum> = ds.iter().map(|d| fft.forward_int(d).pointwise_mul(&tb)).collect();
+        let mut pinv = PolyBatch::<Torus32>::zero(n, lanes);
+        fft.inverse_pair_torus_batch_into(&SpectrumBatch::from_spectra(&specs), &mut pinv, &mut scratch);
+        let mut want = Vec::new();
+        let mut chunks = specs.chunks_exact(2);
+        for pair in &mut chunks {
+            let (a, b) = fft.inverse_pair_torus(&pair[0], &pair[1]);
+            want.push(a);
+            want.push(b);
+        }
+        if let [last] = chunks.remainder() {
+            want.push(fft.inverse_torus(last));
+        }
+        prop_assert_eq!(pinv.to_polys(), want);
+    }
+
+    #[test]
+    fn batched_product_matches_exact_batch_oracle(
+        all_ds in prop::collection::vec(digit_poly(256, 32), 5),
+        lanes in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ds = &all_ds[..lanes];
+        let n = 256;
+        let ts: Vec<Polynomial<Torus32>> = (0..lanes)
+            .map(|_| Polynomial::from_fn(n, |_| Torus32::from_raw(rng.gen())))
+            .collect();
+        let fft = NegacyclicFft::new(n);
+        let prods = fft
+            .mul_int_torus_batch(&PolyBatch::from_polys(ds), &PolyBatch::from_polys(&ts))
+            .to_polys();
+        prop_assert_eq!(prods, mul_int_torus32_batch(ds, &ts));
     }
 }
