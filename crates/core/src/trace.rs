@@ -18,7 +18,9 @@
 
 use std::fmt::Write as _;
 
-use morphling_tfhe::{DispatchSpan, FaultEvent, FaultEventKind, JobSpan};
+use morphling_tfhe::{
+    DispatchSpan, FaultEvent, FaultEventKind, JobSpan, ResilienceEvent, ResilienceEventKind,
+};
 
 /// Why an instruction did not start the moment it became ready.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -380,6 +382,46 @@ impl ExecutionTrace {
         trace
     }
 
+    /// Append a [`ResilienceJournal`](morphling_tfhe::ResilienceJournal)
+    /// timeline as instant-style spans under a `Resilience` process — one
+    /// track per scope (tier, breaker, dispatcher), span names from the
+    /// event labels (`retry`, `breaker_open`, `failover`, …), `cat`
+    /// `"resilience"`, nanosecond stamps from the journal's epoch. Merge
+    /// with dispatcher/engine traces sharing that epoch and the retries
+    /// line up under the queue/execute tracks they rescued.
+    pub fn add_resilience_events(&mut self, events: &[ResilienceEvent]) {
+        for e in events {
+            let track = self.track("Resilience", &e.scope);
+            let mut args: Vec<(String, String)> = Vec::new();
+            match &e.kind {
+                ResilienceEventKind::Retry { attempt } => {
+                    args.push(("attempt".into(), attempt.to_string()));
+                }
+                ResilienceEventKind::Failover { from, to } => {
+                    args.push(("from".into(), from.clone()));
+                    args.push(("to".into(), to.clone()));
+                }
+                _ => {}
+            }
+            self.span_with_args(
+                track,
+                e.kind.label(),
+                "resilience",
+                e.at.as_nanos() as u64,
+                1,
+                args,
+            );
+        }
+    }
+
+    /// Build a trace holding just a resilience timeline (nanosecond
+    /// stamps), ready to [`merge`](Self::merge) with serving traces.
+    pub fn from_resilience(events: &[ResilienceEvent]) -> Self {
+        let mut trace = ExecutionTrace::new(1e3);
+        trace.add_resilience_events(events);
+        trace
+    }
+
     /// Serialize as Chrome trace-event JSON (the `traceEvents` array
     /// format), loadable in `chrome://tracing` and Perfetto. Counters are
     /// attached as instant metadata events so they survive the export.
@@ -671,5 +713,53 @@ mod tests {
         let before = clean.spans().len();
         clean.add_engine_fault_events(&[]);
         assert_eq!(clean.spans().len(), before);
+    }
+
+    #[test]
+    fn resilience_events_land_on_per_scope_tracks() {
+        let events = vec![
+            ResilienceEvent {
+                at: Duration::from_nanos(100),
+                scope: "dispatcher".into(),
+                kind: ResilienceEventKind::Retry { attempt: 1 },
+            },
+            ResilienceEvent {
+                at: Duration::from_nanos(200),
+                scope: "engine".into(),
+                kind: ResilienceEventKind::BreakerOpen,
+            },
+            ResilienceEvent {
+                at: Duration::from_nanos(300),
+                scope: "fallback".into(),
+                kind: ResilienceEventKind::Failover {
+                    from: "engine".into(),
+                    to: "fallback".into(),
+                },
+            },
+        ];
+        let trace = ExecutionTrace::from_resilience(&events);
+        assert_eq!(trace.spans().len(), 3);
+        assert!(trace.spans().iter().all(|s| s.cat == "resilience"));
+        let names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["retry", "breaker_open", "failover"]);
+        assert!(trace.spans()[2]
+            .args
+            .iter()
+            .any(|(k, v)| k == "from" && v == "engine"));
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"resilience\""));
+        assert!(json.contains("\"Resilience\""));
+        // Merging with a dispatch trace keeps both categories.
+        let mut merged = ExecutionTrace::from_resilience(&events);
+        merged.add_dispatch_spans(&[DispatchSpan {
+            id: 1,
+            batch: 0,
+            enqueued: Duration::from_nanos(50),
+            queued: Duration::from_nanos(40),
+            exec_start: Duration::from_nanos(90),
+            exec: Duration::from_nanos(60),
+        }]);
+        assert!(merged.spans().iter().any(|s| s.cat == "dispatch"));
+        assert!(merged.spans().iter().any(|s| s.cat == "resilience"));
     }
 }

@@ -396,6 +396,7 @@ impl BatchRequestBuilder {
 /// | [`ParallelServerKey`] | per-call scoped threads, chunked |
 /// | [`BootstrapEngine`](crate::BootstrapEngine) | persistent self-healing pool |
 /// | [`Dispatcher`](crate::dispatch::Dispatcher) | dynamic micro-batching front-end |
+/// | [`FailoverBootstrapper`](crate::resilience::FailoverBootstrapper) | breaker-guarded tier stack, degraded-mode failover |
 ///
 /// All implementations return results in input order, bit-identical to
 /// the sequential [`ServerKey`] path, so backends are swappable anywhere

@@ -35,7 +35,13 @@
 //! - every request's queue/execute timeline is journaled as a
 //!   [`DispatchSpan`] (rendered into the Chrome trace by
 //!   `morphling_core::trace`), and [`DispatcherStats`] exposes
-//!   p50/p95/p99 latency plus throughput.
+//!   p50/p95/p99 latency plus throughput;
+//! - the front-end is fault-aware (see [`crate::resilience`]): an
+//!   optional [`RetryPolicy`] re-dispatches requests that hit retryable
+//!   backend faults with jittered backoff, an optional [`CircuitBreaker`]
+//!   sheds admissions with [`TfheError::Overloaded`] while the backend is
+//!   sick, and every retry/shed lands in a [`ResilienceJournal`] next to
+//!   the breaker's own transitions.
 //!
 //! The backend is anything implementing [`Bootstrapper`], so the same
 //! dispatcher fronts a [`ServerKey`](crate::ServerKey), a
@@ -72,12 +78,18 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::bootstrapper::{BatchRequest, Bootstrapper};
 use crate::error::TfheError;
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
+use crate::resilience::{
+    CircuitBreaker, ResilienceEvent, ResilienceEventKind, ResilienceJournal, RetryPolicy,
+};
+
+/// Journal scope for dispatcher-originated resilience events.
+const DISPATCHER_SCOPE: &str = "dispatcher";
 
 /// Default micro-batch cap: comfortably larger than the engine's per-chunk
 /// granularity so a full batch still fans out across the pool.
@@ -128,6 +140,8 @@ struct DispatchCounters {
     failed: AtomicU64,
     batches: AtomicU64,
     batched: AtomicU64,
+    retries: AtomicU64,
+    shed: AtomicU64,
     /// First submission / last completion, ns since the epoch (`u64::MAX`
     /// / `0` while unset) — the throughput window.
     first_ns: AtomicU64,
@@ -145,6 +159,15 @@ struct Shared {
     not_empty: Condvar,
     not_full: Condvar,
     counters: DispatchCounters,
+    /// Per-request retry policy applied by the batcher on retryable
+    /// backend faults ([`RetryPolicy::none`] by default).
+    retry: RetryPolicy,
+    /// Optional admission gate; when open, submissions are shed with
+    /// [`TfheError::Overloaded`] instead of queueing doomed work.
+    breaker: Option<Arc<CircuitBreaker>>,
+    /// Timeline of retry/shed events (shared with the breaker's journal
+    /// when the caller wires one in).
+    journal: Arc<ResilienceJournal>,
 }
 
 impl Shared {
@@ -169,6 +192,15 @@ impl Shared {
                 .fetch_max(self.ns_since_epoch(Instant::now()), Ordering::Relaxed);
         }
         let _ = p.reply.send(result);
+    }
+
+    /// Feed one backend-call outcome to the admission breaker, if any.
+    /// Only service-health signals are recorded (successes and retryable
+    /// faults); validation errors and cancellations never reach here.
+    fn record_breaker(&self, success: bool) {
+        if let Some(b) = &self.breaker {
+            b.record(success);
+        }
     }
 }
 
@@ -228,6 +260,26 @@ impl Ticket {
             Ok(result) => Some(single(result)),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => Some(Err(TfheError::DispatcherShutDown)),
+        }
+    }
+
+    /// Bounded [`wait`](Self::wait): block at most `timeout` for the
+    /// result. On timeout the request is **still in flight** — the ticket
+    /// remains usable (wait again, poll, or [`cancel`](Self::cancel)),
+    /// which is what lets a caller stop blocking on a wedged backend
+    /// without losing the request. A delivered result is consumed: a
+    /// second wait on the same ticket reports
+    /// [`TfheError::DispatcherShutDown`].
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::WaitTimedOut`] (retryable) if `timeout` elapses
+    /// first; otherwise as [`wait`](Self::wait).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<LweCiphertext, TfheError> {
+        match self.reply.recv_timeout(timeout) {
+            Ok(result) => single(result),
+            Err(RecvTimeoutError::Timeout) => Err(TfheError::WaitTimedOut { timeout }),
+            Err(RecvTimeoutError::Disconnected) => Err(TfheError::DispatcherShutDown),
         }
     }
 }
@@ -294,6 +346,21 @@ impl MultiTicket {
             Err(TryRecvError::Disconnected) => Some(Err(TfheError::DispatcherShutDown)),
         }
     }
+
+    /// Bounded [`wait`](Self::wait), with [`Ticket::wait_timeout`]'s
+    /// semantics: [`TfheError::WaitTimedOut`] (retryable) leaves the
+    /// request in flight and the ticket usable.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ticket::wait_timeout`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Vec<LweCiphertext>, TfheError> {
+        match self.reply.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(TfheError::WaitTimedOut { timeout }),
+            Err(RecvTimeoutError::Disconnected) => Err(TfheError::DispatcherShutDown),
+        }
+    }
 }
 
 /// One request's life through the dispatcher, journaled for the Chrome
@@ -334,6 +401,12 @@ pub struct DispatcherStats {
     pub batches: u64,
     /// Requests that entered a micro-batch (completed + failed).
     pub batched: u64,
+    /// Single-request re-dispatches after retryable backend faults
+    /// (see [`DispatcherBuilder::retry_policy`]).
+    pub retries: u64,
+    /// Submissions shed at admission by an open circuit breaker
+    /// (see [`DispatcherBuilder::circuit_breaker`]).
+    pub shed: u64,
     /// `batched / batches` — the dynamic-batching figure of merit.
     pub mean_batch_size: f64,
     /// Median end-to-end latency (enqueue → result) of completed requests.
@@ -369,6 +442,9 @@ pub struct DispatcherBuilder {
     max_batch_size: usize,
     max_linger: Duration,
     queue_capacity: usize,
+    retry_policy: RetryPolicy,
+    breaker: Option<Arc<CircuitBreaker>>,
+    journal: Option<Arc<ResilienceJournal>>,
 }
 
 impl Default for DispatcherBuilder {
@@ -377,6 +453,9 @@ impl Default for DispatcherBuilder {
             max_batch_size: DEFAULT_MAX_BATCH,
             max_linger: DEFAULT_MAX_LINGER,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            retry_policy: RetryPolicy::none(),
+            breaker: None,
+            journal: None,
         }
     }
 }
@@ -410,6 +489,35 @@ impl DispatcherBuilder {
         self
     }
 
+    /// Retry requests that hit a *retryable* backend fault
+    /// ([`TfheError::is_retryable`]) — the batcher re-dispatches the
+    /// failed request alone, up to the policy's budget, sleeping the
+    /// policy's (deterministically jittered) backoff between attempts.
+    /// Default: [`RetryPolicy::none`], preserving fail-fast semantics.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Gate admission behind `breaker`: while it is open, `submit` /
+    /// `try_submit` fail fast with [`TfheError::Overloaded`] instead of
+    /// queueing work a sick backend will drop. Execution outcomes feed
+    /// the breaker (successes and retryable faults), so half-open probe
+    /// traffic can close it again.
+    pub fn circuit_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Journal retry/shed events into `journal` — share one journal
+    /// across the breaker, a [`FailoverBootstrapper`](crate::FailoverBootstrapper)
+    /// backend, and this dispatcher for a single merged timeline.
+    /// Default: a fresh private journal.
+    pub fn resilience_journal(mut self, journal: Arc<ResilienceJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// Spawn the batcher thread over `backend` and start serving.
     pub fn build<B>(self, backend: B) -> Dispatcher
     where
@@ -430,6 +538,9 @@ impl DispatcherBuilder {
                 first_ns: AtomicU64::new(u64::MAX),
                 ..DispatchCounters::default()
             },
+            retry: self.retry_policy,
+            breaker: self.breaker,
+            journal: self.journal.unwrap_or_default(),
         });
         let backend: Arc<dyn Bootstrapper + Send + Sync> = Arc::new(backend);
         let batcher_shared = Arc::clone(&shared);
@@ -557,6 +668,17 @@ impl Dispatcher {
             return Err(TfheError::NoLutProvided);
         }
         let shared = &self.shared;
+        // Breaker-gated admission: an open breaker sheds the request at
+        // the front door (fail fast) rather than queueing doomed work.
+        if let Some(b) = &shared.breaker {
+            if let Err(e) = b.try_acquire() {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .journal
+                    .record(DISPATCHER_SCOPE, ResilienceEventKind::Shed);
+                return Err(e);
+            }
+        }
         let mut st = lock(&shared.state);
         loop {
             if !st.open {
@@ -628,6 +750,8 @@ impl Dispatcher {
             } else {
                 0.0
             },
+            retries: c.retries.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
             p50_latency: percentile(&lats, 0.50),
             p95_latency: percentile(&lats, 0.95),
             p99_latency: percentile(&lats, 0.99),
@@ -638,6 +762,19 @@ impl Dispatcher {
     /// Snapshot of the per-request queue/execute journal.
     pub fn spans(&self) -> Vec<DispatchSpan> {
         lock(&self.shared.counters.spans).clone()
+    }
+
+    /// Snapshot of the resilience timeline: retries and sheds journaled
+    /// by this dispatcher, plus whatever else shares the journal (breaker
+    /// transitions, failover events) when one was wired in via
+    /// [`DispatcherBuilder::resilience_journal`].
+    pub fn resilience_events(&self) -> Vec<ResilienceEvent> {
+        self.shared.journal.events()
+    }
+
+    /// The journal behind [`resilience_events`](Self::resilience_events).
+    pub fn resilience_journal(&self) -> &Arc<ResilienceJournal> {
+        &self.shared.journal
     }
 
     /// The instant request/span timestamps are measured from.
@@ -760,6 +897,29 @@ impl Bootstrapper for Dispatcher {
     }
 }
 
+/// Has `deadline` passed at `now`? The boundary counts as expired: a
+/// deadline is the latest acceptable *execution start*, and work picked
+/// up exactly at `d == now` cannot start before it.
+fn deadline_expired(deadline: Option<Instant>, now: Instant) -> bool {
+    deadline.is_some_and(|d| d <= now)
+}
+
+/// The one cancellation/deadline sweep every pickup point runs (queue
+/// pop in `take_first` / `collect_linger`, and the last look in
+/// `execute_batch`): a cancelled or expired request is resolved on the
+/// spot and filtered out; a live one is handed back.
+fn admit_live(shared: &Shared, p: Pending, now: Instant) -> Option<Pending> {
+    if p.cancelled.load(Ordering::SeqCst) {
+        shared.resolve(p, Err(TfheError::Cancelled));
+        None
+    } else if deadline_expired(p.deadline, now) {
+        shared.resolve(p, Err(TfheError::DeadlineExceeded));
+        None
+    } else {
+        Some(p)
+    }
+}
+
 /// Pop the next live request, blocking until one arrives or shutdown
 /// completes the drain. Cancelled / expired requests are resolved on the
 /// spot and skipped.
@@ -768,15 +928,9 @@ fn take_first(shared: &Shared) -> Option<Pending> {
     loop {
         while let Some(p) = st.queue.pop_front() {
             shared.not_full.notify_all();
-            if p.cancelled.load(Ordering::SeqCst) {
-                shared.resolve(p, Err(TfheError::Cancelled));
-                continue;
+            if let Some(p) = admit_live(shared, p, Instant::now()) {
+                return Some(p);
             }
-            if p.deadline.is_some_and(|d| d <= Instant::now()) {
-                shared.resolve(p, Err(TfheError::DeadlineExceeded));
-                continue;
-            }
-            return Some(p);
         }
         if !st.open {
             return None;
@@ -810,14 +964,9 @@ fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
                 break;
             };
             shared.not_full.notify_all();
-            if p.cancelled.load(Ordering::SeqCst) {
-                shared.resolve(p, Err(TfheError::Cancelled));
+            let Some(p) = admit_live(shared, p, Instant::now()) else {
                 continue;
-            }
-            if p.deadline.is_some_and(|d| d <= Instant::now()) {
-                shared.resolve(p, Err(TfheError::DeadlineExceeded));
-                continue;
-            }
+            };
             if let Some(d) = flush_for(&p) {
                 flush_at = flush_at.min(d);
             }
@@ -844,17 +993,14 @@ fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
 /// Execute one formed micro-batch: a last cancellation/deadline sweep,
 /// LUT deduplication by `Arc` identity, one backend call, then result
 /// distribution and journaling. If a multi-request batch fails as a
-/// whole, each member is retried alone so one malformed request cannot
-/// poison its batch-mates.
+/// whole, each member is rerun alone so one malformed request cannot
+/// poison its batch-mates; single-request failures then go through the
+/// retry policy before surfacing.
 fn execute_batch(shared: &Shared, backend: &dyn Bootstrapper, batch: Vec<Pending>) {
     let now = Instant::now();
     let mut live = Vec::with_capacity(batch.len());
     for p in batch {
-        if p.cancelled.load(Ordering::SeqCst) {
-            shared.resolve(p, Err(TfheError::Cancelled));
-        } else if p.deadline.is_some_and(|d| d <= now) {
-            shared.resolve(p, Err(TfheError::DeadlineExceeded));
-        } else {
+        if let Some(p) = admit_live(shared, p, now) {
             live.push(p);
         }
     }
@@ -868,25 +1014,81 @@ fn execute_batch(shared: &Shared, backend: &dyn Bootstrapper, batch: Vec<Pending
         .fetch_add(live.len() as u64, Ordering::Relaxed);
     let exec_start = Instant::now();
     match run_as_batch(backend, &live) {
-        Ok(outs) => distribute(shared, batch_id, exec_start, live, outs),
-        Err(_) if live.len() > 1 => {
-            // Poison-pill isolation: retry each member alone so only the
-            // malformed (or genuinely failing) requests see the error.
-            for p in live {
-                match run_as_batch(backend, std::slice::from_ref(&p)) {
-                    Ok(outs) if outs.len() == p.luts.len() => {
-                        distribute(shared, batch_id, exec_start, vec![p], outs);
-                    }
-                    Ok(_) => shared.resolve(p, Err(TfheError::DispatcherShutDown)),
-                    Err(e) => shared.resolve(p, Err(e)),
-                }
-            }
+        Ok(outs) => {
+            shared.record_breaker(true);
+            distribute(shared, batch_id, exec_start, live, outs);
         }
         Err(e) => {
-            for p in live {
-                shared.resolve(p, Err(e.clone()));
+            if e.is_retryable() {
+                shared.record_breaker(false);
+            }
+            if live.len() > 1 {
+                // Poison-pill isolation: rerun each member alone so only
+                // the malformed (or genuinely failing) requests see the
+                // error; `finish_single` layers the retry policy on top.
+                for p in live {
+                    finish_single(shared, backend, batch_id, exec_start, p, None);
+                }
+            } else if let Some(p) = live.pop() {
+                // The lone member already observed this failure — hand it
+                // to the retry loop instead of re-executing to rediscover
+                // the same error.
+                finish_single(shared, backend, batch_id, exec_start, p, Some(e));
             }
         }
+    }
+}
+
+/// Run one request alone until it resolves: success distributes, a
+/// retryable fault retries within [`Shared::retry`]'s budget (journaled,
+/// counted, backed off with deterministic jitter), anything else — or an
+/// exhausted budget — surfaces to the caller. `first_err` carries a
+/// failure the caller already observed for this request, consumed as
+/// attempt zero so the work is not repeated just to rediscover it.
+fn finish_single(
+    shared: &Shared,
+    backend: &dyn Bootstrapper,
+    batch_id: u64,
+    exec_start: Instant,
+    p: Pending,
+    mut first_err: Option<TfheError>,
+) {
+    let mut attempt: u32 = 0;
+    loop {
+        let err = match first_err.take() {
+            Some(e) => e,
+            None => match run_as_batch(backend, std::slice::from_ref(&p)) {
+                Ok(outs) if outs.len() == p.luts.len() => {
+                    shared.record_breaker(true);
+                    distribute(shared, batch_id, exec_start, vec![p], outs);
+                    return;
+                }
+                Ok(_) => {
+                    shared.resolve(p, Err(TfheError::DispatcherShutDown));
+                    return;
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        shared.record_breaker(false);
+                    }
+                    e
+                }
+            },
+        };
+        if shared.retry.should_retry(&err, attempt) {
+            attempt += 1;
+            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+            shared
+                .journal
+                .record(DISPATCHER_SCOPE, ResilienceEventKind::Retry { attempt });
+            let backoff = shared.retry.backoff(p.id, attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            continue;
+        }
+        shared.resolve(p, Err(err));
+        return;
     }
 }
 
@@ -1359,6 +1561,182 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn deadline_boundary_counts_as_expired() {
+        let now = Instant::now();
+        // The pinned boundary: `d == now` is already too late to *start
+        // before* the deadline.
+        assert!(deadline_expired(Some(now), now));
+        assert!(deadline_expired(Some(now - Duration::from_nanos(1)), now));
+        assert!(!deadline_expired(Some(now + Duration::from_millis(1)), now));
+        assert!(!deadline_expired(None, now));
+    }
+
+    #[test]
+    fn wait_timeout_leaves_the_request_in_flight() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .build(Arc::clone(&backend));
+        let t = d.submit(dummy_ct(0), dummy_lut(), None).unwrap();
+        started.recv().unwrap(); // backend wedged on the gate
+        let err = t.wait_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(
+            err,
+            TfheError::WaitTimedOut {
+                timeout: Duration::from_millis(10)
+            }
+        );
+        assert!(err.is_retryable(), "a bounded wait elapsing is transient");
+        // The request is still in flight: release the backend and the
+        // same ticket delivers the result.
+        gate.send(()).unwrap();
+        assert_eq!(t.wait_timeout(Duration::from_secs(5)).unwrap(), dummy_ct(0));
+    }
+
+    #[test]
+    fn multi_ticket_wait_timeout_round_trips() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let t = d
+            .submit_many(dummy_ct(3), vec![Arc::clone(&lut), lut], None)
+            .unwrap();
+        started.recv().unwrap();
+        assert!(matches!(
+            t.wait_timeout(Duration::from_millis(5)),
+            Err(TfheError::WaitTimedOut { .. })
+        ));
+        gate.send(()).unwrap();
+        assert_eq!(
+            t.wait_timeout(Duration::from_secs(5)).unwrap(),
+            vec![dummy_ct(3), dummy_ct(3)]
+        );
+    }
+
+    /// Backend that fails its first `fail_first` calls with a retryable
+    /// fault, then echoes — the scaffolding for retry/breaker tests.
+    struct FlakyEcho {
+        fail_first: u64,
+        calls: AtomicU64,
+    }
+
+    impl FlakyEcho {
+        fn new(fail_first: u64) -> Arc<Self> {
+            Arc::new(Self {
+                fail_first,
+                calls: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl Bootstrapper for FlakyEcho {
+        fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) < self.fail_first {
+                return Err(TfheError::WorkerPanicked { worker: 0 });
+            }
+            let mut out = Vec::with_capacity(req.output_len());
+            for (i, ct) in req.ciphertexts().iter().enumerate() {
+                out.extend(std::iter::repeat_with(|| ct.clone()).take(req.output_count(i)));
+            }
+            Ok(out)
+        }
+    }
+
+    #[test]
+    fn retry_policy_rescues_transient_faults() {
+        use crate::resilience::RetryPolicy;
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .retry_policy(RetryPolicy::new(3).with_base_backoff(Duration::ZERO))
+            .build(FlakyEcho::new(2));
+        let t = d.submit(dummy_ct(5), dummy_lut(), None).unwrap();
+        assert_eq!(t.wait().unwrap(), dummy_ct(5));
+        let stats = d.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retries, 2, "two faults absorbed by the budget");
+        // Counters and journal agree.
+        let events = d.resilience_events();
+        assert_eq!(
+            events.iter().filter(|e| e.kind.label() == "retry").count(),
+            2
+        );
+        assert!(events.iter().all(|e| e.scope == "dispatcher"));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_fault() {
+        use crate::resilience::RetryPolicy;
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .retry_policy(RetryPolicy::new(1).with_base_backoff(Duration::ZERO))
+            .build(FlakyEcho::new(u64::MAX));
+        let t = d.submit(dummy_ct(0), dummy_lut(), None).unwrap();
+        assert_eq!(
+            t.wait().unwrap_err(),
+            TfheError::WorkerPanicked { worker: 0 }
+        );
+        let stats = d.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn open_breaker_sheds_submissions_and_recovers() {
+        use crate::resilience::{BreakerState, CircuitBreaker};
+        let breaker = Arc::new(
+            CircuitBreaker::builder()
+                .min_samples(1)
+                .failure_threshold(0.5)
+                .cooldown(Duration::ZERO)
+                .build(),
+        );
+        let (backend, _started, _gate) = echo(false);
+        let d = Dispatcher::builder()
+            .max_batch_size(1)
+            .circuit_breaker(Arc::clone(&breaker))
+            .build(backend);
+        // Trip the breaker out-of-band (as a failing backend would).
+        breaker.record(false);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Cooldown is zero, so this admission is the half-open probe; its
+        // success (recorded by the batcher) closes the breaker.
+        let probe = d.submit(dummy_ct(1), dummy_lut(), None).unwrap();
+        assert_eq!(probe.wait().unwrap(), dummy_ct(1));
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(d.stats().shed, 0);
+
+        // Re-trip with a long cooldown path: shed is observable.
+        let slow = Arc::new(
+            CircuitBreaker::builder()
+                .min_samples(1)
+                .failure_threshold(0.5)
+                .cooldown(Duration::from_secs(60))
+                .build(),
+        );
+        let (backend2, _s2, _g2) = echo(false);
+        let d2 = Dispatcher::builder()
+            .max_batch_size(1)
+            .circuit_breaker(Arc::clone(&slow))
+            .build(backend2);
+        slow.record(false);
+        let err = d2.submit(dummy_ct(2), dummy_lut(), None).unwrap_err();
+        assert!(matches!(err, TfheError::Overloaded { .. }));
+        let stats = d2.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.submitted, 0, "shed requests never enter the queue");
+        assert_eq!(
+            d2.resilience_events()
+                .iter()
+                .filter(|e| e.kind.label() == "shed")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -3,6 +3,16 @@
 //! Every panic in the infallible API corresponds to a variant here; the
 //! panicking methods are thin `expect`-style wrappers over the `try_*`
 //! methods so the two surfaces can never drift apart.
+//!
+//! The enum is `#[non_exhaustive]`: downstream `match`es must carry a
+//! wildcard arm, which is what lets the resilience layer (and future PRs)
+//! add fault taxonomy variants without breaking callers. Every variant is
+//! classified by [`TfheError::is_retryable`] into *transient
+//! infrastructure faults* (worth retrying / failing over) versus
+//! *permanent request errors* (the request itself is wrong; retrying
+//! anywhere yields the same answer).
+
+use std::time::Duration;
 
 /// Everything that can go wrong when driving the TFHE evaluation API with
 /// mismatched key material, malformed LUTs, or a misconfigured engine.
@@ -128,6 +138,23 @@ pub enum TfheError {
         /// The queue's capacity at the time of rejection.
         capacity: usize,
     },
+    /// Admission was refused by an open circuit breaker: the backend's
+    /// recent failure rate (or polled health) says queued work would die.
+    /// Fail-fast backpressure — retry after the hinted cooldown.
+    Overloaded {
+        /// How long until the breaker will consider a half-open probe.
+        retry_after: Duration,
+    },
+    /// A bounded [`Ticket::wait_timeout`](crate::Ticket::wait_timeout)
+    /// elapsed before the request resolved. The request is still in
+    /// flight; the caller keeps the ticket and may wait again.
+    WaitTimedOut {
+        /// The timeout that elapsed.
+        timeout: Duration,
+    },
+    /// A [`FailoverBootstrapper`](crate::FailoverBootstrapper) was built
+    /// with an empty backend list — there is nothing to serve from.
+    NoBackendProvided,
     /// The request was cancelled via its ticket before execution started.
     Cancelled,
     /// The request's deadline passed while it was still queued; the
@@ -136,6 +163,34 @@ pub enum TfheError {
     /// The dispatcher has shut down (or its batcher thread died); the
     /// request was not, and will not be, processed.
     DispatcherShutDown,
+}
+
+impl TfheError {
+    /// `true` for transient infrastructure faults where a retry (same
+    /// backend, after backoff) or a failover (different backend) can
+    /// plausibly succeed; `false` for permanent errors where the request
+    /// itself is at fault and every backend would answer the same way.
+    ///
+    /// The retryable set is the fault taxonomy the resilience layer acts
+    /// on: worker panics, wedged/timed-out jobs, corrupted outputs, dead
+    /// or shut-down engines, and load-shedding rejections
+    /// ([`QueueFull`](Self::QueueFull), [`Overloaded`](Self::Overloaded),
+    /// [`WaitTimedOut`](Self::WaitTimedOut)). Terminal per-request
+    /// outcomes ([`Cancelled`](Self::Cancelled),
+    /// [`DeadlineExceeded`](Self::DeadlineExceeded)) are deliberate
+    /// decisions, not faults, and are never retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::WorkerPanicked { .. }
+                | Self::JobTimedOut { .. }
+                | Self::OutputCheckFailed { .. }
+                | Self::EngineShutDown
+                | Self::QueueFull { .. }
+                | Self::Overloaded { .. }
+                | Self::WaitTimedOut { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for TfheError {
@@ -226,6 +281,21 @@ impl std::fmt::Display for TfheError {
             Self::QueueFull { capacity } => {
                 write!(f, "dispatcher queue full (capacity {capacity})")
             }
+            Self::Overloaded { retry_after } => {
+                write!(
+                    f,
+                    "service overloaded (circuit breaker open); retry after {retry_after:?}"
+                )
+            }
+            Self::WaitTimedOut { timeout } => {
+                write!(
+                    f,
+                    "wait timed out after {timeout:?}; request still in flight"
+                )
+            }
+            Self::NoBackendProvided => {
+                write!(f, "failover bootstrapper needs at least one backend")
+            }
             Self::Cancelled => write!(f, "request cancelled before execution"),
             Self::DeadlineExceeded => {
                 write!(f, "request deadline passed while still queued")
@@ -284,5 +354,61 @@ mod tests {
     fn implements_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&TfheError::EngineShutDown);
+        takes_err(&TfheError::Overloaded {
+            retry_after: Duration::from_millis(10),
+        });
+    }
+
+    #[test]
+    fn retry_taxonomy_separates_faults_from_request_errors() {
+        // Transient infrastructure faults: retry/failover can help.
+        for e in [
+            TfheError::WorkerPanicked { worker: 0 },
+            TfheError::JobTimedOut {
+                chunk_start: 0,
+                attempts: 3,
+            },
+            TfheError::OutputCheckFailed { index: 2 },
+            TfheError::EngineShutDown,
+            TfheError::QueueFull { capacity: 8 },
+            TfheError::Overloaded {
+                retry_after: Duration::from_millis(5),
+            },
+            TfheError::WaitTimedOut {
+                timeout: Duration::from_millis(5),
+            },
+        ] {
+            assert!(e.is_retryable(), "{e} must be retryable");
+        }
+        // Permanent: the request (or the caller's decision) is at fault.
+        for e in [
+            TfheError::LweDimensionMismatch {
+                expected: 16,
+                got: 8,
+            },
+            TfheError::NoLutProvided,
+            TfheError::ZeroThreads,
+            TfheError::NoBackendProvided,
+            TfheError::Cancelled,
+            TfheError::DeadlineExceeded,
+            TfheError::DispatcherShutDown,
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn resilience_variants_have_informative_display() {
+        let overloaded = TfheError::Overloaded {
+            retry_after: Duration::from_millis(25),
+        };
+        assert!(overloaded.to_string().contains("circuit breaker open"));
+        let timed_out = TfheError::WaitTimedOut {
+            timeout: Duration::from_secs(1),
+        };
+        assert!(timed_out.to_string().contains("still in flight"));
+        assert!(TfheError::NoBackendProvided
+            .to_string()
+            .contains("at least one backend"));
     }
 }

@@ -185,13 +185,20 @@ pub fn decide(seed: u64, domain: u64, key: u64, attempt: u32, rate: f64) -> bool
     if rate >= 1.0 {
         return true;
     }
+    unit_sample(seed, domain, key, attempt) < rate
+}
+
+/// Deterministic sample in `[0, 1)` as a pure function of
+/// `(seed, domain, key, attempt)` — the uniform variate behind
+/// [`decide`], also used by the resilience layer's seeded retry jitter
+/// (same determinism contract: identical runs back off identically).
+pub fn unit_sample(seed: u64, domain: u64, key: u64, attempt: u32) -> f64 {
     let h = mix3(
         seed ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         key,
         attempt as u64,
     );
-    let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-    unit < rate
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// SplitMix64-style avalanche of three words into one.
@@ -331,6 +338,20 @@ mod tests {
         assert_eq!(retry_budget_for(1.0, 1e-9), u32::MAX);
         // A realistic post-bootstrap failure probability needs few retries.
         assert!(retry_budget_for(1e-5, 1e-12) <= 2);
+    }
+
+    #[test]
+    fn unit_samples_stay_in_range_and_replay() {
+        for k in 0..256 {
+            let u = unit_sample(5, 77, k, 1);
+            assert!((0.0..1.0).contains(&u), "sample {u} out of range");
+            assert_eq!(u, unit_sample(5, 77, k, 1), "samples must replay");
+        }
+        assert_ne!(
+            unit_sample(5, 77, 1, 0),
+            unit_sample(6, 77, 1, 0),
+            "seed must matter"
+        );
     }
 
     #[test]

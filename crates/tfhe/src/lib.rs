@@ -34,7 +34,12 @@
 //!   [`ServerKey`] (sequential), [`ParallelServerKey`] (scoped threads),
 //!   [`BootstrapEngine`] (pooled), and the deadline-aware dynamic-batching
 //!   [`Dispatcher`](dispatch::Dispatcher) — the software analogue of the
-//!   paper's SW scheduler that keeps the cores fed with large batches.
+//!   paper's SW scheduler that keeps the cores fed with large batches;
+//! - a service-level [`resilience`] layer on top of the backends:
+//!   [`RetryPolicy`] (bounded backoff with seeded jitter),
+//!   [`CircuitBreaker`] (fail-fast admission while a backend is sick),
+//!   and the degraded-mode [`FailoverBootstrapper`] that walks an ordered
+//!   backend stack and restores the primary via half-open probes.
 //!
 //! # Quickstart
 //!
@@ -79,6 +84,7 @@ pub mod noise;
 pub mod ops;
 mod params;
 pub mod radix;
+pub mod resilience;
 mod server;
 mod workspace;
 
@@ -89,8 +95,8 @@ pub use dispatch::{
     DispatchSpan, Dispatcher, DispatcherBuilder, DispatcherStats, MultiTicket, Ticket,
 };
 pub use engine::{
-    BootstrapEngine, BootstrapEngineBuilder, EngineHealth, EngineStats, FaultEvent, FaultEventKind,
-    JobSpan, OutputCheck,
+    BootstrapEngine, BootstrapEngineBuilder, EngineHealth, EngineHealthHandle, EngineStats,
+    FaultEvent, FaultEventKind, JobSpan, OutputCheck,
 };
 pub use error::TfheError;
 pub use external_product::{cmux, external_product, ExternalProductEngine};
@@ -103,5 +109,10 @@ pub use lut::Lut;
 pub use lwe::LweCiphertext;
 pub use multivalue::MultiLutPlan;
 pub use params::{ParamSet, TfheParams, ALL_PAPER_SETS};
+pub use resilience::{
+    BreakerState, CircuitBreaker, CircuitBreakerBuilder, FailoverBootstrapper,
+    FailoverBootstrapperBuilder, ResilienceEvent, ResilienceEventKind, ResilienceJournal,
+    RetryPolicy,
+};
 pub use server::{BootstrapOptions, MulBackend, ServerKey, ServerKeyBuilder};
 pub use workspace::BootstrapWorkspace;

@@ -1,0 +1,1225 @@
+//! Service-level resilience: retry policy, circuit breaking, and
+//! degraded-mode failover across [`Bootstrapper`] backends.
+//!
+//! PR 3's [`BootstrapEngine`](crate::BootstrapEngine) made the *engine*
+//! survive faults (watchdog, respawn, bounded retry inside the pool); this
+//! module makes the *service* survive them. Three pieces compose:
+//!
+//! - [`RetryPolicy`]: bounded re-dispatch with exponential backoff and
+//!   **deterministic seeded jitter** (the same SplitMix64 stream the fault
+//!   injector uses, so a chaos run's backoff schedule replays exactly).
+//!   What is worth retrying is decided by
+//!   [`TfheError::is_retryable`] — transient infrastructure faults
+//!   (worker panics, wedged jobs, corrupted outputs, dead engines) retry;
+//!   permanent request errors (validation) never do.
+//! - [`CircuitBreaker`]: a Closed → Open → HalfOpen state machine driven
+//!   by a rolling failure-rate window and (optionally) a polled
+//!   [`EngineHealth`] probe. While open, admission fails fast with
+//!   [`TfheError::Overloaded`] instead of queueing work that will die;
+//!   after a cooldown, half-open probe traffic decides between closing
+//!   (recovered) and re-opening (still sick).
+//! - [`FailoverBootstrapper`]: an ordered list of backends (e.g.
+//!   `BootstrapEngine` → `ParallelServerKey` → `ServerKey`), each behind
+//!   its own breaker. Requests are served by the first admitting tier;
+//!   when the primary's breaker opens the service *degrades* to the next
+//!   tier instead of failing, and half-open probes restore the primary
+//!   once it recovers. Because every [`Bootstrapper`] backend is
+//!   bit-identical on the same request (the conformance contract), a
+//!   failover is invisible to the caller except in latency.
+//!
+//! Every retry, breaker transition, and failover is journaled as a
+//! [`ResilienceEvent`] into a [`ResilienceJournal`] (shareable across
+//! components so one timeline covers the whole serving stack) and
+//! rendered into the Chrome trace by
+//! `morphling_core::trace::ExecutionTrace::add_resilience_events`.
+//!
+//! # Degraded-mode serving in one picture
+//!
+//! ```text
+//!            ┌────────────── FailoverBootstrapper ──────────────┐
+//! request ──▶│ tier 0: BootstrapEngine   [breaker: Open]   skip │
+//!            │ tier 1: ParallelServerKey [breaker: Closed] serve│──▶ result
+//!            │ tier 2: ServerKey         [breaker: Closed]      │
+//!            └──────────────────────────────────────────────────┘
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::bootstrapper::{BatchRequest, Bootstrapper};
+use crate::engine::EngineHealth;
+use crate::error::TfheError;
+use crate::faults::unit_sample;
+use crate::lwe::LweCiphertext;
+
+/// Hash-domain separator for retry jitter (disjoint from the fault
+/// injector's site domains, so jitter never aliases injection decisions).
+const JITTER_DOMAIN: u64 = 0x6a_69_74_74;
+
+/// Ignore lock poisoning: resilience state stays consistent across panics
+/// (counters are atomics; the window/journal are repaired by later calls).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Bounded retry with exponential backoff and deterministic seeded jitter.
+///
+/// `max_retries` counts *re*-dispatches: a policy of 2 allows three total
+/// attempts. Backoff for attempt `a` (1-based) is
+/// `min(base · 2^(a−1), max)`, scaled by a jitter factor drawn
+/// deterministically from `(seed, key, attempt)` — two runs with the same
+/// seed and request keys back off identically, which keeps chaos tests
+/// reproducible while still de-synchronizing concurrent retriers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    max_retries: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    jitter: f64,
+    seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all — every failure surfaces immediately.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Up to `max_retries` re-dispatches, starting from a 200 µs backoff
+    /// doubling up to 50 ms, with half-width jitter and seed 0.
+    pub fn new(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Set the first-retry backoff (doubles each further attempt).
+    #[must_use]
+    pub fn with_base_backoff(mut self, base: Duration) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Cap the exponential backoff.
+    #[must_use]
+    pub fn with_max_backoff(mut self, max: Duration) -> Self {
+        self.max_backoff = max;
+        self
+    }
+
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a factor in
+    /// `[1 − jitter, 1]`, drawn deterministically from the seed.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self.seed = seed;
+        self
+    }
+
+    /// The retry budget (re-dispatches after the first attempt).
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Should a request that failed with `err` after `attempt` completed
+    /// retries be retried once more? `true` only for
+    /// [retryable](TfheError::is_retryable) faults within budget.
+    pub fn should_retry(&self, err: &TfheError, attempt: u32) -> bool {
+        err.is_retryable() && attempt < self.max_retries
+    }
+
+    /// Backoff before retry `attempt` (1-based) of the request identified
+    /// by `key`. Pure function of `(policy, key, attempt)`.
+    pub fn backoff(&self, key: u64, attempt: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff.max(self.base_backoff));
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        let unit = unit_sample(self.seed, JITTER_DOMAIN, key, attempt);
+        exp.mul_f64(1.0 - self.jitter * unit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event journal
+// ---------------------------------------------------------------------------
+
+/// What happened in one resilience incident.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResilienceEventKind {
+    /// A request was re-dispatched after a retryable failure.
+    Retry {
+        /// Retry number (1 = first re-dispatch).
+        attempt: u32,
+    },
+    /// A breaker tripped open: admission now fails fast.
+    BreakerOpen,
+    /// A breaker's cooldown elapsed; probe traffic is being admitted.
+    BreakerHalfOpen,
+    /// A half-open probe succeeded and the breaker closed (recovered).
+    BreakerClose,
+    /// A failover tier was skipped because its breaker refused admission.
+    TierSkipped,
+    /// A request moved to a lower tier after the one before it failed.
+    Failover {
+        /// Tier that failed the request.
+        from: String,
+        /// Tier that received it instead.
+        to: String,
+    },
+    /// An admission was shed at the front door (dispatcher breaker open).
+    Shed,
+}
+
+impl ResilienceEventKind {
+    /// Short lower-case label used as the trace span name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResilienceEventKind::Retry { .. } => "retry",
+            ResilienceEventKind::BreakerOpen => "breaker_open",
+            ResilienceEventKind::BreakerHalfOpen => "breaker_half_open",
+            ResilienceEventKind::BreakerClose => "breaker_close",
+            ResilienceEventKind::TierSkipped => "tier_skipped",
+            ResilienceEventKind::Failover { .. } => "failover",
+            ResilienceEventKind::Shed => "shed",
+        }
+    }
+}
+
+/// One timestamped resilience incident: when, which component, what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResilienceEvent {
+    /// When the incident happened, measured from the journal's epoch.
+    pub at: Duration,
+    /// The component it happened in (a tier name, a breaker name, or
+    /// `"dispatcher"`).
+    pub scope: String,
+    /// What happened.
+    pub kind: ResilienceEventKind,
+}
+
+/// A shared, append-only timeline of [`ResilienceEvent`]s.
+///
+/// One journal can be threaded through a breaker, a failover stack, and a
+/// dispatcher so all their incidents share a single epoch — the property
+/// that lets the Chrome trace line retries up under breaker transitions.
+#[derive(Debug)]
+pub struct ResilienceJournal {
+    epoch: Instant,
+    events: Mutex<Vec<ResilienceEvent>>,
+}
+
+impl Default for ResilienceJournal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResilienceJournal {
+    /// An empty journal with its epoch at now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The instant event timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Append one incident, stamped now.
+    pub fn record(&self, scope: &str, kind: ResilienceEventKind) {
+        let at = Instant::now().saturating_duration_since(self.epoch);
+        lock(&self.events).push(ResilienceEvent {
+            at,
+            scope: scope.to_string(),
+            kind,
+        });
+    }
+
+    /// Snapshot of every event so far, in record order.
+    pub fn events(&self) -> Vec<ResilienceEvent> {
+        lock(&self.events).clone()
+    }
+
+    /// Events of one kind-label (`"retry"`, `"failover"`, …), counted.
+    pub fn count(&self, label: &str) -> usize {
+        lock(&self.events)
+            .iter()
+            .filter(|e| e.kind.label() == label)
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// The breaker's admission state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Normal service: everything admitted, outcomes feed the window.
+    #[default]
+    Closed,
+    /// Tripped: admission fails fast with [`TfheError::Overloaded`] until
+    /// the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: requests are admitted as probes; enough
+    /// successes close the breaker, any failure re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Short lower-case label for traces and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Configures a [`CircuitBreaker`]. All knobs clamp to sane minimums, so
+/// [`build`](Self::build) is infallible.
+pub struct CircuitBreakerBuilder {
+    name: String,
+    window: usize,
+    failure_threshold: f64,
+    min_samples: usize,
+    cooldown: Duration,
+    probes_to_close: u32,
+    health: Option<Arc<dyn Fn() -> EngineHealth + Send + Sync>>,
+    journal: Option<Arc<ResilienceJournal>>,
+}
+
+impl Default for CircuitBreakerBuilder {
+    fn default() -> Self {
+        Self {
+            name: "breaker".to_string(),
+            window: 32,
+            failure_threshold: 0.5,
+            min_samples: 8,
+            cooldown: Duration::from_millis(100),
+            probes_to_close: 1,
+            health: None,
+            journal: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for CircuitBreakerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreakerBuilder")
+            .field("name", &self.name)
+            .field("window", &self.window)
+            .field("failure_threshold", &self.failure_threshold)
+            .field("min_samples", &self.min_samples)
+            .field("cooldown", &self.cooldown)
+            .field("probes_to_close", &self.probes_to_close)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CircuitBreakerBuilder {
+    /// Defaults: window 32, threshold 0.5, min 8 samples, 100 ms
+    /// cooldown, 1 probe to close.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name used as the journal scope for this breaker's transitions.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Rolling-window size in outcomes (clamped to ≥ 1).
+    #[must_use]
+    pub fn window(mut self, outcomes: usize) -> Self {
+        self.window = outcomes.max(1);
+        self
+    }
+
+    /// Failure fraction of the window that trips the breaker (clamped to
+    /// `(0, 1]`).
+    #[must_use]
+    pub fn failure_threshold(mut self, fraction: f64) -> Self {
+        self.failure_threshold = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Outcomes required in the window before the rate is trusted
+    /// (clamped to ≥ 1) — keeps one early failure from tripping a cold
+    /// breaker.
+    #[must_use]
+    pub fn min_samples(mut self, samples: usize) -> Self {
+        self.min_samples = samples.max(1);
+        self
+    }
+
+    /// How long an open breaker rejects before admitting probes.
+    #[must_use]
+    pub fn cooldown(mut self, cooldown: Duration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Consecutive probe successes required to close from half-open
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn probes_to_close(mut self, probes: u32) -> Self {
+        self.probes_to_close = probes.max(1);
+        self
+    }
+
+    /// Poll a health source on admission: a [`EngineHealth::Failed`]
+    /// report force-opens the breaker without waiting for the failure
+    /// rate to climb (use
+    /// [`BootstrapEngine::health_handle`](crate::BootstrapEngine::health_handle)).
+    #[must_use]
+    pub fn health_probe(
+        mut self,
+        probe: impl Fn() -> EngineHealth + Send + Sync + 'static,
+    ) -> Self {
+        self.health = Some(Arc::new(probe));
+        self
+    }
+
+    /// Journal state transitions into `journal` (shared with other
+    /// components for one merged timeline). Without this, the breaker
+    /// creates its own private journal.
+    #[must_use]
+    pub fn journal(mut self, journal: Arc<ResilienceJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Build the breaker (infallible — every knob clamps).
+    pub fn build(self) -> CircuitBreaker {
+        CircuitBreaker {
+            name: self.name,
+            window: self.window,
+            failure_threshold: self.failure_threshold,
+            min_samples: self.min_samples,
+            cooldown: self.cooldown,
+            probes_to_close: self.probes_to_close,
+            health: self.health,
+            journal: self.journal.unwrap_or_default(),
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                outcomes: VecDeque::new(),
+                failures: 0,
+                opened_at: None,
+                probe_successes: 0,
+            }),
+            opens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+        }
+    }
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    /// Rolling outcome window; `true` = failure.
+    outcomes: VecDeque<bool>,
+    failures: usize,
+    opened_at: Option<Instant>,
+    probe_successes: u32,
+}
+
+/// Failure-rate-driven admission gate: Closed → Open → HalfOpen.
+///
+/// Feed it one [`record`](Self::record) per backend call outcome and ask
+/// [`try_acquire`](Self::try_acquire) before each submission. Only
+/// *retryable* faults should be recorded as failures — a validation error
+/// says nothing about backend health.
+pub struct CircuitBreaker {
+    name: String,
+    window: usize,
+    failure_threshold: f64,
+    min_samples: usize,
+    cooldown: Duration,
+    probes_to_close: u32,
+    health: Option<Arc<dyn Fn() -> EngineHealth + Send + Sync>>,
+    journal: Arc<ResilienceJournal>,
+    inner: Mutex<BreakerInner>,
+    opens: AtomicU64,
+    closes: AtomicU64,
+    rejections: AtomicU64,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("name", &self.name)
+            .field("state", &self.state())
+            .field("opens", &self.opens.load(Ordering::Relaxed))
+            .field("closes", &self.closes.load(Ordering::Relaxed))
+            .field("rejections", &self.rejections.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CircuitBreaker {
+    /// Configure window, threshold, cooldown, and probes before building.
+    pub fn builder() -> CircuitBreakerBuilder {
+        CircuitBreakerBuilder::new()
+    }
+
+    /// A breaker with default policy.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// The breaker's name (its journal scope).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current state. `Open` is reported until traffic actually probes
+    /// it — transitions are driven by [`try_acquire`](Self::try_acquire)
+    /// and [`record`](Self::record), not by the clock alone.
+    pub fn state(&self) -> BreakerState {
+        lock(&self.inner).state
+    }
+
+    /// Times the breaker tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Times the breaker closed from half-open (recoveries).
+    pub fn closes(&self) -> u64 {
+        self.closes.load(Ordering::Relaxed)
+    }
+
+    /// Admissions refused while open.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// The journal this breaker's transitions land in.
+    pub fn journal(&self) -> &Arc<ResilienceJournal> {
+        &self.journal
+    }
+
+    /// Ask to admit one request.
+    ///
+    /// Closed admits (after polling the health probe, if any — a `Failed`
+    /// report force-opens). Open admits nothing until the cooldown
+    /// elapses, then transitions to half-open and admits probes. Every
+    /// half-open admission is a probe whose [`record`](Self::record)ed
+    /// outcome decides the breaker's fate.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::Overloaded`] while open, with the remaining cooldown
+    /// as the retry hint.
+    pub fn try_acquire(&self) -> Result<(), TfheError> {
+        let mut inner = lock(&self.inner);
+        if inner.state == BreakerState::Closed {
+            if let Some(health) = &self.health {
+                if health() == EngineHealth::Failed {
+                    self.trip(&mut inner);
+                }
+            }
+        }
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map(|t| t.elapsed())
+                    .unwrap_or(Duration::ZERO);
+                if elapsed >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_successes = 0;
+                    self.journal
+                        .record(&self.name, ResilienceEventKind::BreakerHalfOpen);
+                    Ok(())
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    Err(TfheError::Overloaded {
+                        retry_after: self.cooldown - elapsed,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Report the outcome of one admitted backend call. Record only
+    /// service outcomes: successes and *retryable* failures. Permanent
+    /// request errors and cancellations are not health signals.
+    pub fn record(&self, success: bool) {
+        let mut inner = lock(&self.inner);
+        match inner.state {
+            BreakerState::Closed => {
+                if inner.outcomes.len() == self.window {
+                    if let Some(old) = inner.outcomes.pop_front() {
+                        if old {
+                            inner.failures -= 1;
+                        }
+                    }
+                }
+                inner.outcomes.push_back(!success);
+                if !success {
+                    inner.failures += 1;
+                }
+                let n = inner.outcomes.len();
+                if n >= self.min_samples
+                    && inner.failures as f64 / n as f64 >= self.failure_threshold
+                {
+                    self.trip(&mut inner);
+                }
+            }
+            BreakerState::HalfOpen => {
+                if success {
+                    inner.probe_successes += 1;
+                    if inner.probe_successes >= self.probes_to_close {
+                        inner.state = BreakerState::Closed;
+                        inner.outcomes.clear();
+                        inner.failures = 0;
+                        inner.opened_at = None;
+                        inner.probe_successes = 0;
+                        self.closes.fetch_add(1, Ordering::Relaxed);
+                        self.journal
+                            .record(&self.name, ResilienceEventKind::BreakerClose);
+                    }
+                } else {
+                    self.trip(&mut inner);
+                }
+            }
+            // A late result from before the trip: the window is already
+            // condemned, nothing to learn.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Transition to Open: stamp the cooldown clock, condemn the window.
+    fn trip(&self, inner: &mut BreakerInner) {
+        inner.state = BreakerState::Open;
+        inner.opened_at = Some(Instant::now());
+        inner.outcomes.clear();
+        inner.failures = 0;
+        inner.probe_successes = 0;
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(&self.name, ResilienceEventKind::BreakerOpen);
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failover bootstrapper
+// ---------------------------------------------------------------------------
+
+struct Tier {
+    name: String,
+    backend: Arc<dyn Bootstrapper + Send + Sync>,
+    breaker: Arc<CircuitBreaker>,
+    served: AtomicU64,
+}
+
+/// A tier as configured: name, backend, optional caller-supplied breaker.
+type TierSpec = (
+    String,
+    Arc<dyn Bootstrapper + Send + Sync>,
+    Option<Arc<CircuitBreaker>>,
+);
+
+/// Configures a [`FailoverBootstrapper`]: ordered tiers plus a shared
+/// retry policy.
+#[derive(Default)]
+pub struct FailoverBootstrapperBuilder {
+    tiers: Vec<TierSpec>,
+    retry: RetryPolicy,
+    journal: Option<Arc<ResilienceJournal>>,
+}
+
+impl std::fmt::Debug for FailoverBootstrapperBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverBootstrapperBuilder")
+            .field(
+                "tiers",
+                &self.tiers.iter().map(|(n, _, _)| n).collect::<Vec<_>>(),
+            )
+            .field("retry", &self.retry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FailoverBootstrapperBuilder {
+    /// An empty stack; add tiers in priority order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a tier with a default breaker (named after the tier,
+    /// journaling into the stack's shared journal).
+    #[must_use]
+    pub fn tier<B>(mut self, name: impl Into<String>, backend: B) -> Self
+    where
+        B: Bootstrapper + Send + Sync + 'static,
+    {
+        self.tiers.push((name.into(), Arc::new(backend), None));
+        self
+    }
+
+    /// Append a tier guarded by a caller-configured breaker (e.g. one
+    /// with a [health probe](CircuitBreakerBuilder::health_probe) wired
+    /// to the tier's engine).
+    #[must_use]
+    pub fn tier_with_breaker<B>(
+        mut self,
+        name: impl Into<String>,
+        backend: B,
+        breaker: Arc<CircuitBreaker>,
+    ) -> Self
+    where
+        B: Bootstrapper + Send + Sync + 'static,
+    {
+        self.tiers
+            .push((name.into(), Arc::new(backend), Some(breaker)));
+        self
+    }
+
+    /// Per-tier retry policy (applied before failing over).
+    #[must_use]
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Journal events into `journal` instead of a fresh private one —
+    /// share it with a dispatcher for a single merged timeline.
+    #[must_use]
+    pub fn journal(mut self, journal: Arc<ResilienceJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Build the stack.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::NoBackendProvided`] if no tier was added.
+    pub fn build(self) -> Result<FailoverBootstrapper, TfheError> {
+        if self.tiers.is_empty() {
+            return Err(TfheError::NoBackendProvided);
+        }
+        let journal = self.journal.unwrap_or_default();
+        let tiers = self
+            .tiers
+            .into_iter()
+            .map(|(name, backend, breaker)| {
+                let breaker = breaker.unwrap_or_else(|| {
+                    Arc::new(
+                        CircuitBreaker::builder()
+                            .name(name.clone())
+                            .journal(Arc::clone(&journal))
+                            .build(),
+                    )
+                });
+                Tier {
+                    name,
+                    backend,
+                    breaker,
+                    served: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Ok(FailoverBootstrapper {
+            tiers,
+            retry: self.retry,
+            journal,
+            failovers: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        })
+    }
+}
+
+/// An ordered stack of [`Bootstrapper`] backends behind per-tier circuit
+/// breakers — serve from the best healthy tier, degrade down the list,
+/// restore upward via half-open probes. See the [module docs](self).
+pub struct FailoverBootstrapper {
+    tiers: Vec<Tier>,
+    retry: RetryPolicy,
+    journal: Arc<ResilienceJournal>,
+    failovers: AtomicU64,
+    retries: AtomicU64,
+    /// Request sequence number — the jitter key, so each request's
+    /// backoff schedule is distinct but deterministic.
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for FailoverBootstrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverBootstrapper")
+            .field("tiers", &self.tier_names())
+            .field("retry", &self.retry)
+            .field("failovers", &self.failovers.load(Ordering::Relaxed))
+            .field("retries", &self.retries.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FailoverBootstrapper {
+    /// Start assembling a tier stack.
+    pub fn builder() -> FailoverBootstrapperBuilder {
+        FailoverBootstrapperBuilder::new()
+    }
+
+    /// Tier names in priority order.
+    pub fn tier_names(&self) -> Vec<&str> {
+        self.tiers.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Requests served per tier, in priority order.
+    pub fn served(&self) -> Vec<(String, u64)> {
+        self.tiers
+            .iter()
+            .map(|t| (t.name.clone(), t.served.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Requests that moved down at least one tier.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Same-tier re-dispatches across all tiers.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// The breaker guarding tier `index` (priority order).
+    pub fn breaker(&self, index: usize) -> Option<&Arc<CircuitBreaker>> {
+        self.tiers.get(index).map(|t| &t.breaker)
+    }
+
+    /// The shared event journal (tiers' breakers journal here too unless
+    /// caller-supplied with their own).
+    pub fn journal(&self) -> &Arc<ResilienceJournal> {
+        &self.journal
+    }
+
+    /// Snapshot of the journal.
+    pub fn events(&self) -> Vec<ResilienceEvent> {
+        self.journal.events()
+    }
+}
+
+impl Bootstrapper for FailoverBootstrapper {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        if req.is_empty() {
+            return Ok(Vec::new());
+        }
+        let key = self.seq.fetch_add(1, Ordering::Relaxed);
+        // Prefer reporting a real backend failure over an admission
+        // rejection — the former says what is actually wrong.
+        let mut last_fault: Option<TfheError> = None;
+        let mut last_reject: Option<TfheError> = None;
+        let mut failed_from: Option<String> = None;
+        for tier in &self.tiers {
+            match tier.breaker.try_acquire() {
+                Ok(()) => {}
+                Err(e) => {
+                    self.journal
+                        .record(&tier.name, ResilienceEventKind::TierSkipped);
+                    last_reject = Some(e);
+                    continue;
+                }
+            }
+            if let Some(from) = failed_from.take() {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                self.journal.record(
+                    &tier.name,
+                    ResilienceEventKind::Failover {
+                        from,
+                        to: tier.name.clone(),
+                    },
+                );
+            }
+            let mut attempt: u32 = 0;
+            loop {
+                match tier.backend.try_bootstrap_batch(req) {
+                    Ok(out) => {
+                        tier.breaker.record(true);
+                        tier.served.fetch_add(1, Ordering::Relaxed);
+                        return Ok(out);
+                    }
+                    Err(e) if e.is_retryable() => {
+                        tier.breaker.record(false);
+                        // Retry in place while budget remains and the
+                        // breaker (which just absorbed the failure) still
+                        // admits; otherwise fail over.
+                        if self.retry.should_retry(&e, attempt)
+                            && tier.breaker.try_acquire().is_ok()
+                        {
+                            attempt += 1;
+                            self.retries.fetch_add(1, Ordering::Relaxed);
+                            self.journal
+                                .record(&tier.name, ResilienceEventKind::Retry { attempt });
+                            let backoff = self.retry.backoff(key, attempt);
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                            continue;
+                        }
+                        last_fault = Some(e);
+                        failed_from = Some(tier.name.clone());
+                        break;
+                    }
+                    // Permanent: the request is at fault; every tier
+                    // would answer identically, so don't fail over and
+                    // don't penalize this tier's health.
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(last_fault
+            .or(last_reject)
+            .unwrap_or(TfheError::NoBackendProvided))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Lut;
+
+    fn echo_outputs(req: &BatchRequest) -> Vec<LweCiphertext> {
+        let mut out = Vec::with_capacity(req.output_len());
+        for (i, ct) in req.ciphertexts().iter().enumerate() {
+            out.extend(std::iter::repeat_with(|| ct.clone()).take(req.output_count(i)));
+        }
+        out
+    }
+
+    /// Fails with a retryable fault for the first `fail_first` calls,
+    /// then echoes inputs — the deterministic "sick then recovered"
+    /// backend.
+    struct FlakyBackend {
+        fail_first: u64,
+        calls: AtomicU64,
+    }
+
+    impl FlakyBackend {
+        fn new(fail_first: u64) -> Self {
+            Self {
+                fail_first,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Bootstrapper for FlakyBackend {
+        fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            if call < self.fail_first {
+                Err(TfheError::WorkerPanicked { worker: 0 })
+            } else {
+                Ok(echo_outputs(req))
+            }
+        }
+    }
+
+    /// Always rejects with a permanent validation error.
+    struct PermanentlyWrong;
+
+    impl Bootstrapper for PermanentlyWrong {
+        fn try_bootstrap_batch(&self, _: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+            Err(TfheError::LweDimensionMismatch {
+                expected: 16,
+                got: 8,
+            })
+        }
+    }
+
+    fn one_request() -> BatchRequest {
+        BatchRequest::shared(
+            vec![LweCiphertext::trivial(
+                morphling_math::Torus32::from_raw(7),
+                4,
+            )],
+            Lut::identity(64, 4),
+        )
+    }
+
+    #[test]
+    fn retry_policy_honors_taxonomy_and_budget() {
+        let p = RetryPolicy::new(2);
+        let transient = TfheError::WorkerPanicked { worker: 1 };
+        let permanent = TfheError::NoLutProvided;
+        assert!(p.should_retry(&transient, 0));
+        assert!(p.should_retry(&transient, 1));
+        assert!(!p.should_retry(&transient, 2), "budget exhausted");
+        assert!(!p.should_retry(&permanent, 0), "permanent never retries");
+        assert!(!RetryPolicy::none().should_retry(&transient, 0));
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::new(8)
+            .with_base_backoff(Duration::from_millis(1))
+            .with_max_backoff(Duration::from_millis(8))
+            .with_jitter(0.0, 0);
+        assert_eq!(p.backoff(0, 1), Duration::from_millis(1));
+        assert_eq!(p.backoff(0, 2), Duration::from_millis(2));
+        assert_eq!(p.backoff(0, 3), Duration::from_millis(4));
+        assert_eq!(p.backoff(0, 4), Duration::from_millis(8));
+        assert_eq!(p.backoff(0, 7), Duration::from_millis(8), "capped");
+
+        let j = p.with_jitter(0.5, 99);
+        let a = j.backoff(5, 2);
+        // Deterministic: same (key, attempt) → same backoff; bounded by
+        // the un-jittered value and its half.
+        assert_eq!(a, j.backoff(5, 2));
+        assert!(a <= Duration::from_millis(2));
+        assert!(a >= Duration::from_millis(1));
+        // Different keys de-synchronize.
+        assert_ne!(j.backoff(5, 2), j.backoff(6, 2));
+        // Zero-base policies never sleep.
+        assert_eq!(RetryPolicy::none().backoff(0, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_and_rejects_while_open() {
+        let b = CircuitBreaker::builder()
+            .window(8)
+            .min_samples(4)
+            .failure_threshold(0.5)
+            .cooldown(Duration::from_secs(60))
+            .build();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(true);
+        b.record(false);
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open, "2/4 failures at 0.5");
+        assert_eq!(b.opens(), 1);
+        let err = b.try_acquire().unwrap_err();
+        assert!(matches!(err, TfheError::Overloaded { .. }));
+        assert!(err.is_retryable());
+        assert_eq!(b.rejections(), 1);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probes() {
+        let b = CircuitBreaker::builder()
+            .min_samples(1)
+            .failure_threshold(0.5)
+            .cooldown(Duration::ZERO)
+            .probes_to_close(2)
+            .build();
+        b.record(false); // trip
+        assert_eq!(b.state(), BreakerState::Open);
+        // Zero cooldown: next acquire transitions to half-open.
+        assert!(b.try_acquire().is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs 2 probes");
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closes(), 1);
+        let labels: Vec<&str> = b
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["breaker_open", "breaker_half_open", "breaker_close"]
+        );
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::builder()
+            .min_samples(1)
+            .failure_threshold(0.5)
+            .cooldown(Duration::ZERO)
+            .build();
+        b.record(false);
+        assert!(b.try_acquire().is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn health_probe_failed_forces_open() {
+        let b = CircuitBreaker::builder()
+            .cooldown(Duration::from_secs(60))
+            .health_probe(|| EngineHealth::Failed)
+            .build();
+        assert!(matches!(b.try_acquire(), Err(TfheError::Overloaded { .. })));
+        assert_eq!(b.state(), BreakerState::Open);
+
+        let healthy = CircuitBreaker::builder()
+            .health_probe(|| EngineHealth::Degraded)
+            .build();
+        assert!(healthy.try_acquire().is_ok(), "degraded still serves");
+    }
+
+    #[test]
+    fn failover_serves_from_fallback_when_primary_fails() {
+        let stack = FailoverBootstrapper::builder()
+            .tier("primary", FlakyBackend::new(u64::MAX))
+            .tier("fallback", FlakyBackend::new(0))
+            .retry_policy(RetryPolicy::new(1).with_base_backoff(Duration::ZERO))
+            .build()
+            .expect("two tiers");
+        let req = one_request();
+        let out = stack.try_bootstrap_batch(&req).expect("fallback serves");
+        assert_eq!(out.len(), 1);
+        assert_eq!(stack.failovers(), 1);
+        assert_eq!(stack.retries(), 1, "one in-place retry before failover");
+        assert_eq!(stack.served()[0].1, 0);
+        assert_eq!(stack.served()[1].1, 1);
+        let labels: Vec<&str> = stack.events().iter().map(|e| e.kind.label()).collect();
+        assert!(labels.contains(&"retry"));
+        assert!(labels.contains(&"failover"));
+    }
+
+    #[test]
+    fn open_primary_is_skipped_and_probed_back() {
+        let stack = FailoverBootstrapper::builder()
+            .tier_with_breaker(
+                "primary",
+                FlakyBackend::new(2),
+                Arc::new(
+                    CircuitBreaker::builder()
+                        .name("primary")
+                        .min_samples(2)
+                        .failure_threshold(0.5)
+                        .cooldown(Duration::ZERO)
+                        .build(),
+                ),
+            )
+            .tier("fallback", FlakyBackend::new(0))
+            .build()
+            .expect("two tiers");
+        let req = one_request();
+        // Two failing requests trip the primary's breaker (no retries).
+        assert_eq!(stack.try_bootstrap_batch(&req).expect("served").len(), 1);
+        assert_eq!(stack.try_bootstrap_batch(&req).expect("served").len(), 1);
+        assert_eq!(
+            stack.breaker(0).expect("tier 0").state(),
+            BreakerState::Open
+        );
+        // Cooldown is zero, so the next request probes the (now healed)
+        // primary, succeeds, and closes the breaker — primary restored.
+        assert_eq!(stack.try_bootstrap_batch(&req).expect("probe").len(), 1);
+        assert_eq!(
+            stack.breaker(0).expect("tier 0").state(),
+            BreakerState::Closed
+        );
+        assert_eq!(stack.served()[0].1, 1, "probe served by primary");
+        assert_eq!(stack.failovers(), 2);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_fail_over() {
+        let stack = FailoverBootstrapper::builder()
+            .tier("primary", PermanentlyWrong)
+            .tier("fallback", FlakyBackend::new(0))
+            .build()
+            .expect("two tiers");
+        let err = stack.try_bootstrap_batch(&one_request()).unwrap_err();
+        assert!(matches!(err, TfheError::LweDimensionMismatch { .. }));
+        assert_eq!(stack.failovers(), 0);
+        assert_eq!(
+            stack.breaker(0).expect("tier 0").state(),
+            BreakerState::Closed,
+            "validation errors are not health signals"
+        );
+    }
+
+    #[test]
+    fn all_tiers_down_surfaces_the_backend_fault() {
+        let stack = FailoverBootstrapper::builder()
+            .tier("a", FlakyBackend::new(u64::MAX))
+            .tier("b", FlakyBackend::new(u64::MAX))
+            .build()
+            .expect("two tiers");
+        let err = stack.try_bootstrap_batch(&one_request()).unwrap_err();
+        assert_eq!(err, TfheError::WorkerPanicked { worker: 0 });
+        assert_eq!(stack.failovers(), 1);
+    }
+
+    #[test]
+    fn empty_stack_is_rejected_and_empty_batch_is_a_noop() {
+        assert_eq!(
+            FailoverBootstrapper::builder().build().err(),
+            Some(TfheError::NoBackendProvided)
+        );
+        let stack = FailoverBootstrapper::builder()
+            .tier("only", FlakyBackend::new(u64::MAX))
+            .build()
+            .expect("one tier");
+        let empty = BatchRequest::shared(Vec::new(), Lut::identity(64, 4));
+        assert_eq!(stack.try_bootstrap_batch(&empty), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn journal_counts_by_label() {
+        let j = ResilienceJournal::new();
+        j.record("x", ResilienceEventKind::Retry { attempt: 1 });
+        j.record("x", ResilienceEventKind::Retry { attempt: 2 });
+        j.record(
+            "y",
+            ResilienceEventKind::Failover {
+                from: "x".into(),
+                to: "y".into(),
+            },
+        );
+        assert_eq!(j.count("retry"), 2);
+        assert_eq!(j.count("failover"), 1);
+        assert_eq!(j.count("shed"), 0);
+        assert_eq!(j.events().len(), 3);
+    }
+}

@@ -1,9 +1,10 @@
-//! One conformance suite, four backends.
+//! One conformance suite, five backends.
 //!
 //! Every [`Bootstrapper`] implementation — the sequential [`ServerKey`],
 //! the scoped-thread [`ParallelServerKey`], the persistent
-//! [`BootstrapEngine`] pool, and the dynamic-batching [`Dispatcher`] —
-//! must satisfy the same contract:
+//! [`BootstrapEngine`] pool, the dynamic-batching [`Dispatcher`], and
+//! the breaker-guarded [`FailoverBootstrapper`] — must satisfy the same
+//! contract:
 //!
 //! - shared-LUT batches are **bit-identical** to the sequential
 //!   reference, element for element, in submission order;
@@ -21,8 +22,8 @@
 use std::sync::{Arc, OnceLock};
 
 use morphling_tfhe::{
-    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Dispatcher, Lut, LweCiphertext,
-    ParallelServerKey, ParamSet, ServerKey, TfheError,
+    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Dispatcher, FailoverBootstrapper,
+    FaultPlan, Lut, LweCiphertext, ParallelServerKey, ParamSet, RetryPolicy, ServerKey, TfheError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -155,6 +156,67 @@ fn dispatcher_conforms() {
         .max_linger(std::time::Duration::from_millis(1))
         .build(Arc::clone(&fixture().server));
     assert_conforms(&dispatcher, "Dispatcher");
+}
+
+#[test]
+fn failover_bootstrapper_conforms() {
+    let f = fixture();
+    let stack = FailoverBootstrapper::builder()
+        .tier(
+            "parallel",
+            ParallelServerKey::new(Arc::clone(&f.server), 2).expect("nonzero threads"),
+        )
+        .tier("sequential", Arc::clone(&f.server))
+        .build()
+        .expect("two tiers");
+    assert_conforms(&stack, "FailoverBootstrapper");
+    // A healthy stack never leaves its primary.
+    assert_eq!(stack.failovers(), 0);
+}
+
+/// The degraded-mode contract: with the primary seeded to die on first
+/// contact, the stack's output must be **bit-identical** to what the
+/// healthy primary would have produced — failover is invisible except in
+/// latency, because every backend computes the same function.
+#[test]
+fn failover_with_dead_primary_matches_healthy_reference() {
+    let f = fixture();
+    let poly = f.server.params().poly_size;
+    // Primary: every job panics, one worker, no respawn budget — killed
+    // on first contact, EngineShutDown from then on (both retryable).
+    let engine = BootstrapEngine::builder()
+        .workers(1)
+        .respawn_budget(0)
+        .max_retries(0)
+        .fault_plan(FaultPlan::seeded(0xDEAD).with_worker_panic(1.0))
+        .build(Arc::clone(&f.server))
+        .expect("spawn pool");
+    let stack = FailoverBootstrapper::builder()
+        .tier("engine", engine)
+        .tier("server", Arc::clone(&f.server))
+        .retry_policy(RetryPolicy::new(1).with_base_backoff(std::time::Duration::ZERO))
+        .build()
+        .expect("two tiers");
+
+    let lut = Lut::from_fn(poly, 4, |m| (3 * m + 1) % 4);
+    let cts = encrypt_batch(6, 0xF01D);
+    let req = BatchRequest::shared(cts, lut);
+    let want = f
+        .server
+        .try_bootstrap_batch(&req)
+        .expect("healthy reference");
+    let got = stack
+        .try_bootstrap_batch(&req)
+        .expect("fallback must serve");
+    assert_eq!(
+        got, want,
+        "degraded-mode output must be bit-identical to the healthy primary"
+    );
+    assert!(stack.failovers() >= 1, "the dead primary was failed over");
+    let served = stack.served();
+    assert_eq!(served[0].1, 0, "dead primary served nothing");
+    assert_eq!(served[1].1, 1, "fallback served the batch");
+    assert!(stack.events().iter().any(|e| e.kind.label() == "failover"));
 }
 
 /// Malformed requests are caught at construction, uniformly for every

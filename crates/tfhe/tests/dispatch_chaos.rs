@@ -10,20 +10,40 @@
 //!   bit-identical to the sequential [`ServerKey`] reference for *that*
 //!   request;
 //! - **backpressure is loud**: a full queue surfaces as
-//!   [`TfheError::QueueFull`] on `try_submit`, never a silent drop.
+//!   [`TfheError::QueueFull`] on `try_submit`, never a silent drop;
+//! - **degraded mode is lossless**: with a killed primary behind a
+//!   [`FailoverBootstrapper`], every request is still served bit-identically
+//!   by a fallback tier, and the breaker/journal counters agree;
+//! - **breaker transitions lose nothing**: across open → half-open →
+//!   close cycles no ticket is lost or resolved twice.
 //!
-//! All seeds are fixed, so CI failures replay locally.
+//! All seeds are fixed, so CI failures replay locally. The resilience
+//! tests also honor `MORPHLING_CHAOS_SEED` so CI can sweep several seeds.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use morphling_tfhe::{
-    BatchRequest, BootstrapEngine, Bootstrapper, ClientKey, Dispatcher, FaultPlan, Lut,
-    LweCiphertext, ParamSet, ServerKey, TfheError,
+    BatchRequest, BootstrapEngine, Bootstrapper, BreakerState, CircuitBreaker, ClientKey,
+    Dispatcher, FailoverBootstrapper, FaultPlan, Lut, LweCiphertext, ParamSet, ResilienceJournal,
+    RetryPolicy, ServerKey, TfheError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Base seed, overridable via `MORPHLING_CHAOS_SEED` (CI sweeps 1..=3).
+/// The override is mixed with the per-test default so two tests never
+/// collapse onto the same stream.
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("MORPHLING_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|s| s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ default)
+        .unwrap_or(default)
+}
 
 fn setup(seed: u64) -> (ClientKey, Arc<ServerKey>, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -271,4 +291,260 @@ fn dispatch_chaos_shutdown_drains_without_loss() {
         dispatcher.submit(ck.encrypt(0, &mut rng), lut, None).err(),
         Some(TfheError::DispatcherShutDown)
     );
+}
+
+/// Killed primary behind a failover stack: workers panic or wedge on
+/// every job and never respawn, the primary breaker opens (helped by its
+/// `EngineHealthHandle` probe reading `Failed`), and the sequential
+/// fallback serves **every** request bit-identically — zero loss, with
+/// the stats counters matching the resilience journal event for event.
+#[test]
+fn dispatch_chaos_killed_primary_fails_over_with_zero_loss() {
+    let seed = chaos_seed(0x0FA1_10E4);
+    let (ck, sk, mut rng) = setup(seed ^ 0x00D5);
+    let poly = sk.params().poly_size;
+    let lut = Arc::new(Lut::from_fn(poly, 4, |m| (m + 1) % 4));
+
+    let journal = Arc::new(ResilienceJournal::new());
+    // Primary: one worker, no respawn budget, every job either panics or
+    // wedges past the watchdog — dead on first contact.
+    let engine = BootstrapEngine::builder()
+        .workers(1)
+        .respawn_budget(0)
+        .max_retries(0)
+        .job_timeout(Duration::from_millis(50))
+        // Panic rate 1.0: every job that survives its wedge site still
+        // panics, so the primary never serves — only the *mix* of
+        // JobTimedOut vs WorkerPanicked varies with the seed.
+        .fault_plan(
+            FaultPlan::seeded(seed)
+                .with_worker_panic(1.0)
+                .with_wedged_job(0.5, Duration::from_millis(150)),
+        )
+        .build(Arc::clone(&sk))
+        .expect("spawn pool");
+    let health = engine.health_handle();
+    let primary_breaker = Arc::new(
+        CircuitBreaker::builder()
+            .name("engine")
+            .min_samples(2)
+            .failure_threshold(0.5)
+            // Long cooldown: once open, the primary stays benched for the
+            // rest of the run — this test is about the fallback path.
+            .cooldown(Duration::from_secs(60))
+            .health_probe(move || health.health())
+            .journal(Arc::clone(&journal))
+            .build(),
+    );
+    let stack = Arc::new(
+        FailoverBootstrapper::builder()
+            .tier_with_breaker("engine", engine, Arc::clone(&primary_breaker))
+            .tier("server", Arc::clone(&sk))
+            .retry_policy(
+                RetryPolicy::new(1)
+                    .with_base_backoff(Duration::from_micros(50))
+                    .with_jitter(0.5, seed),
+            )
+            .journal(Arc::clone(&journal))
+            .build()
+            .expect("two tiers"),
+    );
+
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(4)
+        .max_linger(Duration::from_millis(1))
+        .resilience_journal(Arc::clone(&journal))
+        .build(Arc::clone(&stack));
+
+    let total = 24u64;
+    let mut tickets = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        let ct = ck.encrypt(i % 4, &mut rng);
+        let expected = sk.programmable_bootstrap(&ct, &lut);
+        let t = dispatcher
+            .submit(ct, Arc::clone(&lut), None)
+            .expect("admission stays open: failover absorbs the outage");
+        tickets.push((expected, t));
+        if rng.gen_range(0..3u32) == 0 {
+            std::thread::sleep(Duration::from_micros(rng.gen_range(0..300)));
+        }
+    }
+
+    for (i, (expected, t)) in tickets.into_iter().enumerate() {
+        let got = t
+            .wait()
+            .unwrap_or_else(|e| panic!("request {i} was lost to the outage: {e}"));
+        assert_eq!(
+            got, expected,
+            "request {i} must be bit-identical to the healthy reference"
+        );
+    }
+
+    let stats = dispatcher.stats();
+    assert_eq!(stats.completed, total, "zero lost requests");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.shed, 0, "the dispatcher itself never sheds");
+    // The killed primary tripped its breaker and stayed benched...
+    assert!(primary_breaker.opens() >= 1, "breaker must open");
+    assert_eq!(primary_breaker.state(), BreakerState::Open);
+    assert!(stack.failovers() >= 1, "traffic must fail over");
+    // ...and only the fallback actually served batches.
+    let served = stack.served();
+    assert_eq!(served[0].0, "engine");
+    assert_eq!(served[0].1, 0, "the dead primary served nothing");
+    assert!(served[1].1 >= 1, "the fallback carried the load");
+
+    // Counters must match the journal, event for event.
+    let events = journal.events();
+    let count = |label: &str| events.iter().filter(|e| e.kind.label() == label).count() as u64;
+    assert_eq!(stack.failovers(), count("failover"));
+    assert_eq!(stack.retries() + stats.retries, count("retry"));
+    assert_eq!(stats.shed, count("shed"));
+    assert_eq!(
+        primary_breaker.opens() + stack.breaker(1).expect("fallback tier").opens(),
+        count("breaker_open")
+    );
+    assert!(count("breaker_open") >= 1);
+}
+
+/// A backend that fails its first `fail_first` calls with a retryable
+/// fault, then heals and delegates to the sequential reference.
+struct SickThenHealed {
+    inner: Arc<ServerKey>,
+    fail_first: u64,
+    calls: AtomicU64,
+}
+
+impl Bootstrapper for SickThenHealed {
+    fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) < self.fail_first {
+            return Err(TfheError::WorkerPanicked { worker: 99 });
+        }
+        self.inner.try_bootstrap_batch(req)
+    }
+}
+
+/// Full breaker life-cycle under load: a sick backend trips the
+/// dispatcher's breaker open, shed submissions fail fast with
+/// [`TfheError::Overloaded`], half-open probes are admitted after the
+/// cooldown, and once the backend heals the breaker closes again. Across
+/// all of it: every admitted ticket resolves exactly once, ticket ids are
+/// unique, and the counters reconcile with the journal.
+#[test]
+fn dispatch_chaos_breaker_cycle_loses_no_tickets() {
+    let seed = chaos_seed(0xC1BC);
+    let (ck, sk, mut rng) = setup(seed ^ 0xBEEF);
+    let poly = sk.params().poly_size;
+    let lut = Arc::new(Lut::identity(poly, 4));
+
+    let journal = Arc::new(ResilienceJournal::new());
+    let cooldown = Duration::from_millis(20);
+    let breaker = Arc::new(
+        CircuitBreaker::builder()
+            .name("serving")
+            .window(8)
+            .min_samples(2)
+            .failure_threshold(0.5)
+            .cooldown(cooldown)
+            .journal(Arc::clone(&journal))
+            .build(),
+    );
+    // 2..=4 failing calls: enough to trip the breaker, and (for seeds
+    // where it exceeds 2) enough that the first half-open probe fails and
+    // re-opens it, exercising the reopen edge too.
+    let fail_first = 2 + seed % 3;
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(1) // one backend call per request: exact accounting
+        .max_linger(Duration::ZERO)
+        .circuit_breaker(Arc::clone(&breaker))
+        .resilience_journal(Arc::clone(&journal))
+        .build(SickThenHealed {
+            inner: Arc::clone(&sk),
+            fail_first,
+            calls: AtomicU64::new(0),
+        });
+
+    let mut ids = HashSet::new();
+    let mut shed = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    for i in 0..40u64 {
+        let ct = ck.encrypt(i % 4, &mut rng);
+        let expected = sk.programmable_bootstrap(&ct, &lut);
+        match dispatcher.submit(ct, Arc::clone(&lut), None) {
+            Ok(t) => {
+                assert!(ids.insert(t.id()), "ticket ids must be unique");
+                // Resolve immediately: exactly-once, success or loud fault.
+                match t.wait() {
+                    Ok(out) => {
+                        assert_eq!(out, expected, "served requests stay bit-identical");
+                        completed += 1;
+                    }
+                    Err(TfheError::WorkerPanicked { worker: 99 }) => failed += 1,
+                    Err(e) => panic!("unexpected resolution for request {i}: {e}"),
+                }
+            }
+            Err(TfheError::Overloaded { .. }) => {
+                // Shed fast-fail: no ticket was minted, nothing to lose.
+                shed += 1;
+                std::thread::sleep(cooldown / 4);
+            }
+            Err(e) => panic!("unexpected admission error for request {i}: {e}"),
+        }
+        if rng.gen_range(0..4u32) == 0 {
+            std::thread::sleep(Duration::from_micros(rng.gen_range(0..200)));
+        }
+    }
+
+    // Drive the cycle to completion: after the cooldown, half-open probes
+    // are admitted; the backend has healed, so a probe must eventually
+    // close the breaker.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while breaker.state() != BreakerState::Closed {
+        assert!(
+            Instant::now() < deadline,
+            "breaker never closed: {:?}",
+            breaker.state()
+        );
+        let ct = ck.encrypt(1, &mut rng);
+        let expected = sk.programmable_bootstrap(&ct, &lut);
+        match dispatcher.submit(ct, Arc::clone(&lut), None) {
+            Ok(t) => {
+                assert!(ids.insert(t.id()), "probe ticket ids must be unique");
+                match t.wait() {
+                    Ok(out) => {
+                        assert_eq!(out, expected);
+                        completed += 1;
+                    }
+                    Err(TfheError::WorkerPanicked { worker: 99 }) => failed += 1,
+                    Err(e) => panic!("unexpected probe resolution: {e}"),
+                }
+            }
+            Err(TfheError::Overloaded { .. }) => {
+                shed += 1;
+                std::thread::sleep(cooldown / 2);
+            }
+            Err(e) => panic!("unexpected probe admission error: {e}"),
+        }
+    }
+
+    let stats = dispatcher.stats();
+    // Exactly-once accounting: every minted ticket resolved exactly once,
+    // sheds never minted a ticket.
+    assert_eq!(stats.submitted, ids.len() as u64);
+    assert_eq!(stats.completed + stats.failed, stats.submitted);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.failed, failed);
+    assert_eq!(stats.shed, shed);
+    assert!(shed >= 1, "an open breaker must shed at least once");
+    // The breaker went through the full cycle and the journal agrees.
+    assert!(breaker.opens() >= 1);
+    assert!(breaker.closes() >= 1);
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    let events = journal.events();
+    let count = |label: &str| events.iter().filter(|e| e.kind.label() == label).count() as u64;
+    assert_eq!(count("breaker_open"), breaker.opens());
+    assert_eq!(count("breaker_close"), breaker.closes());
+    assert_eq!(count("shed"), stats.shed);
+    assert!(count("breaker_half_open") >= 1, "probes must be journaled");
 }

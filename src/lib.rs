@@ -48,16 +48,20 @@ pub use morphling_transform as transform;
 /// [`BootstrapEngine`] with its health/fault-plan surface, and the
 /// deadline-aware dynamic-batching [`Dispatcher`] — plus the multi-value
 /// bootstrapping surface ([`BootstrapOptions`], [`MultiLutPlan`],
-/// [`MultiTicket`]), LUTs and ciphertexts, the paper's parameter sets,
-/// and the accelerator simulator. Deeper items (schedulers, radix
-/// integers, app models) stay behind their module paths.
+/// [`MultiTicket`]), the service-resilience layer ([`RetryPolicy`],
+/// [`CircuitBreaker`], the degraded-mode [`FailoverBootstrapper`]), LUTs
+/// and ciphertexts, the paper's parameter sets, and the accelerator
+/// simulator. Deeper items (schedulers, radix integers, app models) stay
+/// behind their module paths.
 pub mod prelude {
     pub use morphling_core::faults::SimFaultPlan;
     pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
     pub use morphling_tfhe::{
         BatchRequest, BootstrapEngine, BootstrapEngineBuilder, BootstrapOptions,
-        BootstrapWorkspace, Bootstrapper, ClientKey, Dispatcher, DispatcherStats, EngineHealth,
-        EngineStats, FaultPlan, Lut, LweCiphertext, MulBackend, MultiLutPlan, MultiTicket,
-        ParallelServerKey, ParamSet, ServerKey, ServerKeyBuilder, TfheError, TfheParams, Ticket,
+        BootstrapWorkspace, Bootstrapper, BreakerState, CircuitBreaker, ClientKey, Dispatcher,
+        DispatcherStats, EngineHealth, EngineHealthHandle, EngineStats, FailoverBootstrapper,
+        FaultPlan, Lut, LweCiphertext, MulBackend, MultiLutPlan, MultiTicket, ParallelServerKey,
+        ParamSet, ResilienceJournal, RetryPolicy, ServerKey, ServerKeyBuilder, TfheError,
+        TfheParams, Ticket,
     };
 }
