@@ -19,7 +19,8 @@
 use std::fmt::Write as _;
 
 use morphling_tfhe::{
-    DispatchSpan, FaultEvent, FaultEventKind, JobSpan, ResilienceEvent, ResilienceEventKind,
+    DispatchSpan, FaultEvent, FaultEventKind, JobSpan, KeyEvent, KeyEventKind, ResilienceEvent,
+    ResilienceEventKind,
 };
 
 /// Why an instruction did not start the moment it became ready.
@@ -422,6 +423,42 @@ impl ExecutionTrace {
         trace
     }
 
+    /// Append a [`KeyStore`](morphling_tfhe::KeyStore) journal as
+    /// instant-style spans under a `KeyStore` process — one track per
+    /// tenant (`tenant-<id>`), span names from the event labels (`hit`,
+    /// `miss`, `load`, `evict`, `pin`, `unpin`, `corrupt`), `cat`
+    /// `"keystore"`, nanosecond stamps from the store's epoch. Merge with
+    /// dispatcher/engine traces sharing that epoch to see key loads and
+    /// evictions line up under the batches that triggered them.
+    pub fn add_keystore_events(&mut self, events: &[KeyEvent]) {
+        for e in events {
+            let track = self.track("KeyStore", &format!("tenant-{}", e.tenant));
+            let mut args: Vec<(String, String)> = Vec::new();
+            match e.kind {
+                KeyEventKind::Load { bytes } | KeyEventKind::Evict { bytes } => {
+                    args.push(("bytes".into(), bytes.to_string()));
+                }
+                _ => {}
+            }
+            self.span_with_args(
+                track,
+                e.kind.label(),
+                "keystore",
+                e.at.as_nanos() as u64,
+                1,
+                args,
+            );
+        }
+    }
+
+    /// Build a trace holding just a key-store journal (nanosecond
+    /// stamps), ready to [`merge`](Self::merge) with serving traces.
+    pub fn from_keystore(events: &[KeyEvent]) -> Self {
+        let mut trace = ExecutionTrace::new(1e3);
+        trace.add_keystore_events(events);
+        trace
+    }
+
     /// Serialize as Chrome trace-event JSON (the `traceEvents` array
     /// format), loadable in `chrome://tracing` and Perfetto. Counters are
     /// attached as instant metadata events so they survive the export.
@@ -713,6 +750,53 @@ mod tests {
         let before = clean.spans().len();
         clean.add_engine_fault_events(&[]);
         assert_eq!(clean.spans().len(), before);
+    }
+
+    #[test]
+    fn keystore_events_land_on_per_tenant_tracks() {
+        let events = vec![
+            KeyEvent {
+                at: Duration::from_nanos(100),
+                tenant: 1,
+                kind: KeyEventKind::Miss,
+            },
+            KeyEvent {
+                at: Duration::from_nanos(250),
+                tenant: 1,
+                kind: KeyEventKind::Load { bytes: 4096 },
+            },
+            KeyEvent {
+                at: Duration::from_nanos(300),
+                tenant: 2,
+                kind: KeyEventKind::Evict { bytes: 4096 },
+            },
+        ];
+        let trace = ExecutionTrace::from_keystore(&events);
+        assert_eq!(trace.spans().len(), 3);
+        assert!(trace.spans().iter().all(|s| s.cat == "keystore"));
+        let names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["miss", "load", "evict"]);
+        assert!(trace.spans()[1]
+            .args
+            .iter()
+            .any(|(k, v)| k == "bytes" && v == "4096"));
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"KeyStore\""));
+        assert!(json.contains("tenant-1"));
+        assert!(json.contains("tenant-2"));
+        // Keystore events merge onto the shared timeline with dispatch
+        // spans, sharing the nanosecond base.
+        let mut merged = ExecutionTrace::from_keystore(&events);
+        merged.add_dispatch_spans(&[DispatchSpan {
+            id: 1,
+            batch: 0,
+            enqueued: Duration::from_nanos(50),
+            queued: Duration::from_nanos(40),
+            exec_start: Duration::from_nanos(90),
+            exec: Duration::from_nanos(60),
+        }]);
+        assert!(merged.spans().iter().any(|s| s.cat == "dispatch"));
+        assert!(merged.spans().iter().any(|s| s.cat == "keystore"));
     }
 
     #[test]

@@ -36,6 +36,34 @@ impl BootstrapKey {
         }
     }
 
+    /// Rebuild from coefficient-domain GGSWs (deserialization path): the
+    /// transform-domain form is recomputed, never trusted from the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficient` is empty or the GGSWs disagree on shape.
+    pub fn from_coefficient(coefficient: Vec<GgswCiphertext>) -> Self {
+        assert!(
+            !coefficient.is_empty(),
+            "bootstrap key needs at least one GGSW"
+        );
+        let n = coefficient[0].poly_size();
+        let k = coefficient[0].glwe_dim();
+        let l = coefficient[0].level();
+        assert!(
+            coefficient
+                .iter()
+                .all(|g| g.poly_size() == n && g.glwe_dim() == k && g.level() == l),
+            "bootstrap key GGSWs must share one shape"
+        );
+        let fft = NegacyclicFft::new(n);
+        let fourier = coefficient.iter().map(|g| g.to_fourier(&fft)).collect();
+        Self {
+            coefficient,
+            fourier,
+        }
+    }
+
     /// Number of GGSWs, equal to the LWE dimension `n`.
     pub fn lwe_dim(&self) -> usize {
         self.coefficient.len()

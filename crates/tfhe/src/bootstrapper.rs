@@ -43,6 +43,7 @@ use std::time::Instant;
 
 use crate::batch;
 use crate::error::TfheError;
+use crate::keystore::TenantId;
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
 use crate::server::ServerKey;
@@ -63,6 +64,7 @@ pub struct BatchRequest {
     fanout: Option<Vec<Vec<usize>>>,
     threads: Option<usize>,
     deadline: Option<Instant>,
+    tenant: Option<TenantId>,
 }
 
 impl BatchRequest {
@@ -81,6 +83,7 @@ impl BatchRequest {
             fanout: None,
             threads: None,
             deadline: None,
+            tenant: None,
         }
     }
 
@@ -229,6 +232,20 @@ impl BatchRequest {
         self.deadline
     }
 
+    /// The tenant whose key material should serve this request, if any.
+    /// Tenant-aware backends ([`KeyStoreBootstrapper`]
+    /// (crate::KeyStoreBootstrapper)) resolve the key through their
+    /// [`KeyStore`](crate::KeyStore); single-key backends ignore it.
+    pub fn tenant(&self) -> Option<TenantId> {
+        self.tenant
+    }
+
+    /// Attach a tenant to an already-built request (key-affinity routing).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
     /// Number of ciphertexts in the batch.
     pub fn len(&self) -> usize {
         self.cts.len()
@@ -251,6 +268,7 @@ pub struct BatchRequestBuilder {
     fanout: Option<Vec<Vec<usize>>>,
     threads: Option<usize>,
     deadline: Option<Instant>,
+    tenant: Option<TenantId>,
 }
 
 impl BatchRequestBuilder {
@@ -304,6 +322,13 @@ impl BatchRequestBuilder {
     /// Latest acceptable start time (see [`BatchRequest::deadline`]).
     pub fn deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// The tenant whose key serves this request (see
+    /// [`BatchRequest::tenant`]).
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 
@@ -383,6 +408,7 @@ impl BatchRequestBuilder {
             fanout: self.fanout,
             threads: self.threads,
             deadline: self.deadline,
+            tenant: self.tenant,
         })
     }
 }

@@ -35,7 +35,18 @@
 //! - every request's queue/execute timeline is journaled as a
 //!   [`DispatchSpan`] (rendered into the Chrome trace by
 //!   `morphling_core::trace`), and [`DispatcherStats`] exposes
-//!   p50/p95/p99 latency plus throughput;
+//!   p50/p95/p99 latency plus throughput — sampled by a fixed-size
+//!   deterministic reservoir, so week-long runs keep bounded memory and
+//!   reproducible percentiles;
+//! - multi-tenant serving: a request submitted
+//!   [for a tenant](Dispatcher::submit_for) only batches with
+//!   *same-tenant* traffic (key affinity), so a
+//!   [`KeyStore`]-backed backend
+//!   ([`KeyStoreBootstrapper`](crate::KeyStoreBootstrapper)) serves each
+//!   micro-batch under exactly one pinned key; [`DispatcherStats`]
+//!   breaks latency out [per tenant](TenantDispatchStats) and folds in
+//!   the key cache's hit/miss/eviction counters when a store is wired in
+//!   via [`DispatcherBuilder::key_store`];
 //! - the front-end is fault-aware (see [`crate::resilience`]): an
 //!   optional [`RetryPolicy`] re-dispatches requests that hit retryable
 //!   backend faults with jittered backoff, an optional [`CircuitBreaker`]
@@ -72,7 +83,7 @@
 // Tighter than the crate-wide `warn`: serving code must never unwrap.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -82,6 +93,8 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError}
 
 use crate::bootstrapper::{BatchRequest, Bootstrapper};
 use crate::error::TfheError;
+use crate::faults;
+use crate::keystore::{KeyStore, TenantId};
 use crate::lut::Lut;
 use crate::lwe::LweCiphertext;
 use crate::resilience::{
@@ -118,6 +131,9 @@ struct Pending {
     id: u64,
     ct: LweCiphertext,
     luts: Vec<Arc<Lut>>,
+    /// Key affinity: which tenant's server key must serve this request.
+    /// `None` means "the backend's default key" — its own affinity class.
+    tenant: Option<TenantId>,
     deadline: Option<Instant>,
     enqueued: Instant,
     cancelled: Arc<AtomicBool>,
@@ -128,6 +144,81 @@ struct QueueState {
     queue: VecDeque<Pending>,
     /// `false` once shutdown begins: admission closed, batcher draining.
     open: bool,
+}
+
+/// Latency samples kept per reservoir. 4096 points give sub-percent
+/// error on p99 while bounding memory at 32 KiB per reservoir no matter
+/// how long the dispatcher serves.
+const LATENCY_RESERVOIR_CAP: usize = 4096;
+/// Hash domain separating reservoir replacement decisions from the fault
+/// injector's other deterministic draws.
+const RESERVOIR_DOMAIN: u64 = 0x7265_7376; // "rsv"
+
+/// Fixed-size latency sample: Algorithm R with the crate's seeded hash
+/// ([`faults::unit_sample`]) in place of an RNG, so long-running servers
+/// keep bounded memory *and* byte-reproducible percentiles.
+///
+/// Below capacity the reservoir stores every sample exactly, so
+/// percentiles over small runs are identical to the unbounded history
+/// the dispatcher used to keep. Past capacity, sample `i` (1-based)
+/// replaces a hash-chosen resident with probability `cap / i` — the
+/// classic uniform reservoir, minus the nondeterminism.
+struct LatencyReservoir {
+    seed: u64,
+    samples: Vec<u64>,
+    seen: u64,
+}
+
+impl LatencyReservoir {
+    fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            samples: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, ns: u64) {
+        self.seen += 1;
+        if self.samples.len() < LATENCY_RESERVOIR_CAP {
+            self.samples.push(ns);
+            return;
+        }
+        // unit_sample is uniform on [0, 1), so j is uniform on
+        // [0, seen); the sample survives iff j lands inside the
+        // reservoir — probability cap/seen, exactly Algorithm R.
+        let j = (faults::unit_sample(self.seed, RESERVOIR_DOMAIN, self.seen, 0) * self.seen as f64)
+            as u64;
+        if (j as usize) < self.samples.len() {
+            self.samples[j as usize] = ns;
+        }
+    }
+
+    /// Samples observed over the reservoir's lifetime (not the resident
+    /// count, which caps at [`LATENCY_RESERVOIR_CAP`]).
+    #[cfg(test)]
+    fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Ascending copy of the resident samples, ready for [`percentile`].
+    fn sorted(&self) -> Vec<u64> {
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Per-tenant slice of the completion metrics.
+struct TenantCounters {
+    completed: u64,
+    reservoir: LatencyReservoir,
 }
 
 #[derive(Default)]
@@ -146,7 +237,8 @@ struct DispatchCounters {
     /// / `0` while unset) — the throughput window.
     first_ns: AtomicU64,
     last_ns: AtomicU64,
-    latencies: Mutex<Vec<u64>>,
+    latencies: Mutex<LatencyReservoir>,
+    per_tenant: Mutex<HashMap<u64, TenantCounters>>,
     spans: Mutex<Vec<DispatchSpan>>,
 }
 
@@ -168,6 +260,11 @@ struct Shared {
     /// Timeline of retry/shed events (shared with the breaker's journal
     /// when the caller wires one in).
     journal: Arc<ResilienceJournal>,
+    /// The key store serving the backend, when the backend is a
+    /// [`KeyStoreBootstrapper`](crate::KeyStoreBootstrapper) — lets
+    /// [`Dispatcher::stats`] fold cache hit/miss/eviction counters into
+    /// one serving snapshot.
+    key_store: Option<Arc<KeyStore>>,
 }
 
 impl Shared {
@@ -418,6 +515,36 @@ pub struct DispatcherStats {
     /// Completed bootstraps per second over the first-submit → last-done
     /// window.
     pub throughput_bs: f64,
+    /// Per-tenant completion/latency breakdown (ascending tenant id),
+    /// for requests submitted with a tenant
+    /// ([`Dispatcher::submit_for`] and friends).
+    pub per_tenant: Vec<TenantDispatchStats>,
+    /// Key-cache hits, when a [`KeyStore`] is wired in via
+    /// [`DispatcherBuilder::key_store`] (0 otherwise).
+    pub key_hits: u64,
+    /// Key-cache misses.
+    pub key_misses: u64,
+    /// Key-cache evictions.
+    pub key_evictions: u64,
+    /// Key bytes currently resident in the cache.
+    pub key_bytes_resident: u64,
+}
+
+/// One tenant's slice of [`DispatcherStats`]: completion count and
+/// end-to-end latency percentiles over that tenant's requests only
+/// (sampled by the same bounded reservoir as the global percentiles).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantDispatchStats {
+    /// The tenant (raw id, see [`TenantId::raw`]).
+    pub tenant: u64,
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Median end-to-end latency (enqueue → result).
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
 }
 
 /// Nearest-rank percentile over an ascending-sorted ns array.
@@ -445,6 +572,7 @@ pub struct DispatcherBuilder {
     retry_policy: RetryPolicy,
     breaker: Option<Arc<CircuitBreaker>>,
     journal: Option<Arc<ResilienceJournal>>,
+    key_store: Option<Arc<KeyStore>>,
 }
 
 impl Default for DispatcherBuilder {
@@ -456,6 +584,7 @@ impl Default for DispatcherBuilder {
             retry_policy: RetryPolicy::none(),
             breaker: None,
             journal: None,
+            key_store: None,
         }
     }
 }
@@ -518,6 +647,16 @@ impl DispatcherBuilder {
         self
     }
 
+    /// Surface `store`'s cache counters through [`Dispatcher::stats`]
+    /// (key hits/misses/evictions/resident bytes). Purely observational:
+    /// pass the same store's
+    /// [`KeyStoreBootstrapper`](crate::KeyStoreBootstrapper) as the
+    /// `build` backend to actually serve through it.
+    pub fn key_store(mut self, store: Arc<KeyStore>) -> Self {
+        self.key_store = Some(store);
+        self
+    }
+
     /// Spawn the batcher thread over `backend` and start serving.
     pub fn build<B>(self, backend: B) -> Dispatcher
     where
@@ -541,6 +680,7 @@ impl DispatcherBuilder {
             retry: self.retry_policy,
             breaker: self.breaker,
             journal: self.journal.unwrap_or_default(),
+            key_store: self.key_store,
         });
         let backend: Arc<dyn Bootstrapper + Send + Sync> = Arc::new(backend);
         let batcher_shared = Arc::clone(&shared);
@@ -593,7 +733,31 @@ impl Dispatcher {
         lut: Arc<Lut>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, TfheError> {
-        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], deadline, true)?;
+        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], None, deadline, true)?;
+        Ok(Ticket {
+            id,
+            cancelled,
+            reply,
+        })
+    }
+
+    /// [`submit`](Self::submit) on behalf of `tenant`: the batcher only
+    /// coalesces this request with batch-mates of the *same* tenant (key
+    /// affinity — every formed batch is servable by one tenant's key),
+    /// and a [`KeyStoreBootstrapper`](crate::KeyStoreBootstrapper)
+    /// backend resolves the tenant's key per batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_for(
+        &self,
+        tenant: TenantId,
+        ct: LweCiphertext,
+        lut: Arc<Lut>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, TfheError> {
+        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], Some(tenant), deadline, true)?;
         Ok(Ticket {
             id,
             cancelled,
@@ -619,7 +783,28 @@ impl Dispatcher {
         luts: Vec<Arc<Lut>>,
         deadline: Option<Instant>,
     ) -> Result<MultiTicket, TfheError> {
-        let (id, cancelled, reply) = self.enqueue(ct, luts, deadline, true)?;
+        let (id, cancelled, reply) = self.enqueue(ct, luts, None, deadline, true)?;
+        Ok(MultiTicket {
+            id,
+            cancelled,
+            reply,
+        })
+    }
+
+    /// [`submit_many`](Self::submit_many) on behalf of `tenant`, with
+    /// [`submit_for`](Self::submit_for)'s key-affinity semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_many`](Self::submit_many).
+    pub fn submit_many_for(
+        &self,
+        tenant: TenantId,
+        ct: LweCiphertext,
+        luts: Vec<Arc<Lut>>,
+        deadline: Option<Instant>,
+    ) -> Result<MultiTicket, TfheError> {
+        let (id, cancelled, reply) = self.enqueue(ct, luts, Some(tenant), deadline, true)?;
         Ok(MultiTicket {
             id,
             cancelled,
@@ -641,7 +826,28 @@ impl Dispatcher {
         lut: Arc<Lut>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, TfheError> {
-        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], deadline, false)?;
+        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], None, deadline, false)?;
+        Ok(Ticket {
+            id,
+            cancelled,
+            reply,
+        })
+    }
+
+    /// [`try_submit`](Self::try_submit) on behalf of `tenant`, with
+    /// [`submit_for`](Self::submit_for)'s key-affinity semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_submit`](Self::try_submit).
+    pub fn try_submit_for(
+        &self,
+        tenant: TenantId,
+        ct: LweCiphertext,
+        lut: Arc<Lut>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, TfheError> {
+        let (id, cancelled, reply) = self.enqueue(ct, vec![lut], Some(tenant), deadline, false)?;
         Ok(Ticket {
             id,
             cancelled,
@@ -654,6 +860,7 @@ impl Dispatcher {
         &self,
         ct: LweCiphertext,
         luts: Vec<Arc<Lut>>,
+        tenant: Option<TenantId>,
         deadline: Option<Instant>,
         block: bool,
     ) -> Result<
@@ -706,6 +913,7 @@ impl Dispatcher {
             id,
             ct,
             luts,
+            tenant,
             deadline,
             enqueued,
             cancelled: Arc::clone(&cancelled),
@@ -724,8 +932,29 @@ impl Dispatcher {
     /// Aggregate metrics since construction.
     pub fn stats(&self) -> DispatcherStats {
         let c = &self.shared.counters;
-        let mut lats = lock(&c.latencies).clone();
-        lats.sort_unstable();
+        let lats = lock(&c.latencies).sorted();
+        let mut per_tenant: Vec<TenantDispatchStats> = {
+            let map = lock(&c.per_tenant);
+            map.iter()
+                .map(|(&tenant, tc)| {
+                    let s = tc.reservoir.sorted();
+                    TenantDispatchStats {
+                        tenant,
+                        completed: tc.completed,
+                        p50_latency: percentile(&s, 0.50),
+                        p95_latency: percentile(&s, 0.95),
+                        p99_latency: percentile(&s, 0.99),
+                    }
+                })
+                .collect()
+        };
+        per_tenant.sort_unstable_by_key(|t| t.tenant);
+        let key = self
+            .shared
+            .key_store
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default();
         let batches = c.batches.load(Ordering::Relaxed);
         let batched = c.batched.load(Ordering::Relaxed);
         let completed = c.completed.load(Ordering::Relaxed);
@@ -756,7 +985,18 @@ impl Dispatcher {
             p95_latency: percentile(&lats, 0.95),
             p99_latency: percentile(&lats, 0.99),
             throughput_bs,
+            per_tenant,
+            key_hits: key.hits,
+            key_misses: key.misses,
+            key_evictions: key.evictions,
+            key_bytes_resident: key.bytes_resident,
         }
+    }
+
+    /// The key store wired in via [`DispatcherBuilder::key_store`], if
+    /// any — for journal access (event reconciliation, trace export).
+    pub fn key_store(&self) -> Option<&Arc<KeyStore>> {
+        self.shared.key_store.as_ref()
     }
 
     /// Snapshot of the per-request queue/execute journal.
@@ -844,14 +1084,23 @@ impl Bootstrapper for Dispatcher {
             return Ok(Vec::new());
         }
         let luts: Vec<Arc<Lut>> = req.luts().iter().cloned().map(Arc::new).collect();
+        let tenant = req.tenant();
         if let Some(map) = req.fanout() {
             // Each fanout input becomes one multi-LUT submission, so the
             // batcher keeps the input's LUTs together (one rotation per
             // input downstream) while still coalescing across inputs.
+            // The request's tenant rides along on every submission, so
+            // key affinity holds across the split.
             let mut tickets = Vec::with_capacity(req.len());
             for (ct, list) in req.ciphertexts().iter().zip(map) {
                 let picked: Vec<Arc<Lut>> = list.iter().map(|&j| Arc::clone(&luts[j])).collect();
-                tickets.push(self.submit_many(ct.clone(), picked, req.deadline())?);
+                let (id, cancelled, reply) =
+                    self.enqueue(ct.clone(), picked, tenant, req.deadline(), true)?;
+                tickets.push(MultiTicket {
+                    id,
+                    cancelled,
+                    reply,
+                });
             }
             let mut out = Vec::with_capacity(req.output_len());
             let mut first_err: Option<TfheError> = None;
@@ -876,7 +1125,18 @@ impl Bootstrapper for Dispatcher {
                 Some(sel) => &luts[sel[i]],
                 None => &luts[0],
             };
-            tickets.push(self.submit(ct.clone(), Arc::clone(lut), req.deadline())?);
+            let (id, cancelled, reply) = self.enqueue(
+                ct.clone(),
+                vec![Arc::clone(lut)],
+                tenant,
+                req.deadline(),
+                true,
+            )?;
+            tickets.push(Ticket {
+                id,
+                cancelled,
+                reply,
+            });
         }
         let mut out = Vec::with_capacity(tickets.len());
         let mut first_err: Option<TfheError> = None;
@@ -945,11 +1205,19 @@ fn take_first(shared: &Shared) -> Option<Pending> {
 /// Grow `batch` (seeded with one request) until it is full, the linger
 /// window of its oldest member closes, a member's deadline forces an
 /// early flush, or shutdown ends the wait.
+///
+/// Key affinity: only requests sharing the seed's tenant join the batch,
+/// so every formed batch is servable by exactly one server key (a
+/// key-store backend then pins one key per backend call instead of
+/// thrashing between tenants mid-batch). Other tenants' requests are
+/// left queued **in order**; cancelled or expired requests of any tenant
+/// are still swept and resolved during the scan.
 fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
     let flush_for = |p: &Pending| -> Option<Instant> {
         p.deadline
             .map(|d| d.checked_sub(DEADLINE_SLACK).unwrap_or(d))
     };
+    let affinity = batch[0].tenant;
     let mut flush_at = batch[0].enqueued + shared.max_linger;
     if let Some(d) = flush_for(&batch[0]) {
         flush_at = flush_at.min(d);
@@ -959,12 +1227,20 @@ fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
     }
     let mut st = lock(&shared.state);
     loop {
-        while batch.len() < shared.max_batch {
-            let Some(p) = st.queue.pop_front() else {
+        let mut i = 0;
+        while batch.len() < shared.max_batch && i < st.queue.len() {
+            let now = Instant::now();
+            let doomed = st.queue[i].cancelled.load(Ordering::SeqCst)
+                || deadline_expired(st.queue[i].deadline, now);
+            if !doomed && st.queue[i].tenant != affinity {
+                i += 1;
+                continue;
+            }
+            let Some(p) = st.queue.remove(i) else {
                 break;
             };
             shared.not_full.notify_all();
-            let Some(p) = admit_live(shared, p, Instant::now()) else {
+            let Some(p) = admit_live(shared, p, now) else {
                 continue;
             };
             if let Some(d) = flush_for(&p) {
@@ -1007,33 +1283,47 @@ fn execute_batch(shared: &Shared, backend: &dyn Bootstrapper, batch: Vec<Pending
     if live.is_empty() {
         return;
     }
-    let batch_id = shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .counters
-        .batched
-        .fetch_add(live.len() as u64, Ordering::Relaxed);
-    let exec_start = Instant::now();
-    match run_as_batch(backend, &live) {
-        Ok(outs) => {
-            shared.record_breaker(true);
-            distribute(shared, batch_id, exec_start, live, outs);
+    // Key-affinity split: `collect_linger` forms single-tenant batches,
+    // but a batch seeded at `max_batch <= 1` or raced by future callers
+    // could still mix tenants — lower each tenant group as its own
+    // backend call, so one call never needs two server keys.
+    let mut groups: Vec<Vec<Pending>> = Vec::new();
+    for p in live {
+        match groups.iter_mut().find(|g| g[0].tenant == p.tenant) {
+            Some(g) => g.push(p),
+            None => groups.push(vec![p]),
         }
-        Err(e) => {
-            if e.is_retryable() {
-                shared.record_breaker(false);
+    }
+    for mut live in groups {
+        let batch_id = shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .batched
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        let exec_start = Instant::now();
+        match run_as_batch(backend, &live) {
+            Ok(outs) => {
+                shared.record_breaker(true);
+                distribute(shared, batch_id, exec_start, live, outs);
             }
-            if live.len() > 1 {
-                // Poison-pill isolation: rerun each member alone so only
-                // the malformed (or genuinely failing) requests see the
-                // error; `finish_single` layers the retry policy on top.
-                for p in live {
-                    finish_single(shared, backend, batch_id, exec_start, p, None);
+            Err(e) => {
+                if e.is_retryable() {
+                    shared.record_breaker(false);
                 }
-            } else if let Some(p) = live.pop() {
-                // The lone member already observed this failure — hand it
-                // to the retry loop instead of re-executing to rediscover
-                // the same error.
-                finish_single(shared, backend, batch_id, exec_start, p, Some(e));
+                if live.len() > 1 {
+                    // Poison-pill isolation: rerun each member alone so
+                    // only the malformed (or genuinely failing) requests
+                    // see the error; `finish_single` layers the retry
+                    // policy on top.
+                    for p in live {
+                        finish_single(shared, backend, batch_id, exec_start, p, None);
+                    }
+                } else if let Some(p) = live.pop() {
+                    // The lone member already observed this failure —
+                    // hand it to the retry loop instead of re-executing
+                    // to rediscover the same error.
+                    finish_single(shared, backend, batch_id, exec_start, p, Some(e));
+                }
             }
         }
     }
@@ -1130,6 +1420,12 @@ fn run_as_batch(
             .collect();
         BatchRequest::per_item(cts, owned, selectors)?
     };
+    // `live` is single-tenant by construction (affinity collect + the
+    // execute-time split), so the group's tenant is its first member's.
+    let req = match live[0].tenant {
+        Some(t) => req.with_tenant(t),
+        None => req,
+    };
     let outs = backend.try_bootstrap_batch(&req)?;
     let expected: usize = live.iter().map(|p| p.luts.len()).sum();
     if outs.len() != expected {
@@ -1155,8 +1451,20 @@ fn distribute(
     {
         let mut spans = lock(&shared.counters.spans);
         let mut lats = lock(&shared.counters.latencies);
+        let mut per_tenant = lock(&shared.counters.per_tenant);
         for p in &live {
-            lats.push(exec_end.saturating_duration_since(p.enqueued).as_nanos() as u64);
+            let ns = exec_end.saturating_duration_since(p.enqueued).as_nanos() as u64;
+            lats.push(ns);
+            if let Some(t) = p.tenant {
+                // Seed each tenant's reservoir with its id, so tenants'
+                // replacement patterns decorrelate deterministically.
+                let tc = per_tenant.entry(t.raw()).or_insert_with(|| TenantCounters {
+                    completed: 0,
+                    reservoir: LatencyReservoir::new(t.raw()),
+                });
+                tc.completed += 1;
+                tc.reservoir.push(ns);
+            }
             spans.push(DispatchSpan {
                 id: p.id,
                 batch: batch_id,
@@ -1198,6 +1506,8 @@ mod tests {
     /// deterministic scaffolding for batching/backpressure tests.
     struct EchoBackend {
         sizes: Mutex<Vec<usize>>,
+        /// The tenant each backend call was made for, in call order.
+        tenants: Mutex<Vec<Option<u64>>>,
         started: Sender<()>,
         gate: Receiver<()>,
         gated: bool,
@@ -1209,6 +1519,7 @@ mod tests {
         (
             Arc::new(EchoBackend {
                 sizes: Mutex::new(Vec::new()),
+                tenants: Mutex::new(Vec::new()),
                 started: started_tx,
                 gate: gate_rx,
                 gated,
@@ -1221,6 +1532,7 @@ mod tests {
     impl Bootstrapper for EchoBackend {
         fn try_bootstrap_batch(&self, req: &BatchRequest) -> Result<Vec<LweCiphertext>, TfheError> {
             lock(&self.sizes).push(req.len());
+            lock(&self.tenants).push(req.tenant().map(TenantId::raw));
             let _ = self.started.send(());
             if self.gated {
                 let _ = self.gate.recv();
@@ -1753,6 +2065,206 @@ mod tests {
         assert_eq!(percentile(&[10, 20], 1.0), Duration::from_nanos(20));
         // p95/p99 of a small sample land on the max, never out of bounds.
         assert_eq!(percentile(&[1, 2, 3], 0.99), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn reservoir_memory_stays_bounded_across_a_million_pushes() {
+        // The regression this pins down: `latencies` was an unbounded
+        // Vec<u64>, leaking ~8 bytes per completion for the life of the
+        // dispatcher. A week at 10k bootstraps/s is ~48 GB.
+        let mut r = LatencyReservoir::new(42);
+        for i in 0..1_000_000u64 {
+            r.push(i);
+        }
+        assert_eq!(r.seen(), 1_000_000);
+        assert!(r.samples.len() <= LATENCY_RESERVOIR_CAP);
+        // Percentiles stay inside the observed range and ordered.
+        let s = r.sorted();
+        let p50 = percentile(&s, 0.50);
+        let p99 = percentile(&s, 0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= Duration::from_nanos(999_999));
+        // Over a uniform 0..1M stream the sampled median should land
+        // near 500k — a loose sanity band, not a statistical test.
+        assert!(
+            (200_000..800_000).contains(&(p50.as_nanos() as u64)),
+            "sampled p50 {p50:?} wildly off a uniform stream's median"
+        );
+        // Determinism: the same stream reproduces the same reservoir.
+        let mut r2 = LatencyReservoir::new(42);
+        for i in 0..1_000_000u64 {
+            r2.push(i);
+        }
+        assert_eq!(r.sorted(), r2.sorted());
+    }
+
+    #[test]
+    fn reservoir_below_capacity_is_exact() {
+        // Small samples must keep every point, so percentiles are
+        // identical to the unbounded history the dispatcher used to
+        // keep.
+        let mut r = LatencyReservoir::new(7);
+        let mut exact: Vec<u64> = Vec::new();
+        for i in (0..1000u64).rev() {
+            r.push(i * 31);
+            exact.push(i * 31);
+        }
+        exact.sort_unstable();
+        assert_eq!(r.sorted(), exact);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&r.sorted(), q), percentile(&exact, q));
+        }
+    }
+
+    #[test]
+    fn tenant_affinity_forms_single_tenant_batches() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(8)
+            .max_linger(Duration::from_millis(50))
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let t_a = TenantId::new(1);
+        let t_b = TenantId::new(2);
+        // Wedge the batcher on a lone tenant-A request...
+        let first = d
+            .submit_for(t_a, dummy_ct(0), Arc::clone(&lut), None)
+            .unwrap();
+        started.recv().unwrap();
+        // ...then interleave tenants behind it: A B A B A.
+        let rest: Vec<Ticket> = [t_a, t_b, t_a, t_b, t_a]
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                d.submit_for(t, dummy_ct(i as u64 + 1), Arc::clone(&lut), None)
+                    .unwrap()
+            })
+            .collect();
+        gate.send(()).unwrap(); // flush batch 2: all queued A's
+        started.recv().unwrap();
+        gate.send(()).unwrap(); // flush batch 3: the B's
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        first.wait().unwrap();
+        for t in rest {
+            t.wait().unwrap();
+        }
+        // Key affinity regrouped the interleaved queue: [A], [A A A], [B B]
+        // — never a mixed batch, and B's relative order preserved.
+        assert_eq!(lock(&backend.sizes).clone(), vec![1, 3, 2]);
+        assert_eq!(
+            lock(&backend.tenants).clone(),
+            vec![Some(1), Some(1), Some(2)]
+        );
+        let stats = d.stats();
+        assert_eq!(stats.per_tenant.len(), 2);
+        assert_eq!(stats.per_tenant[0].tenant, 1);
+        assert_eq!(stats.per_tenant[0].completed, 4);
+        assert_eq!(stats.per_tenant[1].tenant, 2);
+        assert_eq!(stats.per_tenant[1].completed, 2);
+        for t in &stats.per_tenant {
+            assert!(t.p50_latency <= t.p99_latency);
+            assert!(t.p99_latency > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn tenantless_and_tenant_traffic_never_share_a_batch() {
+        let (backend, started, gate) = echo(true);
+        let d = Dispatcher::builder()
+            .max_batch_size(8)
+            .max_linger(Duration::from_millis(50))
+            .build(Arc::clone(&backend));
+        let lut = dummy_lut();
+        let first = d.submit(dummy_ct(0), Arc::clone(&lut), None).unwrap();
+        started.recv().unwrap();
+        let anon = d.submit(dummy_ct(1), Arc::clone(&lut), None).unwrap();
+        let tenanted = d
+            .submit_for(TenantId::new(5), dummy_ct(2), Arc::clone(&lut), None)
+            .unwrap();
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        started.recv().unwrap();
+        gate.send(()).unwrap();
+        first.wait().unwrap();
+        anon.wait().unwrap();
+        tenanted.wait().unwrap();
+        // `None` is its own affinity class: [anon], [anon], [tenant 5].
+        assert_eq!(lock(&backend.sizes).clone(), vec![1, 1, 1]);
+        assert_eq!(lock(&backend.tenants).clone(), vec![None, None, Some(5)]);
+        // Tenantless traffic contributes to global stats only.
+        let stats = d.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.per_tenant.len(), 1);
+        assert_eq!(stats.per_tenant[0].tenant, 5);
+    }
+
+    #[test]
+    fn keystore_backed_dispatcher_reports_cache_counters() {
+        use crate::keystore::{KeyStoreBootstrapper, MemoryBackend};
+
+        let mut rng = StdRng::seed_from_u64(0xD15);
+        let params = ParamSet::Test.params();
+        let backend = Arc::new(MemoryBackend::new());
+        let mut clients = Vec::new();
+        for t in 0..2u64 {
+            let ck = ClientKey::generate(params.clone(), &mut rng);
+            let sk = ServerKey::new(&ck, &mut rng);
+            backend.insert_server_key(TenantId::new(t), &sk);
+            clients.push(ck);
+        }
+        let budget = 4 * (params.bsk_total_bytes_fourier() + params.ksk_total_bytes());
+        let store = Arc::new(KeyStore::new(backend, budget));
+        let d = Dispatcher::builder()
+            .max_batch_size(4)
+            .max_linger(Duration::from_millis(1))
+            .key_store(Arc::clone(&store))
+            .build(KeyStoreBootstrapper::new(Arc::clone(&store)));
+        let lut = Arc::new(Lut::from_fn(params.poly_size, 4, |m| (m + 1) % 4));
+        let mut tickets = Vec::new();
+        for round in 0..3u64 {
+            for (t, ck) in clients.iter().enumerate() {
+                let ct = ck.encrypt((round + t as u64) % 4, &mut rng);
+                tickets.push((
+                    t,
+                    (round + t as u64 + 1) % 4,
+                    d.submit_for(TenantId::new(t as u64), ct, Arc::clone(&lut), None)
+                        .unwrap(),
+                ));
+            }
+        }
+        for (t, want, ticket) in tickets {
+            let out = ticket.wait().unwrap();
+            assert_eq!(clients[t].decrypt(&out), want, "tenant {t}");
+        }
+        // Second wave against warm keys: both tenants are resident now,
+        // so these batches must hit the cache, not reload.
+        for (t, ck) in clients.iter().enumerate() {
+            let ct = ck.encrypt(0, &mut rng);
+            let out = d
+                .submit_for(TenantId::new(t as u64), ct, Arc::clone(&lut), None)
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(ck.decrypt(&out), 1, "warm tenant {t}");
+        }
+        let stats = d.stats();
+        assert_eq!(stats.completed, 8);
+        // One cold miss per tenant, hits after that, nothing evicted.
+        assert_eq!(stats.key_misses, 2);
+        assert_eq!(stats.key_evictions, 0);
+        assert!(stats.key_hits >= 1, "warm batches must hit the cache");
+        assert!(stats.key_bytes_resident > 0);
+        // Dispatcher stats agree with the store's own counters.
+        let ks = store.stats();
+        assert_eq!(stats.key_hits, ks.hits);
+        assert_eq!(stats.key_misses, ks.misses);
+        // All pins were released once the batches finished.
+        let events = store.events();
+        let pins = events.iter().filter(|e| e.kind.label() == "pin").count();
+        let unpins = events.iter().filter(|e| e.kind.label() == "unpin").count();
+        assert_eq!(pins, unpins);
     }
 
     mod percentile_properties {

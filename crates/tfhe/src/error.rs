@@ -163,6 +163,32 @@ pub enum TfheError {
     /// The dispatcher has shut down (or its batcher thread died); the
     /// request was not, and will not be, processed.
     DispatcherShutDown,
+    /// A serialized key blob failed framing or checksum validation during
+    /// deserialization — the bytes are corrupt (or were produced by an
+    /// incompatible writer) and no key can be recovered from them.
+    KeyCorrupted {
+        /// Human-readable description of the first validation failure.
+        detail: String,
+    },
+    /// A [`KeyStore`](crate::KeyStore) backend has no key material for the
+    /// requested tenant.
+    KeyNotFound {
+        /// The tenant whose key is missing.
+        tenant: u64,
+    },
+    /// A key does not fit the [`KeyStore`](crate::KeyStore)'s byte budget
+    /// even after evicting every unpinned resident — serving this tenant
+    /// would thrash (or livelock waiting on pins), so the load fails loudly
+    /// instead.
+    KeyBudgetExceeded {
+        /// The store's configured byte budget.
+        budget: u64,
+        /// Bytes the requested key needs.
+        need: u64,
+    },
+    /// A tenant-keyed backend received a request with no tenant attached
+    /// and has no default key to fall back on.
+    NoTenantProvided,
 }
 
 impl TfheError {
@@ -303,6 +329,25 @@ impl std::fmt::Display for TfheError {
             Self::DispatcherShutDown => {
                 write!(f, "dispatcher has shut down; request not processed")
             }
+            Self::KeyCorrupted { detail } => {
+                write!(f, "serialized key is corrupted: {detail}")
+            }
+            Self::KeyNotFound { tenant } => {
+                write!(f, "no key material stored for tenant {tenant}")
+            }
+            Self::KeyBudgetExceeded { budget, need } => {
+                write!(
+                    f,
+                    "key needs {need} bytes but the store budget is {budget} bytes \
+                     (after evicting every unpinned key)"
+                )
+            }
+            Self::NoTenantProvided => {
+                write!(
+                    f,
+                    "request names no tenant and no default key is configured"
+                )
+            }
         }
     }
 }
@@ -392,6 +437,17 @@ mod tests {
             TfheError::Cancelled,
             TfheError::DeadlineExceeded,
             TfheError::DispatcherShutDown,
+            // Keystore failures: the same bytes / budget / request would
+            // fail identically on a retry.
+            TfheError::KeyCorrupted {
+                detail: "bad checksum".into(),
+            },
+            TfheError::KeyNotFound { tenant: 7 },
+            TfheError::KeyBudgetExceeded {
+                budget: 1024,
+                need: 4096,
+            },
+            TfheError::NoTenantProvided,
         ] {
             assert!(!e.is_retryable(), "{e} must not be retryable");
         }

@@ -66,6 +66,34 @@ impl GgswCiphertext {
         }
     }
 
+    /// Rebuild from explicit rows (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are exactly `(glwe_dim + 1) · level` rows, every
+    /// row has `glwe_dim` masks, and all rows share one polynomial size.
+    pub fn from_rows(rows: Vec<GlweCiphertext>, glwe_dim: usize, level: usize) -> Self {
+        assert_eq!(
+            rows.len(),
+            (glwe_dim + 1) * level,
+            "GGSW row count mismatch"
+        );
+        assert!(
+            rows.iter().all(|r| r.dim() == glwe_dim),
+            "GGSW row GLWE dimension mismatch"
+        );
+        let n = rows[0].poly_size();
+        assert!(
+            rows.iter().all(|r| r.poly_size() == n),
+            "GGSW row polynomial size mismatch"
+        );
+        Self {
+            rows,
+            glwe_dim,
+            level,
+        }
+    }
+
     /// The matrix rows in `(component, level)` order — row `i·l + j` holds
     /// component `i`, level `j`.
     pub fn rows(&self) -> &[GlweCiphertext] {

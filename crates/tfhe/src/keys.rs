@@ -72,6 +72,28 @@ impl GlweSecretKey {
         }
     }
 
+    /// Build from explicit key polynomials (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys` is empty, the polynomials disagree on length, or
+    /// any coefficient is not 0 or 1.
+    pub fn from_polys(polys: Vec<Polynomial<i64>>) -> Self {
+        assert!(!polys.is_empty(), "GLWE key needs at least one polynomial");
+        let n = polys[0].len();
+        assert!(
+            polys.iter().all(|p| p.len() == n),
+            "key polynomials must share one length"
+        );
+        assert!(
+            polys
+                .iter()
+                .all(|p| p.coeffs().iter().all(|&b| b == 0 || b == 1)),
+            "key bits must be 0 or 1"
+        );
+        Self { polys }
+    }
+
     /// GLWE dimension `k`.
     pub fn dim(&self) -> usize {
         self.polys.len()

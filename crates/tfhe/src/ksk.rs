@@ -51,6 +51,39 @@ impl KeySwitchKey {
         }
     }
 
+    /// Rebuild from explicit rows (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's level count or ciphertext dimension disagrees
+    /// with `decomp`/`dim_out`.
+    pub fn from_rows(
+        rows: Vec<Vec<LweCiphertext>>,
+        decomp: morphling_math::DecompParams,
+        dim_out: usize,
+    ) -> Self {
+        assert!(
+            rows.iter()
+                .all(|r| r.len() == decomp.level() && r.iter().all(|c| c.dim() == dim_out)),
+            "KSK row shape mismatch"
+        );
+        Self {
+            rows,
+            decomposer: SignedDecomposer::new(decomp),
+            dim_out,
+        }
+    }
+
+    /// The KSK rows: `rows()[i][j]` is input mask `i`, level `j`.
+    pub fn rows(&self) -> &[Vec<LweCiphertext>] {
+        &self.rows
+    }
+
+    /// The decomposition parameters (base log + level).
+    pub fn decomp_params(&self) -> morphling_math::DecompParams {
+        self.decomposer.params()
+    }
+
     /// Input dimension (`k·N` for a post-extraction switch).
     pub fn dim_in(&self) -> usize {
         self.rows.len()

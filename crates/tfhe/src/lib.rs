@@ -76,6 +76,7 @@ mod fft_cache;
 mod ggsw;
 mod glwe;
 mod keys;
+pub mod keystore;
 mod ksk;
 mod lut;
 mod lwe;
@@ -85,6 +86,7 @@ pub mod ops;
 mod params;
 pub mod radix;
 pub mod resilience;
+pub mod serialize;
 mod server;
 mod workspace;
 
@@ -104,6 +106,10 @@ pub use faults::{FaultInjector, FaultPlan, FaultSite};
 pub use ggsw::{FourierGgsw, GgswCiphertext};
 pub use glwe::GlweCiphertext;
 pub use keys::{ClientKey, GlweSecretKey, LweSecretKey};
+pub use keystore::{
+    DirBackend, KeyBackend, KeyEvent, KeyEventKind, KeyStore, KeyStoreBootstrapper, KeyStoreStats,
+    MemoryBackend, PinnedKey, TenantId,
+};
 pub use ksk::KeySwitchKey;
 pub use lut::Lut;
 pub use lwe::LweCiphertext;
@@ -113,6 +119,12 @@ pub use resilience::{
     BreakerState, CircuitBreaker, CircuitBreakerBuilder, FailoverBootstrapper,
     FailoverBootstrapperBuilder, ResilienceEvent, ResilienceEventKind, ResilienceJournal,
     RetryPolicy,
+};
+pub use serialize::{
+    deserialize_bootstrap_key, deserialize_glwe_secret_key, deserialize_key_switch_key,
+    deserialize_lwe_secret_key, deserialize_server_key, serialize_bootstrap_key,
+    serialize_glwe_secret_key, serialize_key_switch_key, serialize_lwe_secret_key,
+    serialize_server_key,
 };
 pub use server::{BootstrapOptions, MulBackend, ServerKey, ServerKeyBuilder};
 pub use workspace::BootstrapWorkspace;

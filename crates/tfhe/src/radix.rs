@@ -35,10 +35,22 @@ impl RadixSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `message_bits == 0` or `digits == 0`.
+    /// Panics if `message_bits == 0` or `digits == 0`; if
+    /// `message_bits >= 32` (the digit modulus `2^(2·message_bits)` must
+    /// fit in a `u64`); or if `message_bits · digits > 64` (values are
+    /// decoded into a `u64` accumulator).
     pub fn new(message_bits: u32, digits: usize) -> Self {
         assert!(message_bits > 0, "digits need at least one payload bit");
         assert!(digits > 0, "at least one digit is required");
+        assert!(
+            message_bits < 32,
+            "message_bits {message_bits} too large: digit modulus 2^(2*message_bits) must fit in u64"
+        );
+        assert!(
+            u64::from(message_bits) * digits as u64 <= 64,
+            "total bits {} exceed the 64-bit value range",
+            u64::from(message_bits) * digits as u64
+        );
         Self {
             message_bits,
             digits,
@@ -47,12 +59,12 @@ impl RadixSpec {
 
     /// Digit base `2^message_bits`.
     pub fn base(&self) -> u64 {
-        1 << self.message_bits
+        1u64 << self.message_bits
     }
 
     /// Plaintext modulus per digit (payload + carry space).
     pub fn digit_modulus(&self) -> u64 {
-        1 << (2 * self.message_bits)
+        1u64 << (2 * self.message_bits)
     }
 
     /// Total representable bits.
@@ -142,7 +154,14 @@ impl RadixClient for ClientKey {
         let mut carry = 0u64;
         for (i, d) in ct.digits.iter().enumerate() {
             let raw = self.decrypt(d) + carry;
-            acc += (raw % base) << (ct.spec.message_bits * i as u32);
+            // Checked shift: digits above the 64-bit accumulator (possible
+            // only for hand-built specs bypassing `RadixSpec::new`) are
+            // masked away rather than panicking on shift overflow; the top
+            // digit of an exactly-64-bit spec wraps into the mask too.
+            let shift = u64::from(ct.spec.message_bits) * i as u64;
+            if shift < 64 {
+                acc = acc.wrapping_add((raw % base).wrapping_shl(shift as u32));
+            }
             carry = raw / base;
         }
         acc & ct.spec.max_value()
@@ -393,6 +412,40 @@ mod tests {
             let b = ck.encrypt_radix(y, spec, &mut rng);
             let ge = sk.radix_ge(&a, &b);
             assert_eq!(ck.decrypt(&ge), u64::from(x >= y), "{x} >= {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in u64")]
+    fn spec_rejects_wide_message_bits() {
+        // 2·32 = 64-bit shift in `digit_modulus` — rejected at construction
+        // instead of overflowing there.
+        let _ = RadixSpec::new(32, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "64-bit value range")]
+    fn spec_rejects_specs_past_64_bits() {
+        let _ = RadixSpec::new(2, 33);
+    }
+
+    #[test]
+    fn boundary_64_bit_spec_round_trips() {
+        // Exactly 64 total bits: `max_value` saturates at u64::MAX and the
+        // top digit shifts by 62 — the regression site for the old
+        // unchecked `<<` in the decrypt accumulation.
+        let spec = RadixSpec::new(2, 32);
+        assert_eq!(spec.total_bits(), 64);
+        assert_eq!(spec.max_value(), u64::MAX);
+        let mut rng = StdRng::seed_from_u64(301);
+        let params = ParamSet::Test
+            .params()
+            .with_plaintext_modulus(spec.digit_modulus())
+            .noiseless();
+        let ck = ClientKey::generate(params, &mut rng);
+        for v in [0u64, 1, 0x0123_4567_89AB_CDEF, u64::MAX - 1, u64::MAX] {
+            let ct = ck.encrypt_radix(v, spec, &mut rng);
+            assert_eq!(ck.decrypt_radix(&ct), v, "v={v:#x}");
         }
     }
 

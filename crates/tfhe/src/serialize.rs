@@ -1,0 +1,734 @@
+//! Compact versioned binary (de)serialization for key material — the
+//! wire format a [`KeyStore`](crate::KeyStore) backend stores per tenant.
+//!
+//! Every blob is framed identically:
+//!
+//! ```text
+//! magic   b"MPHK"                      4 bytes
+//! version u16 little-endian            2 bytes   (currently 1)
+//! kind    u8                           1 byte    (which key type follows)
+//! length  u64 little-endian            8 bytes   (payload byte count)
+//! payload length bytes
+//! check   u64 little-endian            8 bytes   (FNV-1a-64 over all
+//!                                                 preceding bytes)
+//! ```
+//!
+//! All multi-byte integers are little-endian; torus values travel as raw
+//! `u32` words; noise parameters as IEEE-754 `f64` bit patterns; secret
+//! key bits are packed eight to a byte. The bootstrapping key is
+//! serialized in the **coefficient domain** only — the transform-domain
+//! form is recomputed on load, never trusted from the wire.
+//!
+//! Deserialization never panics on malformed input: every framing,
+//! bounds, checksum, or shape violation surfaces as
+//! [`TfheError::KeyCorrupted`] with a description of the first failure.
+//! There is no serde involved; the format is hand-rolled and pinned by
+//! round-trip property tests (`tests/serialization.rs`).
+
+use morphling_math::{DecompParams, Polynomial, Torus32};
+
+use crate::bootstrap_key::BootstrapKey;
+use crate::error::TfheError;
+use crate::ggsw::GgswCiphertext;
+use crate::glwe::GlweCiphertext;
+use crate::keys::{GlweSecretKey, LweSecretKey};
+use crate::ksk::KeySwitchKey;
+use crate::lwe::LweCiphertext;
+use crate::params::TfheParams;
+use crate::server::{MulBackend, ServerKey};
+
+/// Frame magic: "MPHK" (Morphling key).
+const MAGIC: [u8; 4] = *b"MPHK";
+/// Current wire-format version.
+const VERSION: u16 = 1;
+
+/// Frame kind tags, one per serializable key type. The variants
+/// intentionally mirror the key type names they tag.
+#[allow(clippy::enum_variant_names)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+enum Kind {
+    LweSecretKey = 1,
+    GlweSecretKey = 2,
+    BootstrapKey = 3,
+    KeySwitchKey = 4,
+    ServerKey = 5,
+}
+
+/// Parameter-set names the reader can intern back to `&'static str`
+/// (matching [`crate::ParamSet`]); anything else round-trips as "CUSTOM".
+const KNOWN_NAMES: [&str; 11] = [
+    "I", "II", "III", "IV", "A", "B", "C", "FIG1", "TEST", "TEST-M", "CUSTOM",
+];
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free, and plenty to
+/// catch truncation and bit flips (malice is out of scope: blobs come
+/// from the operator's own key backend).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn corrupt(detail: impl Into<String>) -> TfheError {
+    TfheError::KeyCorrupted {
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer / bounds-checked reader
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bits (each 0 or 1) packed eight to a byte, LSB first.
+    fn packed_bits(&mut self, bits: &[i64]) {
+        for chunk in bits.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                byte |= (b as u8 & 1) << i;
+            }
+            self.buf.push(byte);
+        }
+    }
+
+    fn torus_poly(&mut self, p: &Polynomial<Torus32>) {
+        for &c in p.coeffs() {
+            self.u32(c.into_raw());
+        }
+    }
+
+    fn glwe(&mut self, ct: &GlweCiphertext) {
+        for comp in ct.components() {
+            self.torus_poly(comp);
+        }
+    }
+
+    fn lwe(&mut self, ct: &LweCiphertext) {
+        for &a in ct.mask() {
+            self.u32(a.into_raw());
+        }
+        self.u32(ct.body().into_raw());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TfheError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "truncated: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, TfheError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TfheError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, TfheError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A `u64` that must fit `usize` and stay under a sanity cap — wire
+    /// lengths drive allocations, so a corrupt length must not OOM us.
+    fn len_field(&mut self, what: &str) -> Result<usize, TfheError> {
+        const CAP: u64 = 1 << 33; // 8 GiB of elements is already absurd
+        let v = self.u64()?;
+        if v > CAP {
+            return Err(corrupt(format!("{what} length {v} is implausible")));
+        }
+        usize::try_from(v).map_err(|_| corrupt(format!("{what} length {v} overflows usize")))
+    }
+
+    fn f64(&mut self) -> Result<f64, TfheError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn packed_bits(&mut self, n: usize) -> Result<Vec<i64>, TfheError> {
+        let bytes = self.take(n.div_ceil(8))?;
+        let mut bits = Vec::with_capacity(n);
+        for i in 0..n {
+            bits.push(i64::from((bytes[i / 8] >> (i % 8)) & 1));
+        }
+        Ok(bits)
+    }
+
+    fn torus_poly(&mut self, n: usize) -> Result<Polynomial<Torus32>, TfheError> {
+        let mut coeffs = Vec::with_capacity(n);
+        for _ in 0..n {
+            coeffs.push(Torus32::from_raw(self.u32()?));
+        }
+        Ok(Polynomial::from_coeffs(coeffs))
+    }
+
+    fn glwe(&mut self, k: usize, n: usize) -> Result<GlweCiphertext, TfheError> {
+        let mut masks = Vec::with_capacity(k);
+        for _ in 0..k {
+            masks.push(self.torus_poly(n)?);
+        }
+        let body = self.torus_poly(n)?;
+        Ok(GlweCiphertext::from_parts(masks, body))
+    }
+
+    fn lwe(&mut self, dim: usize) -> Result<LweCiphertext, TfheError> {
+        let mut mask = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            mask.push(Torus32::from_raw(self.u32()?));
+        }
+        let body = Torus32::from_raw(self.u32()?);
+        Ok(LweCiphertext::from_parts(mask, body))
+    }
+
+    fn done(&self) -> Result<(), TfheError> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt(format!(
+                "trailing garbage: {} unread payload bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+fn frame(kind: Kind, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 23);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let check = fnv1a(&out);
+    out.extend_from_slice(&check.to_le_bytes());
+    out
+}
+
+fn unframe(bytes: &[u8], want: Kind) -> Result<&[u8], TfheError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:02x?}")));
+    }
+    let version = {
+        let b = r.take(2)?;
+        u16::from_le_bytes([b[0], b[1]])
+    };
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let kind = r.u8()?;
+    if kind != want as u8 {
+        return Err(corrupt(format!(
+            "kind mismatch: frame holds kind {kind}, expected {} ({want:?})",
+            want as u8
+        )));
+    }
+    let len = r.len_field("payload")?;
+    let payload = r.take(len)?;
+    let check = r.u64()?;
+    r.done()
+        .map_err(|_| corrupt("trailing bytes after checksum"))?;
+    let computed = fnv1a(&bytes[..bytes.len() - 8]);
+    if check != computed {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {check:#018x}, computed {computed:#018x}"
+        )));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Parameter block (embedded in the ServerKey payload)
+// ---------------------------------------------------------------------
+
+fn write_params(w: &mut Writer, p: &TfheParams) {
+    let name = if KNOWN_NAMES.contains(&p.name) {
+        p.name
+    } else {
+        "CUSTOM"
+    };
+    w.u8(name.len() as u8);
+    w.bytes(name.as_bytes());
+    w.usize(p.poly_size);
+    w.usize(p.lwe_dim);
+    w.usize(p.glwe_dim);
+    w.u32(p.bsk_decomp.base_log());
+    w.usize(p.bsk_decomp.level());
+    w.u32(p.ksk_decomp.base_log());
+    w.usize(p.ksk_decomp.level());
+    w.f64(p.lwe_noise_std);
+    w.f64(p.glwe_noise_std);
+    w.u64(p.plaintext_modulus);
+    w.u32(p.security_bits);
+    w.u8(u8::from(p.functional));
+}
+
+fn read_params(r: &mut Reader<'_>) -> Result<TfheParams, TfheError> {
+    let name_len = r.u8()? as usize;
+    let name_bytes = r.take(name_len)?;
+    let name = KNOWN_NAMES
+        .iter()
+        .copied()
+        .find(|n| n.as_bytes() == name_bytes)
+        .unwrap_or("CUSTOM");
+    let poly_size = r.len_field("poly_size")?;
+    let lwe_dim = r.len_field("lwe_dim")?;
+    let glwe_dim = r.len_field("glwe_dim")?;
+    let bsk_base_log = r.u32()?;
+    let bsk_level = r.len_field("bsk level")?;
+    let ksk_base_log = r.u32()?;
+    let ksk_level = r.len_field("ksk level")?;
+    let lwe_noise_std = r.f64()?;
+    let glwe_noise_std = r.f64()?;
+    let plaintext_modulus = r.u64()?;
+    let security_bits = r.u32()?;
+    let functional = r.u8()? != 0;
+    if poly_size == 0 || !poly_size.is_power_of_two() {
+        return Err(corrupt(format!("poly_size {poly_size} not a power of two")));
+    }
+    if bsk_base_log == 0 || bsk_base_log > 32 || ksk_base_log == 0 || ksk_base_log > 32 {
+        return Err(corrupt("decomposition base_log out of range"));
+    }
+    if bsk_level == 0
+        || ksk_level == 0
+        || bsk_base_log as usize * bsk_level > 32
+        || ksk_base_log as usize * ksk_level > 32
+    {
+        return Err(corrupt("decomposition level out of range"));
+    }
+    if !lwe_noise_std.is_finite() || !glwe_noise_std.is_finite() {
+        return Err(corrupt("noise parameters are not finite"));
+    }
+    Ok(TfheParams {
+        name,
+        poly_size,
+        lwe_dim,
+        glwe_dim,
+        bsk_decomp: DecompParams::new(bsk_base_log, bsk_level),
+        ksk_decomp: DecompParams::new(ksk_base_log, ksk_level),
+        lwe_noise_std,
+        glwe_noise_std,
+        plaintext_modulus,
+        security_bits,
+        functional,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Per-type payloads
+// ---------------------------------------------------------------------
+
+fn lwe_secret_key_payload(key: &LweSecretKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(key.dim());
+    w.packed_bits(key.bits());
+    w.buf
+}
+
+fn read_lwe_secret_key(r: &mut Reader<'_>) -> Result<LweSecretKey, TfheError> {
+    let n = r.len_field("LWE key dimension")?;
+    let bits = r.packed_bits(n)?;
+    Ok(LweSecretKey::from_bits(bits))
+}
+
+/// Serialize an [`LweSecretKey`].
+pub fn serialize_lwe_secret_key(key: &LweSecretKey) -> Vec<u8> {
+    frame(Kind::LweSecretKey, lwe_secret_key_payload(key))
+}
+
+/// Deserialize an [`LweSecretKey`].
+///
+/// # Errors
+///
+/// [`TfheError::KeyCorrupted`] on any framing, checksum, or shape
+/// violation.
+pub fn deserialize_lwe_secret_key(bytes: &[u8]) -> Result<LweSecretKey, TfheError> {
+    let mut r = Reader::new(unframe(bytes, Kind::LweSecretKey)?);
+    let key = read_lwe_secret_key(&mut r)?;
+    r.done()?;
+    Ok(key)
+}
+
+fn glwe_secret_key_payload(key: &GlweSecretKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(key.dim());
+    w.usize(key.poly_size());
+    for p in key.polys() {
+        w.packed_bits(p.coeffs());
+    }
+    w.buf
+}
+
+fn read_glwe_secret_key(r: &mut Reader<'_>) -> Result<GlweSecretKey, TfheError> {
+    let k = r.len_field("GLWE key dimension")?;
+    let n = r.len_field("GLWE key poly size")?;
+    if k == 0 || n == 0 {
+        return Err(corrupt("GLWE key must have k ≥ 1 and N ≥ 1"));
+    }
+    let mut polys = Vec::with_capacity(k);
+    for _ in 0..k {
+        polys.push(Polynomial::from_coeffs(r.packed_bits(n)?));
+    }
+    Ok(GlweSecretKey::from_polys(polys))
+}
+
+/// Serialize a [`GlweSecretKey`].
+pub fn serialize_glwe_secret_key(key: &GlweSecretKey) -> Vec<u8> {
+    frame(Kind::GlweSecretKey, glwe_secret_key_payload(key))
+}
+
+/// Deserialize a [`GlweSecretKey`].
+///
+/// # Errors
+///
+/// [`TfheError::KeyCorrupted`] on any framing, checksum, or shape
+/// violation.
+pub fn deserialize_glwe_secret_key(bytes: &[u8]) -> Result<GlweSecretKey, TfheError> {
+    let mut r = Reader::new(unframe(bytes, Kind::GlweSecretKey)?);
+    let key = read_glwe_secret_key(&mut r)?;
+    r.done()?;
+    Ok(key)
+}
+
+fn bootstrap_key_payload(key: &BootstrapKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    let n_ggsw = key.lwe_dim();
+    let first = key.coefficient(0);
+    w.usize(n_ggsw);
+    w.usize(first.glwe_dim());
+    w.usize(first.level());
+    w.usize(first.poly_size());
+    for i in 0..n_ggsw {
+        for row in key.coefficient(i).rows() {
+            w.glwe(row);
+        }
+    }
+    w.buf
+}
+
+fn read_bootstrap_key(r: &mut Reader<'_>) -> Result<BootstrapKey, TfheError> {
+    let n_ggsw = r.len_field("BSK GGSW count")?;
+    let k = r.len_field("BSK GLWE dimension")?;
+    let level = r.len_field("BSK level")?;
+    let n = r.len_field("BSK poly size")?;
+    if n_ggsw == 0 || level == 0 || n == 0 || !n.is_power_of_two() {
+        return Err(corrupt("BSK shape header is degenerate"));
+    }
+    let rows_per = (k + 1) * level;
+    let mut coefficient = Vec::with_capacity(n_ggsw);
+    for _ in 0..n_ggsw {
+        let mut rows = Vec::with_capacity(rows_per);
+        for _ in 0..rows_per {
+            rows.push(r.glwe(k, n)?);
+        }
+        coefficient.push(GgswCiphertext::from_rows(rows, k, level));
+    }
+    Ok(BootstrapKey::from_coefficient(coefficient))
+}
+
+/// Serialize a [`BootstrapKey`] (coefficient domain only — the Fourier
+/// form is recomputed on load).
+pub fn serialize_bootstrap_key(key: &BootstrapKey) -> Vec<u8> {
+    frame(Kind::BootstrapKey, bootstrap_key_payload(key))
+}
+
+/// Deserialize a [`BootstrapKey`], regenerating its transform-domain
+/// form.
+///
+/// # Errors
+///
+/// [`TfheError::KeyCorrupted`] on any framing, checksum, or shape
+/// violation.
+pub fn deserialize_bootstrap_key(bytes: &[u8]) -> Result<BootstrapKey, TfheError> {
+    let mut r = Reader::new(unframe(bytes, Kind::BootstrapKey)?);
+    let key = read_bootstrap_key(&mut r)?;
+    r.done()?;
+    Ok(key)
+}
+
+fn key_switch_key_payload(key: &KeySwitchKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(key.dim_in());
+    w.usize(key.dim_out());
+    w.u32(key.decomp_params().base_log());
+    w.usize(key.decomp_params().level());
+    for row in key.rows() {
+        for ct in row {
+            w.lwe(ct);
+        }
+    }
+    w.buf
+}
+
+fn read_key_switch_key(r: &mut Reader<'_>) -> Result<KeySwitchKey, TfheError> {
+    let dim_in = r.len_field("KSK input dimension")?;
+    let dim_out = r.len_field("KSK output dimension")?;
+    let base_log = r.u32()?;
+    let level = r.len_field("KSK level")?;
+    if base_log == 0 || base_log > 32 || level == 0 || base_log as usize * level > 32 {
+        return Err(corrupt("KSK decomposition parameters out of range"));
+    }
+    let mut rows = Vec::with_capacity(dim_in);
+    for _ in 0..dim_in {
+        let mut row = Vec::with_capacity(level);
+        for _ in 0..level {
+            row.push(r.lwe(dim_out)?);
+        }
+        rows.push(row);
+    }
+    Ok(KeySwitchKey::from_rows(
+        rows,
+        DecompParams::new(base_log, level),
+        dim_out,
+    ))
+}
+
+/// Serialize a [`KeySwitchKey`].
+pub fn serialize_key_switch_key(key: &KeySwitchKey) -> Vec<u8> {
+    frame(Kind::KeySwitchKey, key_switch_key_payload(key))
+}
+
+/// Deserialize a [`KeySwitchKey`].
+///
+/// # Errors
+///
+/// [`TfheError::KeyCorrupted`] on any framing, checksum, or shape
+/// violation.
+pub fn deserialize_key_switch_key(bytes: &[u8]) -> Result<KeySwitchKey, TfheError> {
+    let mut r = Reader::new(unframe(bytes, Kind::KeySwitchKey)?);
+    let key = read_key_switch_key(&mut r)?;
+    r.done()?;
+    Ok(key)
+}
+
+fn backend_tag(b: MulBackend) -> u8 {
+    match b {
+        MulBackend::Fft => 0,
+        MulBackend::FftPlain => 1,
+        MulBackend::Ntt => 2,
+        MulBackend::Exact => 3,
+    }
+}
+
+fn backend_from_tag(tag: u8) -> Result<MulBackend, TfheError> {
+    Ok(match tag {
+        0 => MulBackend::Fft,
+        1 => MulBackend::FftPlain,
+        2 => MulBackend::Ntt,
+        3 => MulBackend::Exact,
+        other => return Err(corrupt(format!("unknown MulBackend tag {other}"))),
+    })
+}
+
+/// Serialize a [`ServerKey`]: parameter block, backend + engine flags,
+/// then the embedded BSK and KSK payloads.
+pub fn serialize_server_key(key: &ServerKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_params(&mut w, key.params());
+    w.u8(backend_tag(key.backend()));
+    w.u8(u8::from(key.merge_split()));
+    w.u8(u8::from(key.batched_transforms()));
+    let bsk = bootstrap_key_payload(key.bootstrap_key());
+    w.usize(bsk.len());
+    w.bytes(&bsk);
+    let ksk = key_switch_key_payload(key.key_switch_key());
+    w.usize(ksk.len());
+    w.bytes(&ksk);
+    frame(Kind::ServerKey, w.buf)
+}
+
+/// Deserialize a [`ServerKey`], rebuilding its transform engine (and the
+/// BSK's Fourier form) locally.
+///
+/// # Errors
+///
+/// [`TfheError::KeyCorrupted`] on any framing, checksum, or shape
+/// violation.
+pub fn deserialize_server_key(bytes: &[u8]) -> Result<ServerKey, TfheError> {
+    let mut r = Reader::new(unframe(bytes, Kind::ServerKey)?);
+    let params = read_params(&mut r)?;
+    let backend = backend_from_tag(r.u8()?)?;
+    let merge_split = r.u8()? != 0;
+    let batched = r.u8()? != 0;
+    let bsk_len = r.len_field("embedded BSK")?;
+    let mut bsk_r = Reader::new(r.take(bsk_len)?);
+    let bsk = read_bootstrap_key(&mut bsk_r)?;
+    bsk_r.done()?;
+    let ksk_len = r.len_field("embedded KSK")?;
+    let mut ksk_r = Reader::new(r.take(ksk_len)?);
+    let ksk = read_key_switch_key(&mut ksk_r)?;
+    ksk_r.done()?;
+    r.done()?;
+    if bsk.lwe_dim() != params.lwe_dim {
+        return Err(corrupt(format!(
+            "BSK has {} GGSWs but params.lwe_dim is {}",
+            bsk.lwe_dim(),
+            params.lwe_dim
+        )));
+    }
+    if ksk.dim_out() != params.lwe_dim || ksk.dim_in() != params.extracted_lwe_dim() {
+        return Err(corrupt(format!(
+            "KSK dims {}→{} disagree with params {}→{}",
+            ksk.dim_in(),
+            ksk.dim_out(),
+            params.extracted_lwe_dim(),
+            params.lwe_dim
+        )));
+    }
+    Ok(ServerKey::from_parts(
+        params,
+        bsk,
+        ksk,
+        backend,
+        merge_split,
+        batched,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ClientKey;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn secret_keys_round_trip() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let lwe = LweSecretKey::generate(37, &mut rng); // non-multiple of 8
+        assert_eq!(
+            deserialize_lwe_secret_key(&serialize_lwe_secret_key(&lwe)).unwrap(),
+            lwe
+        );
+        let glwe = GlweSecretKey::generate(2, 64, &mut rng);
+        assert_eq!(
+            deserialize_glwe_secret_key(&serialize_glwe_secret_key(&glwe)).unwrap(),
+            glwe
+        );
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let lwe = LweSecretKey::generate(16, &mut rng);
+        let blob = serialize_lwe_secret_key(&lwe);
+        let err = deserialize_glwe_secret_key(&blob).unwrap_err();
+        assert!(matches!(err, TfheError::KeyCorrupted { .. }), "{err}");
+        assert!(err.to_string().contains("kind mismatch"), "{err}");
+    }
+
+    #[test]
+    fn server_key_round_trips_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params, &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let blob = serialize_server_key(&sk);
+        let back = deserialize_server_key(&blob).unwrap();
+        assert_eq!(back.params(), sk.params());
+        assert_eq!(back.backend(), sk.backend());
+        assert_eq!(back.merge_split(), sk.merge_split());
+        assert_eq!(back.batched_transforms(), sk.batched_transforms());
+        // Key material matches exactly...
+        for i in 0..sk.bootstrap_key().lwe_dim() {
+            assert_eq!(
+                back.bootstrap_key().coefficient(i),
+                sk.bootstrap_key().coefficient(i),
+                "BSK_{i}"
+            );
+        }
+        assert_eq!(back.key_switch_key().rows(), sk.key_switch_key().rows());
+        // ...and so does a bootstrap through the reloaded key.
+        let lut = crate::Lut::identity(sk.params().poly_size, 4);
+        let ct = ck.encrypt(3, &mut rng);
+        assert_eq!(
+            back.programmable_bootstrap(&ct, &lut),
+            sk.programmable_bootstrap(&ct, &lut)
+        );
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_are_rejected_not_panicked() {
+        for bad in [&b""[..], &b"MP"[..], &b"NOPE1234"[..], &[0u8; 64][..]] {
+            assert!(matches!(
+                deserialize_server_key(bad),
+                Err(TfheError::KeyCorrupted { .. })
+            ));
+        }
+    }
+}

@@ -227,6 +227,29 @@ impl ServerKey {
         Self::builder().backend(backend).build(client, rng)
     }
 
+    /// Reassemble a server key from its public parts (deserialization
+    /// path): the transform engine is rebuilt locally from `params` and the
+    /// two option flags, mirroring [`ServerKeyBuilder::build`].
+    pub fn from_parts(
+        params: TfheParams,
+        bsk: BootstrapKey,
+        ksk: KeySwitchKey,
+        backend: MulBackend,
+        merge_split: bool,
+        batched_transforms: bool,
+    ) -> Self {
+        let engine = ExternalProductEngine::new(&params)
+            .with_merge_split(merge_split)
+            .with_batched_transforms(batched_transforms);
+        Self {
+            params,
+            bsk,
+            ksk,
+            engine,
+            backend,
+        }
+    }
+
     /// The parameter set.
     pub fn params(&self) -> &TfheParams {
         &self.params
@@ -245,6 +268,16 @@ impl ServerKey {
     /// The active multiplication backend.
     pub fn backend(&self) -> MulBackend {
         self.backend
+    }
+
+    /// Whether the merge-split FFT optimization is active.
+    pub fn merge_split(&self) -> bool {
+        self.engine.merge_split()
+    }
+
+    /// Whether the batched SoA forward transform is active.
+    pub fn batched_transforms(&self) -> bool {
+        self.engine.batched_transforms()
     }
 
     /// Programmable bootstrapping (Algorithm 1): reset the noise of `ct`

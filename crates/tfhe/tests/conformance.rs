@@ -219,6 +219,81 @@ fn failover_with_dead_primary_matches_healthy_reference() {
     assert!(stack.events().iter().any(|e| e.kind.label() == "failover"));
 }
 
+/// Tenant-keyed dispatch conformance: a mixed-tenant workload pushed
+/// through a [`Dispatcher`] over a [`KeyStore`]-backed bootstrapper must
+/// be **bit-identical, per tenant**, to calling that tenant's
+/// [`ServerKey`] directly — the cache, the affinity batching, and the
+/// eviction machinery are invisible in the outputs. The store's budget
+/// covers only two of the three tenants, so the run actually exercises
+/// eviction and reload mid-workload.
+#[test]
+fn tenant_keyed_dispatch_matches_direct_server_keys() {
+    use morphling_tfhe::{KeyStore, KeyStoreBootstrapper, MemoryBackend, TenantId};
+
+    let params = ParamSet::Test.params();
+    let poly = params.poly_size;
+    let mut rng = StdRng::seed_from_u64(0x7E4A);
+    let backend = Arc::new(MemoryBackend::new());
+    let mut tenants = Vec::new();
+    for t in 0..3u64 {
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = Arc::new(ServerKey::builder().build(&ck, &mut rng));
+        backend.insert_server_key(TenantId::new(t), &sk);
+        tenants.push((ck, sk));
+    }
+    // Room for two resident keys: the third tenant forces eviction.
+    let one_key = params.bsk_total_bytes_fourier() + params.ksk_total_bytes();
+    let store = Arc::new(KeyStore::new(backend, 2 * one_key));
+    let dispatcher = Dispatcher::builder()
+        .max_batch_size(4)
+        .max_linger(std::time::Duration::from_millis(1))
+        .key_store(Arc::clone(&store))
+        .build(KeyStoreBootstrapper::new(Arc::clone(&store)));
+
+    let lut = Arc::new(Lut::from_fn(poly, 4, |m| (3 * m + 1) % 4));
+    // Interleave tenants across two passes so evicted keys get reloaded.
+    let mut pending = Vec::new();
+    for round in 0..2u64 {
+        for (t, (ck, sk)) in tenants.iter().enumerate() {
+            for m in 0..4u64 {
+                let ct = ck.encrypt((m + round) % 4, &mut rng);
+                let want = sk.programmable_bootstrap(&ct, &lut);
+                let ticket = dispatcher
+                    .submit_for(TenantId::new(t as u64), ct, Arc::clone(&lut), None)
+                    .expect("queue has room");
+                pending.push((t, want, ticket));
+            }
+        }
+    }
+    for (t, want, ticket) in pending {
+        let got = ticket.wait().expect("tenant-keyed request must serve");
+        assert_eq!(
+            got, want,
+            "tenant {t}: dispatched output must be bit-identical to its own key"
+        );
+    }
+
+    // Per-tenant stats cover the whole workload, and the dispatcher's
+    // key counters reconcile with the store's journal.
+    let stats = dispatcher.stats();
+    assert_eq!(stats.per_tenant.len(), 3);
+    for (t, s) in stats.per_tenant.iter().enumerate() {
+        assert_eq!(s.tenant, t as u64);
+        assert_eq!(s.completed, 8, "tenant {t}");
+        assert!(s.p50_latency <= s.p99_latency);
+    }
+    let events = store.events();
+    let count = |label: &str| events.iter().filter(|e| e.kind.label() == label).count() as u64;
+    assert_eq!(stats.key_hits, count("hit"));
+    assert_eq!(stats.key_misses, count("miss"));
+    assert_eq!(stats.key_evictions, count("evict"));
+    assert!(
+        stats.key_evictions >= 1,
+        "three tenants over a two-key budget must evict"
+    );
+    assert_eq!(count("pin"), count("unpin"), "all pins released");
+}
+
 /// Malformed requests are caught at construction, uniformly for every
 /// backend (the builder is the single validation point).
 #[test]

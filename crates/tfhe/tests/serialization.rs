@@ -1,0 +1,194 @@
+//! Wire-format property tests for the five key types.
+//!
+//! The keystore trusts `morphling_tfhe::serialize` to be a bijection on
+//! valid blobs and a loud rejector of everything else. This suite pins
+//! both halves:
+//!
+//! - **round-trip**: serialize → deserialize is the identity for
+//!   [`LweSecretKey`], [`GlweSecretKey`], [`BootstrapKey`],
+//!   [`KeySwitchKey`], and [`ServerKey`], across random dimensions and
+//!   both checked-in parameter sets;
+//! - **truncation**: every proper prefix of a valid blob fails with
+//!   [`TfheError::KeyCorrupted`] — never a panic, never a silent
+//!   partial key;
+//! - **corruption**: flipping any single bit of a valid blob fails
+//!   (magic, version, kind, length, payload, and checksum bytes are all
+//!   covered by the frame's FNV-1a checksum or its field validation).
+
+use std::sync::OnceLock;
+
+use morphling_tfhe::{
+    deserialize_bootstrap_key, deserialize_glwe_secret_key, deserialize_key_switch_key,
+    deserialize_lwe_secret_key, deserialize_server_key, serialize_bootstrap_key,
+    serialize_glwe_secret_key, serialize_key_switch_key, serialize_lwe_secret_key,
+    serialize_server_key, ClientKey, GlweSecretKey, KeySwitchKey, LweSecretKey, ParamSet,
+    ServerKey, TfheError,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One serialized blob of every key type, generated once (BSK generation
+/// dominates the suite's runtime).
+fn blobs() -> &'static Vec<(&'static str, Vec<u8>)> {
+    static BLOBS: OnceLock<Vec<(&'static str, Vec<u8>)>> = OnceLock::new();
+    BLOBS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x5E81);
+        let params = ParamSet::Test.params();
+        let ck = ClientKey::generate(params.clone(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let ksk = KeySwitchKey::generate(
+            &ck.glwe_key().to_extracted_lwe_key(),
+            ck.lwe_key(),
+            &params,
+            &mut rng,
+        );
+        vec![
+            ("lwe", serialize_lwe_secret_key(ck.lwe_key())),
+            ("glwe", serialize_glwe_secret_key(ck.glwe_key())),
+            ("bsk", serialize_bootstrap_key(sk.bootstrap_key())),
+            ("ksk", serialize_key_switch_key(&ksk)),
+            ("server", serialize_server_key(&sk)),
+        ]
+    })
+}
+
+/// Try to deserialize `bytes` as the key type named by `kind`.
+fn try_parse(kind: &str, bytes: &[u8]) -> Result<(), TfheError> {
+    match kind {
+        "lwe" => deserialize_lwe_secret_key(bytes).map(|_| ()),
+        "glwe" => deserialize_glwe_secret_key(bytes).map(|_| ()),
+        "bsk" => deserialize_bootstrap_key(bytes).map(|_| ()),
+        "ksk" => deserialize_key_switch_key(bytes).map(|_| ()),
+        "server" => deserialize_server_key(bytes).map(|_| ()),
+        other => unreachable!("unknown kind {other}"),
+    }
+}
+
+#[test]
+fn server_key_round_trips_for_both_test_param_sets() {
+    for (seed, set) in [(0x11u64, ParamSet::Test), (0x22, ParamSet::TestMedium)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ck = ClientKey::generate(set.params(), &mut rng);
+        let sk = ServerKey::new(&ck, &mut rng);
+        let back = deserialize_server_key(&serialize_server_key(&sk))
+            .unwrap_or_else(|e| panic!("{set:?}: {e}"));
+        assert_eq!(back.params(), sk.params(), "{set:?}");
+        // The rebuilt key computes bit-identically: same bootstrap of
+        // the same ciphertext.
+        let lut = morphling_tfhe::Lut::identity(sk.params().poly_size, 4);
+        let ct = ck.encrypt(2, &mut rng);
+        assert_eq!(
+            back.programmable_bootstrap(&ct, &lut),
+            sk.programmable_bootstrap(&ct, &lut),
+            "{set:?}: deserialized key must bootstrap bit-identically"
+        );
+    }
+}
+
+#[test]
+fn every_blob_round_trips_and_rejects_the_empty_input() {
+    for (kind, blob) in blobs() {
+        assert!(try_parse(kind, blob).is_ok(), "{kind}: round trip");
+        assert!(
+            matches!(try_parse(kind, &[]), Err(TfheError::KeyCorrupted { .. })),
+            "{kind}: empty input must be KeyCorrupted"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LWE secret keys of any dimension (including non-multiples of 8,
+    /// exercising the bit packer's tail byte) round-trip exactly.
+    #[test]
+    fn lwe_secret_key_round_trips_any_dim(dim in 1usize..200, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = LweSecretKey::generate(dim, &mut rng);
+        let back = deserialize_lwe_secret_key(&serialize_lwe_secret_key(&key))
+            .expect("round trip");
+        prop_assert_eq!(back.bits(), key.bits());
+    }
+
+    /// GLWE secret keys across dimensions and polynomial sizes
+    /// round-trip exactly.
+    #[test]
+    fn glwe_secret_key_round_trips(k in 1usize..4, log_n in 3u32..9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = GlweSecretKey::generate(k, 1 << log_n, &mut rng);
+        let back = deserialize_glwe_secret_key(&serialize_glwe_secret_key(&key))
+            .expect("round trip");
+        prop_assert_eq!(back.polys(), key.polys());
+    }
+
+    /// Every proper prefix of a valid blob is rejected as corrupted —
+    /// the length framing and checksum close the truncation hole.
+    #[test]
+    fn any_truncation_is_rejected(which in 0usize..5, frac in 0.0f64..1.0) {
+        let (kind, blob) = &blobs()[which];
+        let cut = ((blob.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            matches!(
+                try_parse(kind, &blob[..cut]),
+                Err(TfheError::KeyCorrupted { .. })
+            ),
+            "{}: prefix of {} / {} bytes must be rejected",
+            kind,
+            cut,
+            blob.len()
+        );
+    }
+
+    /// Flipping any single bit of a valid blob is rejected: either a
+    /// framing field stops matching or the FNV-1a checksum catches the
+    /// payload damage.
+    #[test]
+    fn any_bitflip_is_rejected(which in 0usize..5, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (kind, blob) = &blobs()[which];
+        let pos = ((blob.len() - 1) as f64 * pos_frac) as usize;
+        let mut bad = blob.clone();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            matches!(
+                try_parse(kind, &bad),
+                Err(TfheError::KeyCorrupted { .. })
+            ),
+            "{}: bit {} of byte {} flipped and the blob still parsed",
+            kind,
+            bit,
+            pos
+        );
+    }
+
+    /// Parsing a blob as the wrong key type fails on the kind byte.
+    #[test]
+    fn kind_confusion_is_rejected(a in 0usize..5, b in 0usize..5) {
+        prop_assume!(a != b);
+        let (_, blob) = &blobs()[a];
+        let (kind_b, _) = &blobs()[b];
+        prop_assert!(matches!(
+            try_parse(kind_b, blob),
+            Err(TfheError::KeyCorrupted { .. })
+        ));
+    }
+}
+
+/// Damaging exactly the checksum trailer reports a checksum mismatch
+/// with both values, the detail an operator needs first.
+#[test]
+fn checksum_flip_reports_stored_and_computed() {
+    let (_, blob) = &blobs()[0];
+    let mut bad = blob.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    match deserialize_lwe_secret_key(&bad) {
+        Err(TfheError::KeyCorrupted { detail }) => {
+            assert!(
+                detail.contains("checksum mismatch"),
+                "unexpected detail: {detail}"
+            );
+        }
+        other => panic!("checksum damage must be KeyCorrupted, got {other:?}"),
+    }
+}

@@ -49,19 +49,23 @@ pub use morphling_transform as transform;
 /// deadline-aware dynamic-batching [`Dispatcher`] — plus the multi-value
 /// bootstrapping surface ([`BootstrapOptions`], [`MultiLutPlan`],
 /// [`MultiTicket`]), the service-resilience layer ([`RetryPolicy`],
-/// [`CircuitBreaker`], the degraded-mode [`FailoverBootstrapper`]), LUTs
-/// and ciphertexts, the paper's parameter sets, and the accelerator
-/// simulator. Deeper items (schedulers, radix integers, app models) stay
-/// behind their module paths.
+/// [`CircuitBreaker`], the degraded-mode [`FailoverBootstrapper`]), the
+/// multi-tenant key layer ([`KeyStore`], [`KeyStoreBootstrapper`],
+/// [`TenantId`] and the in-memory/directory backends), LUTs and
+/// ciphertexts, the paper's parameter sets, and the accelerator
+/// simulator. Deeper items (schedulers, radix integers, app models,
+/// the wire-format functions in `tfhe::serialize`) stay behind their
+/// module paths.
 pub mod prelude {
     pub use morphling_core::faults::SimFaultPlan;
     pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
     pub use morphling_tfhe::{
         BatchRequest, BootstrapEngine, BootstrapEngineBuilder, BootstrapOptions,
-        BootstrapWorkspace, Bootstrapper, BreakerState, CircuitBreaker, ClientKey, Dispatcher,
-        DispatcherStats, EngineHealth, EngineHealthHandle, EngineStats, FailoverBootstrapper,
-        FaultPlan, Lut, LweCiphertext, MulBackend, MultiLutPlan, MultiTicket, ParallelServerKey,
-        ParamSet, ResilienceJournal, RetryPolicy, ServerKey, ServerKeyBuilder, TfheError,
-        TfheParams, Ticket,
+        BootstrapWorkspace, Bootstrapper, BreakerState, CircuitBreaker, ClientKey, DirBackend,
+        Dispatcher, DispatcherStats, EngineHealth, EngineHealthHandle, EngineStats,
+        FailoverBootstrapper, FaultPlan, KeyBackend, KeyStore, KeyStoreBootstrapper, KeyStoreStats,
+        Lut, LweCiphertext, MemoryBackend, MulBackend, MultiLutPlan, MultiTicket,
+        ParallelServerKey, ParamSet, ResilienceJournal, RetryPolicy, ServerKey, ServerKeyBuilder,
+        TenantId, TfheError, TfheParams, Ticket,
     };
 }
