@@ -62,6 +62,46 @@ impl CpuModel {
         }
     }
 
+    /// Calibrate a model of **this machine** from measured
+    /// [`EngineStats`](morphling_tfhe::EngineStats): the per-core rate
+    /// from `bootstraps / busy`, the core count from the engine's own
+    /// worker count. Unlike [`from_engine_stats`](Self::from_engine_stats)
+    /// — which projects a measured rate onto the paper's 64-core testbed —
+    /// this describes the hardware the engine actually ran on, which is
+    /// what the serving autotuner needs. The MAC rate is scaled from the
+    /// Table VI baseline proportionally to the core count.
+    ///
+    /// Returns `None` if the stats contain no completed bootstraps.
+    pub fn from_engine_stats_local(stats: &morphling_tfhe::EngineStats) -> Option<Self> {
+        let rate = stats.bootstraps_per_core_sec();
+        if rate > 0.0 && stats.workers > 0 {
+            let baseline = Self::xeon_6226r_set_iii();
+            let cores = stats.workers as u32;
+            Some(Self {
+                single_core_bs_s: rate,
+                cores,
+                // Small local worker pools scale almost linearly; the 0.5
+                // factor models 64-core memory-bandwidth collapse.
+                parallel_efficiency: 0.85,
+                mac_per_s: baseline.mac_per_s * cores as f64 / baseline.cores as f64,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Bridge into the serving autotuner: this CPU model expressed as a
+    /// [`ServiceModel`](morphling_tfhe::ServiceModel) (per-bootstrap cost
+    /// is the inverse single-core rate; the parallel efficiency carries
+    /// over; per-batch overhead keeps the autotuner's default).
+    pub fn service_model(&self) -> morphling_tfhe::ServiceModel {
+        let mut model = morphling_tfhe::ServiceModel::new(std::time::Duration::from_secs_f64(
+            (1.0 / self.single_core_bs_s).max(1e-9),
+        ));
+        model.parallel_efficiency = self.parallel_efficiency;
+        model
+    }
+
     /// Effective aggregate bootstrap throughput.
     pub fn bs_per_s(&self) -> f64 {
         self.single_core_bs_s * self.cores as f64 * self.parallel_efficiency
@@ -554,6 +594,50 @@ mod tests {
         assert_eq!(
             CpuModel::from_engine_stats(&empty, CpuModel::xeon_6226r_set_iii()),
             CpuModel::xeon_6226r_set_iii()
+        );
+    }
+
+    #[test]
+    fn local_calibration_describes_the_measured_machine() {
+        let stats = morphling_tfhe::EngineStats {
+            workers: 4,
+            batches: 10,
+            bootstraps: 200,
+            busy: std::time::Duration::from_secs(4),
+            ..morphling_tfhe::EngineStats::default()
+        };
+        let cpu = CpuModel::from_engine_stats_local(&stats).unwrap();
+        // 200 bootstraps over 4 busy core-seconds → 50 BS/s per core, on
+        // the 4 cores that actually ran.
+        assert!((cpu.single_core_bs_s - 50.0).abs() < 1e-9);
+        assert_eq!(cpu.cores, 4);
+        // MAC rate scales with the core count: 4/64 of the testbed.
+        assert!((cpu.mac_per_s - 5e10 / 16.0).abs() < 1.0);
+
+        // No completed bootstraps → nothing to calibrate from.
+        let empty = morphling_tfhe::EngineStats::default();
+        assert!(CpuModel::from_engine_stats_local(&empty).is_none());
+    }
+
+    #[test]
+    fn service_model_bridge_inverts_the_per_core_rate() {
+        let cpu = CpuModel {
+            single_core_bs_s: 100.0,
+            cores: 4,
+            parallel_efficiency: 0.9,
+            mac_per_s: 1e9,
+        };
+        let model = cpu.service_model();
+        // 100 BS/s per core → 10 ms per bootstrap.
+        assert_eq!(model.bootstrap_ns, 10_000_000);
+        assert!((model.parallel_efficiency - 0.9).abs() < 1e-12);
+        // The bridged capacity tracks the CPU model's own aggregate
+        // throughput to within the per-batch overhead.
+        let bridged = model.capacity_bs(cpu.cores as usize);
+        assert!(
+            (bridged - cpu.bs_per_s()).abs() / cpu.bs_per_s() < 0.05,
+            "bridged {bridged} vs cpu {}",
+            cpu.bs_per_s()
         );
     }
 }

@@ -1,0 +1,96 @@
+//! Capacity-planning benchmark: calibrate a service model from a live
+//! engine run, grid-search the serving-config space for an attainable
+//! SLO, and validate the recommendation by replaying the same seeded
+//! open-loop load through the real dispatcher.
+//!
+//! Writes `BENCH_autotune.json` (CI validates and archives it):
+//!
+//! - `slo_met`: the search found a feasible config for the requested
+//!   rate/SLO (the target is derived from the calibrated capacity, so it
+//!   is attainable on any host);
+//! - `predicted` / `measured`: the simulator's latency profile for the
+//!   recommendation and what the real dispatcher measured under the same
+//!   arrival schedule;
+//! - `p99_agree`: whether the two p99s agree within the DESIGN.md §15
+//!   bound (factor [`AGREEMENT_FACTOR`] plus [`AGREEMENT_SLACK`]).
+//!
+//! Smoke mode (`AUTOTUNE_BENCH_SMOKE=1`) shrinks the simulated and
+//! replayed request counts so CI finishes in seconds.
+//!
+//! [`AGREEMENT_FACTOR`]: morphling_tfhe::autotune::AGREEMENT_FACTOR
+//! [`AGREEMENT_SLACK`]: morphling_tfhe::autotune::AGREEMENT_SLACK
+
+use std::time::Duration;
+
+use morphling_bench::autotune::{bench_json, run_autotune};
+use morphling_tfhe::autotune::SloTarget;
+use morphling_tfhe::ParamSet;
+
+fn main() {
+    let smoke = std::env::var_os("AUTOTUNE_BENCH_SMOKE").is_some();
+    let (requests, validate) = if smoke { (128, 96) } else { (512, 256) };
+    let workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(2)
+        .min(4);
+
+    // Probe the per-core bootstrap cost first so the benchmark asks for
+    // a rate the host can actually sustain (~25% of one core) and an SLO
+    // with comfortable headroom (40 bootstrap times, floored at 50 ms) —
+    // the bench must be meaningful on fast and slow hosts alike.
+    let probe = run_autotune(
+        ParamSet::Test,
+        SloTarget {
+            rate_per_s: 1.0,
+            p99: Duration::from_secs(1),
+        },
+        workers,
+        16,
+        None,
+    )
+    .expect("calibration probe");
+    let bootstrap = Duration::from_nanos(probe.model.bootstrap_ns);
+    let rate = (0.25 / bootstrap.as_secs_f64()).clamp(5.0, 2000.0);
+    let slo = (bootstrap * 40).max(Duration::from_millis(50));
+
+    eprintln!(
+        "autotune bench: {:.2} ms/bootstrap → target {:.0} req/s @ p99 <= {:.0} ms \
+         ({workers} workers, {requests} simulated, {validate} replayed)",
+        bootstrap.as_secs_f64() * 1e3,
+        rate,
+        slo.as_secs_f64() * 1e3
+    );
+    let outcome = run_autotune(
+        ParamSet::Test,
+        SloTarget {
+            rate_per_s: rate,
+            p99: slo,
+        },
+        workers,
+        requests,
+        Some(validate),
+    )
+    .expect("autotune run");
+    let r = &outcome.report;
+    eprintln!(
+        "searched {} candidates in {:.0} ms: slo_met={} predicted p99 {:.2} ms, measured {:.2} ms, agree={:?}",
+        r.trajectory.len(),
+        outcome.search_wall.as_secs_f64() * 1e3,
+        r.slo_met,
+        r.predicted.p99.as_secs_f64() * 1e3,
+        outcome
+            .measured
+            .as_ref()
+            .map(|m| m.p99.as_secs_f64() * 1e3)
+            .unwrap_or(f64::NAN),
+        outcome.agree
+    );
+    let json = bench_json(&outcome);
+    if let Err(e) = std::fs::write("BENCH_autotune.json", &json) {
+        eprintln!("could not write BENCH_autotune.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote BENCH_autotune.json ({} bytes)", json.len());
+    assert!(r.slo_met, "derived target must be attainable");
+    assert_eq!(outcome.agree, Some(true), "p99 agreement bound violated");
+}

@@ -1,0 +1,279 @@
+//! Capacity planning via simulator-in-the-loop autotuning (the serving
+//! analogue of the paper's §VI co-simulation): calibrate a
+//! [`ServiceModel`] from a live [`BootstrapEngine`] run, grid-search the
+//! [`ServingConfig`](morphling_tfhe::ServingConfig) space for a target
+//! arrival rate and p99 SLO, then optionally validate the
+//! recommendation by replaying the *same* seeded open-loop load through
+//! the real [`Dispatcher`] and checking the predicted/measured p99
+//! agreement bound.
+//!
+//! The `report autotune` subcommand and the `autotune_search` bench are
+//! thin wrappers over [`run_autotune`]; the JSON writers here define the
+//! schemas CI validates (`autotune_config.json`, `BENCH_autotune.json`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use morphling_core::trace::ExecutionTrace;
+use morphling_tfhe::autotune::{
+    autotune, p99_agree, replay_open_loop, AutotuneReport, LoadSpec, MeasuredProfile, ServiceModel,
+    SloTarget,
+};
+use morphling_tfhe::{
+    AutotuneRequest, BatchRequest, Bootstrapper, ClientKey, Dispatcher, EngineStats, Lut, ParamSet,
+    ServerKey, TfheError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything a capacity-planning run produced: the calibration
+/// measurement, the search verdict, and (when validation ran) the real
+/// dispatcher's measured profile with the agreement verdict.
+pub struct AutotuneOutcome {
+    /// Parameter set the calibration engine ran at.
+    pub set: ParamSet,
+    /// Engine stats the service model was calibrated from.
+    pub stats: EngineStats,
+    /// The calibrated service model.
+    pub model: ServiceModel,
+    /// The search verdict (recommended config, predicted profile,
+    /// trajectory).
+    pub report: AutotuneReport,
+    /// Wall time the search took.
+    pub search_wall: Duration,
+    /// Measured profile from replaying the recommended config through
+    /// the real dispatcher (`None` when validation was skipped).
+    pub measured: Option<MeasuredProfile>,
+    /// Whether predicted and measured p99 agree within the DESIGN.md §15
+    /// bound (`None` when validation was skipped).
+    pub agree: Option<bool>,
+}
+
+/// Calibrate → search → (optionally) validate, all at `set`.
+///
+/// Calibration bootstraps a warm batch through a `workers`-wide
+/// [`BootstrapEngine`] and derives the per-core cost from the engine's
+/// own busy counters. The search then looks for the cheapest config
+/// sustaining `rate_per_s` at `p99`, considering up to `workers`
+/// workers. With `validate`, the recommended config is built into a real
+/// engine + dispatcher stack and replayed under the same seeded
+/// open-loop load the simulator scored (`validate_requests` arrivals,
+/// deadlines equal to the SLO).
+pub fn run_autotune(
+    set: ParamSet,
+    target: SloTarget,
+    workers: usize,
+    requests: usize,
+    validate: Option<usize>,
+) -> Result<AutotuneOutcome, TfheError> {
+    let mut rng = StdRng::seed_from_u64(0xA77);
+    let params = set.params();
+    let p = params.plaintext_modulus;
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+    let lut = Arc::new(Lut::identity(params.poly_size, p));
+    let ct = ck.encrypt(1 % p, &mut rng);
+
+    // Calibrate: one warm-up wave, then a measured wave per core.
+    let engine = morphling_tfhe::BootstrapEngine::builder()
+        .workers(workers)
+        .build(Arc::clone(&sk))?;
+    let wave: Vec<_> = (0..workers.max(1) * 2).map(|_| ct.clone()).collect();
+    let _ = engine.try_bootstrap_batch(&BatchRequest::shared(
+        wave[..workers.max(1)].to_vec(),
+        (*lut).clone(),
+    ))?;
+    engine.reset_stats();
+    let _ = engine.try_bootstrap_batch(&BatchRequest::shared(wave, (*lut).clone()))?;
+    let stats = engine.stats();
+    drop(engine);
+    let model = ServiceModel::from_engine_stats(&stats).ok_or(TfheError::InvalidServingConfig {
+        field: "calibration",
+        detail: "engine completed no bootstraps to calibrate from".into(),
+    })?;
+
+    // Search.
+    let mut req = AutotuneRequest::new(target);
+    req.max_workers = workers.max(1);
+    req.requests = requests;
+    let t0 = Instant::now();
+    let report = autotune(&model, &req)?;
+    let search_wall = t0.elapsed();
+
+    // Validate: same seed, same rate, deadlines at the SLO, real stack.
+    let (measured, agree) = match validate {
+        Some(n) => {
+            let engine = report.recommended.build_engine(sk)?;
+            let dispatcher = Dispatcher::from_config(&report.recommended, engine)?;
+            let spec = LoadSpec {
+                rate_per_s: target.rate_per_s,
+                requests: n,
+                seed: req.seed,
+                deadline: Some(target.p99),
+            };
+            let measured = replay_open_loop(&dispatcher, &spec, &ct, &lut)?;
+            let agree = p99_agree(report.predicted.p99, measured.p99);
+            (Some(measured), Some(agree))
+        }
+        None => (None, None),
+    };
+    Ok(AutotuneOutcome {
+        set,
+        stats,
+        model,
+        report,
+        search_wall,
+        measured,
+        agree,
+    })
+}
+
+/// The `autotune_config.json` payload: exactly the recommended
+/// [`ServingConfig`](morphling_tfhe::ServingConfig)'s own serialization,
+/// so `ServingConfig::from_json` (and `Dispatcher::from_config`) loads
+/// it unchanged.
+pub fn config_json(outcome: &AutotuneOutcome) -> String {
+    outcome.report.recommended.to_json()
+}
+
+/// The `BENCH_autotune.json` payload CI validates: target, calibration,
+/// recommendation, predicted profile, search size, and — when validation
+/// ran — the measured profile plus the agreement verdict.
+pub fn bench_json(outcome: &AutotuneOutcome) -> String {
+    let r = &outcome.report;
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"target\": {{\"rate_per_s\": {}, \"p99_ms\": {}}},\n",
+        r.target.rate_per_s,
+        r.target.p99.as_secs_f64() * 1e3
+    ));
+    s.push_str(&format!(
+        "  \"calibration\": {{\"set\": \"{:?}\", \"bootstrap_us\": {}, \"per_core_bs_s\": {}, \"workers\": {}}},\n",
+        outcome.set,
+        outcome.model.bootstrap_ns as f64 / 1e3,
+        outcome.stats.bootstraps_per_core_sec(),
+        outcome.stats.workers
+    ));
+    s.push_str(&format!("  \"slo_met\": {},\n", r.slo_met));
+    s.push_str(&format!(
+        "  \"recommended\": {{\"workers\": {}, \"max_batch_size\": {}, \"max_linger_us\": {}, \"queue_capacity\": {}, \"deadline_slack_us\": {}}},\n",
+        r.recommended.workers,
+        r.recommended.max_batch_size,
+        r.recommended.max_linger.as_micros(),
+        r.recommended.queue_capacity,
+        r.recommended.deadline_slack.as_micros()
+    ));
+    s.push_str(&format!(
+        "  \"predicted\": {{\"p50_ms\": {}, \"p99_ms\": {}, \"throughput_bs\": {}, \"mean_batch_size\": {}, \"shed\": {}, \"expired\": {}}},\n",
+        r.predicted.p50.as_secs_f64() * 1e3,
+        r.predicted.p99.as_secs_f64() * 1e3,
+        r.predicted.throughput_bs,
+        r.predicted.mean_batch_size,
+        r.predicted.shed,
+        r.predicted.expired
+    ));
+    s.push_str(&format!(
+        "  \"search\": {{\"candidates\": {}, \"wall_ms\": {}}},\n",
+        r.trajectory.len(),
+        outcome.search_wall.as_secs_f64() * 1e3
+    ));
+    match (&outcome.measured, outcome.agree) {
+        (Some(m), Some(agree)) => {
+            s.push_str(&format!(
+                "  \"measured\": {{\"p50_ms\": {}, \"p99_ms\": {}, \"completed\": {}, \"expired\": {}, \"rejected\": {}, \"failed\": {}, \"throughput_bs\": {}}},\n",
+                m.p50.as_secs_f64() * 1e3,
+                m.p99.as_secs_f64() * 1e3,
+                m.completed,
+                m.expired,
+                m.rejected,
+                m.failed,
+                m.throughput_bs
+            ));
+            s.push_str(&format!("  \"p99_agree\": {agree}\n"));
+        }
+        _ => {
+            s.push_str("  \"measured\": null,\n");
+            s.push_str("  \"p99_agree\": null\n");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// The Chrome-trace payload for `report autotune --trace`: the search
+/// trajectory as an `Autotune` track.
+pub fn trace_json(outcome: &AutotuneOutcome) -> String {
+    ExecutionTrace::from_autotune(&outcome.report).to_chrome_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_outcome(validate: bool) -> AutotuneOutcome {
+        // A synthetic model keeps this test free of key generation; the
+        // JSON writers only look at the outcome struct.
+        let model = ServiceModel::new(Duration::from_millis(1));
+        let target = SloTarget {
+            rate_per_s: 100.0,
+            p99: Duration::from_millis(30),
+        };
+        let report = autotune(&model, &AutotuneRequest::new(target)).unwrap();
+        AutotuneOutcome {
+            set: ParamSet::Test,
+            stats: EngineStats {
+                workers: 2,
+                bootstraps: 10,
+                busy: Duration::from_millis(10),
+                ..EngineStats::default()
+            },
+            model,
+            report,
+            search_wall: Duration::from_millis(12),
+            measured: validate.then(|| MeasuredProfile {
+                p99: Duration::from_millis(4),
+                completed: 64,
+                ..MeasuredProfile::default()
+            }),
+            agree: validate.then_some(true),
+        }
+    }
+
+    #[test]
+    fn config_json_round_trips_through_serving_config() {
+        let outcome = synthetic_outcome(false);
+        let parsed = morphling_tfhe::ServingConfig::from_json(&config_json(&outcome)).unwrap();
+        assert_eq!(parsed, outcome.report.recommended);
+    }
+
+    #[test]
+    fn bench_json_has_the_ci_schema_fields() {
+        for validated in [false, true] {
+            let json = bench_json(&synthetic_outcome(validated));
+            for key in [
+                "\"target\"",
+                "\"calibration\"",
+                "\"slo_met\"",
+                "\"recommended\"",
+                "\"predicted\"",
+                "\"search\"",
+                "\"measured\"",
+                "\"p99_agree\"",
+            ] {
+                assert!(json.contains(key), "missing {key} in {json}");
+            }
+            if validated {
+                assert!(json.contains("\"p99_agree\": true"));
+            } else {
+                assert!(json.contains("\"p99_agree\": null"));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_json_renders_the_autotune_track() {
+        let json = trace_json(&synthetic_outcome(false));
+        assert!(json.contains("\"Autotune\""));
+        assert!(json.contains("traceEvents"));
+    }
+}

@@ -1,27 +1,69 @@
-//! Regenerate the paper's evaluation artifacts as text reports.
+//! Regenerate the paper's evaluation artifacts and run capacity planning.
+//!
+//! Structured subcommands:
 //!
 //! ```text
-//! cargo run -p morphling-bench --release --bin report            # everything
-//! cargo run -p morphling-bench --release --bin report -- table5  # one artifact
-//! cargo run -p morphling-bench --release --bin report -- table5 --measure-cpu
-//! cargo run -p morphling-bench --release --bin report -- --trace trace.json
+//! cargo run -p morphling-bench --release --bin report -- artifacts            # everything
+//! cargo run -p morphling-bench --release --bin report -- artifacts table5 --measure-cpu
+//! cargo run -p morphling-bench --release --bin report -- trace trace.json
+//! cargo run -p morphling-bench --release --bin report -- autotune --rate 50 --p99 100
+//! cargo run -p morphling-bench --release --bin report -- help
 //! ```
 //!
-//! `--trace <out.json>` writes a Chrome-trace execution timeline (the
-//! DeepCNN-20 workload scheduled through the SW → HW scheduler pair, plus
-//! the simulator's per-stage spans) loadable in `chrome://tracing` or
-//! Perfetto. It can be combined with artifact names; on its own it skips
-//! the text artifacts.
+//! `autotune` calibrates a service model from a live engine run, searches
+//! the serving-config space for the requested open-loop rate (req/s) and
+//! p99 SLO (ms), writes the recommended `ServingConfig` to
+//! `autotune_config.json` and the run summary to `BENCH_autotune.json`,
+//! and with `--validate` replays the recommendation through the real
+//! dispatcher to check the predicted/measured agreement bound
+//! (DESIGN.md §15). `--trace <path>` additionally writes the search
+//! trajectory as a Chrome-trace `autotune` track.
+//!
+//! The legacy positional invocations keep working: bare `report` renders
+//! every artifact, `report table5 --measure-cpu` renders one, and
+//! `report --trace trace.json` writes the scheduler timeline — exactly
+//! as before the subcommands existed.
+
+use std::time::Duration;
 
 use morphling_bench as reports;
+use morphling_tfhe::autotune::SloTarget;
+use morphling_tfhe::ParamSet;
 
 const ARTIFACTS: &[&str] = &[
     "fig1", "fig3", "table4", "table5", "fig7a", "fig7b", "fig8a", "fig8b", "table6", "dataflow",
     "summary",
 ];
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn usage() -> String {
+    format!(
+        "usage: report [artifacts] [{}] [--measure-cpu] [--trace <out.json>]\n\
+         \x20      report trace <out.json>\n\
+         \x20      report autotune --rate <req/s> --p99 <ms> [--workers <n>] [--requests <n>]\n\
+         \x20             [--set <I|II|III|IV|TEST>] [--validate [<n>]] [--no-validate]\n\
+         \x20             [--out <config.json>] [--bench-out <bench.json>] [--trace <out.json>]\n\
+         \x20      report help",
+        ARTIFACTS.join("|")
+    )
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
+fn write_or_die(path: &str, payload: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, payload) {
+        eprintln!("error: cannot write {what} to `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {what} ({} bytes) to {path}", payload.len());
+}
+
+/// The legacy artifact renderer: positional artifact names, optional
+/// `--measure-cpu`, optional `--trace <path>` for the scheduler timeline.
+fn run_artifacts(args: &[String]) {
     let mut measure_cpu = false;
     let mut trace_path: Option<String> = None;
     let mut targets: Vec<&str> = Vec::new();
@@ -31,21 +73,16 @@ fn main() {
             "--measure-cpu" => measure_cpu = true,
             "--trace" => match it.next() {
                 Some(path) => trace_path = Some(path.clone()),
-                None => {
-                    eprintln!("error: --trace requires an output path");
-                    std::process::exit(2);
-                }
+                None => fail("--trace requires an output path"),
             },
-            flag if flag.starts_with("--") => {
-                eprintln!("error: unknown flag `{flag}`");
-                std::process::exit(2);
-            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag `{flag}`")),
             target => targets.push(target),
         }
     }
     if let Some(unknown) = targets.iter().find(|t| !ARTIFACTS.contains(t)) {
-        eprintln!("error: unknown artifact `{unknown}`; known artifacts: {ARTIFACTS:?}");
-        std::process::exit(2);
+        fail(&format!(
+            "unknown artifact `{unknown}`; known artifacts: {ARTIFACTS:?}"
+        ));
     }
     let all = targets.is_empty() && trace_path.is_none();
     let want = |name: &str| all || targets.contains(&name);
@@ -84,14 +121,174 @@ fn main() {
         println!("{}", reports::summary_report());
     }
     if let Some(path) = trace_path {
-        let json = reports::deepcnn_trace_json(20);
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("error: cannot write trace to `{path}`: {e}");
+        write_or_die(&path, &reports::deepcnn_trace_json(20), "execution trace");
+        eprintln!("open in chrome://tracing or ui.perfetto.dev");
+    }
+}
+
+fn parse_set(name: &str) -> ParamSet {
+    match name.to_ascii_uppercase().as_str() {
+        "I" => ParamSet::I,
+        "II" => ParamSet::II,
+        "III" => ParamSet::III,
+        "IV" => ParamSet::IV,
+        "TEST" => ParamSet::Test,
+        other => fail(&format!(
+            "unknown parameter set `{other}`; use I, II, III, IV, or TEST"
+        )),
+    }
+}
+
+/// `report autotune --rate <req/s> --p99 <ms> [...]`.
+fn run_autotune(args: &[String]) {
+    let mut rate: Option<f64> = None;
+    let mut p99_ms: Option<f64> = None;
+    let mut workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4)
+        .min(8);
+    let mut requests = 256usize;
+    let mut set = ParamSet::Test;
+    let mut validate: Option<usize> = Some(128);
+    let mut out = String::from("autotune_config.json");
+    let mut bench_out = String::from("BENCH_autotune.json");
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => fail(&format!("{flag} requires a value")),
+        };
+        match arg.as_str() {
+            "--rate" => {
+                rate = Some(
+                    value("--rate")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rate must be a number (requests per second)")),
+                )
+            }
+            "--p99" => {
+                p99_ms = Some(
+                    value("--p99")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--p99 must be a number (milliseconds)")),
+                )
+            }
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers must be a positive integer"))
+            }
+            "--requests" => {
+                requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--requests must be a positive integer"))
+            }
+            "--set" => set = parse_set(&value("--set")),
+            "--validate" => {
+                // Optional count operand: `--validate 64`.
+                validate = Some(match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse()
+                            .unwrap_or_else(|_| fail("--validate count must be an integer"))
+                    }
+                    _ => 128,
+                });
+            }
+            "--no-validate" => validate = None,
+            "--out" => out = value("--out"),
+            "--bench-out" => bench_out = value("--bench-out"),
+            "--trace" => trace_path = Some(value("--trace")),
+            flag => fail(&format!("unknown autotune flag `{flag}`")),
+        }
+    }
+    let rate = rate.unwrap_or_else(|| fail("autotune requires --rate <req/s>"));
+    let p99_ms = p99_ms.unwrap_or_else(|| fail("autotune requires --p99 <ms>"));
+    if !(rate.is_finite() && rate > 0.0) {
+        fail("--rate must be positive");
+    }
+    if !(p99_ms.is_finite() && p99_ms > 0.0) {
+        fail("--p99 must be positive");
+    }
+    let target = SloTarget {
+        rate_per_s: rate,
+        p99: Duration::from_secs_f64(p99_ms / 1e3),
+    };
+    eprintln!(
+        "autotune: calibrating at set {set:?} with {workers} workers, then searching for \
+         {rate} req/s @ p99 <= {p99_ms} ms ..."
+    );
+    let outcome = match reports::autotune::run_autotune(set, target, workers, requests, validate) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: autotune failed: {e}");
             std::process::exit(1);
         }
+    };
+    let r = &outcome.report;
+    eprintln!(
+        "calibrated: {:.1} bootstraps/s per core ({:.2} ms each)",
+        1e9 / outcome.model.bootstrap_ns as f64,
+        outcome.model.bootstrap_ns as f64 / 1e6
+    );
+    eprintln!(
+        "searched {} candidates in {:.0} ms: slo_met={} → workers={} batch={} linger={:?} \
+         queue={} slack={:?} (predicted p99 {:.2} ms)",
+        r.trajectory.len(),
+        outcome.search_wall.as_secs_f64() * 1e3,
+        r.slo_met,
+        r.recommended.workers,
+        r.recommended.max_batch_size,
+        r.recommended.max_linger,
+        r.recommended.queue_capacity,
+        r.recommended.deadline_slack,
+        r.predicted.p99.as_secs_f64() * 1e3
+    );
+    if let (Some(m), Some(agree)) = (&outcome.measured, outcome.agree) {
         eprintln!(
-            "wrote execution trace ({} bytes) to {path} — open in chrome://tracing or ui.perfetto.dev",
-            json.len()
+            "validated against the real dispatcher: measured p99 {:.2} ms \
+             (completed {}, expired {}, rejected {}) — agreement {}",
+            m.p99.as_secs_f64() * 1e3,
+            m.completed,
+            m.expired,
+            m.rejected,
+            if agree { "OK" } else { "VIOLATED" }
         );
+    }
+    write_or_die(
+        &out,
+        &reports::autotune::config_json(&outcome),
+        "serving config",
+    );
+    write_or_die(
+        &bench_out,
+        &reports::autotune::bench_json(&outcome),
+        "autotune summary",
+    );
+    if let Some(path) = trace_path {
+        write_or_die(
+            &path,
+            &reports::autotune::trace_json(&outcome),
+            "autotune search trace",
+        );
+    }
+    if outcome.agree == Some(false) {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("help") | Some("--help") | Some("-h") => println!("{}", usage()),
+        Some("artifacts") => run_artifacts(&args[1..]),
+        Some("autotune") => run_autotune(&args[1..]),
+        Some("trace") => match args.get(1) {
+            Some(path) => write_or_die(path, &reports::deepcnn_trace_json(20), "execution trace"),
+            None => fail("trace requires an output path"),
+        },
+        // Legacy positional form: artifact names and flags directly.
+        _ => run_artifacts(&args),
     }
 }

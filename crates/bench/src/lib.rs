@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod autotune;
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

@@ -331,6 +331,24 @@ impl SimReport {
         self.cores as f64 / ((self.br_cycles + self.fault_cycles) as f64 / self.clock_hz)
     }
 
+    /// Bridge into the serving autotuner: this simulated accelerator as a
+    /// [`ServiceModel`](morphling_tfhe::ServiceModel). Each in-flight
+    /// core slot is one "worker" whose per-bootstrap cost is the full
+    /// (stalled) per-ciphertext latency; scaling across slots is linear
+    /// by construction (the hardware completes `cores` bootstraps per
+    /// window), so the parallel efficiency is 1 and there is no software
+    /// batch overhead. Pair it with `workers = report.cores` when
+    /// autotuning: `capacity_bs(cores)` then reproduces
+    /// [`throughput_bs_per_s`](Self::throughput_bs_per_s) up to the
+    /// one-time fill/serial stages.
+    pub fn service_model(&self) -> morphling_tfhe::ServiceModel {
+        morphling_tfhe::ServiceModel {
+            bootstrap_ns: ((self.latency_cycles() as f64 / self.clock_hz) * 1e9).ceil() as u64,
+            batch_overhead_ns: 0,
+            parallel_efficiency: 1.0,
+        }
+    }
+
     /// Latency fractions per stage — Fig 7-a. Returns
     /// `(ms, xpu_blind_rotation, se, ks)` fractions summing to ≈ 1.
     pub fn latency_breakdown(&self) -> (f64, f64, f64, f64) {

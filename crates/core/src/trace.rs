@@ -19,8 +19,8 @@
 use std::fmt::Write as _;
 
 use morphling_tfhe::{
-    DispatchSpan, FaultEvent, FaultEventKind, JobSpan, KeyEvent, KeyEventKind, ResilienceEvent,
-    ResilienceEventKind,
+    AutotuneReport, DispatchSpan, FaultEvent, FaultEventKind, JobSpan, KeyEvent, KeyEventKind,
+    ResilienceEvent, ResilienceEventKind, SearchPoint,
 };
 
 /// Why an instruction did not start the moment it became ready.
@@ -456,6 +456,67 @@ impl ExecutionTrace {
     pub fn from_keystore(events: &[KeyEvent]) -> Self {
         let mut trace = ExecutionTrace::new(1e3);
         trace.add_keystore_events(events);
+        trace
+    }
+
+    /// Journal an autotune search trajectory
+    /// ([`autotune`](morphling_tfhe::autotune::autotune)'s evaluated
+    /// [`SearchPoint`]s, in search order) as an `Autotune` process with
+    /// one `search` track: one span per candidate, 1 µs wide, at 1 µs
+    /// pitch, named `wN bM` (workers/batch), `cat` `"autotune"` for
+    /// feasible candidates and `"autotune_infeasible"` otherwise, with
+    /// every knob and the predicted profile in the args. Loading the
+    /// trace shows the search walking the config space and the feasible
+    /// region lighting up.
+    pub fn add_autotune_trajectory(&mut self, trajectory: &[SearchPoint]) {
+        let track = self.track("Autotune", "search");
+        for (i, p) in trajectory.iter().enumerate() {
+            self.span_with_args(
+                track,
+                &format!("w{} b{}", p.workers, p.max_batch_size),
+                if p.feasible {
+                    "autotune"
+                } else {
+                    "autotune_infeasible"
+                },
+                i as u64,
+                1,
+                vec![
+                    ("workers".into(), p.workers.to_string()),
+                    ("max_batch_size".into(), p.max_batch_size.to_string()),
+                    ("max_linger_us".into(), p.max_linger.as_micros().to_string()),
+                    ("queue_capacity".into(), p.queue_capacity.to_string()),
+                    (
+                        "deadline_slack_us".into(),
+                        p.deadline_slack.as_micros().to_string(),
+                    ),
+                    (
+                        "predicted_p99_us".into(),
+                        p.predicted.p99.as_micros().to_string(),
+                    ),
+                    (
+                        "predicted_throughput_bs".into(),
+                        format!("{:.1}", p.predicted.throughput_bs),
+                    ),
+                    (
+                        "mean_batch_size".into(),
+                        format!("{:.2}", p.predicted.mean_batch_size),
+                    ),
+                    ("shed".into(), p.predicted.shed.to_string()),
+                    ("expired".into(), p.predicted.expired.to_string()),
+                    ("feasible".into(), p.feasible.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Build a trace holding just an autotune run's search trajectory
+    /// (microsecond ticks, one candidate per tick), ready to
+    /// [`merge`](Self::merge) with serving traces from the validation
+    /// replay.
+    pub fn from_autotune(report: &AutotuneReport) -> Self {
+        let mut trace = ExecutionTrace::new(1.0);
+        trace.add_autotune_trajectory(&report.trajectory);
         trace
     }
 

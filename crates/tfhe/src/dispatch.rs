@@ -100,22 +100,10 @@ use crate::lwe::LweCiphertext;
 use crate::resilience::{
     CircuitBreaker, ResilienceEvent, ResilienceEventKind, ResilienceJournal, RetryPolicy,
 };
+use crate::serving::{RetryConfig, ServingConfig};
 
 /// Journal scope for dispatcher-originated resilience events.
 const DISPATCHER_SCOPE: &str = "dispatcher";
-
-/// Default micro-batch cap: comfortably larger than the engine's per-chunk
-/// granularity so a full batch still fans out across the pool.
-const DEFAULT_MAX_BATCH: usize = 32;
-/// Default linger: long enough to coalesce a burst, short enough to stay
-/// invisible next to a bootstrap.
-const DEFAULT_MAX_LINGER: Duration = Duration::from_millis(2);
-/// Default admission-queue capacity.
-const DEFAULT_QUEUE_CAPACITY: usize = 1024;
-/// A deadline-triggered flush starts this much before the deadline itself,
-/// so the request it is rescuing still starts in time despite condvar
-/// wake-up jitter.
-const DEADLINE_SLACK: Duration = Duration::from_micros(500);
 
 /// Ignore a poisoned lock: the dispatcher's shared state stays consistent
 /// across panics (counters are atomics; the queue is drained defensively).
@@ -243,9 +231,10 @@ struct DispatchCounters {
 }
 
 struct Shared {
-    cap: usize,
-    max_batch: usize,
-    max_linger: Duration,
+    /// The serving knobs this dispatcher was built from (batch/linger/
+    /// queue/slack are read from here; retry and breaker are materialized
+    /// into the fields below at build time).
+    config: ServingConfig,
     epoch: Instant,
     state: Mutex<QueueState>,
     not_empty: Condvar,
@@ -553,7 +542,7 @@ pub struct TenantDispatchStats {
 /// quantile is monotone in `q`, stays within `[min, max]`, is exact on
 /// singletons, and — unlike the naive `ceil(len · q)` rank — does not
 /// under-report on tiny samples (the p50 of `[a, b]` is `b`, not `a`).
-fn percentile(sorted: &[u64], q: f64) -> Duration {
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
@@ -564,35 +553,47 @@ fn percentile(sorted: &[u64], q: f64) -> Duration {
 /// Builder for [`Dispatcher`], mirroring
 /// [`BootstrapEngineBuilder`](crate::BootstrapEngineBuilder)'s consuming
 /// style. All knobs clamp to sane minimums, so `build` is infallible.
-#[derive(Clone, Debug)]
+///
+/// This is the **legacy path**, kept so existing call sites compile
+/// unchanged: since the [`ServingConfig`] redesign it is a thin wrapper
+/// that assembles a config plus the runtime-only wiring (a shared breaker
+/// instance, a shared journal, a live key store). New code — and anything
+/// consuming an autotuner recommendation — should prefer
+/// [`Dispatcher::from_config`], which validates loudly instead of
+/// clamping.
+#[derive(Clone, Debug, Default)]
 pub struct DispatcherBuilder {
-    max_batch_size: usize,
-    max_linger: Duration,
-    queue_capacity: usize,
-    retry_policy: RetryPolicy,
+    config: ServingConfig,
     breaker: Option<Arc<CircuitBreaker>>,
     journal: Option<Arc<ResilienceJournal>>,
     key_store: Option<Arc<KeyStore>>,
 }
 
-impl Default for DispatcherBuilder {
-    fn default() -> Self {
-        Self {
-            max_batch_size: DEFAULT_MAX_BATCH,
-            max_linger: DEFAULT_MAX_LINGER,
-            queue_capacity: DEFAULT_QUEUE_CAPACITY,
-            retry_policy: RetryPolicy::none(),
-            breaker: None,
-            journal: None,
-            key_store: None,
-        }
-    }
-}
-
 impl DispatcherBuilder {
-    /// Defaults: batch up to 32, linger up to 2 ms, queue 1024 deep.
+    /// Defaults: batch up to 32, linger up to 2 ms, queue 1024 deep
+    /// ([`ServingConfig::default`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Start from an explicit [`ServingConfig`] (e.g. an autotuner
+    /// recommendation read back from `autotune_config.json`), keeping the
+    /// builder available for runtime-only wiring
+    /// ([`key_store`](Self::key_store),
+    /// [`resilience_journal`](Self::resilience_journal), a shared
+    /// [`circuit_breaker`](Self::circuit_breaker) instance).
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::InvalidServingConfig`] if `config` fails
+    /// [`ServingConfig::validate`] — degenerate knobs are rejected here,
+    /// not clamped.
+    pub fn from_config(config: &ServingConfig) -> Result<Self, TfheError> {
+        config.validate()?;
+        Ok(Self {
+            config: config.clone(),
+            ..Self::default()
+        })
     }
 
     /// Flush a batch as soon as it reaches this many requests (the
@@ -600,21 +601,29 @@ impl DispatcherBuilder {
     /// coalescing — every request executes alone, the baseline the bench
     /// compares against.
     pub fn max_batch_size(mut self, n: usize) -> Self {
-        self.max_batch_size = n.max(1);
+        self.config.max_batch_size = n.max(1);
         self
     }
 
     /// Flush a non-full batch once its oldest member has waited this
     /// long — the latency bound a mostly-idle dispatcher adds.
     pub fn max_linger(mut self, linger: Duration) -> Self {
-        self.max_linger = linger;
+        self.config.max_linger = linger;
         self
     }
 
     /// Admission-queue depth (clamped to ≥ 1). Beyond it, `try_submit`
     /// rejects with [`TfheError::QueueFull`] and `submit` blocks.
     pub fn queue_capacity(mut self, cap: usize) -> Self {
-        self.queue_capacity = cap.max(1);
+        self.config.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Start a deadline-triggered flush this much before the deadline
+    /// itself, so the request it rescues still starts in time despite
+    /// condvar wake-up jitter. Default 500 µs.
+    pub fn deadline_slack(mut self, slack: Duration) -> Self {
+        self.config.deadline_slack = slack;
         self
     }
 
@@ -624,7 +633,7 @@ impl DispatcherBuilder {
     /// policy's (deterministically jittered) backoff between attempts.
     /// Default: [`RetryPolicy::none`], preserving fail-fast semantics.
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
-        self.retry_policy = policy;
+        self.config.retry = RetryConfig::from(policy);
         self
     }
 
@@ -658,14 +667,30 @@ impl DispatcherBuilder {
     }
 
     /// Spawn the batcher thread over `backend` and start serving.
+    ///
+    /// A declarative [`ServingConfig::breaker`] (reached via
+    /// [`from_config`](Self::from_config)) is materialized into a fresh
+    /// [`CircuitBreaker`] here, journaling into the dispatcher's journal;
+    /// an explicit [`circuit_breaker`](Self::circuit_breaker) instance
+    /// takes precedence.
     pub fn build<B>(self, backend: B) -> Dispatcher
     where
         B: Bootstrapper + Send + Sync + 'static,
     {
+        let journal = self.journal.unwrap_or_default();
+        let breaker = self.breaker.or_else(|| {
+            self.config.breaker.as_ref().map(|b| {
+                Arc::new(
+                    b.to_builder()
+                        .name("dispatcher-breaker")
+                        .journal(Arc::clone(&journal))
+                        .build(),
+                )
+            })
+        });
+        let retry = self.config.retry.policy();
         let shared = Arc::new(Shared {
-            cap: self.queue_capacity,
-            max_batch: self.max_batch_size,
-            max_linger: self.max_linger,
+            config: self.config,
             epoch: Instant::now(),
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -677,9 +702,9 @@ impl DispatcherBuilder {
                 first_ns: AtomicU64::new(u64::MAX),
                 ..DispatchCounters::default()
             },
-            retry: self.retry_policy,
-            breaker: self.breaker,
-            journal: self.journal.unwrap_or_default(),
+            retry,
+            breaker,
+            journal,
             key_store: self.key_store,
         });
         let backend: Arc<dyn Bootstrapper + Send + Sync> = Arc::new(backend);
@@ -713,6 +738,30 @@ impl Dispatcher {
         B: Bootstrapper + Send + Sync + 'static,
     {
         Self::builder().build(backend)
+    }
+
+    /// Build a dispatcher from a validated [`ServingConfig`] — the
+    /// consumption side of the autotuner loop (`report autotune` emits
+    /// the config; this turns it back into a serving front-end).
+    ///
+    /// `config.workers` does not spawn anything here (the dispatcher
+    /// fronts whatever `backend` it is given); pair with
+    /// [`ServingConfig::build_engine`] to size the backend too. A
+    /// `config.breaker` section materializes into a fresh
+    /// [`CircuitBreaker`]; use [`DispatcherBuilder::from_config`] when
+    /// runtime wiring (shared breaker/journal/key store) is needed.
+    ///
+    /// # Errors
+    ///
+    /// [`TfheError::InvalidServingConfig`] if `config` fails
+    /// [`ServingConfig::validate`] — degenerate knobs (`workers == 0`,
+    /// `max_batch_size == 0`, a zero queue) are rejected loudly here
+    /// instead of panicking (or being silently clamped) deeper in.
+    pub fn from_config<B>(config: &ServingConfig, backend: B) -> Result<Self, TfheError>
+    where
+        B: Bootstrapper + Send + Sync + 'static,
+    {
+        Ok(DispatcherBuilder::from_config(config)?.build(backend))
     }
 
     /// Submit one request, blocking while the admission queue is full.
@@ -891,13 +940,13 @@ impl Dispatcher {
             if !st.open {
                 return Err(TfheError::DispatcherShutDown);
             }
-            if st.queue.len() < shared.cap {
+            if st.queue.len() < shared.config.queue_capacity {
                 break;
             }
             if !block {
                 shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(TfheError::QueueFull {
-                    capacity: shared.cap,
+                    capacity: shared.config.queue_capacity,
                 });
             }
             st = shared
@@ -1024,17 +1073,30 @@ impl Dispatcher {
 
     /// Admission-queue capacity.
     pub fn queue_capacity(&self) -> usize {
-        self.shared.cap
+        self.shared.config.queue_capacity
     }
 
     /// Batch-size cap.
     pub fn max_batch_size(&self) -> usize {
-        self.shared.max_batch
+        self.shared.config.max_batch_size
     }
 
     /// Linger bound.
     pub fn max_linger(&self) -> Duration {
-        self.shared.max_linger
+        self.shared.config.max_linger
+    }
+
+    /// How far before a member's deadline a batch is flushed early.
+    pub fn deadline_slack(&self) -> Duration {
+        self.shared.config.deadline_slack
+    }
+
+    /// The serving knobs this dispatcher runs under. From the
+    /// [`from_config`](Self::from_config) path this is the caller's
+    /// config verbatim; from the legacy [`builder`](Self::builder) path
+    /// it is the equivalent assembled config (ready to serialize and pin).
+    pub fn config(&self) -> &ServingConfig {
+        &self.shared.config
     }
 
     /// Graceful shutdown: close admission, **drain** every request
@@ -1065,9 +1127,9 @@ impl Drop for Dispatcher {
 impl std::fmt::Debug for Dispatcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dispatcher")
-            .field("max_batch_size", &self.shared.max_batch)
-            .field("max_linger", &self.shared.max_linger)
-            .field("queue_capacity", &self.shared.cap)
+            .field("max_batch_size", &self.shared.config.max_batch_size)
+            .field("max_linger", &self.shared.config.max_linger)
+            .field("queue_capacity", &self.shared.config.queue_capacity)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -1215,20 +1277,20 @@ fn take_first(shared: &Shared) -> Option<Pending> {
 fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
     let flush_for = |p: &Pending| -> Option<Instant> {
         p.deadline
-            .map(|d| d.checked_sub(DEADLINE_SLACK).unwrap_or(d))
+            .map(|d| d.checked_sub(shared.config.deadline_slack).unwrap_or(d))
     };
     let affinity = batch[0].tenant;
-    let mut flush_at = batch[0].enqueued + shared.max_linger;
+    let mut flush_at = batch[0].enqueued + shared.config.max_linger;
     if let Some(d) = flush_for(&batch[0]) {
         flush_at = flush_at.min(d);
     }
-    if shared.max_batch <= 1 {
+    if shared.config.max_batch_size <= 1 {
         return;
     }
     let mut st = lock(&shared.state);
     loop {
         let mut i = 0;
-        while batch.len() < shared.max_batch && i < st.queue.len() {
+        while batch.len() < shared.config.max_batch_size && i < st.queue.len() {
             let now = Instant::now();
             let doomed = st.queue[i].cancelled.load(Ordering::SeqCst)
                 || deadline_expired(st.queue[i].deadline, now);
@@ -1248,7 +1310,7 @@ fn collect_linger(shared: &Shared, batch: &mut Vec<Pending>) {
             }
             batch.push(p);
         }
-        if batch.len() >= shared.max_batch || !st.open {
+        if batch.len() >= shared.config.max_batch_size || !st.open {
             return;
         }
         let now = Instant::now();
@@ -2265,6 +2327,93 @@ mod tests {
         let pins = events.iter().filter(|e| e.kind.label() == "pin").count();
         let unpins = events.iter().filter(|e| e.kind.label() == "unpin").count();
         assert_eq!(pins, unpins);
+    }
+
+    #[test]
+    fn from_config_honors_every_knob() {
+        let cfg = ServingConfig::builder()
+            .workers(3)
+            .max_batch_size(7)
+            .max_linger(Duration::from_millis(9))
+            .queue_capacity(11)
+            .deadline_slack(Duration::from_micros(250))
+            .build()
+            .unwrap();
+        let (backend, _started, _gate) = echo(false);
+        let d = Dispatcher::from_config(&cfg, Arc::clone(&backend)).unwrap();
+        assert_eq!(d.config(), &cfg);
+        assert_eq!(d.max_batch_size(), 7);
+        assert_eq!(d.queue_capacity(), 11);
+        assert_eq!(d.max_linger(), Duration::from_millis(9));
+        assert_eq!(d.deadline_slack(), Duration::from_micros(250));
+        // And it actually serves traffic.
+        let t = d.submit(dummy_ct(1), dummy_lut(), None).unwrap();
+        assert_eq!(t.wait().unwrap(), dummy_ct(1));
+    }
+
+    #[test]
+    fn from_config_rejects_degenerate_knobs() {
+        let cfg = ServingConfig {
+            max_batch_size: 0,
+            ..Default::default()
+        };
+        let (backend, _started, _gate) = echo(false);
+        let err = Dispatcher::from_config(&cfg, backend).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TfheError::InvalidServingConfig {
+                    field: "max_batch_size",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_builder_and_config_agree() {
+        // The legacy builder is a thin wrapper: the config it assembles is
+        // observable on the running dispatcher and round-trips through the
+        // declarative path.
+        let (backend, _started, _gate) = echo(false);
+        let d = Dispatcher::builder()
+            .max_batch_size(5)
+            .max_linger(Duration::from_millis(3))
+            .queue_capacity(17)
+            .retry_policy(RetryPolicy::new(2))
+            .build(Arc::clone(&backend));
+        let cfg = d.config().clone();
+        assert_eq!(cfg.max_batch_size, 5);
+        assert_eq!(cfg.max_linger, Duration::from_millis(3));
+        assert_eq!(cfg.queue_capacity, 17);
+        assert_eq!(cfg.retry.max_retries, 2);
+        let d2 = Dispatcher::from_config(&cfg, backend).unwrap();
+        assert_eq!(d2.config(), &cfg);
+    }
+
+    #[test]
+    fn builder_clamps_zero_knobs_but_config_path_rejects_them() {
+        // Historic builder behavior: zeros are clamped up, never panics.
+        let (backend, _started, _gate) = echo(false);
+        let d = Dispatcher::builder()
+            .max_batch_size(0)
+            .queue_capacity(0)
+            .build(backend);
+        assert_eq!(d.max_batch_size(), 1);
+        assert_eq!(d.queue_capacity(), 1);
+        // The declarative path makes the same degenerate input a typed error.
+        let cfg = ServingConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            DispatcherBuilder::from_config(&cfg).unwrap_err(),
+            TfheError::InvalidServingConfig {
+                field: "workers",
+                ..
+            }
+        ));
     }
 
     mod percentile_properties {

@@ -189,6 +189,28 @@ pub enum TfheError {
     /// A tenant-keyed backend received a request with no tenant attached
     /// and has no default key to fall back on.
     NoTenantProvided,
+    /// A [`ServingConfig`](crate::ServingConfig) knob holds a degenerate
+    /// value (`workers == 0`, `max_batch_size == 0`, a zero queue depth,
+    /// an out-of-range fraction, …). Rejected loudly at
+    /// [`validate`](crate::ServingConfig::validate) /
+    /// [`Dispatcher::from_config`](crate::Dispatcher::from_config) time
+    /// instead of panicking (or silently clamping) deep in the
+    /// dispatcher.
+    InvalidServingConfig {
+        /// The offending field, dotted-path style (`"retry.jitter"`).
+        field: &'static str,
+        /// What is wrong with its value.
+        detail: String,
+    },
+    /// A serialized [`ServingConfig`](crate::ServingConfig) failed JSON
+    /// framing or schema validation during
+    /// [`from_json`](crate::ServingConfig::from_json) — the text is
+    /// malformed (or was produced by an incompatible writer) and no
+    /// config can be recovered from it.
+    ConfigCorrupted {
+        /// Human-readable description of the first validation failure.
+        detail: String,
+    },
 }
 
 impl TfheError {
@@ -348,6 +370,12 @@ impl std::fmt::Display for TfheError {
                     "request names no tenant and no default key is configured"
                 )
             }
+            Self::InvalidServingConfig { field, detail } => {
+                write!(f, "invalid serving config: `{field}` {detail}")
+            }
+            Self::ConfigCorrupted { detail } => {
+                write!(f, "serialized serving config is corrupted: {detail}")
+            }
         }
     }
 }
@@ -448,6 +476,15 @@ mod tests {
                 need: 4096,
             },
             TfheError::NoTenantProvided,
+            // Config failures: the same config text / knob values would
+            // fail identically on a retry.
+            TfheError::InvalidServingConfig {
+                field: "workers",
+                detail: "must be at least 1 (got 0)".into(),
+            },
+            TfheError::ConfigCorrupted {
+                detail: "expected `{`".into(),
+            },
         ] {
             assert!(!e.is_retryable(), "{e} must not be retryable");
         }
@@ -466,5 +503,18 @@ mod tests {
         assert!(TfheError::NoBackendProvided
             .to_string()
             .contains("at least one backend"));
+    }
+
+    #[test]
+    fn config_variants_name_the_offending_field() {
+        let invalid = TfheError::InvalidServingConfig {
+            field: "max_batch_size",
+            detail: "must be at least 1 (got 0)".into(),
+        };
+        assert!(invalid.to_string().contains("`max_batch_size`"));
+        let corrupt = TfheError::ConfigCorrupted {
+            detail: "unexpected end of input".into(),
+        };
+        assert!(corrupt.to_string().contains("unexpected end of input"));
     }
 }

@@ -39,7 +39,12 @@
 //!   [`RetryPolicy`] (bounded backoff with seeded jitter),
 //!   [`CircuitBreaker`] (fail-fast admission while a backend is sick),
 //!   and the degraded-mode [`FailoverBootstrapper`] that walks an ordered
-//!   backend stack and restores the primary via half-open probes.
+//!   backend stack and restores the primary via half-open probes;
+//! - a unified, JSON-serializable [`ServingConfig`] covering every
+//!   serving knob ([`Dispatcher::from_config`](dispatch::Dispatcher::from_config)
+//!   consumes it), and a simulator-in-the-loop [`autotune`]r that
+//!   searches the config space for a target arrival rate and p99 SLO and
+//!   validates its recommendation against the real dispatcher.
 //!
 //! # Quickstart
 //!
@@ -63,6 +68,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod autotune;
 mod batch;
 mod bootstrap;
 mod bootstrap_key;
@@ -88,8 +94,13 @@ pub mod radix;
 pub mod resilience;
 pub mod serialize;
 mod server;
+pub mod serving;
 mod workspace;
 
+pub use autotune::{
+    AutotuneReport, AutotuneRequest, LoadSpec, MeasuredProfile, PredictedProfile, SearchPoint,
+    ServiceModel, SloTarget,
+};
 pub use bootstrap::{blind_rotate, blind_rotate_assign, modulus_switch, sample_extract};
 pub use bootstrap_key::BootstrapKey;
 pub use bootstrapper::{BatchRequest, BatchRequestBuilder, Bootstrapper, ParallelServerKey};
@@ -127,4 +138,5 @@ pub use serialize::{
     serialize_server_key,
 };
 pub use server::{BootstrapOptions, MulBackend, ServerKey, ServerKeyBuilder};
+pub use serving::{BreakerConfig, RetryConfig, ServingConfig, ServingConfigBuilder};
 pub use workspace::BootstrapWorkspace;

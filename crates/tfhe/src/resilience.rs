@@ -143,6 +143,26 @@ impl RetryPolicy {
         self.max_retries
     }
 
+    /// The first-retry backoff (doubles each further attempt).
+    pub fn base_backoff(&self) -> Duration {
+        self.base_backoff
+    }
+
+    /// The exponential-backoff cap.
+    pub fn max_backoff(&self) -> Duration {
+        self.max_backoff
+    }
+
+    /// The jitter fraction in `[0, 1]`.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// The seed the deterministic jitter draws from.
+    pub fn jitter_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Should a request that failed with `err` after `attempt` completed
     /// retries be retried once more? `true` only for
     /// [retryable](TfheError::is_retryable) faults within budget.

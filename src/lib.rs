@@ -51,21 +51,24 @@ pub use morphling_transform as transform;
 /// [`MultiTicket`]), the service-resilience layer ([`RetryPolicy`],
 /// [`CircuitBreaker`], the degraded-mode [`FailoverBootstrapper`]), the
 /// multi-tenant key layer ([`KeyStore`], [`KeyStoreBootstrapper`],
-/// [`TenantId`] and the in-memory/directory backends), LUTs and
-/// ciphertexts, the paper's parameter sets, and the accelerator
-/// simulator. Deeper items (schedulers, radix integers, app models,
-/// the wire-format functions in `tfhe::serialize`) stay behind their
-/// module paths.
+/// [`TenantId`] and the in-memory/directory backends), the unified
+/// serving surface ([`ServingConfig`] with [`Dispatcher::from_config`],
+/// and the simulator-in-the-loop autotuner's [`ServiceModel`] /
+/// [`AutotuneRequest`] / [`SloTarget`]), LUTs and ciphertexts, the
+/// paper's parameter sets, and the accelerator simulator. Deeper items
+/// (schedulers, radix integers, app models, the wire-format functions in
+/// `tfhe::serialize`) stay behind their module paths.
 pub mod prelude {
     pub use morphling_core::faults::SimFaultPlan;
     pub use morphling_core::{sim::Simulator, ArchConfig, ReuseMode};
     pub use morphling_tfhe::{
-        BatchRequest, BootstrapEngine, BootstrapEngineBuilder, BootstrapOptions,
-        BootstrapWorkspace, Bootstrapper, BreakerState, CircuitBreaker, ClientKey, DirBackend,
-        Dispatcher, DispatcherStats, EngineHealth, EngineHealthHandle, EngineStats,
-        FailoverBootstrapper, FaultPlan, KeyBackend, KeyStore, KeyStoreBootstrapper, KeyStoreStats,
-        Lut, LweCiphertext, MemoryBackend, MulBackend, MultiLutPlan, MultiTicket,
-        ParallelServerKey, ParamSet, ResilienceJournal, RetryPolicy, ServerKey, ServerKeyBuilder,
-        TenantId, TfheError, TfheParams, Ticket,
+        AutotuneReport, AutotuneRequest, BatchRequest, BootstrapEngine, BootstrapEngineBuilder,
+        BootstrapOptions, BootstrapWorkspace, Bootstrapper, BreakerConfig, BreakerState,
+        CircuitBreaker, ClientKey, DirBackend, Dispatcher, DispatcherStats, EngineHealth,
+        EngineHealthHandle, EngineStats, FailoverBootstrapper, FaultPlan, KeyBackend, KeyStore,
+        KeyStoreBootstrapper, KeyStoreStats, LoadSpec, Lut, LweCiphertext, MemoryBackend,
+        MulBackend, MultiLutPlan, MultiTicket, ParallelServerKey, ParamSet, ResilienceJournal,
+        RetryConfig, RetryPolicy, ServerKey, ServerKeyBuilder, ServiceModel, ServingConfig,
+        SloTarget, TenantId, TfheError, TfheParams, Ticket,
     };
 }

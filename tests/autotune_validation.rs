@@ -1,0 +1,144 @@
+//! End-to-end validation of the simulator-in-the-loop autotuner: the
+//! loop the `report autotune` subcommand runs, asserted as a test.
+//!
+//! Calibrate a [`ServiceModel`] from a live engine run, search the
+//! serving-config space for a load/SLO derived from that calibration (so
+//! the target adapts to debug vs release builds and fast vs slow hosts),
+//! build the recommended stack — `ServingConfig::build_engine` +
+//! `Dispatcher::from_config` — and replay the *same seeded arrival
+//! schedule* the simulator scored through the real dispatcher. The
+//! recommendation must meet the requested p99 SLO in reality, and the
+//! predicted and measured p99 must agree within the DESIGN.md §15 bound.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morphling_repro::prelude::*;
+use morphling_repro::tfhe::autotune::{autotune, p99_agree, replay_open_loop};
+use morphling_repro::tfhe::BatchRequest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn recommended_config_meets_its_slo_on_the_real_dispatcher() {
+    let mut rng = StdRng::seed_from_u64(0xCA11B);
+    let params = ParamSet::Test.params();
+    let p = params.plaintext_modulus;
+    let ck = ClientKey::generate(params.clone(), &mut rng);
+    let sk = Arc::new(ServerKey::new(&ck, &mut rng));
+    let lut = Arc::new(Lut::identity(params.poly_size, p));
+    let ct = ck.encrypt(1 % p, &mut rng);
+
+    // Calibrate from a live engine: warm one wave (transform tables,
+    // thread wake-up), then measure a clean one.
+    let workers = 2usize;
+    let engine = BootstrapEngine::builder()
+        .workers(workers)
+        .build(Arc::clone(&sk))
+        .expect("nonzero workers");
+    let wave: Vec<_> = (0..workers * 2).map(|_| ct.clone()).collect();
+    engine
+        .try_bootstrap_batch(&BatchRequest::shared(
+            wave[..workers].to_vec(),
+            (*lut).clone(),
+        ))
+        .expect("warm-up wave");
+    engine.reset_stats();
+    engine
+        .try_bootstrap_batch(&BatchRequest::shared(wave, (*lut).clone()))
+        .expect("calibration wave");
+    let stats = engine.stats();
+    drop(engine);
+    let model = ServiceModel::from_engine_stats(&stats).expect("bootstraps were measured");
+    let bootstrap = Duration::from_nanos(model.bootstrap_ns);
+
+    // A target this host can meet in any build profile: ~30% of one
+    // core's throughput, p99 at 10 bootstrap times (floored at 20 ms so
+    // scheduling jitter never dominates on fast hosts).
+    let rate = (0.3 / bootstrap.as_secs_f64()).clamp(2.0, 500.0);
+    let slo = (bootstrap * 10).max(Duration::from_millis(20));
+    let mut req = AutotuneRequest::new(SloTarget {
+        rate_per_s: rate,
+        p99: slo,
+    });
+    req.max_workers = workers;
+    req.requests = 256;
+    let tuned = autotune(&model, &req).expect("search over a valid space");
+    assert!(
+        tuned.slo_met,
+        "a 30%-of-capacity load must be feasible: {:?}",
+        tuned.predicted
+    );
+    assert!(tuned.predicted.p99 <= slo);
+    assert!(!tuned.trajectory.is_empty());
+
+    // Build the recommended stack through the unified config API and
+    // replay the exact arrival schedule the simulator scored. Cap the
+    // replay around ~5 s of simulated wall time so debug builds stay fast.
+    let engine = tuned
+        .recommended
+        .build_engine(Arc::clone(&sk))
+        .expect("recommended config validates");
+    let dispatcher =
+        Dispatcher::from_config(&tuned.recommended, engine).expect("recommended config validates");
+    let replay_requests = ((rate * 5.0) as usize).clamp(32, 150);
+    let spec = LoadSpec {
+        rate_per_s: rate,
+        requests: replay_requests,
+        seed: req.seed,
+        deadline: Some(slo),
+    };
+    let measured = replay_open_loop(&dispatcher, &spec, &ct, &lut).expect("replay completes");
+
+    // Every request is accounted for; at 30% load with deadlines at the
+    // SLO the recommended config must serve all of them.
+    assert_eq!(
+        measured.completed + measured.expired + measured.rejected + measured.failed,
+        replay_requests as u64,
+        "conservation: {measured:?}"
+    );
+    assert_eq!(measured.failed, 0, "no backend errors: {measured:?}");
+    assert_eq!(
+        measured.rejected, 0,
+        "nothing shed at 30% load: {measured:?}"
+    );
+    assert_eq!(
+        measured.expired, 0,
+        "nothing expired at 30% load: {measured:?}"
+    );
+    // The acceptance bar: the recommendation meets the requested SLO in
+    // reality, and prediction and measurement agree within the
+    // documented bound.
+    assert!(
+        measured.p99 <= slo,
+        "measured p99 {:?} must meet the requested SLO {slo:?}",
+        measured.p99
+    );
+    assert!(
+        p99_agree(tuned.predicted.p99, measured.p99),
+        "predicted {:?} and measured {:?} p99 must agree within the §15 bound",
+        tuned.predicted.p99,
+        measured.p99
+    );
+}
+
+#[test]
+fn recommended_config_survives_a_serialization_round_trip() {
+    // The capacity-planning artifact (`autotune_config.json`) is the
+    // recommended config's own JSON; it must reload into an identical,
+    // valid config that builds a working dispatcher.
+    let model = ServiceModel::new(Duration::from_millis(1));
+    let tuned = autotune(
+        &model,
+        &AutotuneRequest::new(SloTarget {
+            rate_per_s: 100.0,
+            p99: Duration::from_millis(25),
+        }),
+    )
+    .expect("synthetic search");
+    let reloaded = ServingConfig::from_json(&tuned.recommended.to_json()).expect("own JSON parses");
+    assert_eq!(reloaded, tuned.recommended);
+    reloaded
+        .validate()
+        .expect("recommendations are always valid");
+}
